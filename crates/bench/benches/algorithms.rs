@@ -1,0 +1,85 @@
+//! E3 — the exponential-time algorithms of Theorems 4.1 and 5.1.
+//!
+//! * `QuasiInverse` on the k-ary decomposition family: `Σ*` enumerates
+//!   the Bell-number `B(k)` complete descriptions of the frontier, and
+//!   each triggers a MinGen search — the measured curve should grow
+//!   super-polynomially in `k`.
+//! * `Inverse` on the arity-m copy family: `B(m)` prime atoms, each
+//!   chased — same expected shape.
+//! * `MinGen` in isolation on a join-chain premise (search over candidate
+//!   conjunctions bounded by Lemma 4.4's `s1·s2`).
+//! * `QuasiInverse` on the n-way union family: disjunction width grows
+//!   linearly, `Σ*` stays flat — a contrast series that should stay
+//!   nearly linear.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qi_core::{inverse, min_gen, quasi_inverse, MinGenOptions, QuasiInverseOptions};
+use qi_lang::{Atom, Var};
+use qi_workloads::families::{chain_join_j, copy_arity, decomposition_k, union_n};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_quasi_inverse_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms/quasi-inverse-decomposition-k");
+    group.measurement_time(Duration::from_secs(4));
+    group.sample_size(10);
+    for k in [2usize, 3] {
+        let m = decomposition_k(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(quasi_inverse(&m, &QuasiInverseOptions::default()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_quasi_inverse_union(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms/quasi-inverse-union-n");
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    for n in [2usize, 4, 8, 12] {
+        let m = union_n(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(quasi_inverse(&m, &QuasiInverseOptions::default()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_inverse_copy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms/inverse-copy-arity-m");
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    for m_arity in [2usize, 4, 6, 8] {
+        let m = copy_arity(m_arity);
+        group.bench_with_input(BenchmarkId::from_parameter(m_arity), &m_arity, |b, _| {
+            b.iter(|| black_box(inverse(&m).unwrap().unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mingen_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms/mingen-join-chain-j");
+    group.measurement_time(Duration::from_secs(4));
+    group.sample_size(10);
+    for j in [1usize, 2, 3] {
+        let m = chain_join_j(j);
+        let psi = vec![Atom::parse_parts(&m.target, "T", &["x0", &format!("x{j}")]).unwrap()];
+        let x: Vec<Var> = vec![Var::new("x0"), Var::new(&format!("x{j}"))];
+        group.bench_with_input(BenchmarkId::from_parameter(j), &j, |b, _| {
+            b.iter(|| {
+                black_box(min_gen(&m, &psi, &x, &MinGenOptions::default()).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_quasi_inverse_decomposition,
+    bench_quasi_inverse_union,
+    bench_inverse_copy,
+    bench_mingen_chain
+);
+criterion_main!(benches);

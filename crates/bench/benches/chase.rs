@@ -1,0 +1,84 @@
+//! E10 — chase substrate scaling.
+//!
+//! Wall-clock of `chase_Σ(I)` as the source instance grows, for three
+//! mapping shapes (LAV decomposition, n-way union, a 3-way join premise),
+//! plus the restricted-vs-oblivious ablation (the restricted chase pays a
+//! satisfaction probe per trigger; the oblivious one inserts blindly).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qi_chase::{chase, chase_oblivious};
+use qi_workloads::families::{
+    chain_join_j, decomposition_instance, decomposition_k, graph_instance, union_instance,
+    union_n,
+};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_decomposition(c: &mut Criterion) {
+    let m = decomposition_k(3);
+    let mut group = c.benchmark_group("chase/decomposition3");
+    group.measurement_time(Duration::from_secs(3));
+    for n in [10usize, 40, 160, 640] {
+        let i = decomposition_instance(&m, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(chase(&m.tgds, &i, &m.target).unwrap().instance))
+        });
+    }
+    group.finish();
+}
+
+fn bench_union(c: &mut Criterion) {
+    let m = union_n(4);
+    let mut group = c.benchmark_group("chase/union4");
+    group.measurement_time(Duration::from_secs(3));
+    for n in [16usize, 64, 256, 1024] {
+        let i = union_instance(&m, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(chase(&m.tgds, &i, &m.target).unwrap().instance))
+        });
+    }
+    group.finish();
+}
+
+fn bench_join_premise(c: &mut Criterion) {
+    // Three-way join premise over overlapping graph relations: trigger
+    // enumeration is the dominant cost.
+    let m = chain_join_j(3);
+    let mut group = c.benchmark_group("chase/join3");
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(20);
+    for n in [10usize, 20, 40, 80] {
+        let mut i = qi_schema::Instance::new(m.source.clone());
+        for rel in ["A1", "A2", "A3"] {
+            let g = graph_instance(&m, rel, n);
+            i = i.union(&g).unwrap();
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(chase(&m.tgds, &i, &m.target).unwrap().instance))
+        });
+    }
+    group.finish();
+}
+
+fn bench_restricted_vs_oblivious(c: &mut Criterion) {
+    let m = decomposition_k(3);
+    let i = decomposition_instance(&m, 200);
+    let mut group = c.benchmark_group("chase/ablation-restricted-vs-oblivious");
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("restricted", |b| {
+        b.iter(|| black_box(chase(&m.tgds, &i, &m.target).unwrap().instance))
+    });
+    group.bench_function("oblivious", |b| {
+        b.iter(|| black_box(chase_oblivious(&m.tgds, &i, &m.target).unwrap().instance))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_decomposition,
+    bench_union,
+    bench_join_premise,
+    bench_restricted_vs_oblivious
+);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! E10 — disjunctive-chase tree growth (Definitions 6.3/6.4).
+//!
+//! The disjunctive chase branches once per unsatisfied trigger of a
+//! disjunctive dependency, so the leaf count of the Union quasi-inverse
+//! grows as `2^k` in the number of exported facts — measured here
+//! directly, along with the effect of `Constant`/`≠` guards pruning the
+//! trigger set.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qi_chase::{disjunctive_chase, DisjChaseOptions};
+use qi_core::{quasi_inverse, QuasiInverseOptions};
+use qi_schema::Instance;
+use qi_workloads::families::{union_instance, union_n};
+use qi_workloads::paper;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_union_leaves(c: &mut Criterion) {
+    let m = union_n(2);
+    let rev = quasi_inverse(&m, &QuasiInverseOptions::default()).unwrap();
+    let mut group = c.benchmark_group("disjunctive/union-2^k-leaves");
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    for k in [2usize, 4, 6, 8, 10] {
+        let u = m.chase(&union_instance(&m, k)).unwrap();
+        let empty = Instance::new(m.source.clone());
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let leaves =
+                    disjunctive_chase(&rev.deps, &u, &empty, DisjChaseOptions::default())
+                        .unwrap();
+                assert_eq!(leaves.len(), 1 << k);
+                black_box(leaves)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_decomposition_reverse(c: &mut Criterion) {
+    // The Figure 1 reverse exchange at scale: Σ' is disjunction-free, so
+    // the tree is a path but the recovered instance grows quadratically
+    // (every Q(x,b) joins every R(b,z)).
+    let m = paper::decomposition();
+    let rev = paper::decomposition_quasi_inverse_join();
+    let mut group = c.benchmark_group("disjunctive/decomposition-join-reverse");
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    for n in [4usize, 8, 16, 32] {
+        let i = qi_workloads::families::decomposition_instance(&m, n);
+        let u = m.chase(&i).unwrap();
+        let empty = Instance::new(m.source.clone());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let leaves =
+                    disjunctive_chase(&rev.deps, &u, &empty, DisjChaseOptions::default())
+                        .unwrap();
+                black_box(leaves)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_guard_pruning(c: &mut Criterion) {
+    // Constant guards suppress every trigger whose shared values are
+    // nulls. Theorem 4.8's inverse is the cleanest probe: its premise
+    // joins two Q-facts, and on U (a set of 2-hop null chains) the
+    // guarded version fires once per original P-fact while the stripped
+    // version also walks every null chain. Non-disjunctive, so the chase
+    // tree is a path either way — the measured gap is pure trigger count.
+    let m = paper::thm_4_8();
+    let guarded = qi_core::inverse(&m).unwrap().unwrap();
+    let stripped_texts: Vec<String> = guarded
+        .deps
+        .iter()
+        .map(|d| {
+            let mut c = d.clone();
+            c.constant.clear();
+            c.neq.clear();
+            c.to_string()
+        })
+        .collect();
+    let refs: Vec<&str> = stripped_texts.iter().map(String::as_str).collect();
+    let stripped = qi_core::ReverseMapping::parse(&m, &refs).unwrap();
+    let mut group = c.benchmark_group("disjunctive/guard-ablation");
+    group.measurement_time(Duration::from_secs(3));
+    for n in [8usize, 32, 128] {
+        // A path P(v0,v1), P(v1,v2), … — consecutive facts share an
+        // endpoint, so U's null chains concatenate and the stripped
+        // premise finds joins through nulls that the guards forbid.
+        let mut i = Instance::new(m.source.clone());
+        for k in 0..n {
+            i.insert_consts("P", &[&format!("v{k}"), &format!("v{}", k + 1)])
+                .unwrap();
+        }
+        let u = m.chase(&i).unwrap();
+        group.bench_with_input(BenchmarkId::new("guarded", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    disjunctive_chase(
+                        &guarded.deps,
+                        &u,
+                        &Instance::new(m.source.clone()),
+                        DisjChaseOptions::default(),
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("stripped", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    disjunctive_chase(
+                        &stripped.deps,
+                        &u,
+                        &Instance::new(m.source.clone()),
+                        DisjChaseOptions::default(),
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_union_leaves,
+    bench_decomposition_reverse,
+    bench_guard_pruning
+);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! E10 — homomorphism-search scaling.
+//!
+//! Every decision procedure in the reproduction bottoms out in the
+//! backtracking homomorphism search (`~M`, generator tests, soundness
+//! certificates). This bench measures it on the structures that actually
+//! occur: chase outputs with nulls, and graph-shaped instances where the
+//! search must join across facts. Core computation (iterated folding) is
+//! included as the stress variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qi_schema::{core_of, has_hom, Instance, Schema};
+use qi_workloads::families::{decomposition_instance, decomposition_k};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// A path of `n` null-to-null edges (maximally flexible pattern).
+fn null_path(schema: &Schema, n: usize) -> Instance {
+    let mut i = Instance::new(schema.clone());
+    let e = schema.rel("E").unwrap();
+    for k in 0..n {
+        i.insert(e, vec![qi_schema::Value::null(k as u64), qi_schema::Value::null(k as u64 + 1)])
+            .unwrap();
+    }
+    i
+}
+
+/// A constant cycle of length `n`.
+fn cycle(schema: &Schema, n: usize) -> Instance {
+    let mut i = Instance::new(schema.clone());
+    let e = schema.rel("E").unwrap();
+    for k in 0..n {
+        i.insert(
+            e,
+            vec![
+                qi_schema::Value::constant(&format!("v{k}")),
+                qi_schema::Value::constant(&format!("v{}", (k + 1) % n)),
+            ],
+        )
+        .unwrap();
+    }
+    i
+}
+
+fn bench_path_into_cycle(c: &mut Criterion) {
+    let schema = Schema::parse("E/2").unwrap();
+    let mut group = c.benchmark_group("hom/null-path-into-cycle");
+    group.measurement_time(Duration::from_secs(3));
+    for n in [4usize, 8, 16, 32] {
+        let path = null_path(&schema, n);
+        let target = cycle(&schema, n + 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(has_hom(&path, &target)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_chase_output_equivalence(c: &mut Criterion) {
+    // hom checks between chase outputs — the exact shape `~M` uses.
+    let m = decomposition_k(3);
+    let mut group = c.benchmark_group("hom/chase-outputs");
+    group.measurement_time(Duration::from_secs(3));
+    for n in [10usize, 40, 160] {
+        let u1 = m.chase(&decomposition_instance(&m, n)).unwrap();
+        let u2 = m.chase(&decomposition_instance(&m, n + 1)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(has_hom(&u1, &u2)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_core(c: &mut Criterion) {
+    let schema = Schema::parse("E/2").unwrap();
+    let mut group = c.benchmark_group("hom/core");
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    for n in [4usize, 8, 12] {
+        // A constant loop plus a redundant null path that folds onto it.
+        let mut i = cycle(&schema, 1);
+        i = i.union(&null_path(&schema, n)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(core_of(&i)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_path_into_cycle,
+    bench_chase_output_equivalence,
+    bench_core
+);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! E2 at scale — the Figure 1 bidirectional exchange as a benchmark.
+//!
+//! `I → U → V → chase(V) → faithfulness certificate`, for the
+//! Decomposition mapping and each of its three quasi-inverses (the
+//! paper's `Σ'` and `Σ''`, and the QuasiInverse algorithm's guarded
+//! output). The comparison mirrors the paper's discussion: `Σ'` recovers
+//! a quadratically larger ground instance whose re-chase equals `U`
+//! exactly; `Σ''` recovers a same-size instance with nulls whose
+//! re-chase is only hom-equivalent (the certificate costs a hom search).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qi_bench::par_run;
+use qi_core::{quasi_inverse, round_trip, QuasiInverseOptions};
+use qi_workloads::families::decomposition_instance;
+use qi_workloads::paper;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_roundtrip_variants(c: &mut Criterion) {
+    let m = paper::decomposition();
+    // The algorithm output is a *disjunctive* reverse mapping: every
+    // all-distinct trigger branches two ways, so its leaf count is
+    // 2^(n²) in the shared-middle workload — keep its sizes small (the
+    // blow-up itself is the measured phenomenon). The paper's two
+    // disjunction-free quasi-inverses scale to larger instances.
+    let variants = [
+        (
+            "sigma-prime-join",
+            paper::decomposition_quasi_inverse_join(),
+            vec![2usize, 4, 8, 16],
+        ),
+        (
+            "sigma-doubleprime-lav",
+            paper::decomposition_quasi_inverse_lav(),
+            vec![2usize, 4, 8, 16],
+        ),
+        (
+            "algorithm-output",
+            quasi_inverse(&m, &QuasiInverseOptions::default()).unwrap(),
+            vec![1usize, 2, 3],
+        ),
+    ];
+    for (name, rev, sizes) in &variants {
+        let mut group = c.benchmark_group(format!("roundtrip/{name}"));
+        group.measurement_time(Duration::from_secs(4));
+        group.sample_size(10);
+        for &n in sizes {
+            let i = decomposition_instance(&m, n);
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+                b.iter(|| {
+                    let rt = round_trip(&m, rev, &i, Default::default()).unwrap();
+                    assert!(rt.is_faithful());
+                    black_box(rt)
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_parallel_verification(c: &mut Criterion) {
+    // Verifying faithfulness over a batch of instances is embarrassingly
+    // parallel; measure the batch throughput through the crossbeam
+    // fan-out helper (the shape EXPERIMENTS.md's E4 sweep uses).
+    let m = paper::decomposition();
+    let rev = paper::decomposition_quasi_inverse_join();
+    let instances: Vec<_> = (1..=8).map(|n| decomposition_instance(&m, n)).collect();
+    let mut group = c.benchmark_group("roundtrip/batch-verification");
+    group.measurement_time(Duration::from_secs(4));
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            for i in &instances {
+                let rt = round_trip(&m, &rev, i, Default::default()).unwrap();
+                assert!(rt.is_faithful());
+            }
+        })
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| {
+            let jobs: Vec<Box<dyn FnOnce() -> bool + Send>> = instances
+                .iter()
+                .map(|i| {
+                    let m = m.clone();
+                    let rev = rev.clone();
+                    let i = i.clone();
+                    Box::new(move || {
+                        round_trip(&m, &rev, &i, Default::default())
+                            .unwrap()
+                            .is_faithful()
+                    }) as Box<dyn FnOnce() -> bool + Send>
+                })
+                .collect();
+            assert!(par_run(jobs).into_iter().all(|ok| ok));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_roundtrip_variants, bench_parallel_verification);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! # qi-bench — benchmark harness
+//!
+//! Criterion benches regenerating the measurable claims of the paper; see
+//! `EXPERIMENTS.md` at the workspace root for the experiment index. The
+//! library part only hosts tiny shared helpers; the benches live under
+//! `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use qi_core::SchemaMapping;
+use qi_schema::Instance;
+
+/// Chase an instance and panic with context on failure — benches want a
+/// terse infallible call.
+pub fn chase_or_panic(m: &SchemaMapping, i: &Instance) -> Instance {
+    m.chase(i).expect("bench chase must succeed")
+}
+
+/// Fan a list of independent closures across threads (used by the
+/// round-trip bench to verify many instances concurrently while the
+/// measurement itself stays single-threaded).
+pub fn par_run<T: Send>(jobs: Vec<Box<dyn FnOnce() -> T + Send>>) -> Vec<T> {
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .into_iter()
+            .map(|job| scope.spawn(move |_| job()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bench worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope")
+}

@@ -1,0 +1,372 @@
+//! The disjunctive chase (Definitions 6.3 and 6.4).
+//!
+//! Chasing an instance of the form `(U, ∅)` with target-to-source
+//! disjunctive tgds with constants and inequalities builds a *chase tree*:
+//! a dependency `σ` applies at a node with a premise homomorphism `h`
+//! (respecting the `Constant` and `≠` guards) when **no** disjunct of `σ`
+//! has an extension of `h` into the current node; applying it branches
+//! into one child per disjunct, each adding that disjunct's facts with
+//! fresh nulls for its existential variables. The *result* of the chase is
+//! the set of leaves (Definition 6.4).
+//!
+//! Because the premise side (`from`) is fixed — target-to-source
+//! dependencies cannot re-trigger themselves — the set of premise matches
+//! is finite and each match fires at most once per root-to-leaf path, so
+//! the tree is finite. A node budget still guards against combinatorial
+//! blow-up on large inputs.
+
+use crate::error::ChaseError;
+use qi_lang::{compile_atoms, DisjTgd, Var};
+use qi_schema::{Instance, MatchConstraints, MatchEngine, PatTerm, Pattern, Schema, Value};
+
+/// Options for the disjunctive chase.
+#[derive(Clone, Copy, Debug)]
+pub struct DisjChaseOptions {
+    /// Maximum number of chase-tree nodes to visit before giving up.
+    pub max_nodes: usize,
+}
+
+impl Default for DisjChaseOptions {
+    fn default() -> Self {
+        DisjChaseOptions { max_nodes: 200_000 }
+    }
+}
+
+struct CompiledDep {
+    body: Pattern,
+    body_constraints: MatchConstraints,
+    n_body: usize,
+    /// One pattern per disjunct; variables `0..n_body` are shared with the
+    /// body, the rest are the disjunct's existentials in order.
+    disjuncts: Vec<Pattern>,
+}
+
+fn compile(dep: &DisjTgd) -> CompiledDep {
+    let mut vars: Vec<Var> = Vec::new();
+    let body_facts = compile_atoms(&dep.body, &mut vars);
+    let n_body = vars.len();
+    let var_idx = |v: &Var, vars: &[Var]| -> u32 {
+        vars.iter().position(|w| w == v).expect("validated") as u32
+    };
+    let body_constraints = MatchConstraints {
+        constants_only: dep.constant.iter().map(|v| var_idx(v, &vars)).collect(),
+        distinct: dep
+            .neq
+            .iter()
+            .map(|(a, b)| (var_idx(a, &vars), var_idx(b, &vars)))
+            .collect(),
+        ..Default::default()
+    };
+    let disjuncts = dep
+        .disjuncts
+        .iter()
+        .map(|d| {
+            let mut dvars = vars[..n_body].to_vec();
+            let facts = compile_atoms(&d.atoms, &mut dvars);
+            Pattern {
+                facts,
+                nvars: dvars.len(),
+            }
+        })
+        .collect();
+    CompiledDep {
+        body: Pattern {
+            facts: body_facts,
+            nvars: n_body,
+        },
+        body_constraints,
+        n_body,
+        disjuncts,
+    }
+}
+
+/// A premise match: which dependency, and the values of its body variables.
+struct Trigger {
+    dep: usize,
+    fixed: Vec<(u32, Value)>,
+}
+
+/// Is some disjunct of `dep` satisfied in `to` under the trigger's fixed
+/// body assignment?
+fn trigger_satisfied(dep: &CompiledDep, fixed: &[(u32, Value)], to: &Instance) -> bool {
+    dep.disjuncts.iter().any(|pattern| {
+        let constraints = MatchConstraints {
+            fixed: fixed.to_vec(),
+            ..Default::default()
+        };
+        MatchEngine::new(pattern, to, &constraints).exists()
+    })
+}
+
+/// Add the facts of disjunct `di` of `dep` instantiated by `fixed`,
+/// minting fresh nulls for the disjunct's existential variables.
+fn apply_disjunct(
+    dep: &CompiledDep,
+    di: usize,
+    fixed: &[(u32, Value)],
+    to: &Instance,
+    next_null: u64,
+) -> (Instance, u64) {
+    let pattern = &dep.disjuncts[di];
+    let mut out = to.clone();
+    let mut next = next_null;
+    let mut exist_vals: Vec<Option<Value>> = vec![None; pattern.nvars];
+    for fact in &pattern.facts {
+        let args: Vec<Value> = fact
+            .args
+            .iter()
+            .map(|term| match *term {
+                PatTerm::Value(v) => v,
+                PatTerm::Var(i) => {
+                    if (i as usize) < dep.n_body {
+                        fixed
+                            .iter()
+                            .find(|(var, _)| *var == i)
+                            .expect("body variable bound by trigger")
+                            .1
+                    } else {
+                        *exist_vals[i as usize].get_or_insert_with(|| {
+                            let v = Value::null(next);
+                            next += 1;
+                            v
+                        })
+                    }
+                }
+            })
+            .collect();
+        out.insert(fact.rel, args)
+            .expect("disjunct arity validated at construction");
+    }
+    (out, next)
+}
+
+/// Run the disjunctive chase of `(from, to0)` with `deps`; returns the
+/// leaves' `to` sides (exact duplicates removed), in deterministic order.
+///
+/// `to0` is usually the empty instance over the dependencies' `to` schema
+/// (the paper chases `(U, ∅)`).
+///
+/// ```
+/// use qi_chase::{disjunctive_chase, DisjChaseOptions};
+/// use qi_lang::parse_disj_tgd;
+/// use qi_schema::{Instance, Schema};
+///
+/// let t = Schema::parse("S/1").unwrap();
+/// let s = Schema::parse("P/1 Q/1").unwrap();
+/// let dep = parse_disj_tgd(&t, &s, "S(x) -> P(x) | Q(x)").unwrap();
+/// let u = Instance::parse(&t, "S(a)").unwrap();
+/// let leaves = disjunctive_chase(
+///     &[dep], &u, &Instance::new(s), DisjChaseOptions::default(),
+/// ).unwrap();
+/// assert_eq!(leaves.len(), 2); // one leaf per disjunct
+/// ```
+pub fn disjunctive_chase(
+    deps: &[DisjTgd],
+    from: &Instance,
+    to0: &Instance,
+    options: DisjChaseOptions,
+) -> Result<Vec<Instance>, ChaseError> {
+    for d in deps {
+        if !d.from.same_as(from.schema()) {
+            return Err(ChaseError::SchemaMismatch(
+                "dependency `from` schema differs from the premise instance".into(),
+            ));
+        }
+        if !d.to.same_as(to0.schema()) {
+            return Err(ChaseError::SchemaMismatch(
+                "dependency `to` schema differs from the initial instance".into(),
+            ));
+        }
+    }
+    let compiled: Vec<CompiledDep> = deps.iter().map(compile).collect();
+    // Enumerate all premise matches once (the premise side never grows).
+    let mut triggers: Vec<Trigger> = Vec::new();
+    for (di, dep) in compiled.iter().enumerate() {
+        for assignment in MatchEngine::new(&dep.body, from, &dep.body_constraints).all() {
+            triggers.push(Trigger {
+                dep: di,
+                fixed: (0..dep.n_body as u32)
+                    .map(|i| (i, assignment.value(i)))
+                    .collect(),
+            });
+        }
+    }
+    let mut leaves: Vec<Instance> = Vec::new();
+    let mut stack: Vec<(Instance, u64)> = vec![(
+        to0.clone(),
+        from.fresh_null_floor().max(to0.fresh_null_floor()),
+    )];
+    let mut visited = 0usize;
+    while let Some((to, next_null)) = stack.pop() {
+        visited += 1;
+        if visited > options.max_nodes {
+            return Err(ChaseError::Budget {
+                max_nodes: options.max_nodes,
+            });
+        }
+        // First unsatisfied trigger, in deterministic order.
+        let pending = triggers
+            .iter()
+            .find(|t| !trigger_satisfied(&compiled[t.dep], &t.fixed, &to));
+        match pending {
+            None => {
+                if !leaves.contains(&to) {
+                    leaves.push(to);
+                }
+            }
+            Some(t) => {
+                let dep = &compiled[t.dep];
+                // Push children in reverse so disjunct 0 is explored first.
+                for di in (0..dep.disjuncts.len()).rev() {
+                    let (child, next) = apply_disjunct(dep, di, &t.fixed, &to, next_null);
+                    stack.push((child, next));
+                }
+            }
+        }
+    }
+    Ok(leaves)
+}
+
+/// Chase with *non-disjunctive* tgds with constants and inequalities:
+/// every dependency has a single disjunct, so the tree is a path and the
+/// result is a single instance.
+pub fn chase_with_guards(
+    deps: &[DisjTgd],
+    from: &Instance,
+    to_schema: &Schema,
+) -> Result<Instance, ChaseError> {
+    for d in deps {
+        if d.has_disjunction() {
+            return Err(ChaseError::InconsistentDependencies(
+                "chase_with_guards requires single-disjunct dependencies".into(),
+            ));
+        }
+    }
+    let to0 = Instance::new(to_schema.clone());
+    let mut leaves = disjunctive_chase(deps, from, &to0, DisjChaseOptions::default())?;
+    debug_assert_eq!(leaves.len(), 1, "non-disjunctive chase has one leaf");
+    Ok(leaves.pop().expect("non-disjunctive chase yields a leaf"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qi_lang::parse_disj_tgd;
+    use qi_schema::Schema;
+
+    #[test]
+    fn union_quasi_inverse_branches() {
+        // S(x) -> P(x) | Q(x) applied to S(a): two leaves.
+        let t = Schema::parse("S/1").unwrap();
+        let s = Schema::parse("P/1 Q/1").unwrap();
+        let dep = parse_disj_tgd(&t, &s, "S(x) -> P(x) | Q(x)").unwrap();
+        let u = Instance::parse(&t, "S(a)").unwrap();
+        let leaves = disjunctive_chase(
+            &[dep],
+            &u,
+            &Instance::new(s.clone()),
+            DisjChaseOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(leaves.len(), 2);
+        assert!(leaves.contains(&Instance::parse(&s, "P(a)").unwrap()));
+        assert!(leaves.contains(&Instance::parse(&s, "Q(a)").unwrap()));
+    }
+
+    #[test]
+    fn two_facts_give_four_leaves() {
+        let t = Schema::parse("S/1").unwrap();
+        let s = Schema::parse("P/1 Q/1").unwrap();
+        let dep = parse_disj_tgd(&t, &s, "S(x) -> P(x) | Q(x)").unwrap();
+        let u = Instance::parse(&t, "S(a) S(b)").unwrap();
+        let leaves = disjunctive_chase(
+            &[dep],
+            &u,
+            &Instance::new(s),
+            DisjChaseOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(leaves.len(), 4);
+    }
+
+    #[test]
+    fn satisfied_trigger_does_not_fire() {
+        // If one disjunct is already satisfied, Definition 6.3 forbids the
+        // step entirely.
+        let t = Schema::parse("S/1").unwrap();
+        let s = Schema::parse("P/1 Q/1").unwrap();
+        let dep = parse_disj_tgd(&t, &s, "S(x) -> P(x) | Q(x)").unwrap();
+        let u = Instance::parse(&t, "S(a)").unwrap();
+        let pre = Instance::parse(&s, "P(a)").unwrap();
+        let leaves =
+            disjunctive_chase(&[dep], &u, &pre, DisjChaseOptions::default()).unwrap();
+        assert_eq!(leaves, vec![pre]);
+    }
+
+    #[test]
+    fn existentials_get_fresh_nulls() {
+        let t = Schema::parse("Q/2").unwrap();
+        let s = Schema::parse("P/3").unwrap();
+        let dep = parse_disj_tgd(&t, &s, "Q(x,y) -> exists z . P(x,y,z)").unwrap();
+        let u = Instance::parse(&t, "Q(a,b) Q(c,N7)").unwrap();
+        let v = chase_with_guards(&[dep], &u, &s).unwrap();
+        assert_eq!(v.fact_count(), 2);
+        // fresh nulls avoid N7
+        assert!(v.nulls().iter().all(|n| n.0 >= 8 || n.0 == 7));
+        assert_eq!(v.nulls().len(), 3); // N7 carried over + two fresh
+    }
+
+    #[test]
+    fn guards_filter_triggers() {
+        let t = Schema::parse("S/2").unwrap();
+        let s = Schema::parse("P/2").unwrap();
+        let dep =
+            parse_disj_tgd(&t, &s, "S(x,y) & const(x) & x != y -> P(x,y)").unwrap();
+        let u = Instance::parse(&t, "S(a,a) S(a,b) S(N1,b)").unwrap();
+        let v = chase_with_guards(&[dep], &u, &s).unwrap();
+        // Only S(a,b) passes both guards.
+        assert_eq!(v, Instance::parse(&s, "P(a,b)").unwrap());
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let t = Schema::parse("S/1").unwrap();
+        let s = Schema::parse("P/1 Q/1").unwrap();
+        let dep = parse_disj_tgd(&t, &s, "S(x) -> P(x) | Q(x)").unwrap();
+        let mut u = Instance::new(t.clone());
+        for i in 0..20 {
+            u.insert_consts("S", &[&format!("c{i}")]).unwrap();
+        }
+        let err = disjunctive_chase(
+            &[dep],
+            &u,
+            &Instance::new(s),
+            DisjChaseOptions { max_nodes: 100 },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ChaseError::Budget { .. }));
+    }
+
+    #[test]
+    fn chase_with_guards_rejects_disjunction() {
+        let t = Schema::parse("S/1").unwrap();
+        let s = Schema::parse("P/1 Q/1").unwrap();
+        let dep = parse_disj_tgd(&t, &s, "S(x) -> P(x) | Q(x)").unwrap();
+        let u = Instance::new(t);
+        assert!(chase_with_guards(&[dep], &u, &s).is_err());
+    }
+
+    #[test]
+    fn decomposition_reverse_chase_matches_figure_1() {
+        // Σ' = Q(x,y) & R(y,z) -> P(x,y,z) applied to U of Figure 1.
+        let t = Schema::parse("Q/2 R/2").unwrap();
+        let s = Schema::parse("P/3").unwrap();
+        let dep = parse_disj_tgd(&t, &s, "Q(x,y) & R(y,z) -> P(x,y,z)").unwrap();
+        let u = Instance::parse(&t, "Q(a,b) Q(a2,b) R(b,c) R(b,c2)").unwrap();
+        let v1 = chase_with_guards(&[dep], &u, &s).unwrap();
+        assert_eq!(
+            v1,
+            Instance::parse(&s, "P(a,b,c) P(a,b,c2) P(a2,b,c) P(a2,b,c2)").unwrap()
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Errors of the chase engines.
+
+use std::fmt;
+
+/// Errors raised by chase procedures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaseError {
+    /// The dependencies and the instance disagree on schemas.
+    SchemaMismatch(String),
+    /// The dependency set mixes incompatible schema pairs.
+    InconsistentDependencies(String),
+    /// The disjunctive chase tree exceeded its node budget.
+    Budget {
+        /// Configured maximum number of visited tree nodes.
+        max_nodes: usize,
+    },
+}
+
+impl fmt::Display for ChaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaseError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            ChaseError::InconsistentDependencies(m) => {
+                write!(f, "inconsistent dependency set: {m}")
+            }
+            ChaseError::Budget { max_nodes } => write!(
+                f,
+                "disjunctive chase exceeded its node budget ({max_nodes} nodes)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ChaseError {}

@@ -1,0 +1,156 @@
+//! Chase-based logical implication and the generator test (§4).
+//!
+//! "It follows easily from the standard theory of the chase that `β(x,z)`
+//! is a generator of `∃y ψ_T(x,y)` with respect to `Σ` if and only if the
+//! chase of `I_{β(x,z)}` with `Σ` gives at least `I_{ψ_T(x,y')}` for a
+//! substitution where some `y'` substitutes for `y`."
+//!
+//! We realize `I_β` by freezing `β`'s variables as reserved constants
+//! (`qi_lang::canonical`), chase with `Σ`, and then look for a match of
+//! `ψ` in the result where each frontier variable `x` is pinned to its
+//! frozen constant and each `y` is free.
+
+use crate::error::ChaseError;
+use crate::standard::chase;
+use qi_lang::{canonical_instance, compile_atoms, Atom, FrozenVars, Tgd, Var};
+use qi_schema::{MatchConstraints, MatchEngine, Pattern, Schema};
+
+/// Is the s-t tgd `candidate` a logical consequence of `sigma`?
+///
+/// Standard chase argument: freeze the candidate's body variables, chase
+/// the resulting canonical instance with `sigma`, and check that the
+/// candidate's head matches the chase result with the frontier variables
+/// pinned to their frozen constants.
+pub fn implies_tgd(sigma: &[Tgd], candidate: &Tgd) -> Result<bool, ChaseError> {
+    let mut frozen = FrozenVars::default();
+    let body_instance = canonical_instance(&candidate.source, &candidate.body, &mut frozen);
+    let chased = chase(sigma, &body_instance, &candidate.target)?.instance;
+    let mut vars: Vec<Var> = Vec::new();
+    let head_facts = compile_atoms(&candidate.head, &mut vars);
+    let pattern = Pattern {
+        facts: head_facts,
+        nvars: vars.len(),
+    };
+    let fixed = vars
+        .iter()
+        .enumerate()
+        .filter_map(|(i, v)| frozen.get(v).map(|val| (i as u32, val)))
+        .collect();
+    let constraints = MatchConstraints {
+        fixed,
+        ..Default::default()
+    };
+    Ok(MatchEngine::new(&pattern, &chased, &constraints).exists())
+}
+
+/// Definition 4.2: is `beta` (a conjunction of source atoms) a *generator*
+/// of `∃y ψ(x,y)` with respect to `sigma`?
+///
+/// `x` must list exactly the variables shared between `beta` and `psi`;
+/// `psi`'s remaining variables are the existential `y`. Conjunctions in
+/// which some `x` does not occur cannot form a (safe) tgd and are reported
+/// as non-generators.
+pub fn is_generator(
+    sigma: &[Tgd],
+    source: &Schema,
+    target: &Schema,
+    beta: &[Atom],
+    psi: &[Atom],
+    x: &[Var],
+) -> Result<bool, ChaseError> {
+    let psi_vars = qi_lang::atom::vars_of(psi);
+    let y: Vec<Var> = psi_vars.into_iter().filter(|v| !x.contains(v)).collect();
+    let Ok(candidate) = Tgd::new(
+        source.clone(),
+        target.clone(),
+        beta.to_vec(),
+        y,
+        psi.to_vec(),
+    ) else {
+        return Ok(false); // unsafe candidate (e.g. missing frontier var)
+    };
+    implies_tgd(sigma, &candidate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qi_lang::parse_tgd;
+
+    fn example_4_5() -> (Schema, Schema, Vec<Tgd>) {
+        let s = Schema::parse("P/3 U/1 T/2 R/3").unwrap();
+        let t = Schema::parse("S/3 Q/2").unwrap();
+        let tgds = vec![
+            parse_tgd(&s, &t, "P(x1,x2,x3) -> exists y . S(x1,x2,y) & Q(y,y)").unwrap(),
+            parse_tgd(&s, &t, "U(x1) -> exists y . S(x1,x1,y) & Q(y,y) & Q(x1,y)").unwrap(),
+            parse_tgd(&s, &t, "T(x3,x4) -> S(x4,x4,x3)").unwrap(),
+            parse_tgd(&s, &t, "R(x1,x2,x4) -> Q(x1,x2)").unwrap(),
+        ];
+        (s, t, tgds)
+    }
+
+    #[test]
+    fn every_tgd_implies_itself() {
+        let (_, _, tgds) = example_4_5();
+        for t in &tgds {
+            assert!(implies_tgd(&tgds, t).unwrap(), "{t}");
+        }
+    }
+
+    #[test]
+    fn paper_generators_of_sigma2() {
+        // σ2: P(x1,x1,x3) -> exists y . S(x1,x1,y) & Q(y,y).
+        // The paper lists U(x1) and T(x3,x1) & R(x3,x3,x4) as generators.
+        let (s, t, tgds) = example_4_5();
+        let x = vec![Var::new("x1")];
+        let psi = vec![
+            Atom::parse_parts(&t, "S", &["x1", "x1", "y"]).unwrap(),
+            Atom::parse_parts(&t, "Q", &["y", "y"]).unwrap(),
+        ];
+        let u_beta = vec![Atom::parse_parts(&s, "U", &["x1"]).unwrap()];
+        assert!(is_generator(&tgds, &s, &t, &u_beta, &psi, &x).unwrap());
+        let tr_beta = vec![
+            Atom::parse_parts(&s, "T", &["x3", "x1"]).unwrap(),
+            Atom::parse_parts(&s, "R", &["x3", "x3", "x4"]).unwrap(),
+        ];
+        assert!(is_generator(&tgds, &s, &t, &tr_beta, &psi, &x).unwrap());
+        let p_beta = vec![Atom::parse_parts(&s, "P", &["x1", "x1", "x3"]).unwrap()];
+        assert!(is_generator(&tgds, &s, &t, &p_beta, &psi, &x).unwrap());
+        // T alone is NOT a generator (needs the R fact for Q(y,y)).
+        let t_alone = vec![Atom::parse_parts(&s, "T", &["x3", "x1"]).unwrap()];
+        assert!(!is_generator(&tgds, &s, &t, &t_alone, &psi, &x).unwrap());
+    }
+
+    #[test]
+    fn non_generator_when_chase_lacks_facts() {
+        let (s, t, tgds) = example_4_5();
+        let x = vec![Var::new("x1"), Var::new("x2")];
+        // R generates Q(x1,x2) but never S-facts.
+        let psi = vec![Atom::parse_parts(&t, "S", &["x1", "x2", "x2"]).unwrap()];
+        let beta = vec![Atom::parse_parts(&s, "R", &["x1", "x2", "x4"]).unwrap()];
+        assert!(!is_generator(&tgds, &s, &t, &beta, &psi, &x).unwrap());
+    }
+
+    #[test]
+    fn unsafe_candidate_is_not_a_generator() {
+        let (s, t, tgds) = example_4_5();
+        // x2 does not occur in beta: unsafe, hence not a generator.
+        let x = vec![Var::new("x1"), Var::new("x2")];
+        let psi = vec![Atom::parse_parts(&t, "Q", &["x1", "x2"]).unwrap()];
+        let beta = vec![Atom::parse_parts(&s, "U", &["x1"]).unwrap()];
+        assert!(!is_generator(&tgds, &s, &t, &beta, &psi, &x).unwrap());
+    }
+
+    #[test]
+    fn implication_with_weakened_head() {
+        let s = Schema::parse("P/2").unwrap();
+        let t = Schema::parse("Q/2").unwrap();
+        let sigma = vec![parse_tgd(&s, &t, "P(x,y) -> Q(x,y)").unwrap()];
+        // Σ implies the existentially weakened form...
+        let weak = parse_tgd(&s, &t, "P(x,y) -> exists z . Q(x,z)").unwrap();
+        assert!(implies_tgd(&sigma, &weak).unwrap());
+        // ...but not the transposed one.
+        let transposed = parse_tgd(&s, &t, "P(x,y) -> Q(y,x)").unwrap();
+        assert!(!implies_tgd(&sigma, &transposed).unwrap());
+    }
+}

@@ -1,0 +1,221 @@
+//! Conjunctive-query evaluation and certain answers.
+//!
+//! Naive evaluation of a CQ on an instance enumerates homomorphisms of
+//! the body; for *certain answers* over the space of solutions of a
+//! ground source instance, the classical data-exchange result (reference \[4\] in
+//! the paper; FKMP TCS'05) applies: evaluate the query on any universal
+//! solution and keep the null-free answers.
+
+use crate::error::ChaseError;
+use crate::standard::chase;
+use qi_lang::{compile_atoms, ConjunctiveQuery, Tgd, Var};
+use qi_schema::{Instance, MatchConstraints, MatchEngine, Pattern, Schema, Value};
+use std::collections::BTreeSet;
+
+/// Evaluate `query` naively on `instance`: all head-variable bindings
+/// under homomorphisms of the body (answers may contain nulls when the
+/// instance does).
+pub fn evaluate(query: &ConjunctiveQuery, instance: &Instance) -> BTreeSet<Vec<Value>> {
+    let mut vars: Vec<Var> = Vec::new();
+    let facts = compile_atoms(&query.body, &mut vars);
+    let pattern = Pattern {
+        facts,
+        nvars: vars.len(),
+    };
+    let head_idx: Vec<usize> = query
+        .head
+        .iter()
+        .map(|h| {
+            vars.iter()
+                .position(|v| v == h)
+                .expect("head variables occur in the body (validated)")
+        })
+        .collect();
+    let mut answers = BTreeSet::new();
+    MatchEngine::new(&pattern, instance, &MatchConstraints::default()).for_each(|assignment| {
+        answers.insert(
+            head_idx
+                .iter()
+                .map(|&i| assignment.value(i as u32))
+                .collect(),
+        );
+        true
+    });
+    answers
+}
+
+/// The *certain answers* of a target query w.r.t. the mapping specified
+/// by `tgds` on ground source `source`: the tuples in `q(J)` for **every**
+/// solution `J`. Computed by naive evaluation on the chase result,
+/// keeping only null-free tuples.
+pub fn certain_answers(
+    tgds: &[Tgd],
+    source: &Instance,
+    target_schema: &Schema,
+    query: &ConjunctiveQuery,
+) -> Result<BTreeSet<Vec<Value>>, ChaseError> {
+    let u = chase(tgds, source, target_schema)?.instance;
+    Ok(evaluate(query, &u)
+        .into_iter()
+        .filter(|t| t.iter().all(|v| v.is_const()))
+        .collect())
+}
+
+/// Certain answers in the **full data-exchange setting** (target tgds +
+/// egds): evaluate on the target chase result. Returns `None` when the
+/// chase fails (an egd equated distinct constants) — then `source` has
+/// no solution at all and every boolean query is vacuously certain, a
+/// case the caller must handle explicitly.
+pub fn certain_answers_with_setting(
+    setting: &crate::target::ExchangeSetting,
+    source: &Instance,
+    target_schema: &Schema,
+    query: &ConjunctiveQuery,
+    options: crate::target::TargetChaseOptions,
+) -> Result<Option<BTreeSet<Vec<Value>>>, ChaseError> {
+    match crate::target::chase_with_target_deps(setting, source, target_schema, options)? {
+        crate::target::TargetChaseResult::Failed { .. } => Ok(None),
+        crate::target::TargetChaseResult::Solution(u) => Ok(Some(
+            evaluate(query, &u)
+                .into_iter()
+                .filter(|t| t.iter().all(|v| v.is_const()))
+                .collect(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qi_lang::parse_tgd;
+
+    fn val(s: &str) -> Value {
+        Value::constant(s)
+    }
+
+    #[test]
+    fn evaluation_joins() {
+        let s = Schema::parse("E/2").unwrap();
+        let i = Instance::parse(&s, "E(a,b) E(b,c) E(b,d)").unwrap();
+        let q = ConjunctiveQuery::parse(&s, "q(x,y) :- E(x,z), E(z,y)").unwrap();
+        let ans = evaluate(&q, &i);
+        assert_eq!(
+            ans,
+            BTreeSet::from([vec![val("a"), val("c")], vec![val("a"), val("d")]])
+        );
+    }
+
+    #[test]
+    fn boolean_query_answers() {
+        let s = Schema::parse("E/2").unwrap();
+        let q = ConjunctiveQuery::parse(&s, "q() :- E(x,x)").unwrap();
+        let yes = Instance::parse(&s, "E(a,a)").unwrap();
+        let no = Instance::parse(&s, "E(a,b)").unwrap();
+        assert_eq!(evaluate(&q, &yes).len(), 1); // the empty tuple
+        assert!(evaluate(&q, &no).is_empty());
+    }
+
+    #[test]
+    fn certain_answers_drop_nulls() {
+        // P(x) -> ∃y Q(x,y): the second column is unknown, so only the
+        // first-column projection is certain.
+        let s = Schema::parse("P/1").unwrap();
+        let t = Schema::parse("Q/2").unwrap();
+        let tgds = vec![parse_tgd(&s, &t, "P(x) -> exists y . Q(x,y)").unwrap()];
+        let i = Instance::parse(&s, "P(a)").unwrap();
+        let q1 = ConjunctiveQuery::parse(&t, "q(x) :- Q(x,y)").unwrap();
+        assert_eq!(
+            certain_answers(&tgds, &i, &t, &q1).unwrap(),
+            BTreeSet::from([vec![val("a")]])
+        );
+        let q2 = ConjunctiveQuery::parse(&t, "q(x,y) :- Q(x,y)").unwrap();
+        assert!(certain_answers(&tgds, &i, &t, &q2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn certain_answers_invariant_under_universal_solution_choice() {
+        // Evaluating on the oblivious chase gives the same certain
+        // answers (hom-equivalent universal solutions).
+        let s = Schema::parse("P/2").unwrap();
+        let t = Schema::parse("Q/2").unwrap();
+        let tgds = vec![
+            parse_tgd(&s, &t, "P(x,y) -> exists z . Q(x,z)").unwrap(),
+            parse_tgd(&s, &t, "P(x,y) -> Q(x,y)").unwrap(),
+        ];
+        let i = Instance::parse(&s, "P(a,b)").unwrap();
+        let q = ConjunctiveQuery::parse(&t, "q(x,y) :- Q(x,y)").unwrap();
+        let from_restricted = certain_answers(&tgds, &i, &t, &q).unwrap();
+        let oblivious = crate::standard::chase_oblivious(&tgds, &i, &t)
+            .unwrap()
+            .instance;
+        let from_oblivious: BTreeSet<Vec<Value>> = evaluate(&q, &oblivious)
+            .into_iter()
+            .filter(|t| t.iter().all(|v| v.is_const()))
+            .collect();
+        assert_eq!(from_restricted, from_oblivious);
+        assert_eq!(from_restricted, BTreeSet::from([vec![val("a"), val("b")]]));
+    }
+
+    #[test]
+    fn certain_answers_with_key_constraints_gain_precision() {
+        use crate::target::{ExchangeSetting, TargetChaseOptions};
+        use qi_lang::parse_egd;
+        // Without the key, the join of Q's null with P's value is
+        // uncertain; the key egd makes it certain.
+        let s = Schema::parse("P/2 Q/1").unwrap();
+        let t = Schema::parse("E/2").unwrap();
+        let setting = ExchangeSetting {
+            st_tgds: vec![
+                parse_tgd(&s, &t, "P(x,y) -> E(x,y)").unwrap(),
+                parse_tgd(&s, &t, "Q(x) -> exists y . E(x,y)").unwrap(),
+            ],
+            target_tgds: vec![],
+            egds: vec![parse_egd(&t, "E(x,y) & E(x,z) -> y = z").unwrap()],
+        };
+        let i = Instance::parse(&s, "P(a,b) Q(a)").unwrap();
+        let q = ConjunctiveQuery::parse(&t, "q(x,y) :- E(x,y)").unwrap();
+        // Plain s-t certain answers see the null row as uncertain…
+        let plain = certain_answers(&setting.st_tgds, &i, &t, &q).unwrap();
+        assert_eq!(plain.len(), 1);
+        // …with the key, still one answer but the chase is ground.
+        let keyed = certain_answers_with_setting(
+            &setting,
+            &i,
+            &t,
+            &q,
+            TargetChaseOptions::default(),
+        )
+        .unwrap()
+        .expect("consistent");
+        assert_eq!(keyed, BTreeSet::from([vec![val("a"), val("b")]]));
+        // An inconsistent source is reported as such.
+        let bad = Instance::parse(&s, "P(a,b) P(a,c)").unwrap();
+        assert!(certain_answers_with_setting(
+            &setting,
+            &bad,
+            &t,
+            &q,
+            TargetChaseOptions::default()
+        )
+        .unwrap()
+        .is_none());
+    }
+
+    #[test]
+    fn certain_answers_are_sound_for_sampled_solutions() {
+        let s = Schema::parse("P/2").unwrap();
+        let t = Schema::parse("Q/2").unwrap();
+        let tgds = vec![parse_tgd(&s, &t, "P(x,y) -> Q(x,y)").unwrap()];
+        let i = Instance::parse(&s, "P(a,b) P(b,c)").unwrap();
+        let q = ConjunctiveQuery::parse(&t, "q(x) :- Q(x,y)").unwrap();
+        let certain = certain_answers(&tgds, &i, &t, &q).unwrap();
+        // Any solution (e.g. the chase plus noise) contains the certain
+        // answers.
+        let mut j = chase(&tgds, &i, &t).unwrap().instance;
+        j.insert_consts("Q", &["z", "w"]).unwrap();
+        let evaluated = evaluate(&q, &j);
+        for ans in &certain {
+            assert!(evaluated.contains(ans));
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Solutions and universal solutions (§2).
+
+use crate::error::ChaseError;
+use crate::satisfy::satisfies_all_tgds;
+use crate::standard::chase;
+use qi_lang::Tgd;
+use qi_schema::{has_hom, Instance};
+
+/// Is `candidate` a solution for `source` under the mapping specified by
+/// `tgds` — i.e. `(source, candidate) ⊨ Σ`?
+pub fn is_solution(tgds: &[Tgd], source: &Instance, candidate: &Instance) -> bool {
+    satisfies_all_tgds(source, candidate, tgds)
+}
+
+/// Is `candidate` a *universal* solution for `source`: a solution that
+/// maps homomorphically into every solution?
+///
+/// Certificate: `candidate` is universal iff it is a solution and admits a
+/// homomorphism from `chase_Σ(source)` **and** into it — equivalently,
+/// it is a solution homomorphically equivalent to the chase result (the
+/// chase result is universal, and universal solutions are exactly the
+/// solutions hom-equivalent to it).
+pub fn is_universal_solution(
+    tgds: &[Tgd],
+    source: &Instance,
+    candidate: &Instance,
+) -> Result<bool, ChaseError> {
+    if !is_solution(tgds, source, candidate) {
+        return Ok(false);
+    }
+    let u = chase(tgds, source, candidate.schema())?.instance;
+    Ok(has_hom(candidate, &u) && has_hom(&u, candidate))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qi_lang::parse_tgd;
+    use qi_schema::Schema;
+
+    #[test]
+    fn chase_result_is_universal() {
+        let s = Schema::parse("P/2").unwrap();
+        let t = Schema::parse("Q/2").unwrap();
+        let tgds = vec![parse_tgd(&s, &t, "P(x,y) -> exists z . Q(x,z) & Q(z,y)").unwrap()];
+        let i = Instance::parse(&s, "P(a,b) P(b,a)").unwrap();
+        let u = chase(&tgds, &i, &t).unwrap().instance;
+        assert!(is_universal_solution(&tgds, &i, &u).unwrap());
+    }
+
+    #[test]
+    fn over_specific_solution_is_not_universal() {
+        let s = Schema::parse("P/2").unwrap();
+        let t = Schema::parse("Q/2").unwrap();
+        let tgds = vec![parse_tgd(&s, &t, "P(x,y) -> exists z . Q(x,z) & Q(z,y)").unwrap()];
+        let i = Instance::parse(&s, "P(a,b)").unwrap();
+        // Ground witness z = c: a solution but not universal.
+        let j = Instance::parse(&t, "Q(a,c) Q(c,b)").unwrap();
+        assert!(is_solution(&tgds, &i, &j));
+        assert!(!is_universal_solution(&tgds, &i, &j).unwrap());
+    }
+
+    #[test]
+    fn non_solution_is_rejected() {
+        let s = Schema::parse("P/2").unwrap();
+        let t = Schema::parse("Q/2").unwrap();
+        let tgds = vec![parse_tgd(&s, &t, "P(x,y) -> Q(x,y)").unwrap()];
+        let i = Instance::parse(&s, "P(a,b)").unwrap();
+        let j = Instance::new(t);
+        assert!(!is_solution(&tgds, &i, &j));
+        assert!(!is_universal_solution(&tgds, &i, &j).unwrap());
+    }
+
+    #[test]
+    fn padded_universal_solution_still_universal() {
+        let s = Schema::parse("P/2").unwrap();
+        let t = Schema::parse("Q/2").unwrap();
+        let tgds = vec![parse_tgd(&s, &t, "P(x,y) -> exists z . Q(x,z)").unwrap()];
+        let i = Instance::parse(&s, "P(a,b)").unwrap();
+        // chase gives Q(a,N); adding a redundant null fact keeps it
+        // universal (hom-equivalent to the chase result).
+        let j = Instance::parse(&t, "Q(a,N1) Q(a,N2)").unwrap();
+        assert!(is_universal_solution(&tgds, &i, &j).unwrap());
+    }
+}

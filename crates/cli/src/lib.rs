@@ -1,0 +1,476 @@
+//! # qi-cli — the `qimap` command
+//!
+//! A thin, dependency-free command-line front end over the library:
+//!
+//! ```text
+//! qimap check        <mapping-file>                classify + verify
+//! qimap quasi-inverse <mapping-file>               run Algorithm QuasiInverse
+//! qimap inverse      <mapping-file>                run Algorithm Inverse
+//! qimap chase        <mapping-file> <instance>     forward exchange
+//! qimap roundtrip    <mapping-file> <instance>     Figure-1 style round trip
+//! qimap compose      <mapping-file> <mapping-file> composition operator
+//! ```
+//!
+//! ## Mapping file format
+//!
+//! ```text
+//! # comment lines start with '#'
+//! source: Emp/3
+//! target: WorksIn/2 LocatedIn/2
+//! tgd: Emp(n,d,c) -> WorksIn(n,d) & LocatedIn(d,c)
+//! tgd: ...
+//! # optional target dependencies (used by `chase`, reported by `check`):
+//! target-tgd: WorksIn(n,d) & WorksIn(n,e) -> WorksIn(n,d)
+//! egd: LocatedIn(d,c1) & LocatedIn(d,c2) -> c1 = c2
+//! ```
+//!
+//! Instances are given inline using the literal syntax of
+//! [`qi_schema::Instance::parse`], e.g. `"Emp(a,b,c) Emp(d,b,e)"`.
+//!
+//! All command logic lives in this library (returning strings) so the
+//! binary stays a two-line dispatcher and the behaviour is unit-testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use qi_chase::{
+    chase_with_target_deps, is_weakly_acyclic, ExchangeSetting, TargetChaseOptions,
+    TargetChaseResult,
+};
+use qi_core::enumerate::ground_instances;
+use qi_core::{
+    constant_propagation_property, inverse, is_inverse_bounded, is_quasi_inverse_bounded,
+    quasi_inverse, round_trip, QuasiInverseOptions, SchemaMapping,
+};
+use qi_lang::{parse_egd, parse_tgd, Egd, Tgd};
+use qi_schema::Instance;
+use std::fmt::Write as _;
+
+/// A CLI failure: message for stderr, nonzero exit.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// A parsed mapping file: the s-t mapping plus optional target
+/// dependencies (`target-tgd:` and `egd:` lines).
+pub struct MappingFile {
+    /// The source-to-target mapping.
+    pub mapping: SchemaMapping,
+    /// Target tgds (may be empty).
+    pub target_tgds: Vec<Tgd>,
+    /// Target egds (may be empty).
+    pub egds: Vec<Egd>,
+}
+
+impl MappingFile {
+    /// Does the file declare target dependencies?
+    pub fn has_target_deps(&self) -> bool {
+        !self.target_tgds.is_empty() || !self.egds.is_empty()
+    }
+
+    /// The full exchange setting.
+    pub fn setting(&self) -> ExchangeSetting {
+        ExchangeSetting {
+            st_tgds: self.mapping.tgds.clone(),
+            target_tgds: self.target_tgds.clone(),
+            egds: self.egds.clone(),
+        }
+    }
+}
+
+/// Parse the mapping file format described in the crate docs.
+pub fn parse_mapping_file(text: &str) -> Result<MappingFile, CliError> {
+    let mut source: Option<String> = None;
+    let mut target: Option<String> = None;
+    let mut tgds: Vec<String> = Vec::new();
+    let mut target_tgd_texts: Vec<String> = Vec::new();
+    let mut egd_texts: Vec<String> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .split_once(':')
+            .ok_or_else(|| err(format!("line {}: expected `key: value`", lineno + 1)))?;
+        match key.trim() {
+            "source" => source = Some(value.trim().to_owned()),
+            "target" => target = Some(value.trim().to_owned()),
+            "tgd" => tgds.push(value.trim().to_owned()),
+            "target-tgd" => target_tgd_texts.push(value.trim().to_owned()),
+            "egd" => egd_texts.push(value.trim().to_owned()),
+            other => {
+                return Err(err(format!(
+                    "line {}: unknown key `{other}` (expected source/target/tgd/target-tgd/egd)",
+                    lineno + 1
+                )))
+            }
+        }
+    }
+    let source = source.ok_or_else(|| err("missing `source:` line"))?;
+    let target = target.ok_or_else(|| err("missing `target:` line"))?;
+    if tgds.is_empty() {
+        return Err(err("no `tgd:` lines"));
+    }
+    let refs: Vec<&str> = tgds.iter().map(String::as_str).collect();
+    let mapping = SchemaMapping::parse(&source, &target, &refs)
+        .map_err(|e| err(format!("invalid mapping: {e}")))?;
+    let target_tgds: Result<Vec<Tgd>, CliError> = target_tgd_texts
+        .iter()
+        .map(|d| {
+            parse_tgd(&mapping.target, &mapping.target, d)
+                .map_err(|e| err(format!("invalid target tgd `{d}`: {e}")))
+        })
+        .collect();
+    let egds: Result<Vec<Egd>, CliError> = egd_texts
+        .iter()
+        .map(|d| {
+            parse_egd(&mapping.target, d).map_err(|e| err(format!("invalid egd `{d}`: {e}")))
+        })
+        .collect();
+    Ok(MappingFile {
+        mapping,
+        target_tgds: target_tgds?,
+        egds: egds?,
+    })
+}
+
+/// `qimap check`: classification, constant propagation, and — when the
+/// two-constant tuple universe is small — bounded verification of the
+/// algorithms' outputs.
+pub fn cmd_check(mapping_text: &str) -> Result<String, CliError> {
+    let mf = parse_mapping_file(mapping_text)?;
+    let m = &mf.mapping;
+    let mut out = String::new();
+    let _ = writeln!(out, "{m}");
+    let _ = writeln!(out, "LAV:                  {}", m.is_lav());
+    let _ = writeln!(out, "full:                 {}", m.is_full());
+    let cprop = constant_propagation_property(m).map_err(|e| err(e.to_string()))?;
+    let _ = writeln!(out, "constant propagation: {cprop}");
+    if mf.has_target_deps() {
+        let _ = writeln!(
+            out,
+            "target dependencies:  {} tgd(s), {} egd(s); weakly acyclic: {}",
+            mf.target_tgds.len(),
+            mf.egds.len(),
+            is_weakly_acyclic(&mf.target_tgds)
+        );
+        let _ = writeln!(
+            out,
+            "note: the (quasi-)inverse algorithms below treat the mapping as plain s-t tgds"
+        );
+    }
+    if m.is_lav() {
+        let _ = writeln!(
+            out,
+            "quasi-invertible:     yes (LAV — Proposition 3.11)"
+        );
+    }
+    if !cprop {
+        let _ = writeln!(out, "invertible:           no (Proposition 5.3)");
+    }
+    let qi = quasi_inverse(m, &QuasiInverseOptions::default()).map_err(|e| err(e.to_string()))?;
+    let _ = writeln!(out, "quasi-inverse language: {}", qi.language_features());
+    let tuples: usize = m
+        .source
+        .rel_ids()
+        .map(|r| 2usize.pow(m.source.arity(r) as u32))
+        .sum();
+    if tuples <= 8 {
+        let universe = ground_instances(&m.source, &["a", "b"], tuples);
+        let q = is_quasi_inverse_bounded(m, &qi, &universe).map_err(|e| err(e.to_string()))?;
+        let _ = writeln!(
+            out,
+            "bounded quasi-inverse check ({} instances): {}",
+            universe.len(),
+            if q.holds { "holds" } else { "FAILS" }
+        );
+        if let Some(inv) = inverse(m).map_err(|e| err(e.to_string()))? {
+            let r = is_inverse_bounded(m, &inv, &universe).map_err(|e| err(e.to_string()))?;
+            let _ = writeln!(
+                out,
+                "bounded inverse check ({} instances):       {}",
+                universe.len(),
+                if r.holds { "holds" } else { "FAILS" }
+            );
+        }
+    } else {
+        let _ = writeln!(
+            out,
+            "bounded verification skipped (tuple universe of size {tuples} > 8)"
+        );
+    }
+    Ok(out)
+}
+
+/// `qimap quasi-inverse`: run Algorithm QuasiInverse and print the result.
+pub fn cmd_quasi_inverse(mapping_text: &str) -> Result<String, CliError> {
+    let mf = parse_mapping_file(mapping_text)?;
+    let rev = quasi_inverse(&mf.mapping, &QuasiInverseOptions::default())
+        .map_err(|e| err(e.to_string()))?;
+    Ok(rev.to_string())
+}
+
+/// `qimap inverse`: run Algorithm Inverse; reports the
+/// constant-propagation failure when the algorithm halts without output.
+pub fn cmd_inverse(mapping_text: &str) -> Result<String, CliError> {
+    let mf = parse_mapping_file(mapping_text)?;
+    match inverse(&mf.mapping).map_err(|e| err(e.to_string()))? {
+        Some(rev) => Ok(rev.to_string()),
+        None => Ok(
+            "no output: the mapping fails the constant-propagation property \
+             (Definition 5.2), hence has no inverse (Proposition 5.3)\n"
+                .to_owned(),
+        ),
+    }
+}
+
+/// `qimap chase`: forward data exchange of an inline instance literal.
+/// When the mapping file declares target dependencies (`target-tgd:` /
+/// `egd:` lines), the full-setting chase runs, including egd repairs and
+/// failure detection.
+pub fn cmd_chase(mapping_text: &str, instance_literal: &str) -> Result<String, CliError> {
+    let mf = parse_mapping_file(mapping_text)?;
+    let m = &mf.mapping;
+    let i = Instance::parse(&m.source, instance_literal)
+        .map_err(|e| err(format!("invalid instance: {e}")))?;
+    if mf.has_target_deps() {
+        let result = chase_with_target_deps(
+            &mf.setting(),
+            &i,
+            &m.target,
+            TargetChaseOptions::default(),
+        )
+        .map_err(|e| err(e.to_string()))?;
+        return Ok(match result {
+            TargetChaseResult::Solution(u) => format!("{u}\n"),
+            TargetChaseResult::Failed { left, right } => format!(
+                "chase FAILED: an egd requires {left} = {right} (distinct constants) — \
+                 the instance has no solution under the target dependencies\n"
+            ),
+        });
+    }
+    let u = m.chase(&i).map_err(|e| err(e.to_string()))?;
+    Ok(format!("{u}\n"))
+}
+
+/// `qimap roundtrip`: the full §6 bidirectional exchange with soundness
+/// and faithfulness verdicts.
+pub fn cmd_roundtrip(mapping_text: &str, instance_literal: &str) -> Result<String, CliError> {
+    let mf = parse_mapping_file(mapping_text)?;
+    let m = &mf.mapping;
+    let i = Instance::parse(&m.source, instance_literal)
+        .map_err(|e| err(format!("invalid instance: {e}")))?;
+    if !i.is_ground() {
+        return Err(err("the source instance must be ground (null-free)"));
+    }
+    let rev = quasi_inverse(m, &QuasiInverseOptions::default()).map_err(|e| err(e.to_string()))?;
+    let rt = round_trip(m, &rev, &i, Default::default()).map_err(|e| err(e.to_string()))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "I  = {i}");
+    let _ = writeln!(out, "U  = chase_Σ(I) = {}", rt.u);
+    let _ = writeln!(out, "recovered {} candidate source instance(s)", rt.recovered.len());
+    for (k, v) in rt.recovered.iter().enumerate().take(8) {
+        let _ = writeln!(out, "  V{k} = {v}");
+    }
+    if rt.recovered.len() > 8 {
+        let _ = writeln!(out, "  … ({} more)", rt.recovered.len() - 8);
+    }
+    let _ = writeln!(out, "sound:    {}", rt.is_sound());
+    let _ = writeln!(out, "faithful: {}", rt.is_faithful());
+    if let Some(v) = rt.recovered_equivalent() {
+        let _ = writeln!(out, "data-exchange-equivalent recovery: {v}");
+    }
+    Ok(out)
+}
+
+/// `qimap compose`: compose two mappings sharing a middle schema. Uses
+/// the first-order construction when the first mapping is full, the
+/// SO-tgd construction otherwise.
+pub fn cmd_compose(m12_text: &str, m23_text: &str) -> Result<String, CliError> {
+    let m12 = parse_mapping_file(m12_text)?.mapping;
+    let m23_raw = parse_mapping_file(m23_text)?.mapping;
+    // Re-read the second mapping over the first one's target schema so the
+    // two share a Schema value.
+    let deps: Vec<String> = m23_raw.tgds.iter().map(|t| t.to_string()).collect();
+    let tgds: Result<Vec<_>, _> = deps
+        .iter()
+        .map(|d| qi_lang::parse_tgd(&m12.target, &m23_raw.target, d))
+        .collect();
+    let tgds = tgds.map_err(|e| {
+        err(format!(
+            "the second mapping's source must match the first mapping's target: {e}"
+        ))
+    })?;
+    let m23 = SchemaMapping::new(m12.target.clone(), m23_raw.target.clone(), tgds)
+        .map_err(|e| err(e.to_string()))?;
+    if m12.is_full() {
+        let composed =
+            qi_core::compose(&m12, &m23, &Default::default()).map_err(|e| err(e.to_string()))?;
+        Ok(format!("{composed}"))
+    } else {
+        let so = qi_core::so_compose(&m12, &m23).map_err(|e| err(e.to_string()))?;
+        Ok(format!(
+            "(first mapping is not full: composition needs second-order tgds)\n{so}\n"
+        ))
+    }
+}
+
+/// Dispatch a full argument vector (excluding the binary name). Reads the
+/// mapping file through the provided loader so tests can inject content.
+pub fn run(args: &[String], read_file: impl Fn(&str) -> Result<String, CliError>) -> Result<String, CliError> {
+    let usage = "usage: qimap <check|quasi-inverse|inverse|chase|roundtrip|compose> <mapping-file> [instance | second-mapping-file]";
+    let cmd = args.first().ok_or_else(|| err(usage))?;
+    let file = args.get(1).ok_or_else(|| err(usage))?;
+    let text = read_file(file)?;
+    match cmd.as_str() {
+        "check" => cmd_check(&text),
+        "quasi-inverse" => cmd_quasi_inverse(&text),
+        "inverse" => cmd_inverse(&text),
+        "chase" => {
+            let inst = args.get(2).ok_or_else(|| err("chase needs an instance literal"))?;
+            cmd_chase(&text, inst)
+        }
+        "roundtrip" => {
+            let inst = args
+                .get(2)
+                .ok_or_else(|| err("roundtrip needs an instance literal"))?;
+            cmd_roundtrip(&text, inst)
+        }
+        "compose" => {
+            let second = args
+                .get(2)
+                .ok_or_else(|| err("compose needs a second mapping file"))?;
+            let text2 = read_file(second)?;
+            cmd_compose(&text, &text2)
+        }
+        other => Err(err(format!("unknown command `{other}`\n{usage}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DECOMP: &str = "\
+# the paper's Decomposition mapping
+source: P/3
+target: Q/2 R/2
+tgd: P(x,y,z) -> Q(x,y) & R(y,z)
+";
+
+    #[test]
+    fn mapping_file_parses() {
+        let mf = parse_mapping_file(DECOMP).unwrap();
+        assert!(mf.mapping.is_lav());
+        assert_eq!(mf.mapping.tgds.len(), 1);
+        assert!(!mf.has_target_deps());
+    }
+
+    #[test]
+    fn mapping_file_with_target_deps() {
+        // Transitive closure plus antisymmetry (a strict order).
+        let text = "source: E0/2\ntarget: E/2\ntgd: E0(x,y) -> E(x,y)\n\
+                    target-tgd: E(x,y) & E(y,z) -> E(x,z)\negd: E(x,y) & E(y,x) -> x = y\n";
+        let mf = parse_mapping_file(text).unwrap();
+        assert!(mf.has_target_deps());
+        assert_eq!(mf.target_tgds.len(), 1);
+        assert_eq!(mf.egds.len(), 1);
+        // Chase through the full setting: closure is computed and the
+        // key merges nothing here.
+        let out = cmd_chase(text, "E0(a,b) E0(b,c)").unwrap();
+        assert!(out.contains("E(a,c)"), "{out}");
+        // An order violation (a cycle on distinct constants) is
+        // reported, not panicked.
+        let out = cmd_chase(text, "E0(a,b) E0(b,a)").unwrap();
+        assert!(out.contains("FAILED"), "{out}");
+        // Check mentions weak acyclicity.
+        let out = cmd_check(text).unwrap();
+        assert!(out.contains("weakly acyclic: true"), "{out}");
+    }
+
+    #[test]
+    fn mapping_file_errors() {
+        assert!(parse_mapping_file("").is_err());
+        assert!(parse_mapping_file("source: P/1\n").is_err());
+        assert!(parse_mapping_file("source: P/1\ntarget: Q/1\n").is_err());
+        assert!(parse_mapping_file("bogus: x\n").is_err());
+        assert!(parse_mapping_file("source P/1\n").is_err());
+    }
+
+    #[test]
+    fn check_reports_classification() {
+        let out = cmd_check(DECOMP).unwrap();
+        assert!(out.contains("LAV:                  true"));
+        assert!(out.contains("quasi-invertible:     yes"));
+        assert!(out.contains("bounded quasi-inverse check"));
+        assert!(out.contains("holds"));
+    }
+
+    #[test]
+    fn quasi_inverse_command_prints_dependencies() {
+        let out = cmd_quasi_inverse(DECOMP).unwrap();
+        assert!(out.contains("->"));
+        assert!(out.contains("const("));
+    }
+
+    #[test]
+    fn inverse_command_reports_propagation_failure() {
+        let projection = "source: P/2\ntarget: Q/1\ntgd: P(x,y) -> Q(x)\n";
+        let out = cmd_inverse(projection).unwrap();
+        assert!(out.contains("constant-propagation"));
+        let copy = "source: P/2\ntarget: Q/2\ntgd: P(x,y) -> Q(x,y)\n";
+        let out = cmd_inverse(copy).unwrap();
+        assert!(out.contains("-> P(x1,x2)"));
+    }
+
+    #[test]
+    fn chase_and_roundtrip_commands() {
+        let out = cmd_chase(DECOMP, "P(a,b,c)").unwrap();
+        assert_eq!(out.trim(), "Q(a,b) R(b,c)");
+        let out = cmd_roundtrip(DECOMP, "P(a,b,c) P(a2,b,c2)").unwrap();
+        assert!(out.contains("sound:    true"));
+        assert!(out.contains("faithful: true"));
+    }
+
+    #[test]
+    fn roundtrip_rejects_null_instances() {
+        assert!(cmd_roundtrip(DECOMP, "P(a,b,N1)").is_err());
+    }
+
+    #[test]
+    fn compose_command_picks_the_right_construction() {
+        let m12_full = "source: P/2\ntarget: Q/2\ntgd: P(x,y) -> Q(x,y)\n";
+        let m23 = "source: Q/2\ntarget: S/1\ntgd: Q(x,y) -> S(x)\n";
+        let out = cmd_compose(m12_full, m23).unwrap();
+        assert!(out.contains("-> S("));
+        assert!(!out.contains("second-order"));
+        let m12_exist = "source: P/1\ntarget: Q/2\ntgd: P(x) -> exists y . Q(x,y)\n";
+        let out = cmd_compose(m12_exist, m23).unwrap();
+        assert!(out.contains("second-order"));
+        // Mismatched middle schema is reported.
+        let bad = "source: Z/1\ntarget: W/1\ntgd: Z(x) -> W(x)\n";
+        assert!(cmd_compose(m12_full, bad).is_err());
+    }
+
+    #[test]
+    fn dispatch() {
+        let loader = |_: &str| Ok(DECOMP.to_owned());
+        let ok = run(&["check".into(), "m.qim".into()], loader).unwrap();
+        assert!(ok.contains("LAV"));
+        assert!(run(&[], loader).is_err());
+        assert!(run(&["bogus".into(), "m.qim".into()], loader).is_err());
+        assert!(run(&["chase".into(), "m.qim".into()], loader).is_err());
+    }
+}

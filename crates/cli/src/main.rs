@@ -1,0 +1,16 @@
+//! `qimap` — command-line front end for the quasi-inverse library.
+
+use qi_cli::{run, CliError};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args, |path| {
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot read `{path}`: {e}")))
+    }) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("qimap: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! The composition operator on schema mappings (§2).
+//!
+//! `M12 ∘ M23` holds of `(I, K)` when some intermediate `J` satisfies
+//! both mappings. Composition is the second fundamental operator the
+//! paper builds on (its references [5, 8, 9, 10]); in general it needs
+//! second-order tgds, but when `M12` is specified by **full** s-t tgds
+//! the composition is again definable by s-t tgds (reference \[5\], FKPT TODS'05) —
+//! and the construction is exactly the generator machinery of §4 run in
+//! the forward direction:
+//!
+//! for every `σ23 : φ(x,u) → ∃y ψ(x,y)` in `Σ23*` (complete descriptions
+//! of the frontier, as in Algorithm QuasiInverse) and every minimal
+//! generator `β(x,z)` of `∃u' φ` w.r.t. `Σ12`, emit
+//! `β(x,z) → ∃y ψ(x,y)`.
+//!
+//! Because `M12` is full, its chase result is ground, so
+//! `(I, K) ∈ Inst(M12 ∘ M23)` ⟺ `(chase_{Σ12}(I), K) ⊨ Σ23` — which is
+//! how [`composition_membership`] decides membership exactly and how the
+//! tests validate the syntactic composition on exhaustive universes.
+
+use crate::error::CoreError;
+use crate::mapping::SchemaMapping;
+use crate::mingen::{min_gen, MinGenOptions};
+use crate::sigma_star::sigma_star;
+use qi_chase::satisfies_all_tgds;
+use qi_lang::Tgd;
+use qi_schema::Instance;
+
+/// Exact membership test `(i, k) ∈ Inst(M12 ∘ M23)` for full `m12`.
+pub fn composition_membership(
+    m12: &SchemaMapping,
+    m23: &SchemaMapping,
+    i: &Instance,
+    k: &Instance,
+) -> Result<bool, CoreError> {
+    if !m12.is_full() {
+        return Err(CoreError::Precondition(
+            "exact composition membership requires the first mapping to be full".into(),
+        ));
+    }
+    if !m12.target.same_as(&m23.source) {
+        return Err(CoreError::Precondition(
+            "the mappings do not share the middle schema".into(),
+        ));
+    }
+    let j = m12.chase(i)?;
+    debug_assert!(j.is_ground(), "full tgds chase to ground instances");
+    Ok(satisfies_all_tgds(&j, k, &m23.tgds))
+}
+
+/// Compute a finite set of s-t tgds specifying `M12 ∘ M23`
+/// (`m12` must be full; `m23` may be arbitrary s-t tgds).
+///
+/// ```
+/// use qi_core::{compose, SchemaMapping};
+/// use qi_lang::parse_tgd;
+///
+/// let m12 = SchemaMapping::parse("P/2", "Q/2", &["P(x,y) -> Q(x,y)"]).unwrap();
+/// // m23 must literally share m12's target schema value:
+/// let t3 = qi_schema::Schema::parse("S/1").unwrap();
+/// let m23 = SchemaMapping::new(
+///     m12.target.clone(), t3.clone(),
+///     vec![parse_tgd(&m12.target, &t3, "Q(x,y) -> S(x)").unwrap()],
+/// ).unwrap();
+/// let m13 = compose(&m12, &m23, &Default::default()).unwrap();
+/// assert_eq!(m13.tgds[0].to_string(), "P(x,z0) -> S(x)");
+/// ```
+pub fn compose(
+    m12: &SchemaMapping,
+    m23: &SchemaMapping,
+    options: &MinGenOptions,
+) -> Result<SchemaMapping, CoreError> {
+    if !m12.is_full() {
+        return Err(CoreError::Precondition(
+            "compose requires the first mapping to be full (general composition needs SO-tgds)"
+                .into(),
+        ));
+    }
+    if !m12.target.same_as(&m23.source) {
+        return Err(CoreError::Precondition(
+            "the mappings do not share the middle schema".into(),
+        ));
+    }
+    let mut tgds: Vec<Tgd> = Vec::new();
+    for sigma in sigma_star(&m23.tgds)? {
+        // ψ for the generator search is σ23's *premise*; its frontier
+        // variables are the ones the composed head needs, the rest are
+        // existential for the implication test.
+        let x = sigma.frontier();
+        let generators = min_gen(m12, &sigma.body, &x, options)?;
+        for g in generators {
+            let tgd = Tgd::new(
+                m12.source.clone(),
+                m23.target.clone(),
+                g.atoms,
+                sigma.exists.clone(),
+                sigma.head.clone(),
+            )?;
+            if !tgds.contains(&tgd) {
+                tgds.push(tgd);
+            }
+        }
+    }
+    SchemaMapping::new(m12.source.clone(), m23.target.clone(), tgds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::ground_instances;
+
+    /// Check `Inst(composed) = Inst(m12 ∘ m23)` over exhaustive
+    /// two-constant universes on both ends.
+    fn assert_composition_correct(m12: &SchemaMapping, m23: &SchemaMapping) {
+        let composed = compose(m12, m23, &MinGenOptions::default()).unwrap();
+        let sources = ground_instances(&m12.source, &["a", "b"], 3);
+        let sinks = ground_instances(&m23.target, &["a", "b"], 3);
+        for i in &sources {
+            for k in &sinks {
+                let direct = satisfies_all_tgds(i, k, &composed.tgds);
+                let via_chase = composition_membership(m12, m23, i, k).unwrap();
+                assert_eq!(
+                    direct, via_chase,
+                    "disagreement on I = {i}, K = {k}\ncomposed:\n{composed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn copy_then_projection_is_projection() {
+        let m12 = SchemaMapping::parse("P/2", "Q/2", &["P(x,y) -> Q(x,y)"]).unwrap();
+        let m23 = SchemaMapping::parse("Q/2", "S/1", &["Q(x,y) -> S(x)"]).unwrap();
+        let composed = compose(&m12, &m23, &MinGenOptions::default()).unwrap();
+        // Behaviourally the projection P(x,·) → S(x).
+        assert_composition_correct(&m12, &m23);
+        assert_eq!(composed.tgds.len(), 1, "{composed}");
+        assert_eq!(composed.tgds[0].to_string(), "P(x,z0) -> S(x)");
+    }
+
+    #[test]
+    fn projection_then_exists_head() {
+        // Existentials in the second mapping flow through.
+        let m12 = SchemaMapping::parse("P/2", "Q/1", &["P(x,y) -> Q(x)"]).unwrap();
+        let m23 = SchemaMapping::parse("Q/1", "R/2", &["Q(x) -> exists w . R(x,w)"]).unwrap();
+        assert_composition_correct(&m12, &m23);
+    }
+
+    #[test]
+    fn join_in_the_second_premise() {
+        // σ23's premise joins two middle relations; generators must find
+        // the source combinations producing both.
+        let m12 = SchemaMapping::parse(
+            "A/1 B/1",
+            "S1/1 S2/1",
+            &["A(x) -> S1(x)", "B(x) -> S2(x)"],
+        )
+        .unwrap();
+        let m23 = SchemaMapping::parse("S1/1 S2/1", "T/1", &["S1(x) & S2(x) -> T(x)"]).unwrap();
+        let composed = compose(&m12, &m23, &MinGenOptions::default()).unwrap();
+        assert_composition_correct(&m12, &m23);
+        // The only derivation is A(x) ∧ B(x) → T(x).
+        assert_eq!(composed.tgds.len(), 1);
+        assert_eq!(composed.tgds[0].body.len(), 2);
+    }
+
+    #[test]
+    fn frontier_identification_is_covered_by_sigma_star() {
+        // The middle premise Q(x,y) can be matched with x = y by a
+        // different set of source facts — Σ* makes the composition see it.
+        let m12 = SchemaMapping::parse(
+            "D/1 P/2",
+            "Q/2",
+            &["P(x,y) -> Q(x,y)", "D(x) -> Q(x,x)"],
+        )
+        .unwrap();
+        let m23 = SchemaMapping::parse("Q/2", "T/2", &["Q(x,y) -> T(y,x)"]).unwrap();
+        assert_composition_correct(&m12, &m23);
+    }
+
+    #[test]
+    fn union_fans_out() {
+        let m12 = SchemaMapping::parse(
+            "A/1 B/1",
+            "S/1",
+            &["A(x) -> S(x)", "B(x) -> S(x)"],
+        )
+        .unwrap();
+        let m23 = SchemaMapping::parse("S/1", "T/1", &["S(x) -> T(x)"]).unwrap();
+        let composed = compose(&m12, &m23, &MinGenOptions::default()).unwrap();
+        assert_composition_correct(&m12, &m23);
+        assert_eq!(composed.tgds.len(), 2); // A → T and B → T
+    }
+
+    #[test]
+    fn identity_is_a_left_unit() {
+        // Id ∘ M behaves like M (over the replica renaming).
+        let m = SchemaMapping::parse("P/2", "T/1", &["P(x,y) -> T(x)"]).unwrap();
+        let id = SchemaMapping::identity(&m.source).unwrap();
+        // Rebuild m over the replica as its source.
+        let m_replica =
+            SchemaMapping::parse("P/2", "T/1", &["P(x,y) -> T(x)"]).unwrap();
+        let m23 = SchemaMapping::new(
+            id.target.clone(),
+            m_replica.target.clone(),
+            m_replica
+                .tgds
+                .iter()
+                .map(|t| {
+                    qi_lang::parse_tgd(&id.target, &m_replica.target, &t.to_string()).unwrap()
+                })
+                .collect(),
+        )
+        .unwrap();
+        assert_composition_correct(&id, &m23);
+    }
+
+    #[test]
+    fn non_full_first_mapping_rejected() {
+        let m12 =
+            SchemaMapping::parse("P/1", "Q/2", &["P(x) -> exists y . Q(x,y)"]).unwrap();
+        let m23 = SchemaMapping::parse("Q/2", "T/1", &["Q(x,y) -> T(x)"]).unwrap();
+        assert!(compose(&m12, &m23, &MinGenOptions::default()).is_err());
+        let i = Instance::new(m12.source.clone());
+        let k = Instance::new(m23.target.clone());
+        assert!(composition_membership(&m12, &m23, &i, &k).is_err());
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let m12 = SchemaMapping::parse("P/1", "Q/1", &["P(x) -> Q(x)"]).unwrap();
+        let m23 = SchemaMapping::parse("Z/1", "T/1", &["Z(x) -> T(x)"]).unwrap();
+        assert!(compose(&m12, &m23, &MinGenOptions::default()).is_err());
+    }
+}

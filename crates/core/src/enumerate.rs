@@ -1,0 +1,125 @@
+//! Exhaustive enumeration of ground instances over a finite constant pool.
+//!
+//! The paper's global notions (the subset property, unique solutions,
+//! Definition 3.8) quantify over *all* ground instances; their
+//! decidability is left open (§7). The bounded checkers in this crate
+//! quantify instead over the finite universes produced here: all ground
+//! instances whose values come from a given constant pool, capped by a
+//! total fact budget.
+
+use qi_schema::{Instance, Schema, Value};
+
+/// All tuples of length `arity` over `pool`, in lexicographic order.
+fn all_tuples(pool: &[Value], arity: usize) -> Vec<Vec<Value>> {
+    let mut out = vec![Vec::new()];
+    for _ in 0..arity {
+        let mut next = Vec::with_capacity(out.len() * pool.len());
+        for t in &out {
+            for &v in pool {
+                let mut t2 = t.clone();
+                t2.push(v);
+                next.push(t2);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// Enumerate every ground instance over `schema` whose values come from
+/// `consts`, with at most `max_facts` facts in total. The empty instance
+/// is included. Order is deterministic.
+///
+/// The count grows as `C(Σ_R |pool|^arity(R), ≤ max_facts)`; keep pools
+/// tiny (2–3 constants) and budgets small (≤ 4 facts) — which is exactly
+/// the regime where the paper's own counterexamples live.
+pub fn ground_instances(schema: &Schema, consts: &[&str], max_facts: usize) -> Vec<Instance> {
+    let pool: Vec<Value> = consts.iter().map(|c| Value::constant(c)).collect();
+    // The global fact universe: (rel, tuple) pairs.
+    let mut universe: Vec<(qi_schema::RelId, Vec<Value>)> = Vec::new();
+    for rel in schema.rel_ids() {
+        for t in all_tuples(&pool, schema.arity(rel)) {
+            universe.push((rel, t));
+        }
+    }
+    let mut out = Vec::new();
+    // Enumerate subsets of the universe of size ≤ max_facts by a
+    // combinations walk (choose increasing indexes).
+    let mut stack: Vec<(usize, Vec<usize>)> = vec![(0, Vec::new())];
+    while let Some((start, chosen)) = stack.pop() {
+        let mut inst = Instance::new(schema.clone());
+        for &i in &chosen {
+            let (rel, t) = &universe[i];
+            inst.insert(*rel, t.clone()).expect("tuple arity matches");
+        }
+        out.push(inst);
+        if chosen.len() < max_facts {
+            // Push in reverse so enumeration is lexicographic.
+            for i in (start..universe.len()).rev() {
+                let mut c = chosen.clone();
+                c.push(i);
+                stack.push((i + 1, c));
+            }
+        }
+    }
+    out
+}
+
+/// The number of instances [`ground_instances`] would return, without
+/// materializing them (used by benches to size workloads).
+pub fn ground_instance_count(schema: &Schema, n_consts: usize, max_facts: usize) -> u128 {
+    let universe: usize = schema
+        .rel_ids()
+        .map(|r| n_consts.pow(schema.arity(r) as u32))
+        .sum();
+    let mut total: u128 = 0;
+    let mut binom: u128 = 1; // C(universe, 0)
+    for k in 0..=max_facts.min(universe) {
+        if k > 0 {
+            binom = binom * (universe - k + 1) as u128 / k as u128;
+        }
+        total += binom;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_enumeration() {
+        let s = Schema::parse("P/1 Q/1").unwrap();
+        // Universe: 2 constants × 2 unary relations = 4 possible facts.
+        let all = ground_instances(&s, &["a", "b"], 4);
+        assert_eq!(all.len(), 16); // all subsets
+        assert_eq!(ground_instance_count(&s, 2, 4), 16);
+        let capped = ground_instances(&s, &["a", "b"], 1);
+        assert_eq!(capped.len(), 5); // empty + 4 singletons
+        assert_eq!(ground_instance_count(&s, 2, 1), 5);
+    }
+
+    #[test]
+    fn instances_are_distinct_and_ground() {
+        let s = Schema::parse("P/2").unwrap();
+        let all = ground_instances(&s, &["a", "b"], 2);
+        for i in &all {
+            assert!(i.is_ground());
+        }
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        // C(4,0)+C(4,1)+C(4,2) = 1+4+6 = 11
+        assert_eq!(all.len(), 11);
+    }
+
+    #[test]
+    fn empty_pool_yields_only_empty_instance() {
+        let s = Schema::parse("P/1").unwrap();
+        let all = ground_instances(&s, &[], 3);
+        assert_eq!(all.len(), 1);
+        assert!(all[0].is_empty());
+    }
+}

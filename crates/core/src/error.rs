@@ -1,0 +1,53 @@
+//! Errors of the core algorithms.
+
+use qi_chase::ChaseError;
+use qi_lang::LangError;
+use qi_schema::SchemaError;
+use std::fmt;
+
+/// Errors raised by the quasi-inverse machinery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Underlying relational error.
+    Schema(SchemaError),
+    /// Underlying dependency-language error.
+    Lang(LangError),
+    /// Underlying chase error.
+    Chase(ChaseError),
+    /// The input violates a precondition of the algorithm.
+    Precondition(String),
+    /// A search exceeded its configured budget.
+    Budget(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Schema(e) => write!(f, "{e}"),
+            CoreError::Lang(e) => write!(f, "{e}"),
+            CoreError::Chase(e) => write!(f, "{e}"),
+            CoreError::Precondition(m) => write!(f, "precondition violated: {m}"),
+            CoreError::Budget(m) => write!(f, "budget exceeded: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<SchemaError> for CoreError {
+    fn from(e: SchemaError) -> Self {
+        CoreError::Schema(e)
+    }
+}
+
+impl From<LangError> for CoreError {
+    fn from(e: LangError) -> Self {
+        CoreError::Lang(e)
+    }
+}
+
+impl From<ChaseError> for CoreError {
+    fn from(e: ChaseError) -> Self {
+        CoreError::Chase(e)
+    }
+}

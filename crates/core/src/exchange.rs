@@ -1,0 +1,253 @@
+//! Quasi-inverses in data exchange (§6).
+//!
+//! Given `M = (S,T,Σ)` and a reverse mapping `M' = (T,S,Σ')`, §6 studies
+//! the bidirectional exchange of Figure 1:
+//!
+//! ```text
+//!   I ──chase Σ──▶ U ──disjunctive chase Σ'──▶ V = {V₁,…,V_m}
+//!                                              │ chase Σ each
+//!                                              ▼
+//!                                        U' = {U'₁,…,U'_m}
+//! ```
+//!
+//! * `M'` is **sound** w.r.t. `M` when some member of `U'` maps
+//!   homomorphically *into* `U` (no invented information; Def 6.5(1));
+//! * `M'` is **faithful** when some member of `U'` is homomorphically
+//!   *equivalent* to `U` (nothing lost either; Def 6.5(2)).
+//!
+//! Theorem 6.7: every quasi-inverse specified by disjunctive tgds with
+//! constants and inequalities among constants is sound. Theorem 6.8: the
+//! QuasiInverse algorithm's output is faithful.
+//!
+//! This module also provides the exact composition-membership test that
+//! Proposition 6.6 ("universality of the chase of the chase") supports:
+//! `(I, K) ∈ Inst(M ∘ M')` iff some leaf `V` of the disjunctive chase of
+//! `chase_Σ(I)` maps homomorphically into `K` — valid when `Σ'` is
+//! *guard-complete*: inequalities are among constants and every variable
+//! shared between a premise and a conclusion carries a `Constant` guard
+//! (both hold for the outputs of the QuasiInverse and Inverse
+//! algorithms). The forward direction is Proposition 6.6; the backward
+//! direction takes `J = chase_Σ(I)` and pushes the leaf's witnesses
+//! through the homomorphism, which guard-completeness makes legitimate
+//! (the shared values are constants, hence fixed).
+
+use crate::error::CoreError;
+use crate::mapping::{ReverseMapping, SchemaMapping};
+use qi_chase::{disjunctive_chase, DisjChaseOptions};
+use qi_schema::{has_hom, hom_equivalent, Instance};
+use std::collections::BTreeSet;
+
+/// The artifacts of one bidirectional exchange (Figure 1).
+#[derive(Clone, Debug)]
+pub struct RoundTrip {
+    /// `U = chase_Σ(I)`.
+    pub u: Instance,
+    /// `V = chase_Σ'(U)` — the recovered source instances (chase leaves).
+    pub recovered: Vec<Instance>,
+    /// `U' = chase_Σ(V)` member-wise.
+    pub rechased: Vec<Instance>,
+    /// Index into `rechased` of a member mapping into `U`, if any
+    /// (soundness witness, Definition 6.5(1)).
+    pub sound_witness: Option<usize>,
+    /// Index into `rechased` of a member hom-equivalent to `U`, if any
+    /// (faithfulness witness, Definition 6.5(2)).
+    pub faithful_witness: Option<usize>,
+}
+
+impl RoundTrip {
+    /// Did the reverse mapping behave soundly on this instance?
+    pub fn is_sound(&self) -> bool {
+        self.sound_witness.is_some()
+    }
+
+    /// Did the reverse mapping behave faithfully on this instance?
+    pub fn is_faithful(&self) -> bool {
+        self.faithful_witness.is_some()
+    }
+
+    /// The recovered source instance whose re-chase is hom-equivalent to
+    /// `U` — the "data-exchange equivalent" reconstruction of the
+    /// original source the paper's introduction promises.
+    pub fn recovered_equivalent(&self) -> Option<&Instance> {
+        self.faithful_witness.map(|i| &self.recovered[i])
+    }
+}
+
+/// Perform the full bidirectional exchange of §6 for ground instance `i`.
+pub fn round_trip(
+    m: &SchemaMapping,
+    rev: &ReverseMapping,
+    i: &Instance,
+    options: DisjChaseOptions,
+) -> Result<RoundTrip, CoreError> {
+    let u = m.chase(i)?;
+    let empty = Instance::new(rev.to.clone());
+    let recovered = disjunctive_chase(&rev.deps, &u, &empty, options)?;
+    let rechased: Result<Vec<Instance>, _> = recovered.iter().map(|v| m.chase(v)).collect();
+    let rechased = rechased?;
+    let sound_witness = rechased.iter().position(|up| has_hom(up, &u));
+    let faithful_witness = rechased.iter().position(|up| hom_equivalent(up, &u));
+    Ok(RoundTrip {
+        u,
+        recovered,
+        rechased,
+        sound_witness,
+        faithful_witness,
+    })
+}
+
+/// Is `rev` *guard-complete*: inequalities only among constants, and
+/// every variable occurring in both a premise and some conclusion carries
+/// a `Constant` guard? Outputs of [`crate::quasi_inverse()`] and
+/// [`crate::inverse()`] always are.
+pub fn guard_complete(rev: &ReverseMapping) -> bool {
+    if !rev.inequalities_among_constants() {
+        return false;
+    }
+    rev.deps.iter().all(|d| {
+        let body_vars = d.body_vars();
+        let shared: BTreeSet<_> = d
+            .disjuncts
+            .iter()
+            .flat_map(|dj| dj.atoms.iter().flat_map(|a| a.args.iter()))
+            .filter(|v| body_vars.contains(v))
+            .collect();
+        shared.iter().all(|v| d.constant.contains(v))
+    })
+}
+
+/// Exact membership test `(i, k) ∈ Inst(M ∘ M')` for guard-complete
+/// reverse mappings, via Proposition 6.6: some leaf of
+/// `chase_Σ'(chase_Σ(i))` maps homomorphically into `k`.
+///
+/// Errors with [`CoreError::Precondition`] when `rev` is not
+/// guard-complete (the test would be sound but not complete).
+pub fn composition_contains(
+    m: &SchemaMapping,
+    rev: &ReverseMapping,
+    i: &Instance,
+    k: &Instance,
+) -> Result<bool, CoreError> {
+    if !guard_complete(rev) {
+        return Err(CoreError::Precondition(
+            "composition membership requires a guard-complete reverse mapping".into(),
+        ));
+    }
+    let leaves = recovery_leaves(m, rev, i, DisjChaseOptions::default())?;
+    Ok(leaves.iter().any(|v| has_hom(v, k)))
+}
+
+/// The leaves `chase_Σ'(chase_Σ(i))` (cached by callers that probe many
+/// `k` against one `i`).
+pub fn recovery_leaves(
+    m: &SchemaMapping,
+    rev: &ReverseMapping,
+    i: &Instance,
+    options: DisjChaseOptions,
+) -> Result<Vec<Instance>, CoreError> {
+    let u = m.chase(i)?;
+    let empty = Instance::new(rev.to.clone());
+    Ok(disjunctive_chase(&rev.deps, &u, &empty, options)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quasi_inverse::{quasi_inverse, QuasiInverseOptions};
+
+    fn decomposition() -> SchemaMapping {
+        SchemaMapping::parse("P/3", "Q/2 R/2", &["P(x,y,z) -> Q(x,y) & R(y,z)"]).unwrap()
+    }
+
+    #[test]
+    fn figure_1_m_prime_is_faithful() {
+        // Σ' = { Q(x,y) ∧ R(y,z) → P(x,y,z) } on I = {P(a,b,c), P(a',b,c')}.
+        let m = decomposition();
+        let rev = ReverseMapping::parse(&m, &["Q(x,y) & R(y,z) -> P(x,y,z)"]).unwrap();
+        let i = Instance::parse(&m.source, "P(a,b,c) P(a2,b,c2)").unwrap();
+        let rt = round_trip(&m, &rev, &i, DisjChaseOptions::default()).unwrap();
+        assert_eq!(rt.recovered.len(), 1);
+        // V1 = the four-fact instance of Figure 1.
+        assert_eq!(
+            rt.recovered[0],
+            Instance::parse(&m.source, "P(a,b,c) P(a,b,c2) P(a2,b,c) P(a2,b,c2)").unwrap()
+        );
+        // chase(V1) is *identical* to U (the paper's observation).
+        assert_eq!(rt.rechased[0], rt.u);
+        assert!(rt.is_sound());
+        assert!(rt.is_faithful());
+    }
+
+    #[test]
+    fn figure_1_m_double_prime_is_faithful() {
+        // Σ'' = { Q(x,y) → ∃z P(x,y,z),  R(y,z) → ∃x P(x,y,z) }.
+        let m = decomposition();
+        let rev = ReverseMapping::parse(
+            &m,
+            &[
+                "Q(x,y) -> exists z . P(x,y,z)",
+                "R(y,z) -> exists x . P(x,y,z)",
+            ],
+        )
+        .unwrap();
+        let i = Instance::parse(&m.source, "P(a,b,c) P(a2,b,c2)").unwrap();
+        let rt = round_trip(&m, &rev, &i, DisjChaseOptions::default()).unwrap();
+        assert_eq!(rt.recovered.len(), 1);
+        // V2 has four facts with nulls; U2 = chase(V2) is hom-equivalent
+        // (not equal) to U.
+        assert_eq!(rt.recovered[0].fact_count(), 4);
+        assert!(!rt.recovered[0].is_ground());
+        assert_ne!(rt.rechased[0], rt.u);
+        assert!(hom_equivalent(&rt.rechased[0], &rt.u));
+        assert!(rt.is_sound() && rt.is_faithful());
+    }
+
+    #[test]
+    fn algorithm_output_round_trips_faithfully() {
+        let m = decomposition();
+        let rev = quasi_inverse(&m, &QuasiInverseOptions::default()).unwrap();
+        for text in ["P(a,b,c)", "P(a,b,c) P(a2,b,c2)", "P(a,a,a)", "P(a,b,b) P(b,b,a)"] {
+            let i = Instance::parse(&m.source, text).unwrap();
+            let rt = round_trip(&m, &rev, &i, DisjChaseOptions::default()).unwrap();
+            assert!(rt.is_sound(), "unsound on {text}");
+            assert!(rt.is_faithful(), "unfaithful on {text}");
+        }
+    }
+
+    #[test]
+    fn unsound_reverse_mapping_detected() {
+        // A bogus reverse mapping inventing unrelated facts.
+        let m = SchemaMapping::parse("P/1 W/1", "S/1", &["P(x) -> S(x)"]).unwrap();
+        let rev = ReverseMapping::parse(&m, &["S(x) -> W(x)"]).unwrap();
+        let i = Instance::parse(&m.source, "P(a)").unwrap();
+        let rt = round_trip(&m, &rev, &i, DisjChaseOptions::default()).unwrap();
+        // Recovered V = {W(a)}; chase(V) = ∅ which maps into U:
+        // still sound (no invented target facts) but NOT faithful.
+        assert!(rt.is_sound());
+        assert!(!rt.is_faithful());
+    }
+
+    #[test]
+    fn guard_completeness_classification() {
+        let m = decomposition();
+        let guarded = quasi_inverse(&m, &QuasiInverseOptions::default()).unwrap();
+        assert!(guard_complete(&guarded));
+        let unguarded = ReverseMapping::parse(&m, &["Q(x,y) & R(y,z) -> P(x,y,z)"]).unwrap();
+        assert!(!guard_complete(&unguarded));
+        let i = Instance::parse(&m.source, "P(a,b,c)").unwrap();
+        assert!(composition_contains(&m, &unguarded, &i, &i).is_err());
+    }
+
+    #[test]
+    fn composition_membership_identity_shape() {
+        let m = decomposition();
+        let rev = quasi_inverse(&m, &QuasiInverseOptions::default()).unwrap();
+        let i = Instance::parse(&m.source, "P(a,b,c)").unwrap();
+        // (I, I) is always in Inst(M ∘ M') for a faithful reverse mapping
+        // on this mapping: the recovered instance is I itself here.
+        assert!(composition_contains(&m, &rev, &i, &i).unwrap());
+        // A completely unrelated K is not reachable.
+        let k = Instance::parse(&m.source, "P(q,q,q)").unwrap();
+        assert!(!composition_contains(&m, &rev, &i, &k).unwrap());
+    }
+}

@@ -1,0 +1,388 @@
+//! The unifying framework of §3: `(~1,~2)`-inverses, the subset property,
+//! and the unique-solutions property.
+//!
+//! Definition 3.4: `M` has the *`(~1,~2)`-subset property* if for every
+//! pair `(I₁, I₂)` of ground instances with `Sol(M,I₂) ⊆ Sol(M,I₁)` there
+//! is a pair `(I₁', I₂')` with `I₁ ~1 I₁'`, `I₂ ~2 I₂'` and `I₁' ⊆ I₂'`.
+//! Theorem 3.5: the property holds iff `M` has a `(~1,~2)`-inverse; with
+//! `(~1,~2) = (=,=)` this characterizes inverses (Corollary 3.6), with
+//! `(~M,~M)` quasi-inverses.
+//!
+//! The property quantifies over all ground instances; its decidability is
+//! open (§7). [`subset_property_bounded`] quantifies over a finite
+//! universe instead: a reported failure means *no witness exists inside
+//! the universe* — a counterexample candidate, conclusive only when a
+//! separate argument (like the paper's proofs for Proposition 3.12)
+//! bounds where witnesses could live. A reported success on a universe
+//! closed under the relevant constructions is strong evidence, and for
+//! the `(=,~M)` union-witness variant of Proposition 3.11
+//! ([`union_witness_subset_property`]) the witness is constructive and
+//! its validity is checked exactly.
+
+use crate::error::CoreError;
+use crate::mapping::SchemaMapping;
+use qi_schema::{has_hom, hom_equivalent, Instance};
+
+/// The equivalence relations on ground instances that parameterize the
+/// framework (both refinements of `~M`, as Definition 3.3 requires).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Relation {
+    /// Equality of instances — yields inverses (Corollary 3.6).
+    Equality,
+    /// `~M` — equal solution spaces — yields quasi-inverses (Def. 3.8).
+    SolutionEquiv,
+}
+
+/// Precomputed per-universe data: chases and `~M`-class ids.
+pub(crate) struct UniverseIndex {
+    pub chases: Vec<Instance>,
+    /// `class[i]` = index of the representative of `universe[i]`'s
+    /// `~M`-class.
+    pub class: Vec<usize>,
+}
+
+pub(crate) fn index_universe(
+    m: &SchemaMapping,
+    universe: &[Instance],
+) -> Result<UniverseIndex, CoreError> {
+    let chases: Result<Vec<Instance>, _> = universe.iter().map(|i| m.chase(i)).collect();
+    let chases = chases?;
+    let mut class: Vec<usize> = Vec::with_capacity(universe.len());
+    let mut reps: Vec<usize> = Vec::new();
+    for (i, c) in chases.iter().enumerate() {
+        let found = reps
+            .iter()
+            .copied()
+            .find(|&r| hom_equivalent(&chases[r], c));
+        match found {
+            Some(r) => class.push(r),
+            None => {
+                reps.push(i);
+                class.push(i);
+            }
+        }
+    }
+    Ok(UniverseIndex { chases, class })
+}
+
+impl UniverseIndex {
+    /// `Sol(M, universe[inner]) ⊆ Sol(M, universe[outer])`.
+    pub(crate) fn sol_subset(&self, inner: usize, outer: usize) -> bool {
+        has_hom(&self.chases[outer], &self.chases[inner])
+    }
+}
+
+/// Definition 3.2, bounded: the relation `D[~1,~2] = ~1 ∘ D ∘ ~2` over a
+/// finite universe of ground instances.
+///
+/// Given a binary relation `d` on instances (by index into `universe`),
+/// returns the boolean matrix of `D[~1,~2]`: `(i, j)` is related iff
+/// there are universe witnesses `i' ~1 i` and `j' ~2 j` with
+/// `(i', j') ∈ D`. This is the bracket the `(~1,~2)`-inverse definition
+/// (3.3) applies to both `Inst(Id)` and `Inst(M ∘ M')`.
+pub fn relate_mod(
+    m: &SchemaMapping,
+    rel1: Relation,
+    rel2: Relation,
+    universe: &[Instance],
+    d: impl Fn(usize, usize) -> bool,
+) -> Result<Vec<Vec<bool>>, CoreError> {
+    let idx = index_universe(m, universe)?;
+    let n = universe.len();
+    let related = |rel: Relation, a: usize, b: usize| -> bool {
+        match rel {
+            Relation::Equality => a == b || universe[a] == universe[b],
+            Relation::SolutionEquiv => idx.class[a] == idx.class[b],
+        }
+    };
+    let mut out = vec![vec![false; n]; n];
+    // Compute D once, then close under the equivalences.
+    let mut base = vec![vec![false; n]; n];
+    for (i, row) in base.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = d(i, j);
+        }
+    }
+    for (i, row) in out.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = (0..n).any(|w1| {
+                related(rel1, i, w1) && (0..n).any(|w2| related(rel2, j, w2) && base[w1][w2])
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Result of a bounded subset-property check.
+#[derive(Clone, Debug)]
+pub struct SubsetPropertyReport {
+    /// No pair in the universe lacked a witness in the universe.
+    pub holds: bool,
+    /// Pairs `(i, j)` of universe indexes with `Sol(I_j) ⊆ Sol(I_i)` for
+    /// which no witness pair exists inside the universe.
+    pub failures: Vec<(usize, usize)>,
+    /// Number of `Sol ⊆ Sol` pairs examined.
+    pub checked_pairs: usize,
+}
+
+/// Check the `(~1,~2)`-subset property of Definition 3.4 over a finite
+/// `universe` of ground instances (both the quantified pair and the
+/// witness pair range over `universe`).
+pub fn subset_property_bounded(
+    m: &SchemaMapping,
+    rel1: Relation,
+    rel2: Relation,
+    universe: &[Instance],
+) -> Result<SubsetPropertyReport, CoreError> {
+    let idx = index_universe(m, universe)?;
+    let n = universe.len();
+    // Both quantifications factor through the `~M` classes (and through
+    // equality, which refines them), so everything is computed per class
+    // pair once; this keeps universes of several hundred instances cheap.
+    // Class representatives, in order of first appearance.
+    let mut reps: Vec<usize> = Vec::new();
+    let mut class_of: Vec<usize> = Vec::with_capacity(n); // dense class ids
+    for &rep in &idx.class {
+        let dense = match reps.iter().position(|&r| r == rep) {
+            Some(d) => d,
+            None => {
+                reps.push(rep);
+                reps.len() - 1
+            }
+        };
+        class_of.push(dense);
+    }
+    let nc = reps.len();
+    // Sol-space containment between classes (via representatives).
+    let mut solsub = vec![vec![false; nc]; nc]; // solsub[c1][c2]: Sol(c2) ⊆ Sol(c1)
+    for (c1, &r1) in reps.iter().enumerate() {
+        for (c2, &r2) in reps.iter().enumerate() {
+            solsub[c1][c2] = idx.sol_subset(r2, r1);
+        }
+    }
+    // Witness flags per class pair. For `Equality` the witness class is a
+    // singleton {the instance itself}, so the class-level flag cannot be
+    // used — handle the four (rel1, rel2) combinations uniformly by
+    // precomputing, per class pair, whether *some* member pair is ⊆, and
+    // falling back to member-level checks when a side is Equality.
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); nc];
+    for i in 0..n {
+        members[class_of[i]].push(i);
+    }
+    let mut class_wit = vec![vec![false; nc]; nc];
+    for a in 0..n {
+        for b in 0..n {
+            if universe[a].is_subinstance_of(&universe[b])? {
+                class_wit[class_of[a]][class_of[b]] = true;
+            }
+        }
+    }
+    let witness_exists = |i1: usize, i2: usize| -> Result<bool, CoreError> {
+        match (rel1, rel2) {
+            (Relation::SolutionEquiv, Relation::SolutionEquiv) => {
+                Ok(class_wit[class_of[i1]][class_of[i2]])
+            }
+            (Relation::Equality, Relation::Equality) => {
+                universe[i1].is_subinstance_of(&universe[i2]).map_err(Into::into)
+            }
+            (Relation::Equality, Relation::SolutionEquiv) => {
+                for &w2 in &members[class_of[i2]] {
+                    if universe[i1].is_subinstance_of(&universe[w2])? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            (Relation::SolutionEquiv, Relation::Equality) => {
+                for &w1 in &members[class_of[i1]] {
+                    if universe[w1].is_subinstance_of(&universe[i2])? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+        }
+    };
+    let mut failures = Vec::new();
+    let mut checked = 0usize;
+    for i1 in 0..n {
+        for i2 in 0..n {
+            if !solsub[class_of[i1]][class_of[i2]] {
+                continue;
+            }
+            checked += 1;
+            if !witness_exists(i1, i2)? {
+                failures.push((i1, i2));
+            }
+        }
+    }
+    Ok(SubsetPropertyReport {
+        holds: failures.is_empty(),
+        failures,
+        checked_pairs: checked,
+    })
+}
+
+/// The unique-solutions property (§1/§3, from [Fagin, *Inverting Schema
+/// Mappings*]): distinct ground instances have distinct solution spaces.
+///
+/// Bounded check: returns the first pair of distinct universe instances
+/// with equal solution spaces (a *conclusive* violation — the property is
+/// universally quantified, so one bounded counterexample refutes it), or
+/// `None` if no violation exists within the universe.
+pub fn unique_solutions_bounded(
+    m: &SchemaMapping,
+    universe: &[Instance],
+) -> Result<Option<(usize, usize)>, CoreError> {
+    let idx = index_universe(m, universe)?;
+    for i in 0..universe.len() {
+        for j in i + 1..universe.len() {
+            if universe[i] != universe[j] && idx.class[i] == idx.class[j] {
+                return Ok(Some((i, j)));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// The constructive `(=,~M)`-subset witness of Example 3.10 /
+/// Proposition 3.11: for every pair with `Sol(I₂) ⊆ Sol(I₁)`, take
+/// `I₂' = I₁ ∪ I₂` (so trivially `I₁ ⊆ I₂'`) and verify `I₂ ~M I₂'`
+/// **exactly** (chase homomorphism test).
+///
+/// Returns the first pair for which the union witness fails, or `None`
+/// if it validates on the whole universe. For LAV mappings the paper
+/// proves it never fails; this function is the experimental counterpart
+/// (experiment E5).
+pub fn union_witness_subset_property(
+    m: &SchemaMapping,
+    universe: &[Instance],
+) -> Result<Option<(usize, usize)>, CoreError> {
+    let idx = index_universe(m, universe)?;
+    for i1 in 0..universe.len() {
+        for i2 in 0..universe.len() {
+            if !idx.sol_subset(i2, i1) {
+                continue;
+            }
+            let union = universe[i1].union(&universe[i2])?;
+            let chase_union = m.chase(&union)?;
+            if !hom_equivalent(&chase_union, &idx.chases[i2]) {
+                return Ok(Some((i1, i2)));
+            }
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::ground_instances;
+
+    fn projection() -> SchemaMapping {
+        SchemaMapping::parse("P/2", "Q/1", &["P(x,y) -> Q(x)"]).unwrap()
+    }
+
+    #[test]
+    fn projection_fails_unique_solutions() {
+        // P(a,a) and P(a,b) have the same solution space {Q ⊇ {a}}.
+        let m = projection();
+        let universe = ground_instances(&m.source, &["a", "b"], 2);
+        let violation = unique_solutions_bounded(&m, &universe).unwrap();
+        assert!(violation.is_some());
+    }
+
+    #[test]
+    fn copy_mapping_has_unique_solutions_on_universe() {
+        let m = SchemaMapping::parse("P/1", "Q/1", &["P(x) -> Q(x)"]).unwrap();
+        let universe = ground_instances(&m.source, &["a", "b"], 2);
+        assert!(unique_solutions_bounded(&m, &universe).unwrap().is_none());
+    }
+
+    #[test]
+    fn projection_has_solution_equiv_subset_property_bounded() {
+        // LAV ⇒ quasi-invertible (Prop 3.11): the (~M,~M)-subset property
+        // holds; the (=,=) one fails (no inverse).
+        let m = projection();
+        let universe = ground_instances(&m.source, &["a", "b"], 2);
+        let quasi = subset_property_bounded(
+            &m,
+            Relation::SolutionEquiv,
+            Relation::SolutionEquiv,
+            &universe,
+        )
+        .unwrap();
+        assert!(quasi.holds, "failures: {:?}", quasi.failures);
+        assert!(quasi.checked_pairs > 0);
+        let exact =
+            subset_property_bounded(&m, Relation::Equality, Relation::Equality, &universe)
+                .unwrap();
+        assert!(!exact.holds);
+    }
+
+    #[test]
+    fn union_witness_validates_on_lav() {
+        let m = projection();
+        let universe = ground_instances(&m.source, &["a", "b"], 2);
+        assert!(union_witness_subset_property(&m, &universe)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn relate_mod_is_the_bracket_of_definition_3_2() {
+        let m = projection();
+        let universe = ground_instances(&m.source, &["a", "b"], 2);
+        let n = universe.len();
+        // D = Inst(Id) restricted to the universe (containment).
+        let subset: Vec<Vec<bool>> = universe
+            .iter()
+            .map(|a| {
+                universe
+                    .iter()
+                    .map(|b| a.is_subinstance_of(b).unwrap())
+                    .collect()
+            })
+            .collect();
+        // With (=,=), the bracket is the identity on D.
+        let eq = relate_mod(&m, Relation::Equality, Relation::Equality, &universe, |i, j| {
+            subset[i][j]
+        })
+        .unwrap();
+        assert_eq!(eq, subset);
+        // With (~M,~M), the bracket only grows D (reflexivity of ~M) and
+        // equals ~M ∘ D ∘ ~M computed directly.
+        let qm = relate_mod(
+            &m,
+            Relation::SolutionEquiv,
+            Relation::SolutionEquiv,
+            &universe,
+            |i, j| subset[i][j],
+        )
+        .unwrap();
+        let idx = index_universe(&m, &universe).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                assert!(!subset[i][j] || qm[i][j], "bracket must contain D");
+                let direct = (0..n).any(|w1| {
+                    idx.class[w1] == idx.class[i]
+                        && (0..n)
+                            .any(|w2| idx.class[w2] == idx.class[j] && subset[w1][w2])
+                });
+                assert_eq!(qm[i][j], direct, "({i},{j})");
+            }
+        }
+        // Projection: P(a,a) ~M P(a,b), so the bracket relates pairs the
+        // raw containment does not.
+        assert_ne!(qm, subset);
+    }
+
+    #[test]
+    fn copy_has_equality_subset_property() {
+        let m = SchemaMapping::parse("P/1", "Q/1", &["P(x) -> Q(x)"]).unwrap();
+        let universe = ground_instances(&m.source, &["a", "b"], 2);
+        let r = subset_property_bounded(&m, Relation::Equality, Relation::Equality, &universe)
+            .unwrap();
+        assert!(r.holds);
+    }
+}

@@ -1,0 +1,260 @@
+//! Algorithm **Inverse** (§5, Theorem 5.1).
+//!
+//! Given `M = (S, T, Σ)` with `Σ` a finite set of s-t tgds:
+//!
+//! 1. check the **constant-propagation property** (Definition 5.2 /
+//!    Proposition 5.3): for every source relation `R/m`, the chase of the
+//!    single fact `R(x₁,…,x_m)` (distinct frozen variables) mentions all
+//!    `m` variables — a necessary condition for invertibility, and the
+//!    condition under which the algorithm's output is well-formed;
+//! 2. enumerate all **prime atoms** per source relation in lexicographic
+//!    order (exactly the restricted-growth strings over positions);
+//! 3. for each prime instance `I_α`, chase it and form
+//!    `ω(Σ, I_α) : ψ_α ∧ ⋀ Constant(xᵢ) ∧ ⋀_{i<j} xᵢ ≠ xⱼ → α`,
+//!    a full tgd with constants and inequalities (only among constants).
+//!
+//! The output `Σ'` is the "weakest inverse": whenever `M` is invertible,
+//! `M' = (T, S, Σ')` is an inverse of `M` and is implied by every other
+//! inverse.
+
+use crate::error::CoreError;
+use crate::mapping::{ReverseMapping, SchemaMapping};
+use qi_lang::{
+    canonical_instance, restricted_growth_strings, thaw_value, Atom, Disjunct, DisjTgd,
+    FrozenVars, Var,
+};
+use qi_schema::{Instance, Value};
+use std::collections::BTreeMap;
+
+/// The prime atoms of a relation of the given arity: argument vectors
+/// over `x₁,…,x_k` whose first occurrences appear in index order (§5).
+/// For arity 3: `(x1,x1,x1), (x1,x1,x2), (x1,x2,x1), (x1,x2,x2),
+/// (x1,x2,x3)`.
+pub fn prime_atoms(arity: usize) -> Vec<Vec<Var>> {
+    restricted_growth_strings(arity)
+        .into_iter()
+        .map(|p| {
+            (0..arity)
+                .map(|i| Var::new(&format!("x{}", p.block_of(i) + 1)))
+                .collect()
+        })
+        .collect()
+}
+
+/// Definition 5.2: does every source constant survive into the chase?
+///
+/// Checked on prime instances with all-distinct variables, which is
+/// equivalent to the per-ground-instance formulation (the chase of a
+/// fact is the union of the chases of its triggers, instantiated).
+pub fn constant_propagation_property(m: &SchemaMapping) -> Result<bool, CoreError> {
+    for rel in m.source.rel_ids() {
+        let arity = m.source.arity(rel);
+        let vars: Vec<Var> = (1..=arity).map(|i| Var::new(&format!("x{i}"))).collect();
+        let atom = Atom::new(rel, vars.clone());
+        let mut frozen = FrozenVars::default();
+        let inst = canonical_instance(&m.source, &[atom], &mut frozen);
+        let chased = m.chase(&inst)?;
+        let adom = chased.active_domain();
+        for v in &vars {
+            if !adom.contains(&frozen.value(v)) {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Convert the chase of a prime instance into the premise conjunction
+/// `ψ_α`: frozen variables thaw back to their names, nulls become fresh
+/// `y`-variables (one per null, shared across atoms).
+pub(crate) fn chase_to_atoms(chased: &Instance, frozen: &FrozenVars) -> Vec<Atom> {
+    let mut null_names: BTreeMap<u64, Var> = BTreeMap::new();
+    let mut next_y = 1usize;
+    let mut atoms = Vec::new();
+    for fact in chased.facts() {
+        let args: Vec<Var> = fact
+            .args
+            .iter()
+            .map(|&v| match v {
+                Value::Null(n) => null_names
+                    .entry(n.0)
+                    .or_insert_with(|| {
+                        let var = Var::new(&format!("y{next_y}"));
+                        next_y += 1;
+                        var
+                    })
+                    .clone(),
+                c => thaw_value(frozen, c).unwrap_or_else(|v| {
+                    unreachable!("chase of a frozen prime instance contains only frozen variables and nulls, got {v}")
+                }),
+            })
+            .collect();
+        atoms.push(Atom::new(fact.rel, args));
+    }
+    atoms
+}
+
+/// Run Algorithm Inverse on `m`.
+///
+/// Returns `None` when `m` fails the constant-propagation property (then
+/// `m` is not invertible by Proposition 5.3, and the paper's algorithm
+/// "halts without output"). Otherwise returns the candidate inverse
+/// `M' = (T, S, Σ')` of full tgds with constants and inequalities among
+/// constants; Theorem 5.1 guarantees it is an inverse whenever `m` is
+/// invertible.
+///
+/// ```
+/// use qi_core::{inverse, SchemaMapping};
+///
+/// let copy = SchemaMapping::parse("P/2", "Q/2", &["P(x,y) -> Q(x,y)"]).unwrap();
+/// let rev = inverse(&copy).unwrap().expect("copy propagates constants");
+/// assert_eq!(rev.deps.len(), 2); // one ω(Σ, I_α) per prime atom of P/2
+///
+/// // Projection drops a column: no constant propagation, no output.
+/// let proj = SchemaMapping::parse("P/2", "Q/1", &["P(x,y) -> Q(x)"]).unwrap();
+/// assert!(inverse(&proj).unwrap().is_none());
+/// ```
+pub fn inverse(m: &SchemaMapping) -> Result<Option<ReverseMapping>, CoreError> {
+    if !constant_propagation_property(m)? {
+        return Ok(None);
+    }
+    let mut deps = Vec::new();
+    for rel in m.source.rel_ids() {
+        let arity = m.source.arity(rel);
+        for args in prime_atoms(arity) {
+            let alpha = Atom::new(rel, args.clone());
+            let xs: Vec<Var> = {
+                let mut seen = Vec::new();
+                for v in &args {
+                    if !seen.contains(v) {
+                        seen.push(v.clone());
+                    }
+                }
+                seen
+            };
+            let mut frozen = FrozenVars::default();
+            let inst = canonical_instance(&m.source, std::slice::from_ref(&alpha), &mut frozen);
+            let chased = m.chase(&inst)?;
+            let body = chase_to_atoms(&chased, &frozen);
+            debug_assert!(
+                !body.is_empty(),
+                "constant propagation guarantees a nonempty chase"
+            );
+            let mut neq = Vec::new();
+            for i in 0..xs.len() {
+                for j in i + 1..xs.len() {
+                    neq.push((xs[i].clone(), xs[j].clone()));
+                }
+            }
+            let dep = DisjTgd::new(
+                m.target.clone(),
+                m.source.clone(),
+                body,
+                xs,
+                neq,
+                vec![Disjunct {
+                    exists: Vec::new(),
+                    atoms: vec![alpha],
+                }],
+            )?;
+            deps.push(dep);
+        }
+    }
+    Ok(Some(ReverseMapping::new(
+        m.target.clone(),
+        m.source.clone(),
+        deps,
+    )?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prime_atoms_lexicographic() {
+        let atoms = prime_atoms(3);
+        let rendered: Vec<String> = atoms
+            .iter()
+            .map(|a| {
+                a.iter()
+                    .map(|v| v.name().to_owned())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .collect();
+        assert_eq!(
+            rendered,
+            vec!["x1,x1,x1", "x1,x1,x2", "x1,x2,x1", "x1,x2,x2", "x1,x2,x3"]
+        );
+    }
+
+    #[test]
+    fn example_5_4_output() {
+        // S = R/2; T = Q/2 S/3 U/1 with
+        //   R(x1,x2) & R(x2,x1) -> ∃y Q(x1,y)
+        //   R(x1,x2) -> ∃y S(x1,x2,y)
+        //   R(x1,x1) -> U(x1)
+        let m = SchemaMapping::parse(
+            "R/2",
+            "Q/2 S/3 U/1",
+            &[
+                "R(x1,x2) & R(x2,x1) -> exists y . Q(x1,y)",
+                "R(x1,x2) -> exists y . S(x1,x2,y)",
+                "R(x1,x1) -> U(x1)",
+            ],
+        )
+        .unwrap();
+        assert!(constant_propagation_property(&m).unwrap());
+        let rev = inverse(&m).unwrap().unwrap();
+        assert_eq!(rev.deps.len(), 2); // two prime atoms for R/2
+        // ω(Σ, I_{R(x1,x1)}): Q(x1,y1) ∧ S(x1,x1,y2) ∧ U(x1) ∧ Constant(x1) → R(x1,x1)
+        let d1 = &rev.deps[0];
+        assert_eq!(d1.body.len(), 3);
+        assert_eq!(d1.constant, vec![Var::new("x1")]);
+        assert!(d1.neq.is_empty());
+        assert_eq!(d1.disjuncts.len(), 1);
+        assert!(d1.is_full());
+        // ω(Σ, I_{R(x1,x2)}): S(x1,x2,y) ∧ Constant(x1) ∧ Constant(x2) ∧ x1≠x2 → R(x1,x2)
+        let d2 = &rev.deps[1];
+        assert_eq!(d2.body.len(), 1);
+        assert_eq!(d2.constant.len(), 2);
+        assert_eq!(d2.neq.len(), 1);
+        assert!(rev.inequalities_among_constants());
+    }
+
+    #[test]
+    fn constant_propagation_failure_detected() {
+        // P(x,y) -> Q(x): y never reaches the target.
+        let m = SchemaMapping::parse("P/2", "Q/1", &["P(x,y) -> Q(x)"]).unwrap();
+        assert!(!constant_propagation_property(&m).unwrap());
+        assert!(inverse(&m).unwrap().is_none());
+    }
+
+    #[test]
+    fn copy_mapping_inverse() {
+        let m = SchemaMapping::parse("P/2", "Q/2", &["P(x,y) -> Q(x,y)"]).unwrap();
+        let rev = inverse(&m).unwrap().unwrap();
+        assert_eq!(rev.deps.len(), 2);
+        assert_eq!(
+            rev.deps[0].to_string(),
+            "Q(x1,x1) & const(x1) -> P(x1,x1)"
+        );
+        assert_eq!(
+            rev.deps[1].to_string(),
+            "Q(x1,x2) & const(x1) & const(x2) & x1 != x2 -> P(x1,x2)"
+        );
+    }
+
+    #[test]
+    fn two_hop_copy_inverse_uses_join() {
+        // Theorem 4.8's mapping: P(x,y) -> ∃z (Q(x,z) ∧ Q(z,y)).
+        let m = SchemaMapping::parse("P/2", "Q/2", &["P(x,y) -> exists z . Q(x,z) & Q(z,y)"])
+            .unwrap();
+        let rev = inverse(&m).unwrap().unwrap();
+        // ω for R(x1,x2): Q(x1,y1) ∧ Q(y1,x2) ∧ guards → P(x1,x2)
+        let d = &rev.deps[1];
+        assert_eq!(d.body.len(), 2);
+        assert_eq!(d.disjuncts[0].atoms[0].args.len(), 2);
+    }
+}

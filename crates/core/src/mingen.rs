@@ -1,0 +1,534 @@
+//! Algorithm **MinGen** (§4): exhaustive search for minimal generators.
+//!
+//! Definition 4.2: `β(x,z)` is a *generator* of `∃y ψ(x,y)` w.r.t. `Σ`
+//! when the tgd `β(x,z) → ∃y ψ(x,y)` is a logical consequence of `Σ`;
+//! Definition 4.3 asks for the conjuncts to be minimal. Lemma 4.4 bounds
+//! minimal generators by `s1·s2` atoms (`s1` = largest premise in `Σ`,
+//! `s2` = `|ψ|`), which makes exhaustive search complete.
+//!
+//! ## Enumeration
+//!
+//! Conjunctions are enumerated in *encoded* form — each term is either a
+//! frontier variable `x_i` or an existential `z_j` — by iterative
+//! deepening on the atom count:
+//!
+//! * atom sequences are non-decreasing in relation id, and `z`-variables
+//!   are introduced consecutively in first-occurrence order, which covers
+//!   every conjunction up to renaming of `z` (order the class's atoms by
+//!   relation and relabel: both constraints hold);
+//! * only relations that occur in some tgd premise are considered — facts
+//!   over other relations can never fire a trigger, so dropping such an
+//!   atom leaves the chase unchanged and the conjunction non-minimal;
+//! * a branch whose prefix already contains (up to `z`-renaming) a found
+//!   generator is pruned: every extension is non-minimal;
+//! * because sizes grow monotonically, a candidate that survives pruning
+//!   and passes the chase test of Definition 4.2 is a **minimal**
+//!   generator — all of its strict sub-conjunctions were enumerated at
+//!   smaller sizes.
+
+use crate::error::CoreError;
+use crate::mapping::SchemaMapping;
+use qi_chase::is_generator;
+use qi_lang::atom::vars_of;
+use qi_lang::{Atom, Var, VarGen};
+use qi_schema::{
+    ConstId, Instance, MatchConstraints, MatchEngine, PatFact, PatTerm, Pattern, RelId, Value,
+};
+use std::collections::BTreeSet;
+
+/// Options bounding the MinGen search.
+#[derive(Clone, Debug)]
+pub struct MinGenOptions {
+    /// Override Lemma 4.4's `s1·s2` atom bound (a *smaller* value trades
+    /// completeness for speed; a larger one is never needed).
+    pub max_atoms: Option<usize>,
+    /// Budget on chase tests; exceeded ⇒ [`CoreError::Budget`].
+    pub max_candidates: usize,
+}
+
+impl Default for MinGenOptions {
+    fn default() -> Self {
+        MinGenOptions {
+            max_atoms: None,
+            max_candidates: 1_000_000,
+        }
+    }
+}
+
+/// A generator `β(x,z)`: its atoms and its existential variables `z`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Generator {
+    /// The conjuncts of `β` (over the mapping's source schema).
+    pub atoms: Vec<Atom>,
+    /// The variables of `β` that are not frontier variables.
+    pub exists: Vec<Var>,
+}
+
+/// Term encoding: `0..nx` are the frontier variables in order, `nx + j`
+/// is the existential variable `z_j`.
+type Code = u16;
+type EncAtom = (RelId, Vec<Code>);
+
+struct SearchCtx<'a> {
+    m: &'a SchemaMapping,
+    psi: &'a [Atom],
+    x: &'a [Var],
+    nx: usize,
+    /// Relations eligible to appear in generators.
+    rels: Vec<RelId>,
+    /// Frozen constants for the subset-up-to-renaming encoding.
+    x_consts: Vec<Value>,
+    found: Vec<Vec<EncAtom>>,
+    out: Vec<Generator>,
+    tested: BTreeSet<Vec<EncAtom>>,
+    budget: usize,
+    used_budget: usize,
+}
+
+impl SearchCtx<'_> {
+    /// Instance encoding of a conjunction: `x_i` as a reserved constant,
+    /// `z_j` as the null `N_j`.
+    fn as_instance(&self, atoms: &[EncAtom]) -> Instance {
+        let mut inst = Instance::new(self.m.source.clone());
+        for (rel, args) in atoms {
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|&c| {
+                    if (c as usize) < self.nx {
+                        self.x_consts[c as usize]
+                    } else {
+                        Value::null((c as usize - self.nx) as u64)
+                    }
+                })
+                .collect();
+            inst.insert(*rel, vals).expect("arity by construction");
+        }
+        inst
+    }
+
+    /// Pattern encoding: `x_i` fixed to its reserved constant, `z_j` as
+    /// match variable `j`.
+    fn as_pattern(&self, atoms: &[EncAtom]) -> Pattern {
+        let mut nvars = 0usize;
+        let facts = atoms
+            .iter()
+            .map(|(rel, args)| PatFact {
+                rel: *rel,
+                args: args
+                    .iter()
+                    .map(|&c| {
+                        if (c as usize) < self.nx {
+                            PatTerm::Value(self.x_consts[c as usize])
+                        } else {
+                            let v = c as usize - self.nx;
+                            nvars = nvars.max(v + 1);
+                            PatTerm::Var(v as u32)
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+        Pattern { facts, nvars }
+    }
+
+    /// Does `sub` *subsume* `sup`: is there a substitution fixing every
+    /// frontier variable and mapping `sub`'s existential variables to
+    /// arbitrary variables of `sup` such that `sub`'s conjuncts become a
+    /// subset of `sup`'s?
+    ///
+    /// This is the "subset of the conjuncts (up to renaming of variables
+    /// in z, z')" of the algorithm's Step 3, read the way the paper's own
+    /// examples require: §4 lists only `S(x,x)` and `T(x,y)` as the
+    /// generators of `P(x,x)` — `T(x,x)` is excluded exactly because
+    /// renaming `T(x,y)`'s existential `y` **to `x`** turns it into a
+    /// subset of `{T(x,x)}`; and Example 4.5's remark discards the
+    /// disjunct `T(x1,x1) ∧ R(x1,x1,x4)` because `T(x3,x1) ∧ R(x3,x3,x4)`
+    /// maps onto it with `x3 ↦ x1`.
+    fn subconj(&self, sub: &[EncAtom], sup: &[EncAtom]) -> bool {
+        if sub.len() > sup.len() {
+            return false;
+        }
+        let pattern = self.as_pattern(sub);
+        let target = self.as_instance(sup);
+        MatchEngine::new(&pattern, &target, &MatchConstraints::default()).exists()
+    }
+
+    /// Does the prefix already contain a found generator (⇒ prune)?
+    fn covered(&self, prefix: &[EncAtom]) -> bool {
+        self.found.iter().any(|g| self.subconj(g, prefix))
+    }
+
+    /// Heuristic normal form used only to avoid re-testing duplicates:
+    /// sort the atoms, then relabel `z` by first occurrence. Not a perfect
+    /// canonical form — collisions are impossible (it is a renaming), and
+    /// misses only cost a repeated chase test.
+    fn normal_form(&self, atoms: &[EncAtom]) -> Vec<EncAtom> {
+        let mut sorted = atoms.to_vec();
+        sorted.sort();
+        let mut relabel: Vec<Option<Code>> = Vec::new();
+        let mut next: Code = 0;
+        let mut out = Vec::with_capacity(sorted.len());
+        for (rel, args) in &sorted {
+            let new_args: Vec<Code> = args
+                .iter()
+                .map(|&c| {
+                    if (c as usize) < self.nx {
+                        c
+                    } else {
+                        let z = c as usize - self.nx;
+                        if relabel.len() <= z {
+                            relabel.resize(z + 1, None);
+                        }
+                        *relabel[z].get_or_insert_with(|| {
+                            let v = next;
+                            next += 1;
+                            v
+                        }) + self.nx as Code
+                    }
+                })
+                .collect();
+            out.push((*rel, new_args));
+        }
+        out.sort();
+        out
+    }
+
+    /// Decode an encoded conjunction into real atoms, naming the `z`
+    /// variables freshly (avoiding the frontier and `ψ`'s variables).
+    fn decode(&self, atoms: &[EncAtom]) -> Generator {
+        let avoid: Vec<Var> = vars_of(self.psi)
+            .into_iter()
+            .chain(self.x.iter().cloned())
+            .collect();
+        let mut gen = VarGen::new("z", avoid);
+        let mut z_names: Vec<Option<Var>> = Vec::new();
+        let mut out_atoms = Vec::with_capacity(atoms.len());
+        for (rel, args) in atoms {
+            let vars: Vec<Var> = args
+                .iter()
+                .map(|&c| {
+                    if (c as usize) < self.nx {
+                        self.x[c as usize].clone()
+                    } else {
+                        let z = c as usize - self.nx;
+                        if z_names.len() <= z {
+                            z_names.resize(z + 1, None);
+                        }
+                        z_names[z].get_or_insert_with(|| gen.fresh()).clone()
+                    }
+                })
+                .collect();
+            out_atoms.push(Atom::new(*rel, vars));
+        }
+        let exists: Vec<Var> = z_names.into_iter().flatten().collect();
+        Generator {
+            atoms: out_atoms,
+            exists,
+        }
+    }
+
+    /// Chase-test a full-size candidate; record it when it generates.
+    fn consider(&mut self, atoms: &[EncAtom]) -> Result<(), CoreError> {
+        // All frontier variables must occur (safety of the induced tgd).
+        let present: BTreeSet<Code> = atoms
+            .iter()
+            .flat_map(|(_, args)| args.iter().copied())
+            .filter(|&c| (c as usize) < self.nx)
+            .collect();
+        if present.len() != self.nx {
+            return Ok(());
+        }
+        let nf = self.normal_form(atoms);
+        if !self.tested.insert(nf) {
+            return Ok(());
+        }
+        self.used_budget += 1;
+        if self.used_budget > self.budget {
+            return Err(CoreError::Budget(format!(
+                "MinGen exceeded {} candidate chase tests",
+                self.budget
+            )));
+        }
+        let gen = self.decode(atoms);
+        if is_generator(
+            &self.m.tgds,
+            &self.m.source,
+            &self.m.target,
+            &gen.atoms,
+            self.psi,
+            self.x,
+        )? {
+            self.found.push(atoms.to_vec());
+            self.out.push(gen);
+        }
+        Ok(())
+    }
+
+    /// Enumerate the atoms that may follow the current prefix: relation id
+    /// at least `min_rel`, new `z` variables introduced consecutively
+    /// starting at `z_used`.
+    fn next_atoms(&self, min_rel: u32, z_used: usize) -> Vec<(EncAtom, usize)> {
+        let mut out = Vec::new();
+        for &rel in &self.rels {
+            if rel.0 < min_rel {
+                continue;
+            }
+            let arity = self.m.source.arity(rel);
+            let mut partial: Vec<(Vec<Code>, usize)> = vec![(Vec::new(), z_used)];
+            for _ in 0..arity {
+                let mut next = Vec::new();
+                for (args, used) in &partial {
+                    // existing x vars and z vars
+                    for c in 0..self.nx + *used {
+                        let mut a = args.clone();
+                        a.push(c as Code);
+                        next.push((a, *used));
+                    }
+                    // one new z var (the next index)
+                    let mut a = args.clone();
+                    a.push((self.nx + *used) as Code);
+                    next.push((a, used + 1));
+                }
+                partial = next;
+            }
+            for (args, used) in partial {
+                out.push(((rel, args), used));
+            }
+        }
+        out
+    }
+
+    fn dfs(
+        &mut self,
+        prefix: &mut Vec<EncAtom>,
+        z_used: usize,
+        remaining: usize,
+    ) -> Result<(), CoreError> {
+        if remaining == 0 {
+            return self.consider(prefix);
+        }
+        let min_rel = prefix.last().map(|(r, _)| r.0).unwrap_or(0);
+        for (atom, used) in self.next_atoms(min_rel, z_used) {
+            if prefix.contains(&atom) {
+                continue; // duplicate conjunct adds nothing
+            }
+            prefix.push(atom);
+            if !self.covered(prefix) {
+                self.dfs(prefix, used, remaining - 1)?;
+            }
+            prefix.pop();
+        }
+        Ok(())
+    }
+}
+
+/// Run Algorithm MinGen: all minimal generators of `∃y ψ(x,y)` w.r.t. the
+/// mapping's tgds, where `x` designates the frontier variables of `ψ`
+/// (its remaining variables are the existential `y`).
+pub fn min_gen(
+    m: &SchemaMapping,
+    psi: &[Atom],
+    x: &[Var],
+    options: &MinGenOptions,
+) -> Result<Vec<Generator>, CoreError> {
+    if psi.is_empty() {
+        return Err(CoreError::Precondition("ψ must be nonempty".into()));
+    }
+    let psi_vars = vars_of(psi);
+    for v in x {
+        if !psi_vars.contains(v) {
+            return Err(CoreError::Precondition(format!(
+                "frontier variable `{v}` does not occur in ψ"
+            )));
+        }
+    }
+    let s1 = m.max_body_atoms();
+    if s1 == 0 {
+        return Ok(Vec::new()); // Σ empty: nothing generates anything
+    }
+    let cap = options.max_atoms.unwrap_or(s1 * psi.len());
+    // Only relations occurring in some premise can matter.
+    let mut rels: Vec<RelId> = m
+        .source
+        .rel_ids()
+        .filter(|r| m.tgds.iter().any(|t| t.body.iter().any(|a| a.rel == *r)))
+        .collect();
+    rels.sort();
+    let nx = x.len();
+    let x_consts: Vec<Value> = (0..nx)
+        .map(|i| Value::Const(ConstId::new(&format!("$mgx{i}"))))
+        .collect();
+    let mut ctx = SearchCtx {
+        m,
+        psi,
+        x,
+        nx,
+        rels,
+        x_consts,
+        found: Vec::new(),
+        out: Vec::new(),
+        tested: BTreeSet::new(),
+        budget: options.max_candidates,
+        used_budget: 0,
+    };
+    for size in 1..=cap {
+        let mut prefix = Vec::with_capacity(size);
+        ctx.dfs(&mut prefix, 0, size)?;
+    }
+    // Step 3 (minimize): drop every generator subsumed by another kept
+    // one. For mutually-subsuming pairs the earlier (smaller, since sizes
+    // ascend) is kept.
+    let n = ctx.found.len();
+    let mut alive = vec![true; n];
+    #[allow(clippy::needless_range_loop)] // symmetric double-index over `alive`
+    for i in 0..n {
+        if !alive[i] {
+            continue;
+        }
+        for j in 0..n {
+            if i == j || !alive[j] {
+                continue;
+            }
+            if ctx.subconj(&ctx.found[i], &ctx.found[j])
+                && !(j < i && ctx.subconj(&ctx.found[j], &ctx.found[i]))
+            {
+                alive[j] = false;
+            }
+        }
+    }
+    Ok(ctx
+        .out
+        .into_iter()
+        .zip(alive)
+        .filter(|(_, a)| *a)
+        .map(|(g, _)| g)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atoms(schema: &qi_schema::Schema, specs: &[(&str, &[&str])]) -> Vec<Atom> {
+        specs
+            .iter()
+            .map(|(r, args)| Atom::parse_parts(schema, r, args).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn projection_generator() {
+        let m = SchemaMapping::parse("P/2", "Q/1", &["P(x,y) -> Q(x)"]).unwrap();
+        let psi = atoms(&m.target, &[("Q", &["x"])]);
+        let x = vec![Var::new("x")];
+        let gens = min_gen(&m, &psi, &x, &MinGenOptions::default()).unwrap();
+        assert_eq!(gens.len(), 1);
+        assert_eq!(gens[0].atoms.len(), 1);
+        assert_eq!(gens[0].exists.len(), 1); // P(x, z)
+        assert_eq!(m.source.name(gens[0].atoms[0].rel), "P");
+    }
+
+    #[test]
+    fn union_has_two_generators() {
+        let m = SchemaMapping::parse("P/1 Q/1", "S/1", &["P(x) -> S(x)", "Q(x) -> S(x)"])
+            .unwrap();
+        let psi = atoms(&m.target, &[("S", &["x"])]);
+        let x = vec![Var::new("x")];
+        let gens = min_gen(&m, &psi, &x, &MinGenOptions::default()).unwrap();
+        assert_eq!(gens.len(), 2);
+        let names: BTreeSet<&str> = gens
+            .iter()
+            .map(|g| m.source.name(g.atoms[0].rel))
+            .collect();
+        assert_eq!(names, BTreeSet::from(["P", "Q"]));
+    }
+
+    #[test]
+    fn inequality_example_from_section_4() {
+        // Σ = { S(x,y) -> P(x,y), T(x,y) -> P(x,x) }.
+        // Generators of P(x1,x2) (x1 ≠ x2 case handled by QuasiInverse):
+        // S(x1,x2) only. Generators of P(x1,x1): S(x1,x1) and ∃y T(x1,y).
+        let m = SchemaMapping::parse(
+            "S/2 T/2",
+            "P/2",
+            &["S(x,y) -> P(x,y)", "T(x,y) -> P(x,x)"],
+        )
+        .unwrap();
+        let psi_distinct = atoms(&m.target, &[("P", &["x1", "x2"])]);
+        let gens = min_gen(
+            &m,
+            &psi_distinct,
+            &[Var::new("x1"), Var::new("x2")],
+            &MinGenOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(gens.len(), 1);
+        assert_eq!(m.source.name(gens[0].atoms[0].rel), "S");
+
+        let psi_equal = atoms(&m.target, &[("P", &["x1", "x1"])]);
+        let gens = min_gen(
+            &m,
+            &psi_equal,
+            &[Var::new("x1")],
+            &MinGenOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(gens.len(), 2);
+    }
+
+    #[test]
+    fn multi_atom_generator_is_found_and_minimal() {
+        // Decomposition reversed: Q(x,y) ∧ R(y,z) is generated by the
+        // single fact P(x,y,z), and also — with two facts — by
+        // P(x,y,w1) ∧ P(w2,y,z) (the Q-part from one, the R-part from the
+        // other). Every other two-fact generator is subsumed by the latter.
+        let m =
+            SchemaMapping::parse("P/3", "Q/2 R/2", &["P(x,y,z) -> Q(x,y) & R(y,z)"]).unwrap();
+        let psi = atoms(&m.target, &[("Q", &["x", "y"]), ("R", &["y", "z"])]);
+        let x = vec![Var::new("x"), Var::new("y"), Var::new("z")];
+        let gens = min_gen(&m, &psi, &x, &MinGenOptions::default()).unwrap();
+        assert_eq!(gens.len(), 2, "{gens:?}");
+        assert_eq!(gens[0].atoms.len(), 1); // P(x,y,z)
+        assert!(gens[0].exists.is_empty());
+        assert_eq!(gens[1].atoms.len(), 2); // P(x,y,w1) & P(w2,y,z)
+        assert_eq!(gens[1].exists.len(), 2);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let m = SchemaMapping::parse(
+            "A/2 B/2 C/2",
+            "T/2",
+            &["A(x,y) & B(y,z) & C(z,x) -> T(x,y)"],
+        )
+        .unwrap();
+        let psi = atoms(&m.target, &[("T", &["x", "y"])]);
+        let x = vec![Var::new("x"), Var::new("y")];
+        let err = min_gen(
+            &m,
+            &psi,
+            &x,
+            &MinGenOptions {
+                max_atoms: None,
+                max_candidates: 3,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::Budget(_)));
+    }
+
+    #[test]
+    fn no_generator_when_target_unreachable() {
+        let m = SchemaMapping::parse("P/1", "S/1 W/1", &["P(x) -> S(x)"]).unwrap();
+        let psi = atoms(&m.target, &[("W", &["x"])]);
+        let gens = min_gen(&m, &psi, &[Var::new("x")], &MinGenOptions::default()).unwrap();
+        assert!(gens.is_empty());
+    }
+
+    #[test]
+    fn frontier_must_occur_in_psi() {
+        let m = SchemaMapping::parse("P/1", "S/1", &["P(x) -> S(x)"]).unwrap();
+        let psi = atoms(&m.target, &[("S", &["x"])]);
+        assert!(min_gen(&m, &psi, &[Var::new("w")], &MinGenOptions::default()).is_err());
+    }
+}

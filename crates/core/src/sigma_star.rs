@@ -1,0 +1,101 @@
+//! The `Σ*` construction (§4).
+//!
+//! For each tgd `σ ∈ Σ` and each *complete description* `δ` of the
+//! variables appearing on both sides of `σ`, `f(σ, δ)` replaces every
+//! such variable by the representative of its `δ`-equivalence class.
+//! `Σ* = Σ ∪ { f(σ, δ) }` is logically equivalent to `Σ` and exposes each
+//! equality pattern of the frontier as its own dependency — which is what
+//! lets the QuasiInverse algorithm guard each output dependency with
+//! *all-distinct* inequalities.
+
+use crate::error::CoreError;
+use qi_lang::substitution::substitute_atoms;
+use qi_lang::{restricted_growth_strings, Tgd};
+
+/// Compute `Σ*`: the input tgds together with every `f(σ, δ)`.
+///
+/// The discrete description reproduces `σ` itself, so the result always
+/// contains (a variant of) each input; duplicates are removed. The size
+/// is `Σ_σ B(|frontier(σ)|)` (Bell numbers) — one of the two exponential
+/// factors in Theorem 4.1's algorithm.
+pub fn sigma_star(tgds: &[Tgd]) -> Result<Vec<Tgd>, CoreError> {
+    let mut out: Vec<Tgd> = Vec::new();
+    for tgd in tgds {
+        let frontier = tgd.frontier();
+        for partition in restricted_growth_strings(frontier.len()) {
+            let map = partition.representative_map(&frontier);
+            let body = substitute_atoms(&tgd.body, &map);
+            let head = substitute_atoms(&tgd.head, &map);
+            let merged = Tgd::new(
+                tgd.source.clone(),
+                tgd.target.clone(),
+                body,
+                tgd.exists.clone(),
+                head,
+            )?;
+            if !out.contains(&merged) {
+                out.push(merged);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::SchemaMapping;
+
+    #[test]
+    fn discrete_description_reproduces_sigma() {
+        let m = SchemaMapping::parse("P/2", "Q/2", &["P(x,y) -> Q(x,y)"]).unwrap();
+        let star = sigma_star(&m.tgds).unwrap();
+        assert!(star.contains(&m.tgds[0]));
+        // frontier {x,y}: B(2) = 2 descriptions → σ[y↦x] and σ.
+        assert_eq!(star.len(), 2);
+        assert_eq!(star[0].to_string(), "P(x,x) -> Q(x,x)");
+    }
+
+    #[test]
+    fn paper_example_from_section_4() {
+        // σ1 = P(x1,x2,x3) -> ∃y (S(x1,x2,y) ∧ Q(y,y)); frontier {x1,x2}.
+        // Σ* contains σ1 and σ2 = P(x1,x1,x3) -> ∃y (S(x1,x1,y) ∧ Q(y,y)).
+        let m = SchemaMapping::parse(
+            "P/3",
+            "S/3 Q/2",
+            &["P(x1,x2,x3) -> exists y . S(x1,x2,y) & Q(y,y)"],
+        )
+        .unwrap();
+        let star = sigma_star(&m.tgds).unwrap();
+        assert_eq!(star.len(), 2);
+        assert_eq!(
+            star[0].to_string(),
+            "P(x1,x1,x3) -> exists y . S(x1,x1,y) & Q(y,y)"
+        );
+        assert_eq!(star[1], m.tgds[0]);
+    }
+
+    #[test]
+    fn frontier_of_three_gives_bell_3() {
+        let m = SchemaMapping::parse("P/3", "Q/3", &["P(x,y,z) -> Q(x,y,z)"]).unwrap();
+        let star = sigma_star(&m.tgds).unwrap();
+        assert_eq!(star.len(), 5); // B(3)
+    }
+
+    #[test]
+    fn exists_only_head_vars_do_not_partition() {
+        let m = SchemaMapping::parse("P/2", "Q/2", &["P(x,y) -> exists z . Q(x,z)"]).unwrap();
+        // frontier is just {x}: B(1) = 1.
+        let star = sigma_star(&m.tgds).unwrap();
+        assert_eq!(star.len(), 1);
+    }
+
+    #[test]
+    fn duplicates_are_removed() {
+        // A tgd whose frontier variables are already merged produces the
+        // same f(σ,δ) for several δ of the original.
+        let m = SchemaMapping::parse("P/2", "Q/1", &["P(x,x) -> Q(x)"]).unwrap();
+        let star = sigma_star(&m.tgds).unwrap();
+        assert_eq!(star.len(), 1);
+    }
+}

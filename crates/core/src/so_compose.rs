@@ -1,0 +1,395 @@
+//! General composition via second-order tgds (the paper's reference
+//! \[5\]).
+//!
+//! [`crate::compose()`] handles the case where the first mapping is
+//! full; the general case needs SO-tgds. The algorithm:
+//!
+//! 1. Skolemize both mappings (`qi_lang::skolemize`), renaming the two
+//!    sides' function symbols apart.
+//! 2. For every clause `φ₂₃ ∧ eqs₂₃ → ψ₂₃` of the second SO-tgd, and for
+//!    every way of *resolving* each premise atom against a head atom of
+//!    some first-side clause (fresh variable copies per use): substitute
+//!    the premise variables by the matched head terms (extra alignments
+//!    become equalities), take the union of the chosen first-side
+//!    premises as the new premise, and carry `ψ₂₃` (substituted) as the
+//!    conclusion.
+//!
+//! A premise atom over a middle-schema relation that no first-side
+//! clause produces kills the combination: the canonical intermediate
+//! instance (the chase of `I`) contains no such facts, and the
+//! existential `J` of the composition semantics is free to omit them.
+//!
+//! The composed SO-tgd's chase is a universal solution of the
+//! composition, which the tests verify against the two-hop chase
+//! (`chase₂₃(chase₁₂(I))`) up to homomorphic equivalence.
+
+use crate::error::CoreError;
+use crate::mapping::SchemaMapping;
+use qi_lang::{skolemize, SkTerm, SoAtom, SoClause, SoTgd, Var, VarGen};
+use std::collections::BTreeMap;
+
+/// Compose two arbitrary s-t tgd mappings into an SO-tgd.
+pub fn so_compose(m12: &SchemaMapping, m23: &SchemaMapping) -> Result<SoTgd, CoreError> {
+    if !m12.target.same_as(&m23.source) {
+        return Err(CoreError::Precondition(
+            "the mappings do not share the middle schema".into(),
+        ));
+    }
+    if m12.tgds.is_empty() || m23.tgds.is_empty() {
+        return Err(CoreError::Precondition(
+            "composition needs nonempty dependency sets".into(),
+        ));
+    }
+    let so12 = skolemize(&m12.tgds, "l_");
+    let so23 = skolemize(&m23.tgds, "r_");
+    let mut clauses: Vec<SoClause> = Vec::new();
+    for c23 in &so23.clauses {
+        // Candidate producers per premise atom: (clause index, head index).
+        let candidates: Vec<Vec<(usize, usize)>> = c23
+            .body
+            .iter()
+            .map(|atom| {
+                so12.clauses
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(ci, c)| {
+                        c.head
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, h)| h.rel == atom.rel)
+                            .map(move |(hi, _)| (ci, hi))
+                    })
+                    .collect()
+            })
+            .collect();
+        if candidates.iter().any(Vec::is_empty) {
+            continue; // some premise atom is unproducible
+        }
+        // Cartesian walk over the candidate choices (odometer).
+        let mut choice = vec![0usize; candidates.len()];
+        'combos: loop {
+            clauses.push(resolve(c23, &so12, &choice));
+            let mut k = 0;
+            loop {
+                if k == choice.len() {
+                    break 'combos;
+                }
+                choice[k] += 1;
+                if choice[k] < candidates[k].len() {
+                    break;
+                }
+                choice[k] = 0;
+                k += 1;
+            }
+        }
+    }
+    Ok(SoTgd {
+        source: m12.source.clone(),
+        target: m23.target.clone(),
+        clauses,
+    })
+}
+
+/// Resolve one combination: `choice[k]` selects the producer of premise
+/// atom `k` among its candidates (recomputed here to keep the odometer
+/// loop simple).
+fn resolve(c23: &SoClause, so12: &SoTgd, choice: &[usize]) -> SoClause {
+    let mut gen = VarGen::new("u", c23.body_vars());
+    let mut body = Vec::new();
+    let mut eqs: Vec<(SkTerm, SkTerm)> = Vec::new();
+    let mut subst: BTreeMap<Var, SkTerm> = BTreeMap::new();
+    for (k, atom) in c23.body.iter().enumerate() {
+        // Recompute this atom's candidate list (same order as in
+        // `so_compose`).
+        let cands: Vec<(usize, usize)> = so12
+            .clauses
+            .iter()
+            .enumerate()
+            .flat_map(|(ci, c)| {
+                c.head
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, h)| h.rel == atom.rel)
+                    .map(move |(hi, _)| (ci, hi))
+            })
+            .collect();
+        let (ci, hi) = cands[choice[k]];
+        let producer = &so12.clauses[ci];
+        // Fresh copy of the producer's variables for this use.
+        let rename: BTreeMap<Var, Var> = producer
+            .body_vars()
+            .into_iter()
+            .map(|v| (v.clone(), gen.fresh()))
+            .collect();
+        let rename_term = |t: &SkTerm| -> SkTerm {
+            t.substitute(&|v: &Var| rename.get(v).cloned().map(SkTerm::Var))
+        };
+        for b in &producer.body {
+            body.push(qi_lang::substitution::substitute_atom(
+                b,
+                &rename,
+            ));
+        }
+        for (l, r) in &producer.eqs {
+            eqs.push((rename_term(l), rename_term(r)));
+        }
+        // Unify atom args with the producer head's terms.
+        let head_atom = &producer.head[hi];
+        for (v, t) in atom.args.iter().zip(&head_atom.args) {
+            let t = rename_term(t);
+            match subst.get(v) {
+                Some(existing) => eqs.push((existing.clone(), t)),
+                None => {
+                    subst.insert(v.clone(), t);
+                }
+            }
+        }
+    }
+    let apply = |t: &SkTerm| -> SkTerm { t.substitute(&|v: &Var| subst.get(v).cloned()) };
+    for (l, r) in &c23.eqs {
+        eqs.push((apply(l), apply(r)));
+    }
+    let head = c23
+        .head
+        .iter()
+        .map(|a| SoAtom {
+            rel: a.rel,
+            args: a.args.iter().map(apply).collect(),
+        })
+        .collect();
+    SoClause { body, eqs, head }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qi_chase::so_chase;
+    use qi_schema::{hom_equivalent, Instance};
+
+    fn two_hop(m12: &SchemaMapping, m23: &SchemaMapping, i: &Instance) -> Instance {
+        m23.chase(&m12.chase(i).unwrap()).unwrap()
+    }
+
+    fn align(m12: &SchemaMapping, m23_src: &str, m23_tgt: &str, deps: &[&str]) -> SchemaMapping {
+        let _ = m23_src;
+        let tgt = qi_schema::Schema::parse(m23_tgt).unwrap();
+        SchemaMapping::new(
+            m12.target.clone(),
+            tgt.clone(),
+            deps.iter()
+                .map(|d| qi_lang::parse_tgd(&m12.target, &tgt, d).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fkpt_manager_example() {
+        // The classic composition needing SO-tgds:
+        //   Σ12: Emp(e) → ∃m Mgr1(e,m)
+        //   Σ23: Mgr1(e,m) → Mgr(e,m);  Mgr1(e,e) → SelfMgr(e)
+        let m12 = SchemaMapping::parse("Emp/1", "Mgr1/2", &["Emp(e) -> exists m . Mgr1(e,m)"])
+            .unwrap();
+        let m23 = align(
+            &m12,
+            "Mgr1/2",
+            "Mgr/2 SelfMgr/1",
+            &["Mgr1(e,m) -> Mgr(e,m)", "Mgr1(e,e) -> SelfMgr(e)"],
+        );
+        let so = so_compose(&m12, &m23).unwrap();
+        // Two clauses; the SelfMgr one carries the equality f(e) = e.
+        assert_eq!(so.clauses.len(), 2);
+        assert!(so.clauses.iter().any(|c| !c.eqs.is_empty()));
+        for i_text in ["Emp(a)", "Emp(a) Emp(b)"] {
+            let i = Instance::parse(&m12.source, i_text).unwrap();
+            let one = so_chase(&so, &i).unwrap();
+            let two = two_hop(&m12, &m23, &i);
+            assert!(hom_equivalent(&one, &two), "on {i_text}: {one} vs {two}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_first_order_compose_on_full_first_mapping() {
+        let m12 = SchemaMapping::parse(
+            "A/1 B/1",
+            "S1/1 S2/1",
+            &["A(x) -> S1(x)", "B(x) -> S2(x)"],
+        )
+        .unwrap();
+        let m23 = align(&m12, "S1/1 S2/1", "T/1", &["S1(x) & S2(x) -> T(x)"]);
+        let so = so_compose(&m12, &m23).unwrap();
+        let fo = crate::compose::compose(&m12, &m23, &Default::default()).unwrap();
+        for i_text in ["A(a)", "A(a) B(a)", "A(a) B(b)", "A(a) A(b) B(b)"] {
+            let i = Instance::parse(&m12.source, i_text).unwrap();
+            let via_so = so_chase(&so, &i).unwrap();
+            let via_fo = fo.chase(&i).unwrap();
+            assert!(hom_equivalent(&via_so, &via_fo), "on {i_text}");
+        }
+    }
+
+    #[test]
+    fn existentials_in_first_mapping_thread_through() {
+        // Non-full first mapping: first-order compose refuses, SO compose
+        // handles it.
+        let m12 = SchemaMapping::parse("P/1", "Q/2", &["P(x) -> exists y . Q(x,y)"]).unwrap();
+        let m23 = align(&m12, "Q/2", "R/2 W/1", &["Q(x,y) -> R(y,x)", "Q(x,x) -> W(x)"]);
+        assert!(crate::compose::compose(&m12, &m23, &Default::default()).is_err());
+        let so = so_compose(&m12, &m23).unwrap();
+        for i_text in ["P(a)", "P(a) P(b)"] {
+            let i = Instance::parse(&m12.source, i_text).unwrap();
+            let one = so_chase(&so, &i).unwrap();
+            let two = two_hop(&m12, &m23, &i);
+            assert!(hom_equivalent(&one, &two), "on {i_text}: {one} vs {two}");
+        }
+    }
+
+    #[test]
+    fn unproducible_premise_atoms_drop_clauses() {
+        let m12 = SchemaMapping::parse("P/1", "S/1 T2/1", &["P(x) -> S(x)"]).unwrap();
+        let m23 = align(&m12, "S/1 T2/1", "K/1", &["T2(x) -> K(x)", "S(x) -> K(x)"]);
+        let so = so_compose(&m12, &m23).unwrap();
+        // Only the S-clause survives.
+        assert_eq!(so.clauses.len(), 1);
+        let i = Instance::parse(&m12.source, "P(a)").unwrap();
+        let one = so_chase(&so, &i).unwrap();
+        let two = two_hop(&m12, &m23, &i);
+        assert!(hom_equivalent(&one, &two));
+    }
+
+    #[test]
+    fn multi_producer_premises_fan_out() {
+        let m12 = SchemaMapping::parse(
+            "A/1 B/1",
+            "S/1",
+            &["A(x) -> S(x)", "B(x) -> S(x)"],
+        )
+        .unwrap();
+        let m23 = align(&m12, "S/1", "T/2", &["S(x) & S(y) -> T(x,y)"]);
+        let so = so_compose(&m12, &m23).unwrap();
+        // 2 producers per atom, 2 atoms: 4 combinations.
+        assert_eq!(so.clauses.len(), 4);
+        for i_text in ["A(a) B(b)", "A(a)", "A(a) A(b) B(c)"] {
+            let i = Instance::parse(&m12.source, i_text).unwrap();
+            let one = so_chase(&so, &i).unwrap();
+            let two = two_hop(&m12, &m23, &i);
+            assert!(hom_equivalent(&one, &two), "on {i_text}");
+        }
+    }
+
+    #[test]
+    fn random_compositions_agree_with_two_hop_chase() {
+        // Seeded small random mappings, including non-full first hops.
+        for seed in 0..12u64 {
+            let mut r = rand_rng(seed);
+            let m12 = random_small_mapping(&mut r, "In", "Mid", false);
+            let m23 = {
+                let tgt = qi_schema::Schema::parse("Out0/2 Out1/1").unwrap();
+                let mut tgds = Vec::new();
+                for _ in 0..2 {
+                    tgds.push(random_tgd_between(&mut r, &m12.target, &tgt));
+                }
+                SchemaMapping::new(m12.target.clone(), tgt, tgds).unwrap()
+            };
+            let so = so_compose(&m12, &m23).unwrap();
+            let i = random_instance(&mut r, &m12.source);
+            let one = so_chase(&so, &i).unwrap();
+            let two = two_hop(&m12, &m23, &i);
+            assert!(
+                hom_equivalent(&one, &two),
+                "seed {seed}: I = {i}\nΣ12:\n{m12}\nΣ23:\n{m23}\nso: {one}\ntwo-hop: {two}"
+            );
+        }
+    }
+
+    // Minimal local generators (kept here to avoid a dev-dependency of
+    // qi-core on qi-workloads, which depends back on qi-core).
+    struct Lcg(u64);
+    fn rand_rng(seed: u64) -> Lcg {
+        Lcg(seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407))
+    }
+    impl Lcg {
+        fn next(&mut self, bound: usize) -> usize {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((self.0 >> 33) as usize) % bound.max(1)
+        }
+    }
+
+    fn random_small_mapping(r: &mut Lcg, sp: &str, tp: &str, full: bool) -> SchemaMapping {
+        let src = qi_schema::Schema::parse(&format!("{sp}0/2 {sp}1/1")).unwrap();
+        let tgt = qi_schema::Schema::parse(&format!("{tp}0/2 {tp}1/1")).unwrap();
+        let mut tgds = Vec::new();
+        while tgds.len() < 2 {
+            let t = random_tgd_between_impl(r, &src, &tgt, full);
+            tgds.push(t);
+        }
+        SchemaMapping::new(src, tgt, tgds).unwrap()
+    }
+
+    fn random_tgd_between(r: &mut Lcg, src: &qi_schema::Schema, tgt: &qi_schema::Schema) -> qi_lang::Tgd {
+        random_tgd_between_impl(r, src, tgt, false)
+    }
+
+    fn random_tgd_between_impl(
+        r: &mut Lcg,
+        src: &qi_schema::Schema,
+        tgt: &qi_schema::Schema,
+        full: bool,
+    ) -> qi_lang::Tgd {
+        use qi_lang::{Atom, Tgd, Var};
+        loop {
+            let pool: Vec<Var> = (0..3).map(|i| Var::new(&format!("x{i}"))).collect();
+            let nb = 1 + r.next(2);
+            let body: Vec<Atom> = (0..nb)
+                .map(|_| {
+                    let rel = src.rel_ids().nth(r.next(src.len())).unwrap();
+                    Atom::new(
+                        rel,
+                        (0..src.arity(rel))
+                            .map(|_| pool[r.next(pool.len())].clone())
+                            .collect(),
+                    )
+                })
+                .collect();
+            let bvars = qi_lang::atom::vars_of(&body);
+            let e = Var::new("e0");
+            let nh = 1 + r.next(2);
+            let head: Vec<Atom> = (0..nh)
+                .map(|_| {
+                    let rel = tgt.rel_ids().nth(r.next(tgt.len())).unwrap();
+                    Atom::new(
+                        rel,
+                        (0..tgt.arity(rel))
+                            .map(|_| {
+                                if !full && r.next(4) == 0 {
+                                    e.clone()
+                                } else {
+                                    bvars[r.next(bvars.len())].clone()
+                                }
+                            })
+                            .collect(),
+                    )
+                })
+                .collect();
+            let hvars = qi_lang::atom::vars_of(&head);
+            let exists: Vec<Var> = if hvars.contains(&e) { vec![e] } else { vec![] };
+            if let Ok(t) = Tgd::new(src.clone(), tgt.clone(), body, exists, head) {
+                return t;
+            }
+        }
+    }
+
+    fn random_instance(r: &mut Lcg, schema: &qi_schema::Schema) -> Instance {
+        let mut i = Instance::new(schema.clone());
+        for _ in 0..4 {
+            let rel = schema.rel_ids().nth(r.next(schema.len())).unwrap();
+            let args: Vec<qi_schema::Value> = (0..schema.arity(rel))
+                .map(|_| qi_schema::Value::constant(&format!("c{}", r.next(3))))
+                .collect();
+            i.insert(rel, args).unwrap();
+        }
+        i
+    }
+}

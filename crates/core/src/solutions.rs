@@ -1,0 +1,109 @@
+//! Solution spaces and the equivalence relation `~M` (§3).
+//!
+//! For a mapping specified by s-t tgds, `J` is a solution for a ground
+//! instance `I` iff there is a homomorphism `chase_Σ(I) → J`. Hence
+//!
+//! * `Sol(M, I₂) ⊆ Sol(M, I₁)`  ⟺  there is a homomorphism
+//!   `chase_Σ(I₁) → chase_Σ(I₂)`, and
+//! * `I₁ ~M I₂` (Definition 3.1: equal solution spaces)  ⟺
+//!   `chase_Σ(I₁)` and `chase_Σ(I₂)` are homomorphically equivalent.
+//!
+//! Both directions: the chase result is itself a solution of its instance
+//! and maps into every solution; composing homomorphisms transfers
+//! membership between the two spaces.
+
+use crate::error::CoreError;
+use crate::mapping::SchemaMapping;
+use qi_schema::{has_hom, hom_equivalent, Instance};
+
+/// Does `Sol(M, inner) ⊆ Sol(M, outer)` hold?
+///
+/// Equivalently: is every target instance satisfying `Σ` with `inner`
+/// also a solution for `outer`? Decided via the homomorphism test
+/// `chase_Σ(outer) → chase_Σ(inner)`.
+pub fn solutions_subset(
+    m: &SchemaMapping,
+    inner: &Instance,
+    outer: &Instance,
+) -> Result<bool, CoreError> {
+    let chase_inner = m.chase(inner)?;
+    let chase_outer = m.chase(outer)?;
+    Ok(has_hom(&chase_outer, &chase_inner))
+}
+
+/// The equivalence relation `~M`: do `a` and `b` have the same space of
+/// solutions (Definition 3.1)?
+///
+/// ```
+/// use qi_core::{equivalent, SchemaMapping};
+/// use qi_schema::Instance;
+///
+/// // Projection: the second column is invisible to the solution space.
+/// let m = SchemaMapping::parse("P/2", "Q/1", &["P(x,y) -> Q(x)"]).unwrap();
+/// let a = Instance::parse(&m.source, "P(a,b)").unwrap();
+/// let b = Instance::parse(&m.source, "P(a,c)").unwrap();
+/// assert!(equivalent(&m, &a, &b).unwrap());
+/// ```
+pub fn equivalent(m: &SchemaMapping, a: &Instance, b: &Instance) -> Result<bool, CoreError> {
+    let ca = m.chase(a)?;
+    let cb = m.chase(b)?;
+    Ok(hom_equivalent(&ca, &cb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qi_chase::is_solution;
+
+    fn decomposition() -> SchemaMapping {
+        SchemaMapping::parse("P/3", "Q/2 R/2", &["P(x,y,z) -> Q(x,y) & R(y,z)"]).unwrap()
+    }
+
+    #[test]
+    fn example_3_10_equivalent_instances() {
+        // I1 = {(0,0,0),(0,0,1),(1,0,0)}; I2 = I1 ∪ {(1,0,1)}:
+        // the paper's witness that Decomposition lacks unique solutions.
+        let m = decomposition();
+        let i1 = Instance::parse(&m.source, "P(c0,c0,c0) P(c0,c0,c1) P(c1,c0,c0)").unwrap();
+        let i2 = i1
+            .union(&Instance::parse(&m.source, "P(c1,c0,c1)").unwrap())
+            .unwrap();
+        assert!(equivalent(&m, &i1, &i2).unwrap());
+        assert!(solutions_subset(&m, &i1, &i2).unwrap());
+        assert!(solutions_subset(&m, &i2, &i1).unwrap());
+    }
+
+    #[test]
+    fn subset_instances_have_superset_solutions() {
+        let m = decomposition();
+        let small = Instance::parse(&m.source, "P(a,b,c)").unwrap();
+        let big = Instance::parse(&m.source, "P(a,b,c) P(d,e,f)").unwrap();
+        // I1 ⊆ I2 ⇒ Sol(I2) ⊆ Sol(I1).
+        assert!(solutions_subset(&m, &big, &small).unwrap());
+        assert!(!solutions_subset(&m, &small, &big).unwrap());
+        assert!(!equivalent(&m, &small, &big).unwrap());
+    }
+
+    #[test]
+    fn solutions_subset_agrees_with_membership_sampling() {
+        let m = decomposition();
+        let i1 = Instance::parse(&m.source, "P(a,b,c)").unwrap();
+        let i2 = Instance::parse(&m.source, "P(a,b,c) P(a,b,d)").unwrap();
+        assert!(solutions_subset(&m, &i2, &i1).unwrap());
+        // Sample: every solution of i2 we try is a solution of i1.
+        let u2 = m.chase(&i2).unwrap();
+        assert!(is_solution(&m.tgds, &i1, &u2));
+    }
+
+    #[test]
+    fn equivalence_is_reflexive_and_symmetric() {
+        let m = decomposition();
+        let i = Instance::parse(&m.source, "P(a,b,c)").unwrap();
+        let j = Instance::parse(&m.source, "P(d,e,f)").unwrap();
+        assert!(equivalent(&m, &i, &i).unwrap());
+        assert_eq!(
+            equivalent(&m, &i, &j).unwrap(),
+            equivalent(&m, &j, &i).unwrap()
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Variables and atoms.
+
+use qi_schema::{RelId, Schema};
+use std::fmt;
+use std::sync::Arc;
+
+/// A first-order variable.
+///
+/// Cheap to clone (`Arc<str>` inside); ordered lexicographically by name,
+/// which gives dependency displays and the MinGen enumeration a
+/// deterministic order.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(Arc<str>);
+
+impl Var {
+    /// Create a variable with the given name.
+    pub fn new(name: &str) -> Self {
+        Var(Arc::from(name))
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Self {
+        Var::new(s)
+    }
+}
+
+/// An atom `R(v₁,…,v_m)` over a schema; every argument is a variable
+/// (the paper's dependencies contain no constants inside atoms).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Atom {
+    /// Relation symbol (relative to the schema the enclosing dependency
+    /// declares for this side).
+    pub rel: RelId,
+    /// Argument variables; length must equal the relation's arity.
+    pub args: Vec<Var>,
+}
+
+impl Atom {
+    /// Build an atom.
+    pub fn new(rel: RelId, args: Vec<Var>) -> Self {
+        Atom { rel, args }
+    }
+
+    /// Build an atom by relation name, resolving against `schema`.
+    pub fn parse_parts(schema: &Schema, rel: &str, args: &[&str]) -> Option<Atom> {
+        let rel = schema.rel(rel)?;
+        Some(Atom {
+            rel,
+            args: args.iter().map(|a| Var::new(a)).collect(),
+        })
+    }
+
+    /// The distinct variables of the atom, in first-occurrence order.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut out: Vec<Var> = Vec::new();
+        for v in &self.args {
+            if !out.contains(v) {
+                out.push(v.clone());
+            }
+        }
+        out
+    }
+
+    /// Render against a schema.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> AtomDisplay<'a> {
+        AtomDisplay { atom: self, schema }
+    }
+}
+
+/// `Display` helper carrying the schema for name resolution.
+pub struct AtomDisplay<'a> {
+    atom: &'a Atom,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for AtomDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.schema.name(self.atom.rel))?;
+        for (i, v) in self.atom.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Collect the distinct variables of a conjunction, first-occurrence order.
+pub fn vars_of(atoms: &[Atom]) -> Vec<Var> {
+    let mut out: Vec<Var> = Vec::new();
+    for a in atoms {
+        for v in &a.args {
+            if !out.contains(v) {
+                out.push(v.clone());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_identity() {
+        assert_eq!(Var::new("x"), Var::new("x"));
+        assert_ne!(Var::new("x"), Var::new("y"));
+        assert!(Var::new("a") < Var::new("b"));
+    }
+
+    #[test]
+    fn atom_vars_dedup_in_order() {
+        let s = Schema::parse("P/3").unwrap();
+        let a = Atom::parse_parts(&s, "P", &["y", "x", "y"]).unwrap();
+        assert_eq!(a.vars(), vec![Var::new("y"), Var::new("x")]);
+        assert_eq!(a.display(&s).to_string(), "P(y,x,y)");
+    }
+
+    #[test]
+    fn conjunction_vars() {
+        let s = Schema::parse("P/2 Q/1").unwrap();
+        let a = Atom::parse_parts(&s, "P", &["x", "y"]).unwrap();
+        let b = Atom::parse_parts(&s, "Q", &["x"]).unwrap();
+        assert_eq!(vars_of(&[a, b]), vec![Var::new("x"), Var::new("y")]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Canonical instances `I_α` with frozen variables (§4).
+//!
+//! "If α is a conjunction of atoms, define `I_α` to be an instance whose
+//! facts are the conjuncts of α. Note that `I_α` may not be an instance in
+//! the usual sense, because the active domain may include variables."
+//!
+//! We realize `I_α` by *freezing* each variable as a reserved constant
+//! (spelled `$frz_<name>`). Frozen constants behave exactly like the
+//! paper's variables-as-values: the chase treats them as ordinary
+//! constants, and the generator test (Definition 4.2) then asks for a
+//! homomorphism that fixes them. Constants beginning with `$` are reserved
+//! for this purpose; user data should not use them.
+
+use crate::atom::{Atom, Var};
+use qi_schema::{ConstId, Instance, Schema, Value};
+use std::collections::BTreeMap;
+
+/// A freezing of variables as reserved constants, with the reverse map.
+#[derive(Clone, Debug, Default)]
+pub struct FrozenVars {
+    fwd: BTreeMap<Var, ConstId>,
+    rev: BTreeMap<ConstId, Var>,
+}
+
+impl FrozenVars {
+    /// Freeze the given variables.
+    pub fn freeze(vars: impl IntoIterator<Item = Var>) -> Self {
+        let mut out = FrozenVars::default();
+        for v in vars {
+            out.add(v);
+        }
+        out
+    }
+
+    /// Freeze one more variable (idempotent).
+    pub fn add(&mut self, v: Var) -> ConstId {
+        if let Some(&c) = self.fwd.get(&v) {
+            return c;
+        }
+        let c = ConstId::new(&format!("$frz_{}", v.name()));
+        self.fwd.insert(v.clone(), c);
+        self.rev.insert(c, v);
+        c
+    }
+
+    /// The frozen constant of `v` as a [`Value`]; panics if `v` was not
+    /// frozen (internal misuse).
+    pub fn value(&self, v: &Var) -> Value {
+        Value::Const(
+            *self
+                .fwd
+                .get(v)
+                .unwrap_or_else(|| panic!("variable `{v}` was not frozen")),
+        )
+    }
+
+    /// The frozen constant of `v`, if frozen.
+    pub fn get(&self, v: &Var) -> Option<Value> {
+        self.fwd.get(v).map(|&c| Value::Const(c))
+    }
+
+    /// Reverse lookup: is `value` a frozen variable of this freezing?
+    pub fn unfreeze(&self, value: Value) -> Option<&Var> {
+        match value {
+            Value::Const(c) => self.rev.get(&c),
+            Value::Null(_) => None,
+        }
+    }
+
+    /// The frozen variables in order.
+    pub fn vars(&self) -> impl Iterator<Item = &Var> {
+        self.fwd.keys()
+    }
+}
+
+/// Build the canonical instance `I_α` of a conjunction over `schema`,
+/// freezing any variable not already frozen in `frozen`.
+pub fn canonical_instance(
+    schema: &Schema,
+    atoms: &[Atom],
+    frozen: &mut FrozenVars,
+) -> Instance {
+    let mut inst = Instance::new(schema.clone());
+    for atom in atoms {
+        let args: Vec<Value> = atom
+            .args
+            .iter()
+            .map(|v| Value::Const(frozen.add(v.clone())))
+            .collect();
+        inst.insert(atom.rel, args)
+            .expect("atom arity was validated at dependency construction");
+    }
+    inst
+}
+
+/// Map a frozen value back to a variable name when possible (display and
+/// the `Inverse` algorithm's null-to-variable conversion use this).
+pub fn thaw_value(frozen: &FrozenVars, value: Value) -> Result<Var, Value> {
+    frozen.unfreeze(value).cloned().ok_or(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freeze_and_thaw() {
+        let mut f = FrozenVars::freeze([Var::new("x"), Var::new("y")]);
+        let vx = f.value(&Var::new("x"));
+        assert!(vx.is_const());
+        assert_eq!(thaw_value(&f, vx).unwrap(), Var::new("x"));
+        assert_eq!(
+            thaw_value(&f, Value::constant("a")).unwrap_err(),
+            Value::constant("a")
+        );
+        // idempotent add
+        let again = f.add(Var::new("x"));
+        assert_eq!(Value::Const(again), vx);
+    }
+
+    #[test]
+    fn canonical_instance_of_conjunction() {
+        let s = Schema::parse("P/2 Q/1").unwrap();
+        let atoms = vec![
+            Atom::parse_parts(&s, "P", &["x", "y"]).unwrap(),
+            Atom::parse_parts(&s, "Q", &["x"]).unwrap(),
+        ];
+        let mut f = FrozenVars::default();
+        let inst = canonical_instance(&s, &atoms, &mut f);
+        assert_eq!(inst.fact_count(), 2);
+        assert!(inst.is_ground()); // frozen vars are constants
+        assert_eq!(f.vars().count(), 2);
+    }
+
+    #[test]
+    fn shared_freezing_identifies_variables() {
+        let s = Schema::parse("P/2").unwrap();
+        let a1 = vec![Atom::parse_parts(&s, "P", &["x", "y"]).unwrap()];
+        let a2 = vec![Atom::parse_parts(&s, "P", &["y", "x"]).unwrap()];
+        let mut f = FrozenVars::default();
+        let i1 = canonical_instance(&s, &a1, &mut f);
+        let i2 = canonical_instance(&s, &a2, &mut f);
+        // same frozen constants in swapped positions
+        let t1: Vec<_> = i1.facts().collect();
+        let t2: Vec<_> = i2.facts().collect();
+        assert_eq!(t1[0].args[0], t2[0].args[1]);
+        assert_eq!(t1[0].args[1], t2[0].args[0]);
+    }
+}

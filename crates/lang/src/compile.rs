@@ -1,0 +1,83 @@
+//! Compilation of atom conjunctions into the `qi-schema` pattern language.
+//!
+//! The chase, satisfaction checking, and the generator test all reduce to
+//! matching a conjunction of atoms against an instance; this module turns
+//! [`Atom`]s into [`PatFact`]s over a shared variable ordering.
+
+use crate::atom::{Atom, Var};
+use qi_schema::{PatFact, PatTerm, Pattern, VarIdx};
+
+/// Compile `atoms` into pattern facts over the variable ordering `vars`.
+///
+/// Variables not yet present in `vars` are appended, so several
+/// conjunctions (e.g. a premise and a conclusion) can be compiled against
+/// one ordering: compile the premise first, then the conclusion, and the
+/// premise's variables keep their indexes.
+pub fn compile_atoms(atoms: &[Atom], vars: &mut Vec<Var>) -> Vec<PatFact> {
+    atoms
+        .iter()
+        .map(|a| PatFact {
+            rel: a.rel,
+            args: a
+                .args
+                .iter()
+                .map(|v| {
+                    let idx = match vars.iter().position(|w| w == v) {
+                        Some(i) => i,
+                        None => {
+                            vars.push(v.clone());
+                            vars.len() - 1
+                        }
+                    };
+                    PatTerm::Var(idx as VarIdx)
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Compile a conjunction into a complete [`Pattern`] (fresh ordering).
+pub fn compile_pattern(atoms: &[Atom]) -> (Pattern, Vec<Var>) {
+    let mut vars = Vec::new();
+    let facts = compile_atoms(atoms, &mut vars);
+    (
+        Pattern {
+            facts,
+            nvars: vars.len(),
+        },
+        vars,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qi_schema::{Instance, MatchConstraints, MatchEngine, Schema};
+
+    #[test]
+    fn compile_shares_variable_indexes() {
+        let s = Schema::parse("P/2 Q/1").unwrap();
+        let a = Atom::parse_parts(&s, "P", &["x", "y"]).unwrap();
+        let b = Atom::parse_parts(&s, "Q", &["y"]).unwrap();
+        let mut vars = Vec::new();
+        let f1 = compile_atoms(&[a], &mut vars);
+        let f2 = compile_atoms(&[b], &mut vars);
+        assert_eq!(vars.len(), 2);
+        assert_eq!(f1[0].args[1], f2[0].args[0]);
+    }
+
+    #[test]
+    fn compiled_pattern_matches() {
+        let s = Schema::parse("P/2 Q/1").unwrap();
+        let atoms = vec![
+            Atom::parse_parts(&s, "P", &["x", "y"]).unwrap(),
+            Atom::parse_parts(&s, "Q", &["y"]).unwrap(),
+        ];
+        let (pattern, vars) = compile_pattern(&atoms);
+        assert_eq!(vars, vec![Var::new("x"), Var::new("y")]);
+        let inst = Instance::parse(&s, "P(a,b) P(a,c) Q(b)").unwrap();
+        let c = MatchConstraints::default();
+        let matches = MatchEngine::new(&pattern, &inst, &c).all();
+        assert_eq!(matches.len(), 1); // only y=b satisfies Q
+    }
+}

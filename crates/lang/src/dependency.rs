@@ -1,0 +1,591 @@
+//! Dependencies: s-t tgds and disjunctive tgds with constants and
+//! inequalities (Definition 2.1 of the paper).
+
+use crate::atom::{vars_of, Atom, Var};
+use crate::error::LangError;
+use qi_schema::Schema;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A source-to-target tuple-generating dependency
+/// `∀x (φ(x) → ∃y ψ(x,y))` (§2).
+///
+/// `body` is the conjunction `φ` of atoms over [`Tgd::source`]; `head` is
+/// the conjunction `ψ` of atoms over [`Tgd::target`]; `exists` is `y`.
+/// Construction enforces the paper's safety conditions: every head
+/// variable is either a body variable or existential, existential
+/// variables are fresh and used, and arities match the schemas.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Tgd {
+    /// Schema of the body atoms.
+    pub source: Schema,
+    /// Schema of the head atoms.
+    pub target: Schema,
+    /// Premise conjunction `φ(x)` (nonempty).
+    pub body: Vec<Atom>,
+    /// Existentially quantified head variables `y`.
+    pub exists: Vec<Var>,
+    /// Conclusion conjunction `ψ(x,y)` (nonempty).
+    pub head: Vec<Atom>,
+}
+
+fn check_atoms(schema: &Schema, atoms: &[Atom], side: &str) -> Result<(), LangError> {
+    for a in atoms {
+        if a.rel.index() >= schema.len() {
+            return Err(LangError::invalid(format!(
+                "{side} atom refers to relation outside its schema"
+            )));
+        }
+        let arity = schema.arity(a.rel);
+        if a.args.len() != arity {
+            return Err(LangError::invalid(format!(
+                "{side} atom over `{}` has {} arguments, arity is {arity}",
+                schema.name(a.rel),
+                a.args.len()
+            )));
+        }
+    }
+    Ok(())
+}
+
+impl Tgd {
+    /// Build and validate an s-t tgd.
+    pub fn new(
+        source: Schema,
+        target: Schema,
+        body: Vec<Atom>,
+        exists: Vec<Var>,
+        head: Vec<Atom>,
+    ) -> Result<Self, LangError> {
+        if body.is_empty() {
+            return Err(LangError::invalid("tgd body must be nonempty"));
+        }
+        if head.is_empty() {
+            return Err(LangError::invalid("tgd head must be nonempty"));
+        }
+        check_atoms(&source, &body, "body")?;
+        check_atoms(&target, &head, "head")?;
+        let body_vars: BTreeSet<&Var> = body.iter().flat_map(|a| a.args.iter()).collect();
+        let exists_set: BTreeSet<&Var> = exists.iter().collect();
+        if exists_set.len() != exists.len() {
+            return Err(LangError::invalid("repeated existential variable"));
+        }
+        if exists.iter().any(|v| body_vars.contains(v)) {
+            return Err(LangError::invalid(
+                "existential variable also occurs in the body",
+            ));
+        }
+        let head_vars: BTreeSet<&Var> = head.iter().flat_map(|a| a.args.iter()).collect();
+        for v in &head_vars {
+            if !body_vars.contains(*v) && !exists_set.contains(*v) {
+                return Err(LangError::invalid(format!(
+                    "head variable `{v}` is neither universal nor existential"
+                )));
+            }
+        }
+        for v in &exists {
+            if !head_vars.contains(v) {
+                return Err(LangError::invalid(format!(
+                    "existential variable `{v}` does not occur in the head"
+                )));
+            }
+        }
+        Ok(Tgd {
+            source,
+            target,
+            body,
+            exists,
+            head,
+        })
+    }
+
+    /// Distinct body variables (`x ∪ u` in the paper's notation),
+    /// first-occurrence order.
+    pub fn body_vars(&self) -> Vec<Var> {
+        vars_of(&self.body)
+    }
+
+    /// Distinct head variables, first-occurrence order (includes `exists`).
+    pub fn head_vars(&self) -> Vec<Var> {
+        vars_of(&self.head)
+    }
+
+    /// The *frontier* `x`: variables occurring in both body and head —
+    /// exactly "the variables that each appear in both the left-hand side
+    /// and the right-hand side" that §4's algorithms manipulate.
+    pub fn frontier(&self) -> Vec<Var> {
+        let head: BTreeSet<&Var> = self.head.iter().flat_map(|a| a.args.iter()).collect();
+        self.body_vars()
+            .into_iter()
+            .filter(|v| head.contains(v))
+            .collect()
+    }
+
+    /// *Full* tgd: no existential quantifiers (§3).
+    pub fn is_full(&self) -> bool {
+        self.exists.is_empty()
+    }
+
+    /// *LAV* tgd: the body is a single atom (§3, "local-as-view").
+    pub fn is_lav(&self) -> bool {
+        self.body.len() == 1
+    }
+
+    /// View this s-t tgd as a (degenerate) disjunctive tgd — used when the
+    /// two dependency classes flow through shared machinery.
+    pub fn to_disjunctive(&self) -> DisjTgd {
+        DisjTgd {
+            from: self.source.clone(),
+            to: self.target.clone(),
+            body: self.body.clone(),
+            constant: Vec::new(),
+            neq: Vec::new(),
+            disjuncts: vec![Disjunct {
+                exists: self.exists.clone(),
+                atoms: self.head.clone(),
+            }],
+        }
+    }
+}
+
+impl fmt::Display for Tgd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, " & ")?;
+            }
+            write!(f, "{}", a.display(&self.source))?;
+        }
+        write!(f, " -> ")?;
+        if !self.exists.is_empty() {
+            write!(f, "exists")?;
+            for v in &self.exists {
+                write!(f, " {v}")?;
+            }
+            write!(f, " . ")?;
+        }
+        for (i, a) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, " & ")?;
+            }
+            write!(f, "{}", a.display(&self.target))?;
+        }
+        Ok(())
+    }
+}
+
+/// One disjunct `∃yᵢ ψᵢ(xᵢ, yᵢ)` of a disjunctive tgd.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Disjunct {
+    /// Existentially quantified variables of this disjunct.
+    pub exists: Vec<Var>,
+    /// Conjunction of atoms over the dependency's `to` schema (nonempty).
+    pub atoms: Vec<Atom>,
+}
+
+impl Disjunct {
+    /// The distinct variables of the disjunct's atoms.
+    pub fn vars(&self) -> Vec<Var> {
+        vars_of(&self.atoms)
+    }
+}
+
+/// A disjunctive tgd with constants and inequalities (Definition 2.1):
+///
+/// `∀x ( φ(x) ∧ ⋀ Constant(xᵢ) ∧ ⋀ xᵢ ≠ xⱼ  →  ⋁ᵢ ∃yᵢ ψᵢ(x,yᵢ) )`
+///
+/// where `φ` is a conjunction of atoms over [`DisjTgd::from`] and each
+/// `ψᵢ` is a conjunction of atoms over [`DisjTgd::to`]. In the paper this
+/// class is used *target-to-source*, but the struct is direction-agnostic
+/// (the identity dependencies of §2 are also expressible).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DisjTgd {
+    /// Schema of the body atoms.
+    pub from: Schema,
+    /// Schema of the disjunct atoms.
+    pub to: Schema,
+    /// Premise atoms `φ(x)` (nonempty; every universal variable occurs here).
+    pub body: Vec<Atom>,
+    /// Variables under a `Constant(·)` guard.
+    pub constant: Vec<Var>,
+    /// Inequalities `xᵢ ≠ xⱼ`.
+    pub neq: Vec<(Var, Var)>,
+    /// The disjunction (nonempty).
+    pub disjuncts: Vec<Disjunct>,
+}
+
+impl DisjTgd {
+    /// Build and validate a disjunctive tgd with constants and inequalities.
+    pub fn new(
+        from: Schema,
+        to: Schema,
+        body: Vec<Atom>,
+        constant: Vec<Var>,
+        neq: Vec<(Var, Var)>,
+        disjuncts: Vec<Disjunct>,
+    ) -> Result<Self, LangError> {
+        if body.is_empty() {
+            return Err(LangError::invalid("disjunctive tgd body must be nonempty"));
+        }
+        if disjuncts.is_empty() {
+            return Err(LangError::invalid("disjunction must be nonempty"));
+        }
+        check_atoms(&from, &body, "body")?;
+        let body_vars: BTreeSet<&Var> = body.iter().flat_map(|a| a.args.iter()).collect();
+        for v in &constant {
+            if !body_vars.contains(v) {
+                return Err(LangError::invalid(format!(
+                    "Constant({v}) guards a variable not occurring in a body atom"
+                )));
+            }
+        }
+        for (a, b) in &neq {
+            if a == b {
+                return Err(LangError::invalid(format!("trivial inequality {a} != {b}")));
+            }
+            if !body_vars.contains(a) || !body_vars.contains(b) {
+                return Err(LangError::invalid(format!(
+                    "inequality {a} != {b} mentions a variable not in a body atom"
+                )));
+            }
+        }
+        for d in &disjuncts {
+            if d.atoms.is_empty() {
+                return Err(LangError::invalid("empty disjunct"));
+            }
+            check_atoms(&to, &d.atoms, "disjunct")?;
+            let ex: BTreeSet<&Var> = d.exists.iter().collect();
+            if ex.len() != d.exists.len() {
+                return Err(LangError::invalid("repeated existential variable"));
+            }
+            if d.exists.iter().any(|v| body_vars.contains(v)) {
+                return Err(LangError::invalid(
+                    "existential variable also occurs in the body",
+                ));
+            }
+            let dvars: BTreeSet<&Var> = d.atoms.iter().flat_map(|a| a.args.iter()).collect();
+            for v in &dvars {
+                if !body_vars.contains(*v) && !ex.contains(*v) {
+                    return Err(LangError::invalid(format!(
+                        "disjunct variable `{v}` is neither universal nor existential"
+                    )));
+                }
+            }
+            for v in &d.exists {
+                if !dvars.contains(v) {
+                    return Err(LangError::invalid(format!(
+                        "existential variable `{v}` does not occur in its disjunct"
+                    )));
+                }
+            }
+        }
+        Ok(DisjTgd {
+            from,
+            to,
+            body,
+            constant,
+            neq,
+            disjuncts,
+        })
+    }
+
+    /// Distinct body variables, first-occurrence order.
+    pub fn body_vars(&self) -> Vec<Var> {
+        vars_of(&self.body)
+    }
+
+    /// More than one disjunct?
+    pub fn has_disjunction(&self) -> bool {
+        self.disjuncts.len() > 1
+    }
+
+    /// Uses the `Constant` predicate?
+    pub fn has_constants(&self) -> bool {
+        !self.constant.is_empty()
+    }
+
+    /// Uses inequalities?
+    pub fn has_inequalities(&self) -> bool {
+        !self.neq.is_empty()
+    }
+
+    /// Uses existential quantifiers in some disjunct?
+    pub fn has_existentials(&self) -> bool {
+        self.disjuncts.iter().any(|d| !d.exists.is_empty())
+    }
+
+    /// *Full* disjunctive tgd: no existential quantifiers (Theorem 4.11).
+    pub fn is_full(&self) -> bool {
+        !self.has_existentials()
+    }
+
+    /// Definition 2.1(2): every inequality `x ≠ x'` is accompanied by
+    /// `Constant(x)` and `Constant(x')` — "inequalities among constants",
+    /// the sub-language Theorems 6.7/6.8 and the paper's algorithms
+    /// actually produce.
+    pub fn inequalities_among_constants(&self) -> bool {
+        self.neq
+            .iter()
+            .all(|(a, b)| self.constant.contains(a) && self.constant.contains(b))
+    }
+
+    /// A plain tgd in disguise (single disjunct, no guards)?
+    pub fn is_plain_tgd(&self) -> bool {
+        !self.has_disjunction() && !self.has_constants() && !self.has_inequalities()
+    }
+
+    /// Convert to a plain [`Tgd`] when possible (used to feed the standard
+    /// chase with identity-style dependencies).
+    pub fn as_plain_tgd(&self) -> Option<Tgd> {
+        if !self.is_plain_tgd() {
+            return None;
+        }
+        let d = &self.disjuncts[0];
+        Tgd::new(
+            self.from.clone(),
+            self.to.clone(),
+            self.body.clone(),
+            d.exists.clone(),
+            d.atoms.clone(),
+        )
+        .ok()
+    }
+}
+
+impl fmt::Display for DisjTgd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for a in &self.body {
+            if !first {
+                write!(f, " & ")?;
+            }
+            first = false;
+            write!(f, "{}", a.display(&self.from))?;
+        }
+        for v in &self.constant {
+            write!(f, " & const({v})")?;
+        }
+        for (a, b) in &self.neq {
+            write!(f, " & {a} != {b}")?;
+        }
+        write!(f, " -> ")?;
+        for (i, d) in self.disjuncts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            if !d.exists.is_empty() {
+                write!(f, "exists")?;
+                for v in &d.exists {
+                    write!(f, " {v}")?;
+                }
+                write!(f, " . ")?;
+            }
+            for (j, a) in d.atoms.iter().enumerate() {
+                if j > 0 {
+                    write!(f, " & ")?;
+                }
+                write!(f, "{}", a.display(&self.to))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An equality-generating dependency `∀x (φ(x) → x₁ = x₂ ∧ …)` over one
+/// schema.
+///
+/// Egds are the second dependency class of the classical data-exchange
+/// setting (the paper's reference \[4\]): together with target tgds they
+/// constrain the *target* schema, and the chase resolves their violations
+/// by equating values (failing when two distinct constants must be
+/// equal). The quasi-inverse results themselves are about plain s-t tgd
+/// mappings; egds are provided as part of the data-exchange substrate.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Egd {
+    /// The schema the premise is over.
+    pub schema: Schema,
+    /// Premise conjunction (nonempty).
+    pub body: Vec<Atom>,
+    /// Equalities demanded by the conclusion (nonempty; both sides occur
+    /// in the premise).
+    pub equalities: Vec<(Var, Var)>,
+}
+
+impl Egd {
+    /// Build and validate an egd.
+    pub fn new(
+        schema: Schema,
+        body: Vec<Atom>,
+        equalities: Vec<(Var, Var)>,
+    ) -> Result<Self, LangError> {
+        if body.is_empty() {
+            return Err(LangError::invalid("egd body must be nonempty"));
+        }
+        if equalities.is_empty() {
+            return Err(LangError::invalid("egd must demand at least one equality"));
+        }
+        check_atoms(&schema, &body, "body")?;
+        let body_vars: BTreeSet<&Var> = body.iter().flat_map(|a| a.args.iter()).collect();
+        for (a, b) in &equalities {
+            if a == b {
+                return Err(LangError::invalid(format!("trivial equality {a} = {b}")));
+            }
+            if !body_vars.contains(a) || !body_vars.contains(b) {
+                return Err(LangError::invalid(format!(
+                    "equality {a} = {b} mentions a variable not in the body"
+                )));
+            }
+        }
+        Ok(Egd {
+            schema,
+            body,
+            equalities,
+        })
+    }
+}
+
+impl fmt::Display for Egd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, " & ")?;
+            }
+            write!(f, "{}", a.display(&self.schema))?;
+        }
+        write!(f, " -> ")?;
+        for (i, (a, b)) in self.equalities.iter().enumerate() {
+            if i > 0 {
+                write!(f, " & ")?;
+            }
+            write!(f, "{a} = {b}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_disj_tgd, parse_egd, parse_tgd};
+
+    fn schemas() -> (Schema, Schema) {
+        (
+            Schema::parse("P/3 U/1").unwrap(),
+            Schema::parse("S/3 Q/2").unwrap(),
+        )
+    }
+
+    #[test]
+    fn tgd_classification() {
+        let (s, t) = schemas();
+        let lav = parse_tgd(&s, &t, "P(x,y,z) -> Q(x,y)").unwrap();
+        assert!(lav.is_lav() && lav.is_full());
+        let gav = parse_tgd(&s, &t, "P(x,y,z) & U(x) -> exists w . S(x,y,w)").unwrap();
+        assert!(!gav.is_lav() && !gav.is_full());
+        assert_eq!(
+            gav.frontier(),
+            vec![Var::new("x"), Var::new("y")]
+        );
+    }
+
+    #[test]
+    fn tgd_safety_violations() {
+        let (s, t) = schemas();
+        // head var not bound
+        assert!(parse_tgd(&s, &t, "P(x,y,z) -> Q(x,w)").is_err());
+        // existential also universal
+        assert!(parse_tgd(&s, &t, "P(x,y,z) -> exists x . Q(x,y)").is_err());
+        // unused existential
+        assert!(parse_tgd(&s, &t, "P(x,y,z) -> exists w . Q(x,y)").is_err());
+        // arity
+        assert!(parse_tgd(&s, &t, "P(x,y) -> Q(x,y)").is_err());
+    }
+
+    #[test]
+    fn disj_tgd_classification() {
+        let (s, t) = schemas();
+        let d = parse_disj_tgd(
+            &t,
+            &s,
+            "Q(x,y) & const(x) & x != y -> P(x,y,y) | exists w . P(x,x,w) & U(w)",
+        )
+        .unwrap();
+        assert!(d.has_disjunction());
+        assert!(d.has_constants());
+        assert!(d.has_inequalities());
+        assert!(d.has_existentials());
+        assert!(!d.is_full());
+        assert!(!d.inequalities_among_constants()); // y is not guarded
+        assert!(d.as_plain_tgd().is_none());
+    }
+
+    #[test]
+    fn inequalities_among_constants_detected() {
+        let (s, t) = schemas();
+        let d =
+            parse_disj_tgd(&t, &s, "Q(x,y) & const(x) & const(y) & x != y -> P(x,y,y)").unwrap();
+        assert!(d.inequalities_among_constants());
+        assert!(!d.has_disjunction());
+    }
+
+    #[test]
+    fn plain_tgd_roundtrip() {
+        let (s, t) = schemas();
+        let d = parse_disj_tgd(&t, &s, "Q(x,y) -> exists z . P(x,y,z)").unwrap();
+        assert!(d.is_plain_tgd());
+        let tgd = d.as_plain_tgd().unwrap();
+        assert_eq!(tgd.to_disjunctive(), d);
+    }
+
+    #[test]
+    fn disj_tgd_safety_violations() {
+        let (s, t) = schemas();
+        // const guard on variable absent from body atoms
+        assert!(parse_disj_tgd(&t, &s, "Q(x,y) & const(z) -> P(x,y,y)").is_err());
+        // inequality with unbound variable
+        assert!(parse_disj_tgd(&t, &s, "Q(x,y) & x != z -> P(x,y,y)").is_err());
+        // trivial inequality
+        assert!(parse_disj_tgd(&t, &s, "Q(x,y) & x != x -> P(x,y,y)").is_err());
+        // disjunct var unbound
+        assert!(parse_disj_tgd(&t, &s, "Q(x,y) -> P(x,y,w)").is_err());
+    }
+
+    #[test]
+    fn egd_construction_and_display() {
+        let s = Schema::parse("E/2").unwrap();
+        let e = parse_egd(&s, "E(x,y) & E(x,z) -> y = z").unwrap();
+        assert_eq!(e.body.len(), 2);
+        assert_eq!(e.equalities.len(), 1);
+        assert_eq!(e.to_string(), "E(x,y) & E(x,z) -> y = z");
+        let back = parse_egd(&s, &e.to_string()).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn egd_safety_violations() {
+        let s = Schema::parse("E/2").unwrap();
+        assert!(parse_egd(&s, "E(x,y) -> x = x").is_err());
+        assert!(parse_egd(&s, "E(x,y) -> y = w").is_err());
+        assert!(parse_egd(&s, "E(x,y) -> E(x,y)").is_err());
+    }
+
+    #[test]
+    fn display_examples_match_paper_shape() {
+        let (s, t) = schemas();
+        let gav = parse_tgd(&s, &t, "P(x,y,z) & U(x) -> exists w . S(x,y,w)").unwrap();
+        assert_eq!(
+            gav.to_string(),
+            "P(x,y,z) & U(x) -> exists w . S(x,y,w)"
+        );
+        let d = parse_disj_tgd(
+            &t,
+            &s,
+            "Q(x,y) & const(x) & x != y -> P(x,y,y) | exists w . P(x,x,w)",
+        )
+        .unwrap();
+        assert_eq!(
+            d.to_string(),
+            "Q(x,y) & const(x) & x != y -> P(x,y,y) | exists w . P(x,x,w)"
+        );
+    }
+}

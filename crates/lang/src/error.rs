@@ -1,0 +1,33 @@
+//! Errors of the dependency language.
+
+use std::fmt;
+
+/// Errors raised by dependency construction and parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LangError {
+    /// Construction-time validation failure (safety conditions, arities).
+    Invalid(String),
+    /// Textual parse failure.
+    Parse(String),
+}
+
+impl LangError {
+    pub(crate) fn invalid(msg: impl Into<String>) -> Self {
+        LangError::Invalid(msg.into())
+    }
+
+    pub(crate) fn parse(msg: impl Into<String>) -> Self {
+        LangError::Parse(msg.into())
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Invalid(m) => write!(f, "invalid dependency: {m}"),
+            LangError::Parse(m) => write!(f, "parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}

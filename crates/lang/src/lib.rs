@@ -1,0 +1,63 @@
+//! # qi-lang — the dependency language of the paper
+//!
+//! This crate implements the logical languages of *Quasi-inverses of
+//! Schema Mappings* (PODS 2007):
+//!
+//! * **source-to-target tuple-generating dependencies** (s-t tgds),
+//!   `∀x (φ(x) → ∃y ψ(x,y))` — [`Tgd`] — with the *full* and *LAV*
+//!   special cases the paper's theorems distinguish;
+//! * **disjunctive tgds with constants and inequalities** (Definition 2.1)
+//!   — [`DisjTgd`] — the language required to express quasi-inverses,
+//!   including the sub-languages the paper proves optimal: tgds with
+//!   constants and inequalities (single disjunct), disjunctive tgds with
+//!   inequalities (no `Constant`), full disjunctive tgds (no
+//!   existentials), and "inequalities among constants";
+//! * a round-trippable **text syntax** ([`parser`], mirrored by the
+//!   `Display` impls) used pervasively by the tests, examples and
+//!   benchmarks;
+//! * **complete descriptions** of variable vectors (§4) as set
+//!   partitions, and the prime-atom enumeration of §5 ([`partition`]);
+//! * compilation of conjunctions of atoms into the pattern language of
+//!   `qi-schema` ([`compile`]) and **canonical instances** `I_α` with
+//!   frozen variables ([`canonical`]), the chase-based implication test's
+//!   raw material.
+//!
+//! ## Text syntax
+//!
+//! ```text
+//! tgd        :=  conj "->" [ "exists" var+ "." ] atoms
+//! disj-tgd   :=  conj "->" disjunct ("|" disjunct)*
+//! disjunct   :=  [ "exists" var+ "." ] atoms
+//! conj       :=  lit (("&" | ",") lit)*
+//! lit        :=  atom | "const" "(" var ")" | var "!=" var
+//! atom       :=  RELNAME "(" var ("," var)* ")"
+//! ```
+//!
+//! All identifiers inside dependency atoms are **variables** — the paper's
+//! dependencies never mention constants by name; constants enter only
+//! through the `Constant(x)` predicate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atom;
+pub mod canonical;
+pub mod compile;
+pub mod dependency;
+pub mod error;
+pub mod parser;
+pub mod partition;
+pub mod query;
+pub mod sotgd;
+pub mod substitution;
+
+pub use atom::{Atom, Var};
+pub use canonical::{canonical_instance, thaw_value, FrozenVars};
+pub use compile::compile_atoms;
+pub use dependency::{Disjunct, DisjTgd, Egd, Tgd};
+pub use error::LangError;
+pub use parser::{parse_disj_tgd, parse_egd, parse_tgd};
+pub use partition::{restricted_growth_strings, Partition};
+pub use query::ConjunctiveQuery;
+pub use sotgd::{skolemize, SkFun, SkTerm, SoAtom, SoClause, SoTgd};
+pub use substitution::VarGen;

@@ -1,0 +1,446 @@
+//! Recursive-descent parser for the textual dependency syntax.
+//!
+//! See the crate docs for the grammar. The parser is the inverse of the
+//! `Display` impls on [`Tgd`] and [`DisjTgd`] (round-trip property tested
+//! in the integration suite).
+
+use crate::atom::{Atom, Var};
+use crate::dependency::{Disjunct, DisjTgd, Egd, Tgd};
+use crate::error::LangError;
+use qi_schema::Schema;
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Ident(String),
+    LParen,
+    RParen,
+    Comma,
+    Amp,
+    Pipe,
+    Arrow,
+    Neq,
+    Eq,
+    Dot,
+}
+
+fn lex(text: &str) -> Result<Vec<Tok>, LangError> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            '&' => {
+                out.push(Tok::Amp);
+                i += 1;
+            }
+            '|' => {
+                out.push(Tok::Pipe);
+                i += 1;
+            }
+            '.' => {
+                out.push(Tok::Dot);
+                i += 1;
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Tok::Arrow);
+                    i += 2;
+                } else {
+                    return Err(LangError::parse(format!("stray `-` at byte {i}")));
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Tok::Neq);
+                    i += 2;
+                } else {
+                    return Err(LangError::parse(format!("stray `!` at byte {i}")));
+                }
+            }
+            '=' => {
+                out.push(Tok::Eq);
+                i += 1;
+            }
+            c if c.is_ascii_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '\'' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok::Ident(text[start..i].to_owned()));
+            }
+            other => {
+                return Err(LangError::parse(format!(
+                    "unexpected character `{other}` at byte {i}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+/// A parsed premise literal.
+enum Lit {
+    Atom(String, Vec<String>),
+    Const(String),
+    Neq(String, String),
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<(), LangError> {
+        match self.next() {
+            Some(t) if t == tok => Ok(()),
+            other => Err(LangError::parse(format!(
+                "expected {what}, got {other:?}"
+            ))),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, LangError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(LangError::parse(format!(
+                "expected {what}, got {other:?}"
+            ))),
+        }
+    }
+
+    /// `name ( v, v, … )` — name already consumed.
+    fn atom_tail(&mut self, name: String) -> Result<Lit, LangError> {
+        self.expect(Tok::LParen, "`(`")?;
+        let mut args = Vec::new();
+        loop {
+            args.push(self.ident("variable")?);
+            match self.next() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::RParen) => break,
+                other => {
+                    return Err(LangError::parse(format!(
+                        "expected `,` or `)`, got {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(Lit::Atom(name, args))
+    }
+
+    fn literal(&mut self) -> Result<Lit, LangError> {
+        let name = self.ident("relation, `const`, or variable")?;
+        match self.peek() {
+            Some(Tok::LParen) => {
+                if name == "const" || name == "constant" || name == "Constant" {
+                    self.expect(Tok::LParen, "`(`")?;
+                    let v = self.ident("variable")?;
+                    self.expect(Tok::RParen, "`)`")?;
+                    Ok(Lit::Const(v))
+                } else {
+                    self.atom_tail(name)
+                }
+            }
+            Some(Tok::Neq) => {
+                self.next();
+                let rhs = self.ident("variable")?;
+                Ok(Lit::Neq(name, rhs))
+            }
+            other => Err(LangError::parse(format!(
+                "expected `(` or `!=` after `{name}`, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Conjunction of literals until a token outside the conjunction.
+    fn conjunction(&mut self) -> Result<Vec<Lit>, LangError> {
+        let mut lits = vec![self.literal()?];
+        while matches!(self.peek(), Some(Tok::Amp) | Some(Tok::Comma)) {
+            self.next();
+            lits.push(self.literal()?);
+        }
+        Ok(lits)
+    }
+
+    /// `[ exists v+ . ] atoms`
+    fn disjunct(&mut self) -> Result<(Vec<String>, Vec<Lit>), LangError> {
+        let mut exists = Vec::new();
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == "exists") {
+            self.next();
+            loop {
+                match self.next() {
+                    Some(Tok::Ident(v)) => exists.push(v),
+                    Some(Tok::Dot) => break,
+                    other => {
+                        return Err(LangError::parse(format!(
+                            "expected variable or `.`, got {other:?}"
+                        )))
+                    }
+                }
+            }
+            if exists.is_empty() {
+                return Err(LangError::parse("`exists` with no variables"));
+            }
+        }
+        Ok((exists, self.conjunction()?))
+    }
+
+    fn at_end(&self) -> Result<(), LangError> {
+        match self.peek() {
+            None => Ok(()),
+            Some(t) => Err(LangError::parse(format!("trailing input at {t:?}"))),
+        }
+    }
+}
+
+fn resolve_atoms(schema: &Schema, lits: Vec<Lit>, side: &str) -> Result<Vec<Atom>, LangError> {
+    let mut atoms = Vec::new();
+    for lit in lits {
+        match lit {
+            Lit::Atom(name, args) => {
+                let rel = schema
+                    .rel(&name)
+                    .ok_or_else(|| LangError::parse(format!("unknown {side} relation `{name}`")))?;
+                atoms.push(Atom::new(rel, args.iter().map(|a| Var::new(a)).collect()));
+            }
+            Lit::Const(v) => {
+                return Err(LangError::parse(format!(
+                    "`const({v})` is not allowed in this position"
+                )))
+            }
+            Lit::Neq(a, b) => {
+                return Err(LangError::parse(format!(
+                    "inequality `{a} != {b}` is not allowed in this position"
+                )))
+            }
+        }
+    }
+    Ok(atoms)
+}
+
+/// Parse a (plain) s-t tgd such as
+/// `P(x,y,z) -> exists w . Q(x,y) & R(y,w)`.
+///
+/// ```
+/// use qi_lang::parse_tgd;
+/// use qi_schema::Schema;
+///
+/// let s = Schema::parse("P/3").unwrap();
+/// let t = Schema::parse("Q/2 R/2").unwrap();
+/// let tgd = parse_tgd(&s, &t, "P(x,y,z) -> Q(x,y) & R(y,z)").unwrap();
+/// assert!(tgd.is_lav() && tgd.is_full());
+/// assert_eq!(tgd.to_string(), "P(x,y,z) -> Q(x,y) & R(y,z)");
+/// ```
+pub fn parse_tgd(source: &Schema, target: &Schema, text: &str) -> Result<Tgd, LangError> {
+    let mut p = Parser {
+        toks: lex(text)?,
+        pos: 0,
+    };
+    let body = p.conjunction()?;
+    p.expect(Tok::Arrow, "`->`")?;
+    let (exists, head) = p.disjunct()?;
+    if matches!(p.peek(), Some(Tok::Pipe)) {
+        return Err(LangError::parse(
+            "disjunction is not allowed in an s-t tgd (use parse_disj_tgd)",
+        ));
+    }
+    p.at_end()?;
+    let body = resolve_atoms(source, body, "source")?;
+    let head = resolve_atoms(target, head, "target")?;
+    Tgd::new(
+        source.clone(),
+        target.clone(),
+        body,
+        exists.iter().map(|v| Var::new(v)).collect(),
+        head,
+    )
+}
+
+/// Parse a disjunctive tgd with constants and inequalities such as
+/// `S(x,y) & const(x) & x != y -> P(x) | exists z . R(x,z)`.
+pub fn parse_disj_tgd(from: &Schema, to: &Schema, text: &str) -> Result<DisjTgd, LangError> {
+    let mut p = Parser {
+        toks: lex(text)?,
+        pos: 0,
+    };
+    let lits = p.conjunction()?;
+    p.expect(Tok::Arrow, "`->`")?;
+    let mut disjuncts = Vec::new();
+    loop {
+        let (exists, atoms) = p.disjunct()?;
+        disjuncts.push(Disjunct {
+            exists: exists.iter().map(|v| Var::new(v)).collect(),
+            atoms: resolve_atoms(to, atoms, "rhs")?,
+        });
+        match p.peek() {
+            Some(Tok::Pipe) => {
+                p.next();
+            }
+            _ => break,
+        }
+    }
+    p.at_end()?;
+    let mut body = Vec::new();
+    let mut constant = Vec::new();
+    let mut neq = Vec::new();
+    for lit in lits {
+        match lit {
+            Lit::Atom(name, args) => {
+                let rel = from
+                    .rel(&name)
+                    .ok_or_else(|| LangError::parse(format!("unknown relation `{name}`")))?;
+                body.push(Atom::new(rel, args.iter().map(|a| Var::new(a)).collect()));
+            }
+            Lit::Const(v) => constant.push(Var::new(&v)),
+            Lit::Neq(a, b) => neq.push((Var::new(&a), Var::new(&b))),
+        }
+    }
+    DisjTgd::new(from.clone(), to.clone(), body, constant, neq, disjuncts)
+}
+
+/// Parse an equality-generating dependency such as
+/// `E(x,y) & E(x,z) -> y = z`.
+pub fn parse_egd(schema: &Schema, text: &str) -> Result<Egd, LangError> {
+    let mut p = Parser {
+        toks: lex(text)?,
+        pos: 0,
+    };
+    let body = p.conjunction()?;
+    p.expect(Tok::Arrow, "`->`")?;
+    let mut equalities = Vec::new();
+    loop {
+        let a = p.ident("variable")?;
+        p.expect(Tok::Eq, "`=`")?;
+        let b = p.ident("variable")?;
+        equalities.push((Var::new(&a), Var::new(&b)));
+        match p.peek() {
+            Some(Tok::Amp) | Some(Tok::Comma) => {
+                p.next();
+            }
+            _ => break,
+        }
+    }
+    p.at_end()?;
+    let body = resolve_atoms(schema, body, "egd")?;
+    Egd::new(schema.clone(), body, equalities)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schemas() -> (Schema, Schema) {
+        (
+            Schema::parse("P/2 T/1").unwrap(),
+            Schema::parse("Q/2 S/1").unwrap(),
+        )
+    }
+
+    #[test]
+    fn parse_projection_and_roundtrip() {
+        let (s, t) = schemas();
+        let tgd = parse_tgd(&s, &t, "P(x,y) -> S(x)").unwrap();
+        assert_eq!(tgd.to_string(), "P(x,y) -> S(x)");
+        let back = parse_tgd(&s, &t, &tgd.to_string()).unwrap();
+        assert_eq!(tgd, back);
+    }
+
+    #[test]
+    fn parse_exists_block() {
+        let (s, t) = schemas();
+        let tgd = parse_tgd(&s, &t, "P(x,y) -> exists z w . Q(x,z) & Q(z,w)").unwrap();
+        assert_eq!(tgd.exists.len(), 2);
+        assert_eq!(tgd.head.len(), 2);
+        let back = parse_tgd(&s, &t, &tgd.to_string()).unwrap();
+        assert_eq!(tgd, back);
+    }
+
+    #[test]
+    fn comma_is_a_conjunction() {
+        let (s, t) = schemas();
+        let a = parse_tgd(&s, &t, "P(x,y), T(x) -> S(x)").unwrap();
+        let b = parse_tgd(&s, &t, "P(x,y) & T(x) -> S(x)").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parse_disjunctive_with_guards() {
+        let (s, t) = schemas();
+        let d = parse_disj_tgd(
+            &t,
+            &s,
+            "Q(x,z) & Q(z,y) & const(x) & const(y) & x != y -> P(x,y) | exists u . P(x,u) & T(u)",
+        )
+        .unwrap();
+        assert_eq!(d.body.len(), 2);
+        assert_eq!(d.constant.len(), 2);
+        assert_eq!(d.neq.len(), 1);
+        assert_eq!(d.disjuncts.len(), 2);
+        let back = parse_disj_tgd(&t, &s, &d.to_string()).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn tgd_rejects_disjunction_and_guards() {
+        let (s, t) = schemas();
+        assert!(parse_tgd(&s, &t, "P(x,y) -> S(x) | S(y)").is_err());
+        assert!(parse_tgd(&s, &t, "P(x,y) & const(x) -> S(x)").is_err());
+        assert!(parse_tgd(&s, &t, "P(x,y) & x != y -> S(x)").is_err());
+    }
+
+    #[test]
+    fn lex_errors_are_reported() {
+        let (s, t) = schemas();
+        assert!(parse_tgd(&s, &t, "P(x,y) -> S(x) %").is_err());
+        assert!(parse_tgd(&s, &t, "P(x,y) - S(x)").is_err());
+        assert!(parse_tgd(&s, &t, "P(x,y) ! S(x)").is_err());
+        assert!(parse_tgd(&s, &t, "").is_err());
+    }
+
+    #[test]
+    fn unknown_relation_is_reported() {
+        let (s, t) = schemas();
+        let err = parse_tgd(&s, &t, "Z(x) -> S(x)").unwrap_err();
+        assert!(err.to_string().contains("Z"));
+    }
+
+    #[test]
+    fn constant_spelling_variants() {
+        let (s, t) = schemas();
+        for kw in ["const", "constant", "Constant"] {
+            let d = parse_disj_tgd(&t, &s, &format!("Q(x,y) & {kw}(x) -> P(x,y)")).unwrap();
+            assert!(d.has_constants());
+        }
+    }
+}

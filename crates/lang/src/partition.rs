@@ -1,0 +1,189 @@
+//! Set partitions: *complete descriptions* (§4) and prime atoms (§5).
+//!
+//! A *complete description* `δ(x)` of a variable vector is a consistent,
+//! complete specification of which variables are equal — i.e. a set
+//! partition of the vector. The paper's `Σ*` construction enumerates all
+//! complete descriptions of a tgd's frontier; the `Inverse` algorithm
+//! enumerates *prime atoms*, which are exactly the restricted-growth
+//! strings over an atom's positions.
+
+use crate::atom::Var;
+use std::collections::BTreeMap;
+
+/// A set partition of `{0, …, n−1}` in restricted-growth form:
+/// `block[i]` is the block index of element `i`, blocks numbered in order
+/// of first appearance (`block[0] == 0`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Partition {
+    block: Vec<usize>,
+}
+
+impl Partition {
+    /// Wrap a restricted-growth string; panics in debug builds if it is
+    /// not one (internal constructor; use [`restricted_growth_strings`]).
+    pub fn new(block: Vec<usize>) -> Self {
+        debug_assert!(is_rgs(&block), "not a restricted-growth string");
+        Partition { block }
+    }
+
+    /// The identity (all-distinct) partition of size `n`.
+    pub fn discrete(n: usize) -> Self {
+        Partition {
+            block: (0..n).collect(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.block.len()
+    }
+
+    /// True for the empty partition.
+    pub fn is_empty(&self) -> bool {
+        self.block.is_empty()
+    }
+
+    /// Number of blocks (equivalence classes).
+    pub fn num_blocks(&self) -> usize {
+        self.block.iter().copied().max().map_or(0, |m| m + 1)
+    }
+
+    /// Block index of element `i`.
+    pub fn block_of(&self, i: usize) -> usize {
+        self.block[i]
+    }
+
+    /// Are all elements in distinct blocks?
+    pub fn is_discrete(&self) -> bool {
+        self.block.iter().enumerate().all(|(i, &b)| i == b)
+    }
+
+    /// Map each variable of `vars` to the representative of its block —
+    /// the block's first variable, matching the paper's "select a unique
+    /// representative of each equivalence class determined by δ".
+    pub fn representative_map(&self, vars: &[Var]) -> BTreeMap<Var, Var> {
+        assert_eq!(vars.len(), self.block.len(), "partition/vector length mismatch");
+        let mut first_of_block: Vec<Option<&Var>> = vec![None; self.num_blocks()];
+        for (i, v) in vars.iter().enumerate() {
+            let b = self.block[i];
+            if first_of_block[b].is_none() {
+                first_of_block[b] = Some(v);
+            }
+        }
+        vars.iter()
+            .enumerate()
+            .map(|(i, v)| {
+                (
+                    v.clone(),
+                    first_of_block[self.block[i]]
+                        .expect("block with no representative")
+                        .clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// The underlying restricted-growth string.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.block
+    }
+}
+
+fn is_rgs(block: &[usize]) -> bool {
+    let mut max = 0usize;
+    for (i, &b) in block.iter().enumerate() {
+        if i == 0 {
+            if b != 0 {
+                return false;
+            }
+        } else if b > max + 1 {
+            return false;
+        }
+        max = max.max(b);
+    }
+    true
+}
+
+/// All set partitions of `{0,…,n−1}` as restricted-growth strings, in
+/// lexicographic order. `n = 0` yields the single empty partition.
+///
+/// The count is the Bell number `B(n)` — the source of the exponential
+/// factor in the paper's `QuasiInverse` (complete descriptions, §4) and
+/// `Inverse` (prime atoms in lexicographic order, Step 2 of §5).
+pub fn restricted_growth_strings(n: usize) -> Vec<Partition> {
+    let mut out = Vec::new();
+    let mut current = vec![0usize; n];
+    fn rec(current: &mut Vec<usize>, i: usize, max: usize, out: &mut Vec<Partition>) {
+        let n = current.len();
+        if i == n {
+            out.push(Partition {
+                block: current.clone(),
+            });
+            return;
+        }
+        for b in 0..=max + 1 {
+            current[i] = b;
+            rec(current, i + 1, max.max(b), out);
+        }
+    }
+    if n == 0 {
+        out.push(Partition { block: vec![] });
+    } else {
+        // First element is always block 0.
+        rec(&mut current, 1, 0, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bell_numbers() {
+        for (n, bell) in [(0usize, 1usize), (1, 1), (2, 2), (3, 5), (4, 15), (5, 52)] {
+            assert_eq!(restricted_growth_strings(n).len(), bell, "B({n})");
+        }
+    }
+
+    #[test]
+    fn partitions_are_valid_and_distinct() {
+        let parts = restricted_growth_strings(4);
+        for p in &parts {
+            assert!(is_rgs(p.as_slice()));
+        }
+        let mut seen = parts.clone();
+        seen.dedup();
+        assert_eq!(seen.len(), parts.len());
+    }
+
+    #[test]
+    fn discrete_partition() {
+        let p = Partition::discrete(3);
+        assert!(p.is_discrete());
+        assert_eq!(p.num_blocks(), 3);
+        assert!(!Partition::new(vec![0, 0, 1]).is_discrete());
+    }
+
+    #[test]
+    fn representative_map_uses_first_of_block() {
+        let vars: Vec<Var> = ["x1", "x2", "x3"].iter().map(|s| Var::new(s)).collect();
+        // x1 = x3, x2 alone: blocks [0,1,0]
+        let p = Partition::new(vec![0, 1, 0]);
+        let m = p.representative_map(&vars);
+        assert_eq!(m[&Var::new("x1")], Var::new("x1"));
+        assert_eq!(m[&Var::new("x2")], Var::new("x2"));
+        assert_eq!(m[&Var::new("x3")], Var::new("x1"));
+    }
+
+    #[test]
+    fn paper_example_partition() {
+        // δ: (x1 = x3) ∧ (x1 ≠ x2) over (x1,x2,x3) — the §4 example.
+        let vars: Vec<Var> = ["x1", "x2", "x3"].iter().map(|s| Var::new(s)).collect();
+        let p = Partition::new(vec![0, 1, 0]);
+        let m = p.representative_map(&vars);
+        // {x1,x3} has representative x1; {x2} has representative x2.
+        assert_eq!(m[&Var::new("x3")], Var::new("x1"));
+        assert_eq!(p.num_blocks(), 2);
+    }
+}

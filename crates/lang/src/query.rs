@@ -1,0 +1,185 @@
+//! Conjunctive queries.
+//!
+//! Data exchange's raison d'être (the paper's reference \[4\], FKMP TCS'05) is
+//! answering queries over the target; *certain answers* of conjunctive
+//! queries are computable by naive evaluation on any universal solution.
+//! This module provides the query syntax; evaluation lives in
+//! `qi-chase::query`.
+//!
+//! Text form: `q(x,y) :- P(x,z), Q(z,y)` — head variables must occur in
+//! the body; body atoms are over one schema.
+
+use crate::atom::{vars_of, Atom, Var};
+use crate::error::LangError;
+use qi_schema::Schema;
+use std::fmt;
+
+/// A conjunctive query `q(x̄) :- body`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConjunctiveQuery {
+    /// The schema the body atoms are over.
+    pub schema: Schema,
+    /// Distinguished (answer) variables, in output order.
+    pub head: Vec<Var>,
+    /// Body atoms (nonempty).
+    pub body: Vec<Atom>,
+}
+
+impl ConjunctiveQuery {
+    /// Build and validate a query: body nonempty, arities match, every
+    /// head variable occurs in the body (safety).
+    pub fn new(schema: Schema, head: Vec<Var>, body: Vec<Atom>) -> Result<Self, LangError> {
+        if body.is_empty() {
+            return Err(LangError::Invalid("query body must be nonempty".into()));
+        }
+        for a in &body {
+            if a.rel.index() >= schema.len() || a.args.len() != schema.arity(a.rel) {
+                return Err(LangError::Invalid(
+                    "query atom arity does not match the schema".into(),
+                ));
+            }
+        }
+        let body_vars = vars_of(&body);
+        for v in &head {
+            if !body_vars.contains(v) {
+                return Err(LangError::Invalid(format!(
+                    "head variable `{v}` does not occur in the body"
+                )));
+            }
+        }
+        Ok(ConjunctiveQuery { schema, head, body })
+    }
+
+    /// Parse `q(x,y) :- P(x,z), Q(z,y)` against a schema. The head
+    /// predicate name is arbitrary and ignored; separators `,` or `&`.
+    pub fn parse(schema: &Schema, text: &str) -> Result<Self, LangError> {
+        let (head_text, body_text) = text
+            .split_once(":-")
+            .ok_or_else(|| LangError::Parse("expected `head :- body`".into()))?;
+        let head_text = head_text.trim();
+        let open = head_text
+            .find('(')
+            .ok_or_else(|| LangError::Parse("expected `(` in query head".into()))?;
+        let close = head_text
+            .rfind(')')
+            .ok_or_else(|| LangError::Parse("expected `)` in query head".into()))?;
+        if close < open {
+            return Err(LangError::Parse("malformed query head".into()));
+        }
+        let inner = head_text[open + 1..close].trim();
+        let head: Vec<Var> = if inner.is_empty() {
+            Vec::new() // boolean query
+        } else {
+            inner
+                .split(',')
+                .map(|v| {
+                    let v = v.trim();
+                    if v.is_empty() {
+                        Err(LangError::Parse("empty head variable".into()))
+                    } else {
+                        Ok(Var::new(v))
+                    }
+                })
+                .collect::<Result<_, _>>()?
+        };
+        // Reuse the dependency parser: body atoms look like a premise.
+        // Parse "body -> head-atom" is overkill; do a tiny scan instead.
+        let mut body = Vec::new();
+        let mut rest = body_text.trim();
+        while !rest.is_empty() {
+            if let Some(stripped) = rest.strip_prefix([',', '&']) {
+                rest = stripped.trim_start();
+                continue;
+            }
+            let open = rest
+                .find('(')
+                .ok_or_else(|| LangError::Parse(format!("expected `(` in `{rest}`")))?;
+            let close = rest
+                .find(')')
+                .ok_or_else(|| LangError::Parse(format!("unclosed atom near `{rest}`")))?;
+            if close < open {
+                return Err(LangError::Parse(format!("misplaced `)` in `{rest}`")));
+            }
+            let name = rest[..open].trim();
+            let rel = schema
+                .rel(name)
+                .ok_or_else(|| LangError::Parse(format!("unknown relation `{name}`")))?;
+            let args: Vec<Var> = rest[open + 1..close]
+                .split(',')
+                .map(|v| {
+                    let v = v.trim();
+                    if v.is_empty() {
+                        Err(LangError::Parse("empty variable".into()))
+                    } else {
+                        Ok(Var::new(v))
+                    }
+                })
+                .collect::<Result<_, _>>()?;
+            body.push(Atom::new(rel, args));
+            rest = rest[close + 1..].trim_start();
+        }
+        ConjunctiveQuery::new(schema.clone(), head, body)
+    }
+
+    /// Is this a boolean (0-ary) query?
+    pub fn is_boolean(&self) -> bool {
+        self.head.is_empty()
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q(")?;
+        for (i, v) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ") :- ")?;
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", a.display(&self.schema))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_roundtrip() {
+        let s = Schema::parse("P/2 Q/1").unwrap();
+        let q = ConjunctiveQuery::parse(&s, "q(x,y) :- P(x,y), Q(y)").unwrap();
+        assert_eq!(q.head.len(), 2);
+        assert_eq!(q.body.len(), 2);
+        let back = ConjunctiveQuery::parse(&s, &q.to_string()).unwrap();
+        assert_eq!(q, back);
+    }
+
+    #[test]
+    fn boolean_query() {
+        let s = Schema::parse("P/2").unwrap();
+        let q = ConjunctiveQuery::parse(&s, "q() :- P(x,y)").unwrap();
+        assert!(q.is_boolean());
+    }
+
+    #[test]
+    fn safety_enforced() {
+        let s = Schema::parse("P/2").unwrap();
+        assert!(ConjunctiveQuery::parse(&s, "q(z) :- P(x,y)").is_err());
+        assert!(ConjunctiveQuery::parse(&s, "q(x) :- ").is_err());
+        assert!(ConjunctiveQuery::parse(&s, "q(x) :- R(x)").is_err());
+        assert!(ConjunctiveQuery::parse(&s, "q(x) - P(x,y)").is_err());
+    }
+
+    #[test]
+    fn arity_checked() {
+        let s = Schema::parse("P/2").unwrap();
+        assert!(ConjunctiveQuery::parse(&s, "q(x) :- P(x)").is_err());
+    }
+}

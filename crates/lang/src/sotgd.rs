@@ -1,0 +1,281 @@
+//! Second-order tgds (SO-tgds).
+//!
+//! The composition of two arbitrary s-t tgd mappings is in general not
+//! expressible by (first-order) s-t tgds; the right language is the
+//! *SO-tgds* of the paper's reference \[5\] (Fagin, Kolaitis, Popa, Tan,
+//! *Composing Schema Mappings: Second-Order Dependencies to the Rescue*):
+//!
+//! ```text
+//! ∃f₁…f_k ( ∀x̄₁ (φ₁ → ψ₁) ∧ … ∧ ∀x̄_n (φ_n → ψ_n) )
+//! ```
+//!
+//! where each premise `φᵢ` is a conjunction of relational atoms over the
+//! source plus equalities between terms built from the quantified
+//! function symbols, and each conclusion `ψᵢ` is a conjunction of target
+//! atoms whose arguments are such terms.
+//!
+//! This module provides the term/clause representation, Skolemization of
+//! plain tgds into SO-tgds, and a displayer; the SO chase lives in
+//! `qi-chase::sotgd_chase`, the composition algorithm in
+//! `qi-core::so_compose`.
+
+use crate::atom::{vars_of, Atom, Var};
+use crate::dependency::Tgd;
+use std::fmt;
+use std::sync::Arc;
+
+/// A Skolem function symbol.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SkFun(Arc<str>);
+
+impl SkFun {
+    /// Create a function symbol.
+    pub fn new(name: &str) -> Self {
+        SkFun(Arc::from(name))
+    }
+
+    /// The symbol's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for SkFun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A term over variables and Skolem functions.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum SkTerm {
+    /// A first-order variable.
+    Var(Var),
+    /// A function application `f(t₁,…,t_m)`.
+    App(SkFun, Vec<SkTerm>),
+}
+
+impl SkTerm {
+    /// The variables occurring in the term, first-occurrence order.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<Var>) {
+        match self {
+            SkTerm::Var(v) => {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+            SkTerm::App(_, args) => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Substitute variables by terms.
+    pub fn substitute(&self, map: &dyn Fn(&Var) -> Option<SkTerm>) -> SkTerm {
+        match self {
+            SkTerm::Var(v) => map(v).unwrap_or_else(|| SkTerm::Var(v.clone())),
+            SkTerm::App(f, args) => SkTerm::App(
+                f.clone(),
+                args.iter().map(|a| a.substitute(map)).collect(),
+            ),
+        }
+    }
+}
+
+impl fmt::Display for SkTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SkTerm::Var(v) => write!(f, "{v}"),
+            SkTerm::App(g, args) => {
+                write!(f, "{g}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A target atom whose arguments are Skolem terms.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SoAtom {
+    /// Relation (over the SO-tgd's target schema).
+    pub rel: qi_schema::RelId,
+    /// Argument terms.
+    pub args: Vec<SkTerm>,
+}
+
+/// One clause `∀x̄ (φ ∧ eqs → ψ)` of an SO-tgd.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SoClause {
+    /// Relational premise atoms over the source (plain variables).
+    pub body: Vec<Atom>,
+    /// Equalities among Skolem terms (side conditions).
+    pub eqs: Vec<(SkTerm, SkTerm)>,
+    /// Conclusion atoms over the target.
+    pub head: Vec<SoAtom>,
+}
+
+impl SoClause {
+    /// The distinct premise variables (the clause's universals).
+    pub fn body_vars(&self) -> Vec<Var> {
+        vars_of(&self.body)
+    }
+}
+
+/// An SO-tgd: existentially quantified Skolem functions over a
+/// conjunction of clauses.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SoTgd {
+    /// Source schema of every clause premise.
+    pub source: qi_schema::Schema,
+    /// Target schema of every clause conclusion.
+    pub target: qi_schema::Schema,
+    /// The clauses.
+    pub clauses: Vec<SoClause>,
+}
+
+impl fmt::Display for SoTgd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (ci, c) in self.clauses.iter().enumerate() {
+            if ci > 0 {
+                writeln!(f)?;
+            }
+            for (i, a) in c.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " & ")?;
+                }
+                write!(f, "{}", a.display(&self.source))?;
+            }
+            for (l, r) in &c.eqs {
+                write!(f, " & {l} = {r}")?;
+            }
+            write!(f, " -> ")?;
+            for (i, a) in c.head.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " & ")?;
+                }
+                write!(f, "{}(", self.target.name(a.rel))?;
+                for (j, t) in a.args.iter().enumerate() {
+                    if j > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Skolemize a set of plain s-t tgds into one SO-tgd: each existential
+/// variable `y` of each tgd becomes a function term `f_i_y(x̄)` over the
+/// tgd's premise variables. Function names are made unique with the
+/// `prefix` (composition renames the two sides apart).
+pub fn skolemize(tgds: &[Tgd], prefix: &str) -> SoTgd {
+    assert!(!tgds.is_empty(), "cannot skolemize an empty mapping");
+    let source = tgds[0].source.clone();
+    let target = tgds[0].target.clone();
+    let clauses = tgds
+        .iter()
+        .enumerate()
+        .map(|(i, tgd)| {
+            let body_vars = tgd.body_vars();
+            let head = tgd
+                .head
+                .iter()
+                .map(|a| SoAtom {
+                    rel: a.rel,
+                    args: a
+                        .args
+                        .iter()
+                        .map(|v| {
+                            if tgd.exists.contains(v) {
+                                SkTerm::App(
+                                    SkFun::new(&format!("{prefix}f{i}_{v}")),
+                                    body_vars.iter().cloned().map(SkTerm::Var).collect(),
+                                )
+                            } else {
+                                SkTerm::Var(v.clone())
+                            }
+                        })
+                        .collect(),
+                })
+                .collect();
+            SoClause {
+                body: tgd.body.clone(),
+                eqs: Vec::new(),
+                head,
+            }
+        })
+        .collect();
+    SoTgd {
+        source,
+        target,
+        clauses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_tgd;
+    use qi_schema::Schema;
+
+    #[test]
+    fn skolemization_introduces_function_terms() {
+        let s = Schema::parse("Emp/1").unwrap();
+        let t = Schema::parse("Mgr1/2").unwrap();
+        let tgd = parse_tgd(&s, &t, "Emp(e) -> exists m . Mgr1(e,m)").unwrap();
+        let so = skolemize(&[tgd], "a_");
+        assert_eq!(so.clauses.len(), 1);
+        assert_eq!(so.to_string(), "Emp(e) -> Mgr1(e,a_f0_m(e))");
+    }
+
+    #[test]
+    fn full_tgds_skolemize_to_themselves() {
+        let s = Schema::parse("P/2").unwrap();
+        let t = Schema::parse("Q/2").unwrap();
+        let tgd = parse_tgd(&s, &t, "P(x,y) -> Q(y,x)").unwrap();
+        let so = skolemize(&[tgd], "");
+        assert_eq!(so.to_string(), "P(x,y) -> Q(y,x)");
+    }
+
+    #[test]
+    fn term_substitution_and_vars() {
+        let f = SkFun::new("f");
+        let t = SkTerm::App(
+            f.clone(),
+            vec![SkTerm::Var(Var::new("x")), SkTerm::Var(Var::new("y"))],
+        );
+        assert_eq!(t.vars(), vec![Var::new("x"), Var::new("y")]);
+        let sub = t.substitute(&|v: &Var| {
+            (v == &Var::new("x")).then(|| SkTerm::Var(Var::new("z")))
+        });
+        assert_eq!(sub.to_string(), "f(z,y)");
+    }
+
+    #[test]
+    fn shared_existential_uses_one_function() {
+        let s = Schema::parse("P/1").unwrap();
+        let t = Schema::parse("Q/2").unwrap();
+        let tgd = parse_tgd(&s, &t, "P(x) -> exists y . Q(x,y) & Q(y,x)").unwrap();
+        let so = skolemize(&[tgd], "");
+        // Both occurrences of y become the same term.
+        let c = &so.clauses[0];
+        assert_eq!(c.head[0].args[1], c.head[1].args[0]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Variable substitution and fresh-variable generation.
+
+use crate::atom::{Atom, Var};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Apply a variable map to an atom (variables absent from the map are
+/// left unchanged).
+pub fn substitute_atom(atom: &Atom, map: &BTreeMap<Var, Var>) -> Atom {
+    Atom {
+        rel: atom.rel,
+        args: atom
+            .args
+            .iter()
+            .map(|v| map.get(v).cloned().unwrap_or_else(|| v.clone()))
+            .collect(),
+    }
+}
+
+/// Apply a variable map to a conjunction.
+pub fn substitute_atoms(atoms: &[Atom], map: &BTreeMap<Var, Var>) -> Vec<Atom> {
+    atoms.iter().map(|a| substitute_atom(a, map)).collect()
+}
+
+/// Generator of fresh variables `prefix0, prefix1, …` avoiding a set of
+/// reserved names.
+#[derive(Clone, Debug)]
+pub struct VarGen {
+    prefix: String,
+    counter: usize,
+    avoid: BTreeSet<Var>,
+}
+
+impl VarGen {
+    /// Create a generator with the given prefix avoiding `avoid`.
+    pub fn new(prefix: &str, avoid: impl IntoIterator<Item = Var>) -> Self {
+        VarGen {
+            prefix: prefix.to_owned(),
+            counter: 0,
+            avoid: avoid.into_iter().collect(),
+        }
+    }
+
+    /// Produce the next fresh variable.
+    pub fn fresh(&mut self) -> Var {
+        loop {
+            let v = Var::new(&format!("{}{}", self.prefix, self.counter));
+            self.counter += 1;
+            if !self.avoid.contains(&v) {
+                self.avoid.insert(v.clone());
+                return v;
+            }
+        }
+    }
+
+    /// Mark additional names as reserved.
+    pub fn reserve(&mut self, vars: impl IntoIterator<Item = Var>) {
+        self.avoid.extend(vars);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qi_schema::Schema;
+
+    #[test]
+    fn substitution_leaves_unmapped_vars() {
+        let s = Schema::parse("P/3").unwrap();
+        let a = Atom::parse_parts(&s, "P", &["x", "y", "x"]).unwrap();
+        let mut m = BTreeMap::new();
+        m.insert(Var::new("x"), Var::new("z"));
+        let b = substitute_atom(&a, &m);
+        assert_eq!(
+            b.args,
+            vec![Var::new("z"), Var::new("y"), Var::new("z")]
+        );
+    }
+
+    #[test]
+    fn vargen_avoids_collisions() {
+        let mut g = VarGen::new("z", [Var::new("z0"), Var::new("z2")]);
+        assert_eq!(g.fresh(), Var::new("z1"));
+        assert_eq!(g.fresh(), Var::new("z3"));
+        assert_eq!(g.fresh(), Var::new("z4"));
+    }
+}

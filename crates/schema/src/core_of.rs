@@ -1,0 +1,102 @@
+//! Cores of instances.
+//!
+//! The *core* of an instance `J` is a smallest subinstance of `J` to which
+//! `J` retracts; it is unique up to isomorphism and homomorphically
+//! equivalent to `J`. Cores are not used by the paper's algorithms
+//! directly, but they give canonical representatives of the
+//! hom-equivalence classes that `~M` and faithfulness (§6) reason about,
+//! and the test-suite uses them to compare chase results structurally.
+
+use crate::hom::has_hom;
+use crate::instance::Instance;
+
+/// Compute the core of `instance`.
+///
+/// Greedy fact elimination: repeatedly drop a fact `f` such that the
+/// current instance still maps homomorphically into `instance − f`
+/// (the inclusion gives the other direction, so equivalence is preserved).
+/// When no fact can be dropped, every endomorphism is surjective and the
+/// remainder is a core.
+///
+/// Ground instances are their own cores (constants are fixed by
+/// homomorphisms), so the loop exits immediately for them.
+pub fn core_of(instance: &Instance) -> Instance {
+    let mut current = instance.clone();
+    if current.is_ground() {
+        return current;
+    }
+    loop {
+        let mut shrunk = false;
+        // Try dropping facts that contain at least one null; a fact with
+        // only constants can never be dropped (no hom can re-create it).
+        let candidates: Vec<_> = current.facts().filter(|f| !f.is_ground()).collect();
+        for fact in candidates {
+            if !current.contains_fact(&fact) {
+                continue; // already removed this round
+            }
+            let smaller = current.without_fact(&fact);
+            if has_hom(&current, &smaller) {
+                current = smaller;
+                shrunk = true;
+            }
+        }
+        if !shrunk {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hom::hom_equivalent;
+    use crate::schema::Schema;
+
+    fn inst(schema: &Schema, text: &str) -> Instance {
+        Instance::parse(schema, text).unwrap()
+    }
+
+    #[test]
+    fn ground_instance_is_its_own_core() {
+        let s = Schema::parse("P/2").unwrap();
+        let i = inst(&s, "P(a,b) P(b,c)");
+        assert_eq!(core_of(&i), i);
+    }
+
+    #[test]
+    fn redundant_null_fact_dropped() {
+        let s = Schema::parse("P/2").unwrap();
+        // P(a,N1) folds onto P(a,b).
+        let i = inst(&s, "P(a,b) P(a,N1)");
+        let c = core_of(&i);
+        assert_eq!(c, inst(&s, "P(a,b)"));
+        assert!(hom_equivalent(&i, &c));
+    }
+
+    #[test]
+    fn chain_of_nulls_collapses_onto_loop() {
+        let s = Schema::parse("E/2").unwrap();
+        let i = inst(&s, "E(a,a) E(a,N1) E(N1,N2)");
+        let c = core_of(&i);
+        assert_eq!(c, inst(&s, "E(a,a)"));
+    }
+
+    #[test]
+    fn rigid_instance_unchanged() {
+        let s = Schema::parse("E/2").unwrap();
+        // N1→N2 with different constant anchors: nothing folds.
+        let i = inst(&s, "E(a,N1) E(b,N2)");
+        let c = core_of(&i);
+        assert_eq!(c.fact_count(), 2);
+        assert!(hom_equivalent(&i, &c));
+    }
+
+    #[test]
+    fn core_is_idempotent() {
+        let s = Schema::parse("E/2").unwrap();
+        let i = inst(&s, "E(a,a) E(a,N1) E(N1,N2) E(N3,N3)");
+        let once = core_of(&i);
+        let twice = core_of(&once);
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,118 @@
+//! Serde-friendly mirror types.
+//!
+//! Interned ids are process-local, so instances are (de)serialized through
+//! a plain-data mirror: relation names and value spellings. Null values
+//! use the same `N<digits>` convention as the textual instance format.
+
+use crate::error::SchemaError;
+use crate::instance::Instance;
+use crate::schema::Schema;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Plain-data form of a [`Schema`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchemaData {
+    /// `(name, arity)` pairs in declaration order.
+    pub relations: Vec<(String, usize)>,
+}
+
+impl From<&Schema> for SchemaData {
+    fn from(schema: &Schema) -> Self {
+        SchemaData {
+            relations: schema
+                .iter()
+                .map(|(_, sym)| (sym.name.clone(), sym.arity))
+                .collect(),
+        }
+    }
+}
+
+impl SchemaData {
+    /// Rebuild the interned schema.
+    pub fn build(&self) -> Result<Schema, SchemaError> {
+        Schema::new(&self.relations)
+    }
+}
+
+/// Plain-data form of an [`Instance`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstanceData {
+    /// The schema the facts are over.
+    pub schema: SchemaData,
+    /// Facts as `(relation name, argument spellings)`.
+    pub facts: Vec<(String, Vec<String>)>,
+}
+
+impl From<&Instance> for InstanceData {
+    fn from(instance: &Instance) -> Self {
+        let schema = instance.schema();
+        InstanceData {
+            schema: schema.into(),
+            facts: instance
+                .facts()
+                .map(|f| {
+                    (
+                        schema.name(f.rel).to_owned(),
+                        f.args
+                            .iter()
+                            .map(|v| match v {
+                                Value::Const(c) => c.name(),
+                                Value::Null(n) => format!("N{}", n.0),
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+impl InstanceData {
+    /// Rebuild the interned instance.
+    pub fn build(&self) -> Result<Instance, SchemaError> {
+        let schema = self.schema.build()?;
+        let mut out = Instance::new(schema.clone());
+        for (name, args) in &self.facts {
+            let rel = schema.rel_checked(name)?;
+            let args: Result<Vec<Value>, SchemaError> = args
+                .iter()
+                .map(|tok| {
+                    if let Some(digits) = tok.strip_prefix('N') {
+                        if !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()) {
+                            return digits
+                                .parse()
+                                .map(Value::null)
+                                .map_err(|_| SchemaError::Parse(format!("bad null `{tok}`")));
+                        }
+                    }
+                    Ok(Value::constant(tok))
+                })
+                .collect();
+            out.insert(rel, args?)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_mirror_roundtrip() {
+        let s = Schema::parse("P/2 Q/1").unwrap();
+        let i = Instance::parse(&s, "P(a,N3) Q(b)").unwrap();
+        let data: InstanceData = (&i).into();
+        let back = data.build().unwrap();
+        assert_eq!(i, back);
+    }
+
+    #[test]
+    fn schema_mirror_roundtrip() {
+        let s = Schema::parse("P/2 Q/1").unwrap();
+        let data: SchemaData = (&s).into();
+        let back = data.build().unwrap();
+        assert!(s.same_as(&back));
+    }
+}

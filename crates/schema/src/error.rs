@@ -1,0 +1,49 @@
+//! Error type for the relational substrate.
+
+use std::fmt;
+
+/// Errors raised by schema and instance construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// A relation name occurred twice in one schema.
+    DuplicateRelation(String),
+    /// A relation was declared with arity 0.
+    ZeroArity(String),
+    /// A relation name was not found in the schema.
+    UnknownRelation(String),
+    /// A fact's width does not match its relation's arity.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Width of the offending tuple.
+        got: usize,
+    },
+    /// Two instances over different schemas were combined.
+    SchemaMismatch,
+    /// Textual parse failure (schemas or instance literals).
+    Parse(String),
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::DuplicateRelation(n) => write!(f, "duplicate relation `{n}`"),
+            SchemaError::ZeroArity(n) => write!(f, "relation `{n}` has arity 0"),
+            SchemaError::UnknownRelation(n) => write!(f, "unknown relation `{n}`"),
+            SchemaError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "arity mismatch for `{relation}`: expected {expected}, got {got}"
+            ),
+            SchemaError::SchemaMismatch => write!(f, "instances are over different schemas"),
+            SchemaError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}

@@ -1,0 +1,70 @@
+//! Facts: a relation id together with a tuple of values.
+
+use crate::schema::{RelId, Schema};
+use crate::value::Value;
+use std::fmt;
+
+/// A single fact `R(v_1, …, v_m)` of an instance.
+///
+/// The relation is referenced by [`RelId`], so a `Fact` is only meaningful
+/// relative to a schema; [`crate::Instance`] enforces arity on insertion.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Fact {
+    /// Relation symbol.
+    pub rel: RelId,
+    /// Tuple of values; length must equal the relation's arity.
+    pub args: Vec<Value>,
+}
+
+impl Fact {
+    /// Build a fact.
+    pub fn new(rel: RelId, args: Vec<Value>) -> Self {
+        Fact { rel, args }
+    }
+
+    /// True when every argument is a constant.
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(|v| v.is_const())
+    }
+
+    /// Render against a schema (resolving the relation name).
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> FactDisplay<'a> {
+        FactDisplay { fact: self, schema }
+    }
+}
+
+/// Helper implementing `Display` for a fact in the context of a schema.
+pub struct FactDisplay<'a> {
+    fact: &'a Fact,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for FactDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.schema.name(self.fact.rel))?;
+        for (i, v) in self.fact.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groundness_and_display() {
+        let s = Schema::parse("P/2").unwrap();
+        let p = s.rel("P").unwrap();
+        let g = Fact::new(p, vec![Value::constant("a"), Value::constant("b")]);
+        let n = Fact::new(p, vec![Value::constant("a"), Value::null(1)]);
+        assert!(g.is_ground());
+        assert!(!n.is_ground());
+        assert_eq!(g.display(&s).to_string(), "P(a,b)");
+        assert_eq!(n.display(&s).to_string(), "P(a,N1)");
+    }
+}

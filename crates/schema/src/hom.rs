@@ -1,0 +1,639 @@
+//! Homomorphisms and a reusable backtracking pattern matcher.
+//!
+//! A *homomorphism* `h : Const ∪ Var → Const ∪ Var` from instance `J` to
+//! instance `J'` fixes every constant and maps every fact of `J` to a fact
+//! of `J'` (§2 of the paper). Finding one is a constraint-satisfaction
+//! problem whose variables are the nulls of `J`.
+//!
+//! The same search also answers every other matching question in this
+//! reproduction — chase-trigger enumeration (homomorphisms from a tgd
+//! premise into an instance), the `Constant(x)` and `x ≠ x'` side
+//! conditions of Definition 6.2, and injective matching for isomorphism
+//! tests — so it is exposed generically: a [`Pattern`] is a conjunction of
+//! [`PatFact`]s over match variables, a [`MatchConstraints`] bundle carries
+//! the side conditions, and [`MatchEngine`] enumerates satisfying
+//! [`Assignment`]s against a target [`Instance`].
+//!
+//! The search picks, at every step, the pattern fact with the fewest
+//! consistent candidate tuples (fail-first). Relations that one engine
+//! scans repeatedly get a lazily-built per-position value index
+//! (`TargetIndex`); short-lived engines (the chase's per-trigger
+//! satisfaction probes) never pay for index construction.
+
+use crate::instance::Instance;
+use crate::schema::RelId;
+use crate::value::{NullId, Value};
+use std::collections::{BTreeMap, HashMap};
+
+/// Index of a match variable within a [`Pattern`].
+pub type VarIdx = u32;
+
+/// A term of a pattern fact: a fixed value or a match variable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PatTerm {
+    /// A concrete value that candidate tuples must equal position-wise.
+    Value(Value),
+    /// A match variable to be assigned by the search.
+    Var(VarIdx),
+}
+
+/// One atom of a pattern: a relation and a vector of pattern terms.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PatFact {
+    /// Relation the candidate tuples are drawn from.
+    pub rel: RelId,
+    /// Terms; length must match the relation's arity.
+    pub args: Vec<PatTerm>,
+}
+
+/// A conjunction of pattern facts over variables `0..nvars`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Pattern {
+    /// The atoms to match simultaneously.
+    pub facts: Vec<PatFact>,
+    /// Number of match variables.
+    pub nvars: usize,
+}
+
+impl Pattern {
+    /// Pattern with no atoms (matched by the empty assignment).
+    pub fn empty(nvars: usize) -> Self {
+        Pattern {
+            facts: Vec::new(),
+            nvars,
+        }
+    }
+
+    /// Turn an instance into a pattern by replacing each null with a match
+    /// variable. Returns the pattern and the nulls in variable order, so
+    /// `vars[i]` is the null represented by variable `i`.
+    pub fn from_instance(instance: &Instance) -> (Pattern, Vec<NullId>) {
+        let nulls: Vec<NullId> = instance.nulls().into_iter().collect();
+        let index: BTreeMap<NullId, VarIdx> = nulls
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i as VarIdx))
+            .collect();
+        let facts = instance
+            .facts()
+            .map(|f| PatFact {
+                rel: f.rel,
+                args: f
+                    .args
+                    .iter()
+                    .map(|&v| match v {
+                        Value::Null(n) => PatTerm::Var(index[&n]),
+                        c => PatTerm::Value(c),
+                    })
+                    .collect(),
+            })
+            .collect();
+        (
+            Pattern {
+                facts,
+                nvars: nulls.len(),
+            },
+            nulls,
+        )
+    }
+}
+
+/// Side conditions on a match.
+#[derive(Clone, Default, Debug)]
+pub struct MatchConstraints {
+    /// Pre-assignments `var ↦ value` (used to fix shared variables).
+    pub fixed: Vec<(VarIdx, Value)>,
+    /// Pairs that must receive distinct values (`x ≠ x'` of Def 2.1).
+    pub distinct: Vec<(VarIdx, VarIdx)>,
+    /// Variables that must be assigned constants (`Constant(x)`).
+    pub constants_only: Vec<VarIdx>,
+    /// Variables that must be assigned nulls (isomorphism search).
+    pub nulls_only: Vec<VarIdx>,
+    /// Require all variables to take pairwise-distinct values
+    /// (isomorphism search).
+    pub injective: bool,
+}
+
+/// A (possibly partial) assignment of match variables to values.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Assignment {
+    slots: Vec<Option<Value>>,
+}
+
+impl Assignment {
+    fn new(nvars: usize) -> Self {
+        Assignment {
+            slots: vec![None; nvars],
+        }
+    }
+
+    /// The value assigned to `var`, if any.
+    pub fn get(&self, var: VarIdx) -> Option<Value> {
+        self.slots[var as usize]
+    }
+
+    /// The value assigned to `var`; panics when unassigned (use only on
+    /// complete assignments delivered by the engine).
+    pub fn value(&self, var: VarIdx) -> Value {
+        self.slots[var as usize].expect("variable unassigned in complete match")
+    }
+
+    /// All assigned values in variable order (complete assignments only).
+    pub fn values(&self) -> impl Iterator<Item = Value> + '_ {
+        self.slots.iter().map(|s| s.expect("incomplete assignment"))
+    }
+}
+
+/// Lazily-built per-relation, per-position value index over the target.
+///
+/// `postings[rel][pos][value]` lists the tuples of `rel` whose `pos`-th
+/// component is `value`. Building the index costs a pass over the
+/// relation, which only pays off for engines that scan the same relation
+/// many times (trigger enumeration over large instances). Short-lived
+/// engines — the chase's per-trigger satisfaction probes — never reach
+/// the scan threshold and keep using direct scans of the B-tree.
+/// Posting lists of one relation: per position, value → tuples.
+type Postings<'a> = Vec<HashMap<Value, Vec<&'a Vec<Value>>>>;
+
+struct TargetIndex<'a> {
+    postings: Vec<std::cell::OnceCell<Postings<'a>>>,
+    scans: Vec<std::cell::Cell<u32>>,
+}
+
+/// Scans of one relation before its index is built.
+const INDEX_SCAN_THRESHOLD: u32 = 4;
+/// Relations smaller than this are never indexed (scans are cheap).
+const INDEX_MIN_TUPLES: usize = 16;
+
+impl<'a> TargetIndex<'a> {
+    fn new(nrels: usize) -> Self {
+        TargetIndex {
+            postings: (0..nrels).map(|_| std::cell::OnceCell::new()).collect(),
+            scans: (0..nrels).map(|_| std::cell::Cell::new(0)).collect(),
+        }
+    }
+
+    /// The posting lists of `rel`, building them if this relation has
+    /// been scanned often enough to amortize the construction.
+    fn postings_for(&self, target: &'a Instance, rel: RelId) -> Option<&Postings<'a>> {
+        if let Some(built) = self.postings[rel.index()].get() {
+            return Some(built);
+        }
+        let scans = &self.scans[rel.index()];
+        scans.set(scans.get() + 1);
+        if scans.get() <= INDEX_SCAN_THRESHOLD || target.rel_len(rel) < INDEX_MIN_TUPLES {
+            return None;
+        }
+        let arity = target.schema().arity(rel);
+        Some(self.postings[rel.index()].get_or_init(|| {
+            let mut maps: Postings<'a> = vec![HashMap::new(); arity];
+            for t in target.tuples(rel) {
+                for (pos, &v) in t.iter().enumerate() {
+                    maps[pos].entry(v).or_default().push(t);
+                }
+            }
+            maps
+        }))
+    }
+}
+
+/// Backtracking matcher of a [`Pattern`] against an [`Instance`].
+pub struct MatchEngine<'a> {
+    pattern: &'a Pattern,
+    target: &'a Instance,
+    constraints: &'a MatchConstraints,
+    index: TargetIndex<'a>,
+}
+
+impl<'a> MatchEngine<'a> {
+    /// Create a matcher; validates nothing (arity mismatches simply never
+    /// match, since candidate tuples have the relation's arity).
+    pub fn new(pattern: &'a Pattern, target: &'a Instance, constraints: &'a MatchConstraints) -> Self {
+        let index = TargetIndex::new(target.schema().len());
+        MatchEngine {
+            pattern,
+            target,
+            constraints,
+            index,
+        }
+    }
+
+    /// Does any complete match exist?
+    pub fn exists(&self) -> bool {
+        let mut found = false;
+        self.for_each(|_| {
+            found = true;
+            false
+        });
+        found
+    }
+
+    /// The first complete match in deterministic order, if any.
+    pub fn first(&self) -> Option<Assignment> {
+        let mut out = None;
+        self.for_each(|a| {
+            out = Some(a.clone());
+            false
+        });
+        out
+    }
+
+    /// All complete matches.
+    pub fn all(&self) -> Vec<Assignment> {
+        let mut out = Vec::new();
+        self.for_each(|a| {
+            out.push(a.clone());
+            true
+        });
+        out
+    }
+
+    /// Enumerate matches; the callback returns `false` to stop early.
+    pub fn for_each(&self, mut f: impl FnMut(&Assignment) -> bool) {
+        let mut assignment = Assignment::new(self.pattern.nvars);
+        for &(var, value) in &self.constraints.fixed {
+            match assignment.slots[var as usize] {
+                Some(existing) if existing != value => return,
+                _ => {}
+            }
+            if !self.value_ok(var, value, &assignment) {
+                return;
+            }
+            assignment.slots[var as usize] = Some(value);
+        }
+        let mut remaining: Vec<usize> = (0..self.pattern.facts.len()).collect();
+        self.search(&mut assignment, &mut remaining, &mut f);
+    }
+
+    /// Check unary constraints and binary constraints against the current
+    /// assignment for `var ↦ value`.
+    fn value_ok(&self, var: VarIdx, value: Value, assignment: &Assignment) -> bool {
+        if self.constraints.constants_only.contains(&var) && !value.is_const() {
+            return false;
+        }
+        if self.constraints.nulls_only.contains(&var) && !value.is_null() {
+            return false;
+        }
+        for &(a, b) in &self.constraints.distinct {
+            let other = if a == var {
+                b
+            } else if b == var {
+                a
+            } else {
+                continue;
+            };
+            if assignment.get(other) == Some(value) {
+                return false;
+            }
+        }
+        if self.constraints.injective {
+            for (i, slot) in assignment.slots.iter().enumerate() {
+                if i as VarIdx != var && *slot == Some(value) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Does `tuple` agree with `fact` under `assignment` (fixed terms,
+    /// bound variables, repeated variables within the fact)?
+    fn tuple_consistent(fact: &PatFact, assignment: &Assignment, tuple: &[Value]) -> bool {
+        if tuple.len() != fact.args.len() {
+            return false;
+        }
+        let mut local: Vec<(VarIdx, Value)> = Vec::new();
+        for (term, &v) in fact.args.iter().zip(tuple.iter()) {
+            match *term {
+                PatTerm::Value(fixed) => {
+                    if fixed != v {
+                        return false;
+                    }
+                }
+                PatTerm::Var(var) => {
+                    if let Some(bound) = assignment.get(var) {
+                        if bound != v {
+                            return false;
+                        }
+                    } else if let Some(&(_, prev)) = local.iter().find(|(lv, _)| *lv == var) {
+                        if prev != v {
+                            return false;
+                        }
+                    } else {
+                        local.push((var, v));
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Candidate tuples of `fact` consistent with `assignment`, capped at
+    /// `cap` (for fail-first counting). Uses the lazily-built posting
+    /// lists when a position is bound and the relation is hot enough;
+    /// falls back to scanning the relation.
+    fn candidates(&self, fact: &PatFact, assignment: &Assignment, cap: usize) -> Vec<&'a Vec<Value>> {
+        let mut out = Vec::new();
+        // The index can only narrow the scan when some position is bound.
+        let any_bound = fact.args.iter().any(|term| match *term {
+            PatTerm::Value(_) => true,
+            PatTerm::Var(var) => assignment.get(var).is_some(),
+        });
+        if let Some(postings) = any_bound
+            .then(|| self.index.postings_for(self.target, fact.rel))
+            .flatten()
+        {
+            // Narrowest posting list among the bound positions.
+            let mut best: Option<&[&'a Vec<Value>]> = None;
+            for (pos, term) in fact.args.iter().enumerate() {
+                let bound = match *term {
+                    PatTerm::Value(v) => Some(v),
+                    PatTerm::Var(var) => assignment.get(var),
+                };
+                if let Some(v) = bound {
+                    let list = postings[pos].get(&v).map(|l| l.as_slice()).unwrap_or(&[]);
+                    if best.is_none_or(|b: &[_]| list.len() < b.len()) {
+                        best = Some(list);
+                    }
+                }
+            }
+            match best {
+                Some(list) => {
+                    for &tuple in list {
+                        if Self::tuple_consistent(fact, assignment, tuple) {
+                            out.push(tuple);
+                            if out.len() >= cap {
+                                break;
+                            }
+                        }
+                    }
+                }
+                None => {
+                    for tuple in self.target.tuples(fact.rel) {
+                        if Self::tuple_consistent(fact, assignment, tuple) {
+                            out.push(tuple);
+                            if out.len() >= cap {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            return out;
+        }
+        for tuple in self.target.tuples(fact.rel) {
+            if Self::tuple_consistent(fact, assignment, tuple) {
+                out.push(tuple);
+                if out.len() >= cap {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    fn search(
+        &self,
+        assignment: &mut Assignment,
+        remaining: &mut Vec<usize>,
+        f: &mut impl FnMut(&Assignment) -> bool,
+    ) -> bool {
+        let Some(pick_pos) = self.pick(remaining, assignment) else {
+            // All facts matched: assignment restricted to pattern vars may
+            // still have unassigned vars (vars not occurring in any fact);
+            // leave them unassigned only if truly absent — callers building
+            // patterns from formulas guarantee every var occurs. For safety
+            // we refuse matches with unassigned variables that carry
+            // constraints.
+            return f(assignment);
+        };
+        let fact_idx = remaining[pick_pos];
+        remaining.swap_remove(pick_pos);
+        let fact = &self.pattern.facts[fact_idx];
+        let cands = self.candidates(fact, assignment, usize::MAX);
+        for tuple in cands {
+            // Extend the assignment; record which vars we newly bind.
+            let mut newly: Vec<VarIdx> = Vec::new();
+            let mut ok = true;
+            for (term, &v) in fact.args.iter().zip(tuple.iter()) {
+                if let PatTerm::Var(var) = *term {
+                    match assignment.get(var) {
+                        Some(_) => {}
+                        None => {
+                            if !self.value_ok(var, v, assignment) {
+                                ok = false;
+                                break;
+                            }
+                            assignment.slots[var as usize] = Some(v);
+                            newly.push(var);
+                        }
+                    }
+                }
+            }
+            if ok && !self.search(assignment, remaining, f) {
+                for var in newly {
+                    assignment.slots[var as usize] = None;
+                }
+                remaining.push(fact_idx);
+                let last = remaining.len() - 1;
+                remaining.swap(pick_pos.min(last), last);
+                return false;
+            }
+            for var in newly {
+                assignment.slots[var as usize] = None;
+            }
+        }
+        remaining.push(fact_idx);
+        let last = remaining.len() - 1;
+        remaining.swap(pick_pos.min(last), last);
+        true
+    }
+
+    /// Fail-first heuristic: pick the remaining fact with the fewest
+    /// candidates (counted up to a small cap to bound the cost).
+    fn pick(&self, remaining: &[usize], assignment: &Assignment) -> Option<usize> {
+        const COUNT_CAP: usize = 8;
+        let mut best: Option<(usize, usize)> = None;
+        for (pos, &idx) in remaining.iter().enumerate() {
+            let n = self
+                .candidates(&self.pattern.facts[idx], assignment, COUNT_CAP)
+                .len();
+            match best {
+                Some((_, bn)) if bn <= n => {}
+                _ => best = Some((pos, n)),
+            }
+            if n == 0 {
+                break;
+            }
+        }
+        best.map(|(pos, _)| pos)
+    }
+}
+
+/// Find a homomorphism from `a` to `b` (constants fixed, nulls free).
+///
+/// Returns the null mapping when one exists. Instances over different
+/// schemas never admit a homomorphism here (relation ids are matched
+/// positionally), mirroring the paper where both instances are over the
+/// target schema.
+pub fn find_hom(a: &Instance, b: &Instance) -> Option<BTreeMap<NullId, Value>> {
+    let (pattern, vars) = Pattern::from_instance(a);
+    let constraints = MatchConstraints::default();
+    let engine = MatchEngine::new(&pattern, b, &constraints);
+    engine.first().map(|assignment| {
+        vars.iter()
+            .enumerate()
+            .map(|(i, &n)| (n, assignment.value(i as VarIdx)))
+            .collect()
+    })
+}
+
+/// Does a homomorphism from `a` to `b` exist?
+pub fn has_hom(a: &Instance, b: &Instance) -> bool {
+    // Constant-only facts must appear verbatim; the engine handles this,
+    // but the quick subset check prunes the common failure cheaply.
+    let (pattern, _) = Pattern::from_instance(a);
+    let constraints = MatchConstraints::default();
+    MatchEngine::new(&pattern, b, &constraints).exists()
+}
+
+/// Are `a` and `b` homomorphically equivalent (§2)?
+pub fn hom_equivalent(a: &Instance, b: &Instance) -> bool {
+    has_hom(a, b) && has_hom(b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn inst(schema: &Schema, text: &str) -> Instance {
+        Instance::parse(schema, text).unwrap()
+    }
+
+    #[test]
+    fn ground_hom_is_containment() {
+        let s = Schema::parse("P/2").unwrap();
+        let a = inst(&s, "P(a,b)");
+        let b = inst(&s, "P(a,b) P(b,c)");
+        assert!(has_hom(&a, &b));
+        assert!(!has_hom(&b, &a));
+    }
+
+    #[test]
+    fn nulls_map_freely() {
+        let s = Schema::parse("P/2").unwrap();
+        let a = inst(&s, "P(a,N1)");
+        let b = inst(&s, "P(a,b)");
+        assert!(has_hom(&a, &b));
+        assert!(!has_hom(&b, &a)); // constants are fixed
+        let h = find_hom(&a, &b).unwrap();
+        assert_eq!(h[&NullId(1)], Value::constant("b"));
+    }
+
+    #[test]
+    fn repeated_null_consistency() {
+        let s = Schema::parse("P/2").unwrap();
+        let a = inst(&s, "P(N1,N1)");
+        let b = inst(&s, "P(a,b)");
+        let c = inst(&s, "P(c,c)");
+        assert!(!has_hom(&a, &b));
+        assert!(has_hom(&a, &c));
+    }
+
+    #[test]
+    fn join_across_facts() {
+        let s = Schema::parse("E/2").unwrap();
+        let path2 = inst(&s, "E(N1,N2) E(N2,N3)");
+        let edge_loop = inst(&s, "E(a,a)");
+        let chain = inst(&s, "E(a,b) E(b,c)");
+        let split = inst(&s, "E(a,b) E(c,d)");
+        assert!(has_hom(&path2, &edge_loop));
+        assert!(has_hom(&path2, &chain));
+        assert!(!has_hom(&path2, &split));
+    }
+
+    #[test]
+    fn hom_equivalence_of_paths_and_loops() {
+        let s = Schema::parse("E/2").unwrap();
+        // A null 2-cycle retracts onto... nothing smaller here, but it maps
+        // into a constant loop and vice versa is false (constants fixed).
+        let cyc = inst(&s, "E(N1,N2) E(N2,N1)");
+        let lp = inst(&s, "E(a,a)");
+        assert!(has_hom(&cyc, &lp));
+        assert!(!hom_equivalent(&cyc, &lp));
+        // Two isomorphic null chains are equivalent.
+        let c1 = inst(&s, "E(N1,N2)");
+        let c2 = inst(&s, "E(N7,N9)");
+        assert!(hom_equivalent(&c1, &c2));
+    }
+
+    #[test]
+    fn constraints_distinct_and_constant() {
+        let s = Schema::parse("P/2").unwrap();
+        let b = inst(&s, "P(a,a) P(a,N1)");
+        let pattern = Pattern {
+            facts: vec![PatFact {
+                rel: s.rel("P").unwrap(),
+                args: vec![PatTerm::Var(0), PatTerm::Var(1)],
+            }],
+            nvars: 2,
+        };
+        let all = MatchConstraints::default();
+        assert_eq!(MatchEngine::new(&pattern, &b, &all).all().len(), 2);
+        let distinct = MatchConstraints {
+            distinct: vec![(0, 1)],
+            ..Default::default()
+        };
+        assert_eq!(MatchEngine::new(&pattern, &b, &distinct).all().len(), 1);
+        let consts = MatchConstraints {
+            constants_only: vec![0, 1],
+            ..Default::default()
+        };
+        assert_eq!(MatchEngine::new(&pattern, &b, &consts).all().len(), 1);
+        let fixed = MatchConstraints {
+            fixed: vec![(1, Value::null(1))],
+            ..Default::default()
+        };
+        assert_eq!(MatchEngine::new(&pattern, &b, &fixed).all().len(), 1);
+    }
+
+    #[test]
+    fn injective_matching() {
+        let s = Schema::parse("P/2").unwrap();
+        let b = inst(&s, "P(a,a)");
+        let pattern = Pattern {
+            facts: vec![PatFact {
+                rel: s.rel("P").unwrap(),
+                args: vec![PatTerm::Var(0), PatTerm::Var(1)],
+            }],
+            nvars: 2,
+        };
+        let inj = MatchConstraints {
+            injective: true,
+            ..Default::default()
+        };
+        assert!(MatchEngine::new(&pattern, &b, &inj).all().is_empty());
+    }
+
+    #[test]
+    fn empty_pattern_matches_once() {
+        let s = Schema::parse("P/2").unwrap();
+        let b = inst(&s, "P(a,a)");
+        let pattern = Pattern::empty(0);
+        let c = MatchConstraints::default();
+        assert_eq!(MatchEngine::new(&pattern, &b, &c).all().len(), 1);
+    }
+
+    #[test]
+    fn conflicting_fixed_yields_nothing() {
+        let s = Schema::parse("P/2").unwrap();
+        let b = inst(&s, "P(a,a)");
+        let pattern = Pattern::empty(1);
+        let c = MatchConstraints {
+            fixed: vec![(0, Value::constant("a")), (0, Value::constant("b"))],
+            ..Default::default()
+        };
+        assert!(MatchEngine::new(&pattern, &b, &c).all().is_empty());
+    }
+}

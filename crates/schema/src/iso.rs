@@ -1,0 +1,98 @@
+//! Isomorphism of instances.
+//!
+//! Two instances are isomorphic when some bijection of their active
+//! domains that fixes constants maps the facts of one exactly onto the
+//! facts of the other. Because homomorphisms fix constants, an isomorphism
+//! necessarily maps nulls to nulls. This module is used to deduplicate
+//! disjunctive-chase leaves and to compare cores (hom-equivalent instances
+//! have isomorphic cores).
+
+use crate::hom::{MatchConstraints, MatchEngine, Pattern};
+use crate::instance::Instance;
+use crate::value::Value;
+
+/// Are `a` and `b` isomorphic (constants fixed, nulls bijectively renamed)?
+pub fn is_isomorphic(a: &Instance, b: &Instance) -> bool {
+    if !a.schema().same_as(b.schema()) {
+        return false;
+    }
+    // Cheap invariants first.
+    if a.fact_count() != b.fact_count() {
+        return false;
+    }
+    for rel in a.schema().rel_ids() {
+        if a.rel_len(rel) != b.rel_len(rel) {
+            return false;
+        }
+    }
+    let (a_consts, a_nulls): (Vec<Value>, Vec<Value>) =
+        a.active_domain().into_iter().partition(|v| v.is_const());
+    let (b_consts, b_nulls): (Vec<Value>, Vec<Value>) =
+        b.active_domain().into_iter().partition(|v| v.is_const());
+    if a_consts != b_consts || a_nulls.len() != b_nulls.len() {
+        return false;
+    }
+    // An injective nulls-to-nulls homomorphism a → b with equal fact
+    // counts is automatically surjective on facts, hence an isomorphism
+    // (distinct tuples stay distinct under an injective value map).
+    let (pattern, _) = Pattern::from_instance(a);
+    let nvars = pattern.nvars;
+    let constraints = MatchConstraints {
+        injective: true,
+        nulls_only: (0..nvars as u32).collect(),
+        ..Default::default()
+    };
+    MatchEngine::new(&pattern, b, &constraints).exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn inst(schema: &Schema, text: &str) -> Instance {
+        Instance::parse(schema, text).unwrap()
+    }
+
+    #[test]
+    fn null_renaming_is_isomorphism() {
+        let s = Schema::parse("E/2").unwrap();
+        let a = inst(&s, "E(a,N1) E(N1,N2)");
+        let b = inst(&s, "E(a,N9) E(N9,N4)");
+        assert!(is_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn constants_must_match_exactly() {
+        let s = Schema::parse("E/2").unwrap();
+        let a = inst(&s, "E(a,N1)");
+        let b = inst(&s, "E(b,N1)");
+        assert!(!is_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn fact_counts_matter() {
+        let s = Schema::parse("E/2").unwrap();
+        let a = inst(&s, "E(a,N1) E(a,N2)");
+        let b = inst(&s, "E(a,N1)");
+        assert!(!is_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn folding_is_not_isomorphism() {
+        let s = Schema::parse("E/2").unwrap();
+        // Hom-equivalent but not isomorphic.
+        let a = inst(&s, "E(N1,N1)");
+        let b = inst(&s, "E(N1,N1) E(N2,N2)");
+        assert!(!is_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn structure_must_match() {
+        let s = Schema::parse("E/2").unwrap();
+        let path = inst(&s, "E(N1,N2) E(N2,N3)");
+        let fork = inst(&s, "E(N1,N2) E(N1,N3)");
+        assert!(!is_isomorphic(&path, &fork));
+        assert!(is_isomorphic(&path, &path.shift_nulls(100)));
+    }
+}

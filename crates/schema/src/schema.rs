@@ -1,0 +1,252 @@
+//! Schemas: finite sequences of relation symbols with fixed arities (§2).
+
+use crate::error::SchemaError;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Index of a relation symbol within a [`Schema`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RelId(pub u32);
+
+impl RelId {
+    /// The relation's position in its schema.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A relation symbol: a name together with a fixed arity.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RelSym {
+    /// Symbol name, unique within its schema.
+    pub name: String,
+    /// Number of columns.
+    pub arity: usize,
+}
+
+/// A schema `R = (R_1, …, R_k)`: an ordered list of relation symbols.
+///
+/// Schemas are cheap to clone (`Arc` inside) and are attached to every
+/// [`crate::Instance`] for arity validation and display.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Schema {
+    inner: Arc<SchemaInner>,
+}
+
+#[derive(PartialEq, Eq)]
+struct SchemaInner {
+    relations: Vec<RelSym>,
+    by_name: HashMap<String, RelId>,
+}
+
+impl Schema {
+    /// Build a schema from `(name, arity)` pairs.
+    ///
+    /// Fails if a name repeats or a relation has arity 0 (the paper's
+    /// relations always have at least one column; nullary relations would
+    /// make "active domain" arguments degenerate).
+    pub fn new<S: AsRef<str>>(relations: &[(S, usize)]) -> Result<Self, SchemaError> {
+        let mut rels = Vec::with_capacity(relations.len());
+        let mut by_name = HashMap::with_capacity(relations.len());
+        for (i, (name, arity)) in relations.iter().enumerate() {
+            let name = name.as_ref();
+            if *arity == 0 {
+                return Err(SchemaError::ZeroArity(name.to_owned()));
+            }
+            if by_name
+                .insert(name.to_owned(), RelId(i as u32))
+                .is_some()
+            {
+                return Err(SchemaError::DuplicateRelation(name.to_owned()));
+            }
+            rels.push(RelSym {
+                name: name.to_owned(),
+                arity: *arity,
+            });
+        }
+        Ok(Schema {
+            inner: Arc::new(SchemaInner {
+                relations: rels,
+                by_name,
+            }),
+        })
+    }
+
+    /// Parse a compact schema description such as `"P/2 Q/1 R/3"`.
+    pub fn parse(text: &str) -> Result<Self, SchemaError> {
+        let mut pairs = Vec::new();
+        for tok in text.split_whitespace() {
+            let (name, arity) = tok
+                .split_once('/')
+                .ok_or_else(|| SchemaError::Parse(format!("expected NAME/ARITY, got `{tok}`")))?;
+            let arity: usize = arity
+                .parse()
+                .map_err(|_| SchemaError::Parse(format!("bad arity in `{tok}`")))?;
+            pairs.push((name.to_owned(), arity));
+        }
+        if pairs.is_empty() {
+            return Err(SchemaError::Parse("empty schema description".into()));
+        }
+        Schema::new(&pairs)
+    }
+
+    /// Number of relation symbols.
+    pub fn len(&self) -> usize {
+        self.inner.relations.len()
+    }
+
+    /// True when the schema has no relations (never produced by the
+    /// constructors, but useful for defensive code).
+    pub fn is_empty(&self) -> bool {
+        self.inner.relations.is_empty()
+    }
+
+    /// Look up a relation by name.
+    pub fn rel(&self, name: &str) -> Option<RelId> {
+        self.inner.by_name.get(name).copied()
+    }
+
+    /// Look up a relation by name, erroring with context if absent.
+    pub fn rel_checked(&self, name: &str) -> Result<RelId, SchemaError> {
+        self.rel(name)
+            .ok_or_else(|| SchemaError::UnknownRelation(name.to_owned()))
+    }
+
+    /// The symbol for `rel`.
+    pub fn sym(&self, rel: RelId) -> &RelSym {
+        &self.inner.relations[rel.index()]
+    }
+
+    /// Arity of `rel`.
+    pub fn arity(&self, rel: RelId) -> usize {
+        self.sym(rel).arity
+    }
+
+    /// Name of `rel`.
+    pub fn name(&self, rel: RelId) -> &str {
+        &self.sym(rel).name
+    }
+
+    /// Iterate over all relation ids in declaration order.
+    pub fn rel_ids(&self) -> impl Iterator<Item = RelId> + '_ {
+        (0..self.len() as u32).map(RelId)
+    }
+
+    /// Iterate over `(RelId, &RelSym)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &RelSym)> + '_ {
+        self.inner
+            .relations
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (RelId(i as u32), s))
+    }
+
+    /// The maximum arity over all relations.
+    pub fn max_arity(&self) -> usize {
+        self.inner
+            .relations
+            .iter()
+            .map(|r| r.arity)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// A new schema extending `self` with the given extra relations
+    /// (used by the robustness experiments of §1: augmenting the source
+    /// schema with a fresh relation symbol).
+    pub fn extend<S: AsRef<str>>(&self, extra: &[(S, usize)]) -> Result<Self, SchemaError> {
+        let mut pairs: Vec<(String, usize)> = self
+            .inner
+            .relations
+            .iter()
+            .map(|r| (r.name.clone(), r.arity))
+            .collect();
+        for (name, arity) in extra {
+            pairs.push((name.as_ref().to_owned(), *arity));
+        }
+        Schema::new(&pairs)
+    }
+
+    /// Pointer-or-structural equality used by instance validation.
+    pub fn same_as(&self, other: &Schema) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner) || self.inner == other.inner
+    }
+}
+
+impl fmt::Debug for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for r in &self.inner.relations {
+            if !first {
+                write!(f, " ")?;
+            }
+            first = false;
+            write!(f, "{}/{}", r.name, r.arity)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        let s = Schema::new(&[("P", 2), ("Q", 1)]).unwrap();
+        assert_eq!(s.len(), 2);
+        let p = s.rel("P").unwrap();
+        assert_eq!(s.arity(p), 2);
+        assert_eq!(s.name(p), "P");
+        assert!(s.rel("R").is_none());
+        assert_eq!(s.max_arity(), 2);
+    }
+
+    #[test]
+    fn parse_compact() {
+        let s = Schema::parse("P/2 Q/1 R/3").unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.arity(s.rel("R").unwrap()), 3);
+        assert_eq!(s.to_string(), "P/2 Q/1 R/3");
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        assert!(matches!(
+            Schema::new(&[("P", 2), ("P", 1)]),
+            Err(SchemaError::DuplicateRelation(_))
+        ));
+    }
+
+    #[test]
+    fn zero_arity_rejected() {
+        assert!(matches!(
+            Schema::new(&[("P", 0)]),
+            Err(SchemaError::ZeroArity(_))
+        ));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Schema::parse("").is_err());
+        assert!(Schema::parse("P").is_err());
+        assert!(Schema::parse("P/x").is_err());
+    }
+
+    #[test]
+    fn extend_adds_relation() {
+        let s = Schema::parse("P/2").unwrap();
+        let s2 = s.extend(&[("R", 1)]).unwrap();
+        assert_eq!(s2.len(), 2);
+        assert!(s2.rel("R").is_some());
+        assert!(!s.same_as(&s2));
+        assert!(s.same_as(&s.clone()));
+    }
+}

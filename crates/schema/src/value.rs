@@ -1,0 +1,183 @@
+//! Values: constants and labeled nulls.
+//!
+//! The paper fixes an infinite set `Const` of constants and an infinite set
+//! `Var` of nulls, disjoint from `Const` (§2). Ground instances take values
+//! from `Const` only; target instances produced by the chase may also
+//! contain nulls.
+//!
+//! Constants are interned in a process-wide table so that [`ConstId`]
+//! comparison and hashing are integer operations; the original spelling is
+//! recoverable through [`ConstId::name`]. Nulls are plain numeric labels;
+//! freshness is managed by the consumers (the chase keeps a counter above
+//! the maximum null of the instances involved).
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Process-wide constant interner.
+struct Interner {
+    names: Vec<String>,
+    ids: HashMap<String, u32>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            names: Vec::new(),
+            ids: HashMap::new(),
+        })
+    })
+}
+
+/// An interned constant from the paper's infinite sort `Const`.
+///
+/// Two constants are equal iff they were interned from the same spelling.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConstId(u32);
+
+impl ConstId {
+    /// Intern `name`, returning its (process-wide) constant id.
+    pub fn new(name: &str) -> Self {
+        let table = interner();
+        if let Some(&id) = table.read().ids.get(name) {
+            return ConstId(id);
+        }
+        let mut w = table.write();
+        if let Some(&id) = w.ids.get(name) {
+            return ConstId(id);
+        }
+        let id = u32::try_from(w.names.len()).expect("constant interner overflow");
+        w.names.push(name.to_owned());
+        w.ids.insert(name.to_owned(), id);
+        ConstId(id)
+    }
+
+    /// The spelling this constant was interned from.
+    pub fn name(self) -> String {
+        interner().read().names[self.0 as usize].clone()
+    }
+
+    /// Raw interner index (stable within the process only).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for ConstId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl fmt::Display for ConstId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// A labeled null from the paper's sort `Var`.
+///
+/// Nulls model incomplete information introduced by existential quantifiers
+/// during the chase. Homomorphisms may map nulls to arbitrary values but
+/// must fix constants.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NullId(pub u64);
+
+impl fmt::Display for NullId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// A value of an instance: an element of `Const ∪ Var`.
+///
+/// The derived `Ord` places all constants before all nulls, which gives
+/// instances a deterministic iteration order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// A constant (`Const`): fixed by every homomorphism.
+    Const(ConstId),
+    /// A labeled null (`Var`): may be remapped by homomorphisms.
+    Null(NullId),
+}
+
+impl Value {
+    /// Shorthand for interning a named constant.
+    pub fn constant(name: &str) -> Self {
+        Value::Const(ConstId::new(name))
+    }
+
+    /// Shorthand for a labeled null.
+    pub fn null(id: u64) -> Self {
+        Value::Null(NullId(id))
+    }
+
+    /// Is this value a constant?
+    pub fn is_const(self) -> bool {
+        matches!(self, Value::Const(_))
+    }
+
+    /// Is this value a null?
+    pub fn is_null(self) -> bool {
+        matches!(self, Value::Null(_))
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Const(c) => write!(f, "{c}"),
+            Value::Null(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = ConstId::new("alpha");
+        let b = ConstId::new("alpha");
+        let c = ConstId::new("beta");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.name(), "alpha");
+        assert_eq!(c.name(), "beta");
+    }
+
+    #[test]
+    fn value_kinds() {
+        let c = Value::constant("a");
+        let n = Value::null(7);
+        assert!(c.is_const() && !c.is_null());
+        assert!(n.is_null() && !n.is_const());
+        assert_eq!(format!("{n}"), "N7");
+    }
+
+    #[test]
+    fn constants_order_before_nulls() {
+        let c = Value::constant("zzz");
+        let n = Value::null(0);
+        assert!(c < n);
+    }
+
+    #[test]
+    fn interner_survives_many_symbols() {
+        for i in 0..1000 {
+            let name = format!("c{i}");
+            let id = ConstId::new(&name);
+            assert_eq!(id.name(), name);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Scalable mapping and instance families for the benchmark suite.
+//!
+//! Each family isolates one of the paper's complexity sources:
+//!
+//! * [`copy_arity`] — `P/m → Q/m`: the Inverse algorithm enumerates
+//!   `B(m)` prime atoms (Bell numbers) — Theorem 5.1's exponential;
+//! * [`decomposition_k`] — `P/k → Q₁(x₁,x₂) ∧ … ∧ Q_{k-1}(x_{k-1},x_k)`:
+//!   `Σ*` has `B(k)` complete descriptions — Theorem 4.1's first
+//!   exponential;
+//! * [`union_n`] — `P₁…P_n → S`: MinGen finds `n` generators per
+//!   dependency (disjunction width);
+//! * [`chain_join_j`] — a `j`-atom join premise: MinGen's search space
+//!   over candidate conjunctions — Theorem 4.1's second exponential;
+//! * instance builders for chase/round-trip scaling curves.
+
+use qi_core::SchemaMapping;
+use qi_schema::Instance;
+
+/// The copy mapping `P/m → Q/m`.
+pub fn copy_arity(m: usize) -> SchemaMapping {
+    assert!(m >= 1);
+    let vars: Vec<String> = (1..=m).map(|i| format!("x{i}")).collect();
+    let dep = format!("P({0}) -> Q({0})", vars.join(","));
+    SchemaMapping::parse(&format!("P/{m}"), &format!("Q/{m}"), &[dep.as_str()])
+        .expect("generated mapping is valid")
+}
+
+/// The `k`-ary decomposition `P(x₁,…,x_k) → ⋀ᵢ Qᵢ(xᵢ,xᵢ₊₁)`.
+pub fn decomposition_k(k: usize) -> SchemaMapping {
+    assert!(k >= 2);
+    let vars: Vec<String> = (1..=k).map(|i| format!("x{i}")).collect();
+    let target: Vec<String> = (1..k).map(|i| format!("Q{i}/2")).collect();
+    let head: Vec<String> = (1..k)
+        .map(|i| format!("Q{i}({},{})", vars[i - 1], vars[i]))
+        .collect();
+    let dep = format!("P({}) -> {}", vars.join(","), head.join(" & "));
+    SchemaMapping::parse(&format!("P/{k}"), &target.join(" "), &[dep.as_str()])
+        .expect("generated mapping is valid")
+}
+
+/// The `n`-way union `Pᵢ(x) → S(x)`.
+pub fn union_n(n: usize) -> SchemaMapping {
+    assert!(n >= 1);
+    let source: Vec<String> = (1..=n).map(|i| format!("P{i}/1")).collect();
+    let deps: Vec<String> = (1..=n).map(|i| format!("P{i}(x) -> S(x)")).collect();
+    let dep_refs: Vec<&str> = deps.iter().map(String::as_str).collect();
+    SchemaMapping::parse(&source.join(" "), "S/1", &dep_refs).expect("generated mapping is valid")
+}
+
+/// A `j`-atom join premise: `A₁(x₀,x₁) ∧ … ∧ A_j(x_{j-1},x_j) → T(x₀,x_j)`.
+pub fn chain_join_j(j: usize) -> SchemaMapping {
+    assert!(j >= 1);
+    let source: Vec<String> = (1..=j).map(|i| format!("A{i}/2")).collect();
+    let body: Vec<String> = (1..=j)
+        .map(|i| format!("A{i}(x{},x{})", i - 1, i))
+        .collect();
+    let dep = format!("{} -> T(x0,x{j})", body.join(" & "));
+    SchemaMapping::parse(&source.join(" "), "T/2", &[dep.as_str()])
+        .expect("generated mapping is valid")
+}
+
+/// `n` distinct `P`-facts `P(aᵢ, b, cᵢ)` sharing the middle column — the
+/// Figure 1 workload at scale (each pair of facts cross-multiplies in the
+/// recovered instance).
+pub fn decomposition_instance(m: &SchemaMapping, n: usize) -> Instance {
+    let mut inst = Instance::new(m.source.clone());
+    let k = m.source.arity(m.source.rel("P").expect("family schema has P"));
+    for i in 0..n {
+        let mut row: Vec<&str> = Vec::with_capacity(k);
+        let first = format!("a{i}");
+        let last = format!("c{i}");
+        let mut owned: Vec<String> = Vec::new();
+        owned.push(first);
+        for _ in 1..k - 1 {
+            owned.push("b".to_owned());
+        }
+        owned.push(last);
+        for s in &owned {
+            row.push(s);
+        }
+        inst.insert_consts("P", &row).expect("arity matches");
+    }
+    inst
+}
+
+/// A random-ish `E/2` path-plus-chords graph of `n` edges for chase and
+/// homomorphism scaling (deterministic, no RNG needed).
+pub fn graph_instance(m: &SchemaMapping, rel: &str, n: usize) -> Instance {
+    let mut inst = Instance::new(m.source.clone());
+    for i in 0..n {
+        let a = format!("v{}", i % (n / 2 + 1));
+        let b = format!("v{}", (i * 7 + 3) % (n / 2 + 1));
+        inst.insert_consts(rel, &[&a, &b]).expect("arity matches");
+    }
+    inst
+}
+
+/// `n` facts spread round-robin over the `union_n` source relations.
+pub fn union_instance(m: &SchemaMapping, n: usize) -> Instance {
+    let mut inst = Instance::new(m.source.clone());
+    let rels = m.source.len();
+    for i in 0..n {
+        let rel = format!("P{}", (i % rels) + 1);
+        let c = format!("c{i}");
+        inst.insert_consts(&rel, &[&c]).expect("arity matches");
+    }
+    inst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_build_at_several_sizes() {
+        for m in 1..=4 {
+            assert!(copy_arity(m).is_full());
+        }
+        for k in 2..=5 {
+            let d = decomposition_k(k);
+            assert!(d.is_lav());
+            assert_eq!(d.target.len(), k - 1);
+        }
+        for n in 1..=5 {
+            assert_eq!(union_n(n).tgds.len(), n);
+        }
+        for j in 1..=4 {
+            assert_eq!(chain_join_j(j).max_body_atoms(), j);
+        }
+    }
+
+    #[test]
+    fn decomposition_instance_chases() {
+        let m = decomposition_k(3);
+        let i = decomposition_instance(&m, 4);
+        assert_eq!(i.fact_count(), 4);
+        let u = m.chase(&i).unwrap();
+        // shared middle column: Q1 has 4 facts, Q2 has 4 facts
+        assert_eq!(u.fact_count(), 8);
+    }
+
+    #[test]
+    fn union_instance_round_robin() {
+        let m = union_n(3);
+        let i = union_instance(&m, 7);
+        assert_eq!(i.fact_count(), 7);
+        let u = m.chase(&i).unwrap();
+        assert_eq!(u.fact_count(), 7);
+    }
+
+    #[test]
+    fn graph_instance_is_deterministic() {
+        let m = SchemaMapping::parse("E/2", "F/2", &["E(x,y) -> F(x,y)"]).unwrap();
+        let a = graph_instance(&m, "E", 20);
+        let b = graph_instance(&m, "E", 20);
+        assert_eq!(a, b);
+        assert!(a.fact_count() <= 20);
+    }
+}

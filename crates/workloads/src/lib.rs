@@ -1,0 +1,21 @@
+//! # qi-workloads — the paper's examples and generated workloads
+//!
+//! * [`paper`] — every named schema mapping of *Quasi-inverses of Schema
+//!   Mappings* as a reusable constructor, with the paper's claimed
+//!   verdicts (invertible? quasi-invertible?) attached — the raw material
+//!   of experiment E1 (the catalogue) and the theorem-level tests;
+//! * [`random`] — seeded random generators for ground instances and for
+//!   LAV / full / general s-t tgd mappings, used by the property tests
+//!   (experiments E4, E5);
+//! * [`families`] — scalable parametric families (k-ary decomposition,
+//!   n-way union, join chains, wide copies) that drive the benchmark
+//!   suite's scaling curves (experiments E3, E10).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod families;
+pub mod paper;
+pub mod random;
+
+pub use paper::{catalogue, CatalogueEntry, Verdict};

@@ -1,0 +1,353 @@
+//! Every named schema mapping of the paper, with its claimed verdicts.
+//!
+//! The constructors below follow the paper's text verbatim; the
+//! [`catalogue`] bundles them with the invertibility / quasi-invertibility
+//! verdicts the paper proves, so the test-suite and the `paper_gallery`
+//! example can confront claim and computation mapping by mapping.
+
+use qi_core::{ReverseMapping, SchemaMapping};
+
+/// The paper's verdict about a mapping (`None` = not discussed).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Verdict {
+    /// Does the mapping have an inverse?
+    pub invertible: Option<bool>,
+    /// Does it have a quasi-inverse?
+    pub quasi_invertible: Option<bool>,
+}
+
+/// One entry of the paper catalogue.
+pub struct CatalogueEntry {
+    /// Short identifier (section / theorem it comes from).
+    pub name: &'static str,
+    /// Where in the paper it appears and what it demonstrates.
+    pub role: &'static str,
+    /// The mapping itself.
+    pub mapping: SchemaMapping,
+    /// The paper's claims.
+    pub verdict: Verdict,
+}
+
+/// §1 *Projection*: `P(x,y) → Q(x)`.
+pub fn projection() -> SchemaMapping {
+    SchemaMapping::parse("P/2", "Q/1", &["P(x,y) -> Q(x)"]).expect("paper mapping")
+}
+
+/// §1 *Union*: `P(x) → S(x)`, `Q(x) → S(x)`.
+pub fn union_mapping() -> SchemaMapping {
+    SchemaMapping::parse("P/1 Q/1", "S/1", &["P(x) -> S(x)", "Q(x) -> S(x)"])
+        .expect("paper mapping")
+}
+
+/// §1 / Example 3.10 / Figure 1 *Decomposition*:
+/// `P(x,y,z) → Q(x,y) ∧ R(y,z)`.
+pub fn decomposition() -> SchemaMapping {
+    SchemaMapping::parse("P/3", "Q/2 R/2", &["P(x,y,z) -> Q(x,y) & R(y,z)"])
+        .expect("paper mapping")
+}
+
+/// Example 3.10's first quasi-inverse `Σ' = {Q(x,y) ∧ R(y,z) → P(x,y,z)}`.
+pub fn decomposition_quasi_inverse_join() -> ReverseMapping {
+    ReverseMapping::parse(&decomposition(), &["Q(x,y) & R(y,z) -> P(x,y,z)"])
+        .expect("paper reverse mapping")
+}
+
+/// Example 3.10's second quasi-inverse
+/// `Σ'' = {Q(x,y) → ∃z P(x,y,z), R(y,z) → ∃x P(x,y,z)}`.
+pub fn decomposition_quasi_inverse_lav() -> ReverseMapping {
+    ReverseMapping::parse(
+        &decomposition(),
+        &[
+            "Q(x,y) -> exists z . P(x,y,z)",
+            "R(y,z) -> exists x . P(x,y,z)",
+        ],
+    )
+    .expect("paper reverse mapping")
+}
+
+/// The plain copy mapping `P(x,y) → Q(x,y)` — the simplest invertible
+/// mapping, used throughout §5.
+pub fn copy() -> SchemaMapping {
+    SchemaMapping::parse("P/2", "Q/2", &["P(x,y) -> Q(x,y)"]).expect("paper mapping")
+}
+
+/// Proposition 3.12: the full s-t tgd
+/// `E(x,z) ∧ E(z,y) → F(x,y) ∧ M(z)` — a mapping with **no**
+/// quasi-inverse.
+pub fn prop_3_12() -> SchemaMapping {
+    SchemaMapping::parse("E/2", "F/2 M/1", &["E(x,z) & E(z,y) -> F(x,y) & M(z)"])
+        .expect("paper mapping")
+}
+
+/// Example 4.5's four-tgd mapping (the QuasiInverse walk-through).
+pub fn example_4_5() -> SchemaMapping {
+    SchemaMapping::parse(
+        "P/3 U/1 T/2 R/3",
+        "S/3 Q/2",
+        &[
+            "P(x1,x2,x3) -> exists y . S(x1,x2,y) & Q(y,y)",
+            "U(x1) -> exists y . S(x1,x1,y) & Q(y,y) & Q(x1,y)",
+            "T(x3,x4) -> S(x4,x4,x3)",
+            "R(x1,x2,x4) -> Q(x1,x2)",
+        ],
+    )
+    .expect("paper mapping")
+}
+
+/// Example 5.4's mapping (the Inverse walk-through).
+pub fn example_5_4() -> SchemaMapping {
+    SchemaMapping::parse(
+        "R/2",
+        "Q/2 S/3 U/1",
+        &[
+            "R(x1,x2) & R(x2,x1) -> exists y . Q(x1,y)",
+            "R(x1,x2) -> exists y . S(x1,x2,y)",
+            "R(x1,x1) -> U(x1)",
+        ],
+    )
+    .expect("paper mapping")
+}
+
+/// Theorem 4.8 (necessity of constants): the LAV mapping
+/// `P(x,y) → ∃z (Q(x,z) ∧ Q(z,y))`, invertible but with no inverse
+/// expressible without `Constant`.
+pub fn thm_4_8() -> SchemaMapping {
+    SchemaMapping::parse("P/2", "Q/2", &["P(x,y) -> exists z . Q(x,z) & Q(z,y)"])
+        .expect("paper mapping")
+}
+
+/// The inverse of [`thm_4_8`] given in the paper:
+/// `Q(x,z) ∧ Q(z,y) ∧ Constant(x) ∧ Constant(y) → P(x,y)`.
+pub fn thm_4_8_inverse() -> ReverseMapping {
+    ReverseMapping::parse(
+        &thm_4_8(),
+        &["Q(x,z) & Q(z,y) & const(x) & const(y) -> P(x,y)"],
+    )
+    .expect("paper reverse mapping")
+}
+
+/// Theorem 4.9 (necessity of inequalities): full LAV mapping over
+/// `S = {P/2, T/1}` with
+/// `P(x,y) → P'(x,y)`, `P(x,x) → Q(x)`, `T(x) → T'(x)`,
+/// `T(x) → P'(x,x)` — invertible, but every inverse needs `≠`.
+pub fn thm_4_9() -> SchemaMapping {
+    SchemaMapping::parse(
+        "P/2 T/1",
+        "Pp/2 Q/1 Tp/1",
+        &[
+            "P(x,y) -> Pp(x,y)",
+            "P(x,x) -> Q(x)",
+            "T(x) -> Tp(x)",
+            "T(x) -> Pp(x,x)",
+        ],
+    )
+    .expect("paper mapping")
+}
+
+/// Theorem 4.10 (necessity of disjunctions): full mapping over four unary
+/// source relations with pairwise witnesses `R_ij`, quasi-invertible but
+/// not with disjunction-free dependencies.
+pub fn thm_4_10() -> SchemaMapping {
+    SchemaMapping::parse(
+        "P1/1 P2/1 P3/1 P4/1",
+        "S1/1 S2/1 R13/1 R14/1 R23/1 R24/1",
+        &[
+            "P1(x) -> S1(x)",
+            "P2(x) -> S1(x)",
+            "P3(x) -> S2(x)",
+            "P4(x) -> S2(x)",
+            "P1(x) & P3(x) -> R13(x)",
+            "P1(x) & P4(x) -> R14(x)",
+            "P2(x) & P3(x) -> R23(x)",
+            "P2(x) & P4(x) -> R24(x)",
+        ],
+    )
+    .expect("paper mapping")
+}
+
+/// Theorem 4.11 (necessity of existential quantifiers): the full LAV
+/// mapping `P(x,y) → R(x)`, `P(x,x) → S(x)`, quasi-invertible (LAV) but
+/// not via full dependencies.
+pub fn thm_4_11() -> SchemaMapping {
+    SchemaMapping::parse("P/2", "R/1 S/1", &["P(x,y) -> R(x)", "P(x,x) -> S(x)"])
+        .expect("paper mapping")
+}
+
+/// A mapping with the unique-solutions property but **without** the
+/// `(=,=)`-subset property (hence not invertible) — the separation the
+/// paper defers to its full version ("there is a schema mapping M that
+/// … has the unique-solutions property, but does not have the
+/// (=,=)-property"). Reconstructed here:
+///
+/// ```text
+/// P(x) → A(x)            Q(x) → A(x) ∧ B(x)        P(x) ∧ Q(x) → C(x)
+/// ```
+///
+/// The chase determines `(A,B,C) = (P∪Q, Q, P∩Q)`, from which `P` and
+/// `Q` are recoverable (`Q = B`, `P = (A∖B) ∪ C`) — unique solutions.
+/// But `chase({P(a)}) = {A(a)} ⊆ {A(a),B(a)} = chase({Q(a)})` while
+/// `{P(a)} ⊄ {Q(a)}` — the `(=,=)`-subset property fails.
+pub fn unique_solutions_without_subset_property() -> SchemaMapping {
+    SchemaMapping::parse(
+        "P/1 Q/1",
+        "A/1 B/1 C/1",
+        &["P(x) -> A(x)", "Q(x) -> A(x) & B(x)", "P(x) & Q(x) -> C(x)"],
+    )
+    .expect("paper mapping")
+}
+
+/// §4's two-tgd inequality illustration: `S(x,y) → P(x,y)`,
+/// `T(x,y) → P(x,x)` (the generator discussion before Definition 4.2).
+pub fn section_4_inequality_example() -> SchemaMapping {
+    SchemaMapping::parse("S/2 T/2", "P/2", &["S(x,y) -> P(x,y)", "T(x,y) -> P(x,x)"])
+        .expect("paper mapping")
+}
+
+/// The full catalogue, in paper order.
+pub fn catalogue() -> Vec<CatalogueEntry> {
+    vec![
+        CatalogueEntry {
+            name: "projection",
+            role: "§1 — fails unique solutions; LAV ⇒ quasi-invertible",
+            mapping: projection(),
+            verdict: Verdict {
+                invertible: Some(false),
+                quasi_invertible: Some(true),
+            },
+        },
+        CatalogueEntry {
+            name: "union",
+            role: "§1 — fails unique solutions; quasi-inverse needs disjunction-or-choice",
+            mapping: union_mapping(),
+            verdict: Verdict {
+                invertible: Some(false),
+                quasi_invertible: Some(true),
+            },
+        },
+        CatalogueEntry {
+            name: "decomposition",
+            role: "§1 / Example 3.10 / Figure 1",
+            mapping: decomposition(),
+            verdict: Verdict {
+                invertible: Some(false),
+                quasi_invertible: Some(true),
+            },
+        },
+        CatalogueEntry {
+            name: "copy",
+            role: "baseline invertible mapping (§5)",
+            mapping: copy(),
+            verdict: Verdict {
+                invertible: Some(true),
+                quasi_invertible: Some(true),
+            },
+        },
+        CatalogueEntry {
+            name: "prop-3.12",
+            role: "full s-t tgd with NO quasi-inverse",
+            mapping: prop_3_12(),
+            verdict: Verdict {
+                invertible: Some(false),
+                quasi_invertible: Some(false),
+            },
+        },
+        CatalogueEntry {
+            name: "example-4.5",
+            role: "QuasiInverse algorithm walk-through",
+            mapping: example_4_5(),
+            verdict: Verdict {
+                invertible: None,
+                quasi_invertible: None,
+            },
+        },
+        CatalogueEntry {
+            name: "example-5.4",
+            role: "Inverse algorithm walk-through",
+            mapping: example_5_4(),
+            verdict: Verdict {
+                invertible: None,
+                quasi_invertible: None,
+            },
+        },
+        CatalogueEntry {
+            name: "thm-4.8",
+            role: "necessity of Constant guards",
+            mapping: thm_4_8(),
+            verdict: Verdict {
+                invertible: Some(true),
+                quasi_invertible: Some(true),
+            },
+        },
+        CatalogueEntry {
+            name: "thm-4.9",
+            role: "necessity of inequalities",
+            mapping: thm_4_9(),
+            verdict: Verdict {
+                invertible: Some(true),
+                quasi_invertible: Some(true),
+            },
+        },
+        CatalogueEntry {
+            name: "thm-4.10",
+            role: "necessity of disjunctions",
+            mapping: thm_4_10(),
+            verdict: Verdict {
+                invertible: None,
+                quasi_invertible: Some(true),
+            },
+        },
+        CatalogueEntry {
+            name: "thm-4.11",
+            role: "necessity of existential quantifiers",
+            mapping: thm_4_11(),
+            verdict: Verdict {
+                invertible: None,
+                quasi_invertible: Some(true),
+            },
+        },
+        CatalogueEntry {
+            name: "section-4-neq",
+            role: "generator discussion before Definition 4.2",
+            mapping: section_4_inequality_example(),
+            verdict: Verdict {
+                invertible: None,
+                quasi_invertible: Some(true),
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_builds_and_classifies() {
+        let entries = catalogue();
+        assert_eq!(entries.len(), 12);
+        for e in &entries {
+            assert!(!e.mapping.tgds.is_empty(), "{} has tgds", e.name);
+        }
+    }
+
+    #[test]
+    fn lav_and_full_flags_match_paper() {
+        assert!(projection().is_lav() && projection().is_full());
+        assert!(union_mapping().is_lav() && union_mapping().is_full());
+        assert!(decomposition().is_lav() && decomposition().is_full());
+        assert!(!prop_3_12().is_lav() && prop_3_12().is_full());
+        assert!(thm_4_8().is_lav() && !thm_4_8().is_full());
+        assert!(thm_4_9().is_lav() && thm_4_9().is_full());
+        assert!(!thm_4_10().is_lav() && thm_4_10().is_full());
+        assert!(thm_4_11().is_lav() && thm_4_11().is_full());
+    }
+
+    #[test]
+    fn paper_reverse_mappings_build() {
+        assert_eq!(decomposition_quasi_inverse_join().deps.len(), 1);
+        assert_eq!(decomposition_quasi_inverse_lav().deps.len(), 2);
+        let inv = thm_4_8_inverse();
+        assert!(inv.deps[0].has_constants());
+        assert!(!inv.deps[0].has_inequalities());
+    }
+}

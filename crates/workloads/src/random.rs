@@ -1,0 +1,231 @@
+//! Seeded random generators for instances and mappings.
+//!
+//! Used by the property tests (soundness/faithfulness of algorithm
+//! outputs on random inputs, Prop 3.11 on random LAV mappings) and by the
+//! chase benchmarks. All generators take an explicit RNG so runs are
+//! reproducible from a seed.
+
+use qi_core::SchemaMapping;
+use qi_lang::{Atom, Tgd, Var};
+use qi_schema::{Instance, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for random ground instances.
+#[derive(Clone, Copy, Debug)]
+pub struct InstanceParams {
+    /// Size of the constant pool (`c0..c{n-1}`).
+    pub n_consts: usize,
+    /// Number of fact-insertion attempts (duplicates collapse, so the
+    /// result has *at most* this many facts).
+    pub n_facts: usize,
+}
+
+/// A random ground instance over `schema`.
+pub fn random_ground_instance(
+    schema: &Schema,
+    rng: &mut StdRng,
+    params: &InstanceParams,
+) -> Instance {
+    let consts: Vec<Value> = (0..params.n_consts.max(1))
+        .map(|i| Value::constant(&format!("c{i}")))
+        .collect();
+    let mut inst = Instance::new(schema.clone());
+    for _ in 0..params.n_facts {
+        let rel = schema
+            .rel_ids()
+            .nth(rng.random_range(0..schema.len()))
+            .expect("index in range");
+        let args: Vec<Value> = (0..schema.arity(rel))
+            .map(|_| consts[rng.random_range(0..consts.len())])
+            .collect();
+        inst.insert(rel, args).expect("arity matches");
+    }
+    inst
+}
+
+/// Parameters for random s-t tgd mappings.
+#[derive(Clone, Copy, Debug)]
+pub struct MappingParams {
+    /// Number of source relations.
+    pub n_source_rels: usize,
+    /// Number of target relations.
+    pub n_target_rels: usize,
+    /// Maximum relation arity (min 1).
+    pub max_arity: usize,
+    /// Number of tgds.
+    pub n_tgds: usize,
+    /// Force single-atom premises (LAV).
+    pub lav: bool,
+    /// Forbid existential head variables (full tgds).
+    pub full: bool,
+    /// Maximum premise atoms (ignored when `lav`).
+    pub max_body_atoms: usize,
+    /// Maximum conclusion atoms.
+    pub max_head_atoms: usize,
+}
+
+impl Default for MappingParams {
+    fn default() -> Self {
+        MappingParams {
+            n_source_rels: 2,
+            n_target_rels: 2,
+            max_arity: 2,
+            n_tgds: 2,
+            lav: false,
+            full: false,
+            max_body_atoms: 2,
+            max_head_atoms: 2,
+        }
+    }
+}
+
+/// A random schema mapping. Construction guarantees validity: head
+/// variables are drawn from the premise variables plus (unless `full`) a
+/// pool of existential variables; unused existentials are dropped.
+pub fn random_mapping(rng: &mut StdRng, params: &MappingParams) -> SchemaMapping {
+    let source_desc: Vec<(String, usize)> = (0..params.n_source_rels.max(1))
+        .map(|i| (format!("Src{i}"), rng.random_range(1..=params.max_arity.max(1))))
+        .collect();
+    let target_desc: Vec<(String, usize)> = (0..params.n_target_rels.max(1))
+        .map(|i| (format!("Tgt{i}"), rng.random_range(1..=params.max_arity.max(1))))
+        .collect();
+    let source = Schema::new(&source_desc).expect("valid generated schema");
+    let target = Schema::new(&target_desc).expect("valid generated schema");
+    let mut tgds = Vec::new();
+    while tgds.len() < params.n_tgds {
+        if let Some(tgd) = random_tgd(rng, &source, &target, params) {
+            tgds.push(tgd);
+        }
+    }
+    SchemaMapping::new(source, target, tgds).expect("schemas match by construction")
+}
+
+/// A random mapping between two *given* schemas (used e.g. to generate a
+/// second mapping whose source is the first one's target, for
+/// composition tests).
+pub fn random_mapping_between(
+    rng: &mut StdRng,
+    source: &Schema,
+    target: &Schema,
+    params: &MappingParams,
+) -> SchemaMapping {
+    let mut tgds = Vec::new();
+    while tgds.len() < params.n_tgds {
+        if let Some(tgd) = random_tgd(rng, source, target, params) {
+            tgds.push(tgd);
+        }
+    }
+    SchemaMapping::new(source.clone(), target.clone(), tgds)
+        .expect("schemas match by construction")
+}
+
+fn random_tgd(
+    rng: &mut StdRng,
+    source: &Schema,
+    target: &Schema,
+    params: &MappingParams,
+) -> Option<Tgd> {
+    let n_body = if params.lav {
+        1
+    } else {
+        rng.random_range(1..=params.max_body_atoms.max(1))
+    };
+    // Premise variable pool: a few shared names so joins happen.
+    let pool: Vec<Var> = (0..4).map(|i| Var::new(&format!("x{i}"))).collect();
+    let mut body = Vec::new();
+    for _ in 0..n_body {
+        let rel = source.rel_ids().nth(rng.random_range(0..source.len()))?;
+        let args: Vec<Var> = (0..source.arity(rel))
+            .map(|_| pool[rng.random_range(0..pool.len())].clone())
+            .collect();
+        body.push(Atom::new(rel, args));
+    }
+    let body_vars: Vec<Var> = qi_lang::atom::vars_of(&body);
+    let e_pool: Vec<Var> = (0..2).map(|i| Var::new(&format!("e{i}"))).collect();
+    let n_head = rng.random_range(1..=params.max_head_atoms.max(1));
+    let mut head = Vec::new();
+    for _ in 0..n_head {
+        let rel = target.rel_ids().nth(rng.random_range(0..target.len()))?;
+        let args: Vec<Var> = (0..target.arity(rel))
+            .map(|_| {
+                if !params.full && rng.random_bool(0.3) {
+                    e_pool[rng.random_range(0..e_pool.len())].clone()
+                } else {
+                    body_vars[rng.random_range(0..body_vars.len())].clone()
+                }
+            })
+            .collect();
+        head.push(Atom::new(rel, args));
+    }
+    let head_vars = qi_lang::atom::vars_of(&head);
+    let exists: Vec<Var> = e_pool.into_iter().filter(|v| head_vars.contains(v)).collect();
+    Tgd::new(source.clone(), target.clone(), body, exists, head).ok()
+}
+
+/// Convenience: a fresh seeded RNG.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instances_are_reproducible() {
+        let s = Schema::parse("P/2 Q/1").unwrap();
+        let p = InstanceParams {
+            n_consts: 3,
+            n_facts: 10,
+        };
+        let a = random_ground_instance(&s, &mut rng(7), &p);
+        let b = random_ground_instance(&s, &mut rng(7), &p);
+        assert_eq!(a, b);
+        assert!(a.is_ground());
+        assert!(a.fact_count() <= 10);
+    }
+
+    #[test]
+    fn lav_flag_respected() {
+        let p = MappingParams {
+            lav: true,
+            n_tgds: 5,
+            ..Default::default()
+        };
+        for seed in 0..10 {
+            let m = random_mapping(&mut rng(seed), &p);
+            assert!(m.is_lav(), "seed {seed}");
+            assert_eq!(m.tgds.len(), 5);
+        }
+    }
+
+    #[test]
+    fn full_flag_respected() {
+        let p = MappingParams {
+            full: true,
+            n_tgds: 4,
+            ..Default::default()
+        };
+        for seed in 0..10 {
+            let m = random_mapping(&mut rng(seed), &p);
+            assert!(m.is_full(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn random_mappings_chase_their_random_instances() {
+        let mp = MappingParams::default();
+        let ip = InstanceParams {
+            n_consts: 3,
+            n_facts: 5,
+        };
+        for seed in 0..10 {
+            let mut r = rng(seed);
+            let m = random_mapping(&mut r, &mp);
+            let i = random_ground_instance(&m.source, &mut r, &ip);
+            let u = m.chase(&i).expect("chase succeeds");
+            assert!(qi_chase::is_solution(&m.tgds, &i, &u));
+        }
+    }
+}

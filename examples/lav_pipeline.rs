@@ -1,0 +1,77 @@
+//! LAV integration pipeline (experiment E5 — Proposition 3.11 /
+//! Theorem 4.7 in action).
+//!
+//! A warehouse integrates three departmental sources through a LAV
+//! mapping (each source table is a view over the warehouse). LAV
+//! mappings *always* have quasi-inverses; this pipeline computes one,
+//! uses it to re-derive department-local data from the warehouse, and
+//! checks the paper's `(=, ~M)` union witness on an exhaustive universe.
+//!
+//! ```sh
+//! cargo run --release --example lav_pipeline
+//! ```
+
+use quasi_inverse::core::enumerate::ground_instances;
+use quasi_inverse::prelude::*;
+
+fn main() {
+    // Departmental sources → warehouse.
+    //   Hires(person, dept)      → Staff(person, dept)
+    //   Transfers(person, dept)  → Staff(person, dept)
+    //   Badges(person)           → Person(person)
+    //   Hires(person, dept)      → Person(person)
+    let m = SchemaMapping::parse(
+        "Hires/2 Transfers/2 Badges/1",
+        "Staff/2 Person/1",
+        &[
+            "Hires(p,d) -> Staff(p,d)",
+            "Transfers(p,d) -> Staff(p,d)",
+            "Badges(p) -> Person(p)",
+            "Hires(p,d) -> Person(p)",
+        ],
+    )
+    .expect("valid mapping");
+    assert!(m.is_lav());
+    println!("LAV integration mapping:\n{m}");
+
+    // Proposition 3.11: every LAV mapping is quasi-invertible — verified
+    // constructively with the union witness on an exhaustive universe.
+    let universe = ground_instances(&m.source, &["a", "b"], 3);
+    assert!(
+        union_witness_subset_property(&m, &universe)
+            .expect("chase")
+            .is_none(),
+        "the (=, ~M) union witness validates (Prop 3.11)"
+    );
+    println!(
+        "Union-witness subset property validated on {} exhaustive instances (Prop 3.11).\n",
+        universe.len()
+    );
+
+    // Compute the quasi-inverse.
+    let rev = compute_quasi_inverse(&m, &Default::default()).expect("algorithm succeeds");
+    println!("Quasi-inverse (QuasiInverse algorithm):\n{rev}");
+
+    // Integrate some data and recover department-equivalent sources.
+    let i = Instance::parse(
+        &m.source,
+        "Hires(ana,sales) Transfers(bo,eng) Badges(cy) Badges(ana)",
+    )
+    .expect("valid");
+    let rt = round_trip(&m, &rev, &i, Default::default()).expect("round trip");
+    println!(
+        "\nWarehouse U: {}\nRecovered {} candidate source instance(s); faithful: {}",
+        rt.u,
+        rt.recovered.len(),
+        rt.is_faithful()
+    );
+    assert!(rt.is_sound() && rt.is_faithful());
+    let v = rt.recovered_equivalent().expect("faithful");
+    println!("A data-exchange-equivalent source:\n  {v}");
+
+    // Every fact the recovery asserts is justified: chasing it produces
+    // nothing beyond U (soundness, Theorem 6.7).
+    let u_again = m.chase(v).expect("chase");
+    assert!(has_hom(&u_again, &rt.u));
+    println!("\nRe-chasing the recovery stays within U (Theorem 6.7 soundness).");
+}

@@ -1,0 +1,174 @@
+//! Failure-path coverage: every fallible API surfaces a typed error (or
+//! a documented refusal) instead of panicking, misbehaving, or silently
+//! truncating.
+
+use quasi_inverse::chase::{disjunctive_chase, ChaseError, DisjChaseOptions};
+use quasi_inverse::core::{min_gen, CoreError, MinGenOptions};
+use quasi_inverse::lang::{parse_disj_tgd, parse_tgd, ConjunctiveQuery, LangError};
+use quasi_inverse::prelude::*;
+use quasi_inverse::schema::SchemaError;
+
+#[test]
+fn schema_errors() {
+    assert!(matches!(
+        Schema::new(&[("P", 2), ("P", 3)]),
+        Err(SchemaError::DuplicateRelation(_))
+    ));
+    assert!(matches!(Schema::parse("P"), Err(SchemaError::Parse(_))));
+    let s = Schema::parse("P/2").unwrap();
+    assert!(matches!(
+        s.rel_checked("Q"),
+        Err(SchemaError::UnknownRelation(_))
+    ));
+}
+
+#[test]
+fn instance_errors() {
+    let s = Schema::parse("P/2").unwrap();
+    let mut i = Instance::new(s.clone());
+    assert!(matches!(
+        i.insert(s.rel("P").unwrap(), vec![Value::constant("a")]),
+        Err(SchemaError::ArityMismatch { .. })
+    ));
+    let other = Instance::new(Schema::parse("Q/1").unwrap());
+    assert!(matches!(i.union(&other), Err(SchemaError::SchemaMismatch)));
+    assert!(Instance::parse(&s, "P(a").is_err());
+    assert!(Instance::parse(&s, "P()").is_err());
+}
+
+#[test]
+fn dependency_language_errors() {
+    let s = Schema::parse("P/2").unwrap();
+    let t = Schema::parse("Q/1").unwrap();
+    assert!(matches!(
+        parse_tgd(&s, &t, "P(x,y) ->"),
+        Err(LangError::Parse(_))
+    ));
+    assert!(matches!(
+        parse_tgd(&s, &t, "P(x,y) -> Q(w)"),
+        Err(LangError::Invalid(_))
+    ));
+    assert!(matches!(
+        parse_disj_tgd(&t, &s, "Q(x) -> P(x,y) | "),
+        Err(LangError::Parse(_))
+    ));
+    assert!(ConjunctiveQuery::parse(&t, "no arrow here").is_err());
+}
+
+#[test]
+fn mapping_construction_errors() {
+    // tgds over foreign schemas rejected.
+    let m = SchemaMapping::parse("P/2", "Q/1", &["P(x,y) -> Q(x)"]).unwrap();
+    let foreign = SchemaMapping::parse("Z/1", "W/1", &["Z(x) -> W(x)"]).unwrap();
+    assert!(matches!(
+        SchemaMapping::new(m.source.clone(), m.target.clone(), foreign.tgds.clone()),
+        Err(CoreError::Precondition(_))
+    ));
+    assert!(matches!(
+        ReverseMapping::new(m.target.clone(), m.source.clone(), {
+            let r = ReverseMapping::parse(&foreign, &["W(x) -> Z(x)"]).unwrap();
+            r.deps
+        }),
+        Err(CoreError::Precondition(_))
+    ));
+}
+
+#[test]
+fn chase_budget_is_a_typed_error() {
+    let t = Schema::parse("S/1").unwrap();
+    let s = Schema::parse("P/1 Q/1").unwrap();
+    let dep = parse_disj_tgd(&t, &s, "S(x) -> P(x) | Q(x)").unwrap();
+    let mut u = Instance::new(t);
+    for k in 0..30 {
+        u.insert_consts("S", &[&format!("c{k}")]).unwrap();
+    }
+    let result = disjunctive_chase(
+        &[dep],
+        &u,
+        &Instance::new(s),
+        DisjChaseOptions { max_nodes: 50 },
+    );
+    assert!(matches!(result, Err(ChaseError::Budget { max_nodes: 50 })));
+}
+
+#[test]
+fn mingen_budget_and_preconditions() {
+    let m = SchemaMapping::parse("A/2 B/2", "T/2", &["A(x,y) & B(y,z) -> T(x,z)"]).unwrap();
+    let psi = vec![Atom::parse_parts(&m.target, "T", &["x", "z"]).unwrap()];
+    // Empty ψ.
+    assert!(matches!(
+        min_gen(&m, &[], &[], &MinGenOptions::default()),
+        Err(CoreError::Precondition(_))
+    ));
+    // Frontier variable absent from ψ.
+    assert!(matches!(
+        min_gen(&m, &psi, &[Var::new("nope")], &MinGenOptions::default()),
+        Err(CoreError::Precondition(_))
+    ));
+    // Budget.
+    assert!(matches!(
+        min_gen(
+            &m,
+            &psi,
+            &[Var::new("x"), Var::new("z")],
+            &MinGenOptions {
+                max_candidates: 1,
+                ..Default::default()
+            }
+        ),
+        Err(CoreError::Budget(_))
+    ));
+}
+
+#[test]
+fn composition_preconditions() {
+    let non_full =
+        SchemaMapping::parse("P/1", "Q/2", &["P(x) -> exists y . Q(x,y)"]).unwrap();
+    let m23 = SchemaMapping::parse("Q/2", "T/1", &["Q(x,y) -> T(x)"]).unwrap();
+    assert!(matches!(
+        compose(&non_full, &m23, &Default::default()),
+        Err(CoreError::Precondition(_))
+    ));
+}
+
+#[test]
+fn composition_contains_requires_guard_completeness() {
+    let m = SchemaMapping::parse("P/2", "Q/2", &["P(x,y) -> Q(x,y)"]).unwrap();
+    let unguarded = ReverseMapping::parse(&m, &["Q(x,y) -> P(x,y)"]).unwrap();
+    let i = Instance::new(m.source.clone());
+    assert!(matches!(
+        composition_contains(&m, &unguarded, &i, &i),
+        Err(CoreError::Precondition(_))
+    ));
+    // And the bounded verifiers refuse the same way.
+    let universe = quasi_inverse::core::enumerate::ground_instances(&m.source, &["a"], 1);
+    assert!(is_inverse_bounded(&m, &unguarded, &universe).is_err());
+}
+
+#[test]
+fn roundtrip_budget_propagates() {
+    // A wide disjunction on a large U must surface the chase budget.
+    let m = SchemaMapping::parse("P/1 Q/1", "S/1", &["P(x) -> S(x)", "Q(x) -> S(x)"]).unwrap();
+    let rev = quasi_inverse::core::quasi_inverse(&m, &Default::default()).unwrap();
+    let mut i = Instance::new(m.source.clone());
+    for k in 0..25 {
+        i.insert_consts("P", &[&format!("c{k}")]).unwrap();
+    }
+    let tight = DisjChaseOptions { max_nodes: 10 };
+    assert!(matches!(
+        round_trip(&m, &rev, &i, tight),
+        Err(CoreError::Chase(ChaseError::Budget { .. }))
+    ));
+}
+
+#[test]
+fn errors_format_reasonably() {
+    let e = CoreError::Precondition("something".into());
+    assert!(e.to_string().contains("something"));
+    let e: CoreError = ChaseError::Budget { max_nodes: 7 }.into();
+    assert!(e.to_string().contains('7'));
+    let e: CoreError = SchemaError::SchemaMismatch.into();
+    assert!(!e.to_string().is_empty());
+    let e: CoreError = LangError::Parse("x".into()).into();
+    assert!(e.to_string().contains('x'));
+}

@@ -1,0 +1,128 @@
+//! Experiment E7: the unifying framework of §3 — unique solutions,
+//! `(~1,~2)`-subset properties, and Theorem 3.5's equivalence, observed
+//! on the paper's mappings over exhaustive bounded universes.
+
+use quasi_inverse::core::enumerate::ground_instances;
+use quasi_inverse::prelude::*;
+use quasi_inverse::workloads::paper;
+
+/// Universe closed under unions/subsets: all subsets of the two-constant
+/// tuple universe.
+fn closed_universe(m: &SchemaMapping) -> Vec<Instance> {
+    let tuples: usize = m
+        .source
+        .rel_ids()
+        .map(|r| 2usize.pow(m.source.arity(r) as u32))
+        .sum();
+    ground_instances(&m.source, &["a", "b"], tuples)
+}
+
+#[test]
+fn section_1_mappings_fail_unique_solutions() {
+    // "none of them has the unique-solutions property" (§1).
+    for m in [paper::projection(), paper::union_mapping(), paper::decomposition()] {
+        let universe = closed_universe(&m);
+        let violation = unique_solutions_bounded(&m, &universe).unwrap();
+        assert!(
+            violation.is_some(),
+            "expected a unique-solutions violation for {m}"
+        );
+    }
+}
+
+#[test]
+fn example_3_10_unique_solutions_witness() {
+    // The paper's explicit witness pair for Decomposition.
+    let m = paper::decomposition();
+    let i1 = Instance::parse(&m.source, "P(c0,c0,c0) P(c0,c0,c1) P(c1,c0,c0)").unwrap();
+    let i2 = i1
+        .union(&Instance::parse(&m.source, "P(c1,c0,c1)").unwrap())
+        .unwrap();
+    assert_ne!(i1, i2);
+    assert!(equivalent(&m, &i1, &i2).unwrap());
+}
+
+#[test]
+fn equality_subset_property_fails_exactly_where_inverses_fail() {
+    // Corollary 3.6: invertible ⟺ (=,=)-subset property. The three §1
+    // mappings fail it; the copy mapping has it.
+    for m in [paper::projection(), paper::union_mapping(), paper::decomposition()] {
+        let universe = closed_universe(&m);
+        let r = subset_property_bounded(&m, Relation::Equality, Relation::Equality, &universe)
+            .unwrap();
+        assert!(!r.holds, "(=,=) must fail for {m}");
+    }
+    let m = paper::copy();
+    let universe = closed_universe(&m);
+    let r =
+        subset_property_bounded(&m, Relation::Equality, Relation::Equality, &universe).unwrap();
+    assert!(r.holds);
+}
+
+#[test]
+fn solution_equiv_subset_property_holds_for_section_1_mappings() {
+    // Theorem 3.5 + Prop 3.11: the three §1 LAV mappings have the
+    // (~M,~M)-subset property, hence quasi-inverses.
+    for m in [paper::projection(), paper::union_mapping(), paper::decomposition()] {
+        let universe = closed_universe(&m);
+        let r = subset_property_bounded(
+            &m,
+            Relation::SolutionEquiv,
+            Relation::SolutionEquiv,
+            &universe,
+        )
+        .unwrap();
+        assert!(r.holds, "(~M,~M) must hold for {m}: {:?}", r.failures);
+        assert!(r.checked_pairs > 0);
+    }
+}
+
+#[test]
+fn mixed_relations_interpolate() {
+    // Proposition 3.7 (monotonicity in the equivalence relations): a
+    // (=,~M)-subset witness is also a (~M,~M) one — Example 3.10 even
+    // proves the stronger (=,~M) property for Decomposition. Check the
+    // implication chain on the bounded universe.
+    let m = paper::decomposition();
+    let universe = ground_instances(&m.source, &["a", "b"], 8);
+    let strong =
+        subset_property_bounded(&m, Relation::Equality, Relation::SolutionEquiv, &universe)
+            .unwrap();
+    assert!(strong.holds, "(=,~M) holds (Example 3.10's proof)");
+    let weak = subset_property_bounded(
+        &m,
+        Relation::SolutionEquiv,
+        Relation::SolutionEquiv,
+        &universe,
+    )
+    .unwrap();
+    assert!(weak.holds, "hence (~M,~M) holds too (Prop 3.7)");
+}
+
+#[test]
+fn subset_property_implies_unique_solutions_on_copy() {
+    // §3: the (=,=)-subset property implies the unique-solutions
+    // property ("by applying the (=,=)-subset property twice").
+    let m = paper::copy();
+    let universe = closed_universe(&m);
+    let subset =
+        subset_property_bounded(&m, Relation::Equality, Relation::Equality, &universe).unwrap();
+    let unique = unique_solutions_bounded(&m, &universe).unwrap();
+    assert!(subset.holds);
+    assert!(unique.is_none());
+}
+
+#[test]
+fn monotonicity_of_solution_spaces() {
+    // §3's starting observation: I1 ⊆ I2 ⇒ Sol(I2) ⊆ Sol(I1),
+    // exhaustively on a closed universe.
+    let m = paper::decomposition();
+    let universe = ground_instances(&m.source, &["a", "b"], 8);
+    for a in &universe {
+        for b in &universe {
+            if a.is_subinstance_of(b).unwrap() {
+                assert!(solutions_subset(&m, b, a).unwrap());
+            }
+        }
+    }
+}

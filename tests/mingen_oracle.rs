@@ -1,0 +1,195 @@
+//! Differential test of MinGen against a brute-force oracle.
+//!
+//! The oracle enumerates *every* conjunction over the full atom universe
+//! (no canonical ordering, no subsumption pruning, no relation
+//! filtering) up to Lemma 4.4's size bound, and keeps those passing the
+//! chase test of Definition 4.2. MinGen's output must then be
+//!
+//! * **sound** — every returned conjunction is a generator and has no
+//!   generating strict sub-conjunction (Definition 4.3), and
+//! * **complete as a minimal set** — every oracle generator is
+//!   θ-subsumed by some returned generator (which is what the
+//!   QuasiInverse algorithm's disjunction needs: firing the more general
+//!   disjunct covers every instantiation of the subsumed one).
+
+use quasi_inverse::core::{min_gen, MinGenOptions};
+use quasi_inverse::lang::{canonical_instance, FrozenVars};
+use quasi_inverse::prelude::*;
+use quasi_inverse::schema::{MatchConstraints, MatchEngine, Pattern};
+use quasi_inverse::workloads::paper;
+
+/// θ-subsumption: a substitution fixing `x` maps `sub`'s atoms into
+/// `sup`'s conjunct set.
+fn subsumes(m: &SchemaMapping, x: &[Var], sub: &[Atom], sup: &[Atom]) -> bool {
+    let frozen = FrozenVars::freeze(x.iter().cloned());
+    let mut frozen_sup = frozen.clone();
+    let inst = canonical_instance(&m.source, sup, &mut frozen_sup);
+    let mut vars: Vec<Var> = Vec::new();
+    let facts = quasi_inverse::lang::compile_atoms(sub, &mut vars);
+    let pattern = Pattern {
+        facts,
+        nvars: vars.len(),
+    };
+    // Fix exactly the x-variables; other variables stay free.
+    let fixed: Vec<(u32, Value)> = vars
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| x.contains(v))
+        .map(|(k, v)| (k as u32, frozen.value(v)))
+        .collect();
+    let constraints = MatchConstraints {
+        fixed,
+        ..Default::default()
+    };
+    MatchEngine::new(&pattern, &inst, &constraints).exists()
+}
+
+/// Brute-force oracle: all generating conjunctions of ≤ `cap` atoms over
+/// terms `x ∪ {w1..w_zmax}` (w-names chosen to avoid MinGen's z-names).
+fn oracle_generators(
+    m: &SchemaMapping,
+    psi: &[Atom],
+    x: &[Var],
+    cap: usize,
+    zmax: usize,
+) -> Vec<Vec<Atom>> {
+    let mut terms: Vec<Var> = x.to_vec();
+    for k in 1..=zmax {
+        terms.push(Var::new(&format!("w{k}")));
+    }
+    // Full atom universe.
+    let mut atoms: Vec<Atom> = Vec::new();
+    for rel in m.source.rel_ids() {
+        let arity = m.source.arity(rel);
+        let mut stack: Vec<Vec<Var>> = vec![Vec::new()];
+        for _ in 0..arity {
+            let mut next = Vec::new();
+            for partial in &stack {
+                for t in &terms {
+                    let mut p = partial.clone();
+                    p.push(t.clone());
+                    next.push(p);
+                }
+            }
+            stack = next;
+        }
+        for args in stack {
+            atoms.push(Atom::new(rel, args));
+        }
+    }
+    // All sub-multisets (as index combinations with repetition) of size ≤ cap.
+    let mut out = Vec::new();
+    let mut combo: Vec<usize> = Vec::new();
+    #[allow(clippy::too_many_arguments)] // recursive enumerator, test-only
+    fn rec(
+        m: &SchemaMapping,
+        psi: &[Atom],
+        x: &[Var],
+        atoms: &[Atom],
+        cap: usize,
+        start: usize,
+        combo: &mut Vec<usize>,
+        out: &mut Vec<Vec<Atom>>,
+    ) {
+        if !combo.is_empty() {
+            let beta: Vec<Atom> = combo.iter().map(|&i| atoms[i].clone()).collect();
+            // Skip candidates missing an x (cannot be safe tgds).
+            let vars = quasi_inverse::lang::atom::vars_of(&beta);
+            if x.iter().all(|v| vars.contains(v))
+                && is_generator(&m.tgds, &m.source, &m.target, &beta, psi, x).unwrap()
+            {
+                out.push(beta);
+            }
+        }
+        if combo.len() == cap {
+            return;
+        }
+        for i in start..atoms.len() {
+            combo.push(i);
+            rec(m, psi, x, atoms, cap, i, combo, out);
+            combo.pop();
+        }
+    }
+    rec(m, psi, x, &atoms, cap, 0, &mut combo, &mut out);
+    out
+}
+
+fn check(m: &SchemaMapping, psi: &[Atom], x: &[Var], cap: usize, zmax: usize) {
+    let found = min_gen(m, psi, x, &MinGenOptions::default()).unwrap();
+    // Soundness: each output is a generator with no generating strict
+    // sub-conjunction.
+    for g in &found {
+        assert!(
+            is_generator(&m.tgds, &m.source, &m.target, &g.atoms, psi, x).unwrap(),
+            "non-generator output {:?}",
+            g
+        );
+        for drop in 0..g.atoms.len() {
+            if g.atoms.len() == 1 {
+                break;
+            }
+            let mut smaller = g.atoms.clone();
+            smaller.remove(drop);
+            assert!(
+                !is_generator(&m.tgds, &m.source, &m.target, &smaller, psi, x).unwrap(),
+                "non-minimal output {:?} (drop {drop})",
+                g
+            );
+        }
+    }
+    // Completeness: every oracle generator is θ-subsumed by some output.
+    let oracle = oracle_generators(m, psi, x, cap, zmax);
+    assert!(!oracle.is_empty(), "oracle found no generators — weak test");
+    for og in &oracle {
+        assert!(
+            found.iter().any(|g| subsumes(m, x, &g.atoms, og)),
+            "oracle generator not covered: {:?}\nfound: {:?}",
+            og,
+            found
+        );
+    }
+}
+
+#[test]
+fn oracle_agrees_on_the_union_mapping() {
+    let m = paper::union_mapping();
+    let psi = vec![Atom::parse_parts(&m.target, "S", &["x"]).unwrap()];
+    check(&m, &psi, &[Var::new("x")], 1, 2);
+}
+
+#[test]
+fn oracle_agrees_on_the_inequality_example() {
+    let m = paper::section_4_inequality_example();
+    // ψ = P(x1,x1): the paper's two-generator case.
+    let psi = vec![Atom::parse_parts(&m.target, "P", &["x1", "x1"]).unwrap()];
+    check(&m, &psi, &[Var::new("x1")], 2, 2);
+    // ψ = P(x1,x2), distinct: only S generates it.
+    let psi = vec![Atom::parse_parts(&m.target, "P", &["x1", "x2"]).unwrap()];
+    check(&m, &psi, &[Var::new("x1"), Var::new("x2")], 2, 2);
+}
+
+#[test]
+fn oracle_agrees_on_the_decomposition_pair() {
+    let m = paper::decomposition();
+    let psi = vec![
+        Atom::parse_parts(&m.target, "Q", &["x", "y"]).unwrap(),
+        Atom::parse_parts(&m.target, "R", &["y", "z"]).unwrap(),
+    ];
+    check(
+        &m,
+        &psi,
+        &[Var::new("x"), Var::new("y"), Var::new("z")],
+        2,
+        2,
+    );
+}
+
+#[test]
+fn oracle_agrees_on_example_4_5_sigma2() {
+    let m = paper::example_4_5();
+    let psi = vec![
+        Atom::parse_parts(&m.target, "S", &["x1", "x1", "y"]).unwrap(),
+        Atom::parse_parts(&m.target, "Q", &["y", "y"]).unwrap(),
+    ];
+    check(&m, &psi, &[Var::new("x1")], 2, 2);
+}

@@ -1,0 +1,129 @@
+//! Proposition 3.12: the full s-t tgd `E(x,z) ∧ E(z,y) → F(x,y) ∧ M(z)`
+//! has **no quasi-inverse**.
+//!
+//! By Theorem 3.5 this is equivalent to the failure of the
+//! `(~M,~M)`-subset property. For *this* mapping the bounded check over
+//! the universe of all `E`-instances on the pair's constants is
+//! **conclusive**, because witnesses never need new constants or facts
+//! outside that universe:
+//!
+//! * the mapping is full, so `I ~M I'` ⟺ `chase(I) = chase(I')`
+//!   (equal 2-path and midpoint sets);
+//! * every non-dangling edge of a witness runs between values of the
+//!   chase's active domain (an edge touching a fresh constant either
+//!   composes — creating an `F`/`M` fact outside the chase — or is
+//!   dangling), and dangling edges can be removed from both witnesses
+//!   without affecting `~M` or containment;
+//! * hence if any witness pair exists, one exists inside the universe of
+//!   instances over the original constants.
+//!
+//! The concrete counterexample found (and verified below):
+//! `I₁ = {E(a,a)}`, `I₂ = {E(a,b), E(a,c), E(b,a), E(b,b)}`.
+
+use quasi_inverse::core::enumerate::ground_instances;
+use quasi_inverse::prelude::*;
+use quasi_inverse::workloads::paper;
+
+fn counterexample(m: &SchemaMapping) -> (Instance, Instance) {
+    (
+        Instance::parse(&m.source, "E(a,a)").unwrap(),
+        Instance::parse(&m.source, "E(a,b) E(a,c) E(b,a) E(b,b)").unwrap(),
+    )
+}
+
+#[test]
+fn the_pair_satisfies_the_premise_of_the_subset_property() {
+    let m = paper::prop_3_12();
+    let (i1, i2) = counterexample(&m);
+    // Sol(I2) ⊆ Sol(I1): chase(I1) = {F(a,a), M(a)} ⊆ chase(I2).
+    assert!(solutions_subset(&m, &i2, &i1).unwrap());
+    assert!(!equivalent(&m, &i1, &i2).unwrap());
+}
+
+#[test]
+fn every_equivalent_of_i1_contains_the_loop_and_no_equivalent_of_i2_does() {
+    // The two halves of the refutation, checked exhaustively over the
+    // witness-complete universe (all 512 E-instances over {a,b,c}).
+    let m = paper::prop_3_12();
+    let (i1, i2) = counterexample(&m);
+    let universe = ground_instances(&m.source, &["a", "b", "c"], 9);
+    assert_eq!(universe.len(), 512);
+    let chase1 = m.chase(&i1).unwrap();
+    let chase2 = m.chase(&i2).unwrap();
+    let loop_fact = Instance::parse(&m.source, "E(a,a)").unwrap();
+    let mut equivalents_of_i1 = 0;
+    let mut equivalents_of_i2 = 0;
+    for w in &universe {
+        let cw = m.chase(w).unwrap();
+        if cw == chase1 {
+            equivalents_of_i1 += 1;
+            // chase(I1) realizes F(a,a) through midpoint a only, so E(a,a)
+            // is forced.
+            assert!(
+                loop_fact.is_subinstance_of(w).unwrap(),
+                "an equivalent of I1 without E(a,a): {w}"
+            );
+        }
+        if cw == chase2 {
+            equivalents_of_i2 += 1;
+            // chase(I2) lacks F(a,c) (and F(a,a) via midpoint a-paths that
+            // E(a,a) would force), so E(a,a) can never appear.
+            assert!(
+                !loop_fact.is_subinstance_of(w).unwrap(),
+                "an equivalent of I2 with E(a,a): {w}"
+            );
+        }
+    }
+    assert!(equivalents_of_i1 >= 1);
+    assert!(equivalents_of_i2 >= 1);
+}
+
+#[test]
+fn subset_property_fails_conclusively() {
+    let m = paper::prop_3_12();
+    let universe = ground_instances(&m.source, &["a", "b", "c"], 9);
+    let report = subset_property_bounded(
+        &m,
+        Relation::SolutionEquiv,
+        Relation::SolutionEquiv,
+        &universe,
+    )
+    .unwrap();
+    assert!(!report.holds, "Prop 3.12: the (~M,~M)-subset property fails");
+    // Our specific pair is among the reported failures.
+    let (i1, i2) = counterexample(&m);
+    let pos1 = universe.iter().position(|w| *w == i1).unwrap();
+    let pos2 = universe.iter().position(|w| *w == i2).unwrap();
+    assert!(
+        report.failures.contains(&(pos1, pos2)),
+        "the documented counterexample pair is a failure"
+    );
+}
+
+#[test]
+fn two_constant_universe_is_too_small_to_see_it() {
+    // Over two constants the property holds — the counterexample
+    // genuinely needs three (the gallery's two-constant "yes" for
+    // prop-3.12 is the expected bounded false positive).
+    let m = paper::prop_3_12();
+    let universe = ground_instances(&m.source, &["a", "b"], 4);
+    let report = subset_property_bounded(
+        &m,
+        Relation::SolutionEquiv,
+        Relation::SolutionEquiv,
+        &universe,
+    )
+    .unwrap();
+    assert!(report.holds);
+}
+
+#[test]
+fn a_fortiori_no_inverse() {
+    // "a fortiori, such schema mappings have no inverse": the (=,=)
+    // property fails too, already over two constants.
+    let m = paper::prop_3_12();
+    let universe = ground_instances(&m.source, &["a", "b"], 4);
+    let report =
+        subset_property_bounded(&m, Relation::Equality, Relation::Equality, &universe).unwrap();
+    assert!(!report.holds);
+}

@@ -1,0 +1,202 @@
+//! Property-based tests (proptest) on the substrate invariants the
+//! paper's proofs lean on: chase universality and monotonicity,
+//! homomorphism laws, `~M` being an equivalence relation, parser
+//! round-trips, core idempotence, and the LAV union witness.
+//!
+//! Random structures are produced by the seeded generators of
+//! `qi-workloads`, so every failure is reproducible from its seed.
+
+use proptest::prelude::*;
+use quasi_inverse::prelude::*;
+use quasi_inverse::schema::data::InstanceData;
+use quasi_inverse::workloads::random::{
+    random_ground_instance, random_mapping, rng, InstanceParams, MappingParams,
+};
+
+fn any_params() -> impl Strategy<Value = MappingParams> {
+    (1usize..=2, 1usize..=2, 1usize..=3, 1usize..=3, any::<bool>(), any::<bool>()).prop_map(
+        |(ns, nt, arity, n_tgds, lav, full)| MappingParams {
+            n_source_rels: ns,
+            n_target_rels: nt,
+            max_arity: arity,
+            n_tgds,
+            lav,
+            full,
+            max_body_atoms: 2,
+            max_head_atoms: 2,
+        },
+    )
+}
+
+const IP: InstanceParams = InstanceParams {
+    n_consts: 3,
+    n_facts: 5,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn chase_output_is_a_universal_solution(seed in any::<u64>(), params in any_params()) {
+        let mut r = rng(seed);
+        let m = random_mapping(&mut r, &params);
+        let i = random_ground_instance(&m.source, &mut r, &IP);
+        let u = m.chase(&i).unwrap();
+        prop_assert!(is_solution(&m.tgds, &i, &u));
+        prop_assert!(is_universal_solution(&m.tgds, &i, &u).unwrap());
+    }
+
+    #[test]
+    fn oblivious_and_restricted_chase_agree_up_to_homomorphism(
+        seed in any::<u64>(), params in any_params()
+    ) {
+        let mut r = rng(seed);
+        let m = random_mapping(&mut r, &params);
+        let i = random_ground_instance(&m.source, &mut r, &IP);
+        let restricted = m.chase(&i).unwrap();
+        let oblivious = chase_oblivious_helper(&m, &i);
+        prop_assert!(hom_equivalent(&restricted, &oblivious));
+    }
+
+    #[test]
+    fn chase_is_monotone(seed in any::<u64>(), params in any_params()) {
+        let mut r = rng(seed);
+        let m = random_mapping(&mut r, &params);
+        let i1 = random_ground_instance(&m.source, &mut r, &IP);
+        let extra = random_ground_instance(&m.source, &mut r, &IP);
+        let i2 = i1.union(&extra).unwrap();
+        // I1 ⊆ I2 ⇒ hom chase(I1) → chase(I2) ⇒ Sol(I2) ⊆ Sol(I1).
+        prop_assert!(solutions_subset(&m, &i2, &i1).unwrap());
+    }
+
+    #[test]
+    fn solution_equivalence_is_an_equivalence_relation(
+        seed in any::<u64>(), params in any_params()
+    ) {
+        let mut r = rng(seed);
+        let m = random_mapping(&mut r, &params);
+        let a = random_ground_instance(&m.source, &mut r, &IP);
+        let b = random_ground_instance(&m.source, &mut r, &IP);
+        let c = random_ground_instance(&m.source, &mut r, &IP);
+        prop_assert!(equivalent(&m, &a, &a).unwrap());
+        prop_assert_eq!(equivalent(&m, &a, &b).unwrap(), equivalent(&m, &b, &a).unwrap());
+        if equivalent(&m, &a, &b).unwrap() && equivalent(&m, &b, &c).unwrap() {
+            prop_assert!(equivalent(&m, &a, &c).unwrap());
+        }
+    }
+
+    #[test]
+    fn tgd_display_parse_round_trip(seed in any::<u64>(), params in any_params()) {
+        let mut r = rng(seed);
+        let m = random_mapping(&mut r, &params);
+        for tgd in &m.tgds {
+            let text = tgd.to_string();
+            let back = parse_tgd(&m.source, &m.target, &text).unwrap();
+            prop_assert_eq!(tgd, &back, "{}", text);
+        }
+    }
+
+    #[test]
+    fn quasi_inverse_output_display_parse_round_trip(seed in any::<u64>()) {
+        let mut r = rng(seed);
+        let m = random_mapping(&mut r, &MappingParams { lav: true, max_arity: 2, ..Default::default() });
+        let rev = quasi_inverse::core::quasi_inverse(&m, &Default::default()).unwrap();
+        for dep in &rev.deps {
+            let text = dep.to_string();
+            let back = parse_disj_tgd(&m.target, &m.source, &text).unwrap();
+            prop_assert_eq!(dep, &back, "{}", text);
+        }
+    }
+
+    #[test]
+    fn core_is_idempotent_and_equivalent(seed in any::<u64>(), params in any_params()) {
+        let mut r = rng(seed);
+        let m = random_mapping(&mut r, &params);
+        let i = random_ground_instance(&m.source, &mut r, &IP);
+        let u = m.chase(&i).unwrap(); // may contain nulls
+        let c = core_of(&u);
+        prop_assert!(hom_equivalent(&c, &u));
+        prop_assert_eq!(core_of(&c), c.clone());
+        prop_assert!(c.fact_count() <= u.fact_count());
+    }
+
+    #[test]
+    fn hom_equivalent_instances_have_isomorphic_cores(seed in any::<u64>()) {
+        let mut r = rng(seed);
+        let m = random_mapping(&mut r, &MappingParams::default());
+        let i = random_ground_instance(&m.source, &mut r, &IP);
+        let a = m.chase(&i).unwrap();
+        // A hom-equivalent variant: shift nulls and add the original's
+        // facts back in (a "padded" equivalent).
+        let b = a.union(&a.shift_nulls(1000)).unwrap();
+        prop_assert!(hom_equivalent(&a, &b));
+        prop_assert!(is_isomorphic(&core_of(&a), &core_of(&b)));
+    }
+
+    #[test]
+    fn instance_data_round_trip(seed in any::<u64>(), params in any_params()) {
+        let mut r = rng(seed);
+        let m = random_mapping(&mut r, &params);
+        let i = random_ground_instance(&m.source, &mut r, &IP);
+        let u = m.chase(&i).unwrap();
+        for inst in [i, u] {
+            let data: InstanceData = (&inst).into();
+            prop_assert_eq!(data.build().unwrap(), inst);
+        }
+    }
+
+    #[test]
+    fn instance_text_round_trip(seed in any::<u64>(), params in any_params()) {
+        let mut r = rng(seed);
+        let m = random_mapping(&mut r, &params);
+        let u = m.chase(&random_ground_instance(&m.source, &mut r, &IP)).unwrap();
+        if !u.is_empty() {
+            let text = u.to_string();
+            prop_assert_eq!(Instance::parse(&m.target, &text).unwrap(), u);
+        }
+    }
+
+    #[test]
+    fn lav_union_witness(seed in any::<u64>()) {
+        let mut r = rng(seed);
+        let m = random_mapping(&mut r, &MappingParams { lav: true, n_tgds: 3, ..Default::default() });
+        let i1 = random_ground_instance(&m.source, &mut r, &IP);
+        let i2 = random_ground_instance(&m.source, &mut r, &IP);
+        // Prop 3.11's proof obligation: if Sol(I2) ⊆ Sol(I1) then
+        // I2 ~M I1 ∪ I2.
+        if solutions_subset(&m, &i2, &i1).unwrap() {
+            let union = i1.union(&i2).unwrap();
+            prop_assert!(equivalent(&m, &i2, &union).unwrap());
+        }
+    }
+
+    #[test]
+    fn sigma_star_is_logically_sound(seed in any::<u64>(), params in any_params()) {
+        // Every member of Σ* is a logical consequence of Σ.
+        let mut r = rng(seed);
+        let m = random_mapping(&mut r, &params);
+        for member in sigma_star(&m.tgds).unwrap() {
+            prop_assert!(
+                quasi_inverse::chase::implies_tgd(&m.tgds, &member).unwrap(),
+                "{}", member
+            );
+        }
+    }
+
+    #[test]
+    fn lav_algorithm_output_is_sound_and_faithful(seed in any::<u64>()) {
+        let mut r = rng(seed);
+        let m = random_mapping(&mut r, &MappingParams { lav: true, max_arity: 2, n_tgds: 2, ..Default::default() });
+        let rev = quasi_inverse::core::quasi_inverse(&m, &Default::default()).unwrap();
+        let i = random_ground_instance(&m.source, &mut r, &InstanceParams { n_consts: 2, n_facts: 3 });
+        let rt = round_trip(&m, &rev, &i, Default::default()).unwrap();
+        prop_assert!(rt.is_sound());
+        prop_assert!(rt.is_faithful());
+    }
+}
+
+fn chase_oblivious_helper(m: &SchemaMapping, i: &Instance) -> Instance {
+    quasi_inverse::chase::chase_oblivious(&m.tgds, i, &m.target)
+        .unwrap()
+        .instance
+}

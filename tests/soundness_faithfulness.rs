@@ -1,0 +1,118 @@
+//! Experiment E4: Theorems 6.7 (soundness) and 6.8 (faithfulness).
+//!
+//! * Every quasi-inverse specified by disjunctive tgds with constants and
+//!   inequalities among constants is *sound*: re-chasing any recovered
+//!   source stays within `U` up to homomorphism.
+//! * The QuasiInverse algorithm's output is additionally *faithful*:
+//!   some recovered source re-chases to an instance hom-equivalent to
+//!   `U`.
+
+use quasi_inverse::core::enumerate::ground_instances;
+use quasi_inverse::prelude::*;
+use quasi_inverse::workloads::paper;
+
+/// All ground instances over two constants with up to `cap` facts.
+fn universe(m: &SchemaMapping, cap: usize) -> Vec<Instance> {
+    ground_instances(&m.source, &["a", "b"], cap)
+}
+
+#[test]
+fn algorithm_outputs_are_faithful_on_paper_mappings() {
+    for m in [
+        paper::projection(),
+        paper::union_mapping(),
+        paper::decomposition(),
+        paper::copy(),
+        paper::thm_4_9(),
+        paper::thm_4_10(),
+        paper::thm_4_11(),
+        paper::section_4_inequality_example(),
+    ] {
+        let rev = quasi_inverse::core::quasi_inverse(&m, &Default::default()).unwrap();
+        for i in universe(&m, 2) {
+            let rt = round_trip(&m, &rev, &i, Default::default()).unwrap();
+            assert!(rt.is_sound(), "unsound on {i} for {m}");
+            assert!(rt.is_faithful(), "unfaithful on {i} for {m}");
+        }
+    }
+}
+
+#[test]
+fn soundness_holds_for_hand_written_quasi_inverses_in_the_language() {
+    // Theorem 6.7 applies to ANY quasi-inverse in the guarded language.
+    // Example 3.10's Σ'' is in the plain-tgd fragment of it.
+    let m = paper::decomposition();
+    for rev in [
+        paper::decomposition_quasi_inverse_join(),
+        paper::decomposition_quasi_inverse_lav(),
+    ] {
+        for i in universe(&m, 2) {
+            let rt = round_trip(&m, &rev, &i, Default::default()).unwrap();
+            assert!(rt.is_sound(), "unsound on {i}");
+        }
+    }
+}
+
+#[test]
+fn soundness_forbids_invented_target_facts() {
+    // A deliberately wrong reverse mapping that manufactures an unrelated
+    // source fact which then chases to a target fact outside U.
+    let m = SchemaMapping::parse(
+        "P/1 W/1",
+        "S/1 X/1",
+        &["P(x) -> S(x)", "W(x) -> X(x)"],
+    )
+    .unwrap();
+    let bogus = ReverseMapping::parse(&m, &["S(x) -> W(x)"]).unwrap();
+    let i = Instance::parse(&m.source, "P(a)").unwrap();
+    let rt = round_trip(&m, &bogus, &i, Default::default()).unwrap();
+    // The recovered W(a) re-chases to X(a) ∉ U — soundness fails.
+    assert!(!rt.is_sound());
+    assert!(!rt.is_faithful());
+}
+
+#[test]
+fn faithfulness_catches_lossy_reverse_mappings() {
+    // Forgetting one of the union's branches is sound but lossy.
+    let m = paper::union_mapping();
+    let partial = ReverseMapping::parse(&m, &["S(x) & const(x) -> P(x)"]).unwrap();
+    // On instances whose facts all came from P it is even faithful …
+    let i_p = Instance::parse(&m.source, "P(a)").unwrap();
+    let rt = round_trip(&m, &partial, &i_p, Default::default()).unwrap();
+    assert!(rt.is_sound() && rt.is_faithful());
+    // … and the paper indeed lists S(x) → P(x) as a quasi-inverse of
+    // Union (§1): recovery lands in an ~M-equivalent source.
+    let i_q = Instance::parse(&m.source, "Q(a)").unwrap();
+    let rt = round_trip(&m, &partial, &i_q, Default::default()).unwrap();
+    assert!(rt.is_sound() && rt.is_faithful(), "P(a) ~M Q(a) under Union");
+}
+
+#[test]
+fn recovered_equivalent_is_data_exchange_equivalent() {
+    // The faithful witness V satisfies chase(V) ≡hom chase(I) — i.e.
+    // V ~M I in the chase-characterized sense even when V has nulls.
+    let m = paper::decomposition();
+    let rev = quasi_inverse::core::quasi_inverse(&m, &Default::default()).unwrap();
+    for i in universe(&m, 3) {
+        let rt = round_trip(&m, &rev, &i, Default::default()).unwrap();
+        let v = rt.recovered_equivalent().expect("faithful");
+        let u_v = m.chase(v).unwrap();
+        assert!(hom_equivalent(&u_v, &rt.u));
+    }
+}
+
+#[test]
+fn composition_membership_reflects_round_trips() {
+    // Proposition 6.6 consistency: if the round trip recovers a GROUND
+    // V, then (I, V) ∈ Inst(M ∘ M').
+    let m = paper::copy();
+    let rev = inverse(&m).unwrap().unwrap();
+    for i in universe(&m, 3) {
+        let rt = round_trip(&m, &rev, &i, Default::default()).unwrap();
+        for v in &rt.recovered {
+            if v.is_ground() {
+                assert!(composition_contains(&m, &rev, &i, v).unwrap());
+            }
+        }
+    }
+}
