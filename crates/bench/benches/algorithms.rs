@@ -7,79 +7,112 @@
 //! * `Inverse` on the arity-m copy family: `B(m)` prime atoms, each
 //!   chased — same expected shape.
 //! * `MinGen` in isolation on a join-chain premise (search over candidate
-//!   conjunctions bounded by Lemma 4.4's `s1·s2`).
+//!   conjunctions bounded by Lemma 4.4's `s1·s2`), including the
+//!   sequential-vs-parallel candidate-evaluation sweep.
 //! * `QuasiInverse` on the n-way union family: disjunction width grows
 //!   linearly, `Σ*` stays flat — a contrast series that should stay
 //!   nearly linear.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qi_core::{inverse, min_gen, quasi_inverse, MinGenOptions, QuasiInverseOptions};
+use qi_bench::{measure, Record, THREAD_SWEEP};
+use qi_core::{
+    inverse, min_gen, min_gen_with_stats, quasi_inverse, MinGenOptions, QuasiInverseOptions,
+};
+use qi_exec::Parallelism;
 use qi_lang::{Atom, Var};
 use qi_workloads::families::{chain_join_j, copy_arity, decomposition_k, union_n};
-use std::hint::black_box;
 use std::time::Duration;
 
-fn bench_quasi_inverse_decomposition(c: &mut Criterion) {
-    let mut group = c.benchmark_group("algorithms/quasi-inverse-decomposition-k");
-    group.measurement_time(Duration::from_secs(4));
-    group.sample_size(10);
+const MIN_TIME: Duration = Duration::from_millis(200);
+const MIN_ITERS: u32 = 3;
+
+fn bench_quasi_inverse_decomposition() {
     for k in [2usize, 3] {
         let m = decomposition_k(k);
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-            b.iter(|| black_box(quasi_inverse(&m, &QuasiInverseOptions::default()).unwrap()))
+        let s = measure(MIN_ITERS, MIN_TIME, || {
+            quasi_inverse(&m, &QuasiInverseOptions::default()).unwrap()
         });
+        Record::new("algorithms/quasi-inverse-decomposition-k")
+            .int("param", k as u64)
+            .sample(s)
+            .emit();
     }
-    group.finish();
 }
 
-fn bench_quasi_inverse_union(c: &mut Criterion) {
-    let mut group = c.benchmark_group("algorithms/quasi-inverse-union-n");
-    group.measurement_time(Duration::from_secs(3));
-    group.sample_size(10);
+fn bench_quasi_inverse_union() {
     for n in [2usize, 4, 8, 12] {
         let m = union_n(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(quasi_inverse(&m, &QuasiInverseOptions::default()).unwrap()))
+        let s = measure(MIN_ITERS, MIN_TIME, || {
+            quasi_inverse(&m, &QuasiInverseOptions::default()).unwrap()
         });
+        Record::new("algorithms/quasi-inverse-union-n")
+            .int("param", n as u64)
+            .sample(s)
+            .emit();
     }
-    group.finish();
 }
 
-fn bench_inverse_copy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("algorithms/inverse-copy-arity-m");
-    group.measurement_time(Duration::from_secs(3));
-    group.sample_size(10);
+fn bench_inverse_copy() {
     for m_arity in [2usize, 4, 6, 8] {
         let m = copy_arity(m_arity);
-        group.bench_with_input(BenchmarkId::from_parameter(m_arity), &m_arity, |b, _| {
-            b.iter(|| black_box(inverse(&m).unwrap().unwrap()))
-        });
+        let s = measure(MIN_ITERS, MIN_TIME, || inverse(&m).unwrap().unwrap());
+        Record::new("algorithms/inverse-copy-arity-m")
+            .int("param", m_arity as u64)
+            .sample(s)
+            .emit();
     }
-    group.finish();
 }
 
-fn bench_mingen_chain(c: &mut Criterion) {
-    let mut group = c.benchmark_group("algorithms/mingen-join-chain-j");
-    group.measurement_time(Duration::from_secs(4));
-    group.sample_size(10);
+fn mingen_inputs(j: usize) -> (qi_core::SchemaMapping, Vec<Atom>, Vec<Var>) {
+    let m = chain_join_j(j);
+    let psi = vec![Atom::parse_parts(&m.target, "T", &["x0", &format!("x{j}")]).unwrap()];
+    let x: Vec<Var> = vec![Var::new("x0"), Var::new(&format!("x{j}"))];
+    (m, psi, x)
+}
+
+fn bench_mingen_chain() {
     for j in [1usize, 2, 3] {
-        let m = chain_join_j(j);
-        let psi = vec![Atom::parse_parts(&m.target, "T", &["x0", &format!("x{j}")]).unwrap()];
-        let x: Vec<Var> = vec![Var::new("x0"), Var::new(&format!("x{j}"))];
-        group.bench_with_input(BenchmarkId::from_parameter(j), &j, |b, _| {
-            b.iter(|| {
-                black_box(min_gen(&m, &psi, &x, &MinGenOptions::default()).unwrap())
-            })
+        let (m, psi, x) = mingen_inputs(j);
+        let s = measure(MIN_ITERS, MIN_TIME, || {
+            min_gen(&m, &psi, &x, &MinGenOptions::default()).unwrap()
         });
+        Record::new("algorithms/mingen-join-chain-j")
+            .int("param", j as u64)
+            .sample(s)
+            .emit();
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_quasi_inverse_decomposition,
-    bench_quasi_inverse_union,
-    bench_inverse_copy,
-    bench_mingen_chain
-);
-criterion_main!(benches);
+fn bench_mingen_thread_sweep() {
+    // Sequential vs parallel candidate evaluation on the deepest chain.
+    // The generator set is bit-identical at every point of the sweep
+    // (asserted here and locked down in tests/determinism.rs).
+    let (m, psi, x) = mingen_inputs(3);
+    let baseline = min_gen(&m, &psi, &x, &MinGenOptions::default()).unwrap();
+    for threads in THREAD_SWEEP {
+        let options = MinGenOptions {
+            parallelism: Parallelism::fixed(threads),
+            ..Default::default()
+        };
+        let out = min_gen_with_stats(&m, &psi, &x, &options).unwrap();
+        assert_eq!(out.generators, baseline, "parallel MinGen must be exact");
+        let s = measure(MIN_ITERS, MIN_TIME, || {
+            min_gen_with_stats(&m, &psi, &x, &options).unwrap()
+        });
+        Record::new("algorithms/mingen-threads-sweep")
+            .int("threads", threads as u64)
+            .int("candidates_tested", out.candidates_tested as u64)
+            .int("workers", out.stats.workers as u64)
+            .int("tasks", out.stats.tasks)
+            .num("utilization", out.stats.utilization())
+            .sample(s)
+            .emit();
+    }
+}
+
+fn main() {
+    bench_quasi_inverse_decomposition();
+    bench_quasi_inverse_union();
+    bench_inverse_copy();
+    bench_mingen_chain();
+    bench_mingen_thread_sweep();
+}

@@ -2,83 +2,142 @@
 //!
 //! Wall-clock of `chase_Σ(I)` as the source instance grows, for three
 //! mapping shapes (LAV decomposition, n-way union, a 3-way join premise),
-//! plus the restricted-vs-oblivious ablation (the restricted chase pays a
-//! satisfaction probe per trigger; the oblivious one inserts blindly).
+//! the restricted-vs-oblivious ablation, and the sequential-vs-parallel
+//! trigger-enumeration sweep (per-stage counters included in the JSON).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qi_chase::{chase, chase_oblivious};
+use qi_bench::{measure, Record, THREAD_SWEEP};
+use qi_chase::{chase, chase_oblivious, chase_with_options, ChaseOptions};
+use qi_exec::Parallelism;
 use qi_workloads::families::{
-    chain_join_j, decomposition_instance, decomposition_k, graph_instance, union_instance,
-    union_n,
+    chain_join_j, decomposition_instance, decomposition_k, graph_instance, union_instance, union_n,
 };
-use std::hint::black_box;
 use std::time::Duration;
 
-fn bench_decomposition(c: &mut Criterion) {
+const MIN_TIME: Duration = Duration::from_millis(200);
+const MIN_ITERS: u32 = 5;
+
+fn bench_decomposition() {
     let m = decomposition_k(3);
-    let mut group = c.benchmark_group("chase/decomposition3");
-    group.measurement_time(Duration::from_secs(3));
     for n in [10usize, 40, 160, 640] {
         let i = decomposition_instance(&m, n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(chase(&m.tgds, &i, &m.target).unwrap().instance))
+        let s = measure(MIN_ITERS, MIN_TIME, || {
+            chase(&m.tgds, &i, &m.target).unwrap().instance
         });
+        Record::new("chase/decomposition3")
+            .int("param", n as u64)
+            .sample(s)
+            .emit();
     }
-    group.finish();
 }
 
-fn bench_union(c: &mut Criterion) {
+fn bench_union() {
     let m = union_n(4);
-    let mut group = c.benchmark_group("chase/union4");
-    group.measurement_time(Duration::from_secs(3));
     for n in [16usize, 64, 256, 1024] {
         let i = union_instance(&m, n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(chase(&m.tgds, &i, &m.target).unwrap().instance))
+        let s = measure(MIN_ITERS, MIN_TIME, || {
+            chase(&m.tgds, &i, &m.target).unwrap().instance
         });
+        Record::new("chase/union4")
+            .int("param", n as u64)
+            .sample(s)
+            .emit();
     }
-    group.finish();
 }
 
-fn bench_join_premise(c: &mut Criterion) {
+fn join3_instance(m: &qi_core::SchemaMapping, n: usize) -> qi_schema::Instance {
+    let mut i = qi_schema::Instance::new(m.source.clone());
+    for rel in ["A1", "A2", "A3"] {
+        let g = graph_instance(m, rel, n);
+        i = i.union(&g).unwrap();
+    }
+    i
+}
+
+fn bench_join_premise() {
     // Three-way join premise over overlapping graph relations: trigger
     // enumeration is the dominant cost.
     let m = chain_join_j(3);
-    let mut group = c.benchmark_group("chase/join3");
-    group.measurement_time(Duration::from_secs(3));
-    group.sample_size(20);
     for n in [10usize, 20, 40, 80] {
-        let mut i = qi_schema::Instance::new(m.source.clone());
-        for rel in ["A1", "A2", "A3"] {
-            let g = graph_instance(&m, rel, n);
-            i = i.union(&g).unwrap();
-        }
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(chase(&m.tgds, &i, &m.target).unwrap().instance))
+        let i = join3_instance(&m, n);
+        let s = measure(MIN_ITERS, MIN_TIME, || {
+            chase(&m.tgds, &i, &m.target).unwrap().instance
         });
+        Record::new("chase/join3")
+            .int("param", n as u64)
+            .sample(s)
+            .emit();
     }
-    group.finish();
 }
 
-fn bench_restricted_vs_oblivious(c: &mut Criterion) {
+fn bench_restricted_vs_oblivious() {
     let m = decomposition_k(3);
     let i = decomposition_instance(&m, 200);
-    let mut group = c.benchmark_group("chase/ablation-restricted-vs-oblivious");
-    group.measurement_time(Duration::from_secs(3));
-    group.bench_function("restricted", |b| {
-        b.iter(|| black_box(chase(&m.tgds, &i, &m.target).unwrap().instance))
-    });
-    group.bench_function("oblivious", |b| {
-        b.iter(|| black_box(chase_oblivious(&m.tgds, &i, &m.target).unwrap().instance))
-    });
-    group.finish();
+    for (variant, oblivious) in [("restricted", false), ("oblivious", true)] {
+        let s = measure(MIN_ITERS, MIN_TIME, || {
+            if oblivious {
+                chase_oblivious(&m.tgds, &i, &m.target).unwrap().instance
+            } else {
+                chase(&m.tgds, &i, &m.target).unwrap().instance
+            }
+        });
+        Record::new("chase/ablation-restricted-vs-oblivious")
+            .str("variant", variant)
+            .sample(s)
+            .emit();
+    }
 }
 
-criterion_group!(
-    benches,
-    bench_decomposition,
-    bench_union,
-    bench_join_premise,
-    bench_restricted_vs_oblivious
-);
-criterion_main!(benches);
+fn bench_thread_sweep() {
+    // Sequential vs parallel trigger enumeration. The executor fans out
+    // per tgd, so the workload is a 9-tgd mapping (every ordered pair of
+    // graph relations joined) over overlapping random graphs — each task
+    // is a genuine join. The chased instance is bit-identical at every
+    // point of the sweep (asserted here and locked down in
+    // tests/determinism.rs).
+    let rels = ["A1", "A2", "A3"];
+    let tgds: Vec<String> = rels
+        .iter()
+        .enumerate()
+        .flat_map(|(i, a)| {
+            rels.iter()
+                .enumerate()
+                .map(move |(j, b)| format!("{a}(x,y) & {b}(y,z) -> T{i}{j}(x,z)"))
+        })
+        .collect();
+    let tgd_refs: Vec<&str> = tgds.iter().map(String::as_str).collect();
+    let targets: Vec<String> = (0..rels.len())
+        .flat_map(|i| (0..rels.len()).map(move |j| format!("T{i}{j}/2")))
+        .collect();
+    let m = qi_core::SchemaMapping::parse("A1/2 A2/2 A3/2", &targets.join(" "), &tgd_refs).unwrap();
+    let i = join3_instance(&m, 60);
+    let baseline = chase(&m.tgds, &i, &m.target).unwrap().instance;
+    for threads in THREAD_SWEEP {
+        let options = ChaseOptions {
+            parallelism: Parallelism::fixed(threads),
+        };
+        let out = chase_with_options(&m.tgds, &i, &m.target, options).unwrap();
+        assert_eq!(out.instance, baseline, "parallel chase must be exact");
+        let s = measure(MIN_ITERS, MIN_TIME, || {
+            chase_with_options(&m.tgds, &i, &m.target, options)
+                .unwrap()
+                .instance
+        });
+        Record::new("chase/threads-sweep-9tgd-join")
+            .int("threads", threads as u64)
+            .int("triggers", out.triggers as u64)
+            .int("fired", out.fired as u64)
+            .int("workers", out.stats.workers as u64)
+            .int("tasks", out.stats.tasks)
+            .num("utilization", out.stats.utilization())
+            .sample(s)
+            .emit();
+    }
+}
+
+fn main() {
+    bench_decomposition();
+    bench_union();
+    bench_join_premise();
+    bench_restricted_vs_oblivious();
+    bench_thread_sweep();
+}

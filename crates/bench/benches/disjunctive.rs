@@ -4,65 +4,61 @@
 //! disjunctive dependency, so the leaf count of the Union quasi-inverse
 //! grows as `2^k` in the number of exported facts — measured here
 //! directly, along with the effect of `Constant`/`≠` guards pruning the
-//! trigger set.
+//! trigger set and a sequential-vs-parallel wave-evaluation sweep.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qi_chase::{disjunctive_chase, DisjChaseOptions};
+use qi_bench::{measure, Record, THREAD_SWEEP};
+use qi_chase::{disjunctive_chase, disjunctive_chase_with_stats, DisjChaseOptions};
 use qi_core::{quasi_inverse, QuasiInverseOptions};
+use qi_exec::Parallelism;
 use qi_schema::Instance;
 use qi_workloads::families::{union_instance, union_n};
 use qi_workloads::paper;
-use std::hint::black_box;
 use std::time::Duration;
 
-fn bench_union_leaves(c: &mut Criterion) {
+const MIN_TIME: Duration = Duration::from_millis(200);
+const MIN_ITERS: u32 = 3;
+
+fn bench_union_leaves() {
     let m = union_n(2);
     let rev = quasi_inverse(&m, &QuasiInverseOptions::default()).unwrap();
-    let mut group = c.benchmark_group("disjunctive/union-2^k-leaves");
-    group.measurement_time(Duration::from_secs(3));
-    group.sample_size(10);
     for k in [2usize, 4, 6, 8, 10] {
         let u = m.chase(&union_instance(&m, k)).unwrap();
         let empty = Instance::new(m.source.clone());
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-            b.iter(|| {
-                let leaves =
-                    disjunctive_chase(&rev.deps, &u, &empty, DisjChaseOptions::default())
-                        .unwrap();
-                assert_eq!(leaves.len(), 1 << k);
-                black_box(leaves)
-            })
+        let s = measure(MIN_ITERS, MIN_TIME, || {
+            let leaves =
+                disjunctive_chase(&rev.deps, &u, &empty, DisjChaseOptions::default()).unwrap();
+            assert_eq!(leaves.len(), 1 << k);
+            leaves
         });
+        Record::new("disjunctive/union-2^k-leaves")
+            .int("param", k as u64)
+            .int("leaves", 1u64 << k)
+            .sample(s)
+            .emit();
     }
-    group.finish();
 }
 
-fn bench_decomposition_reverse(c: &mut Criterion) {
+fn bench_decomposition_reverse() {
     // The Figure 1 reverse exchange at scale: Σ' is disjunction-free, so
     // the tree is a path but the recovered instance grows quadratically
     // (every Q(x,b) joins every R(b,z)).
     let m = paper::decomposition();
     let rev = paper::decomposition_quasi_inverse_join();
-    let mut group = c.benchmark_group("disjunctive/decomposition-join-reverse");
-    group.measurement_time(Duration::from_secs(3));
-    group.sample_size(10);
     for n in [4usize, 8, 16, 32] {
         let i = qi_workloads::families::decomposition_instance(&m, n);
         let u = m.chase(&i).unwrap();
         let empty = Instance::new(m.source.clone());
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                let leaves =
-                    disjunctive_chase(&rev.deps, &u, &empty, DisjChaseOptions::default())
-                        .unwrap();
-                black_box(leaves)
-            })
+        let s = measure(MIN_ITERS, MIN_TIME, || {
+            disjunctive_chase(&rev.deps, &u, &empty, DisjChaseOptions::default()).unwrap()
         });
+        Record::new("disjunctive/decomposition-join-reverse")
+            .int("param", n as u64)
+            .sample(s)
+            .emit();
     }
-    group.finish();
 }
 
-fn bench_guard_pruning(c: &mut Criterion) {
+fn bench_guard_pruning() {
     // Constant guards suppress every trigger whose shared values are
     // nulls. Theorem 4.8's inverse is the cleanest probe: its premise
     // joins two Q-facts, and on U (a set of 2-hop null chains) the
@@ -83,8 +79,6 @@ fn bench_guard_pruning(c: &mut Criterion) {
         .collect();
     let refs: Vec<&str> = stripped_texts.iter().map(String::as_str).collect();
     let stripped = qi_core::ReverseMapping::parse(&m, &refs).unwrap();
-    let mut group = c.benchmark_group("disjunctive/guard-ablation");
-    group.measurement_time(Duration::from_secs(3));
     for n in [8usize, 32, 128] {
         // A path P(v0,v1), P(v1,v2), … — consecutive facts share an
         // endpoint, so U's null chains concatenate and the stripped
@@ -95,40 +89,63 @@ fn bench_guard_pruning(c: &mut Criterion) {
                 .unwrap();
         }
         let u = m.chase(&i).unwrap();
-        group.bench_with_input(BenchmarkId::new("guarded", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(
-                    disjunctive_chase(
-                        &guarded.deps,
-                        &u,
-                        &Instance::new(m.source.clone()),
-                        DisjChaseOptions::default(),
-                    )
-                    .unwrap(),
+        for (variant, deps) in [("guarded", &guarded.deps), ("stripped", &stripped.deps)] {
+            let s = measure(MIN_ITERS, MIN_TIME, || {
+                disjunctive_chase(
+                    deps,
+                    &u,
+                    &Instance::new(m.source.clone()),
+                    DisjChaseOptions::default(),
                 )
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("stripped", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(
-                    disjunctive_chase(
-                        &stripped.deps,
-                        &u,
-                        &Instance::new(m.source.clone()),
-                        DisjChaseOptions::default(),
-                    )
-                    .unwrap(),
-                )
-            })
-        });
+                .unwrap()
+            });
+            Record::new("disjunctive/guard-ablation")
+                .str("variant", variant)
+                .int("param", n as u64)
+                .sample(s)
+                .emit();
+        }
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_union_leaves,
-    bench_decomposition_reverse,
-    bench_guard_pruning
-);
-criterion_main!(benches);
+fn bench_thread_sweep() {
+    // Sequential vs parallel trigger evaluation across the frontier of
+    // the 2^k-leaf union tree. Leaves are bit-identical at every point of
+    // the sweep (asserted here and locked down in tests/determinism.rs).
+    let m = union_n(2);
+    let rev = quasi_inverse(&m, &QuasiInverseOptions::default()).unwrap();
+    let k = 8usize;
+    let u = m.chase(&union_instance(&m, k)).unwrap();
+    let empty = Instance::new(m.source.clone());
+    let baseline = disjunctive_chase(&rev.deps, &u, &empty, DisjChaseOptions::default()).unwrap();
+    for threads in THREAD_SWEEP {
+        let options = DisjChaseOptions {
+            parallelism: Parallelism::fixed(threads),
+            ..Default::default()
+        };
+        let out = disjunctive_chase_with_stats(&rev.deps, &u, &empty, options).unwrap();
+        assert_eq!(
+            out.leaves, baseline,
+            "parallel disjunctive chase must be exact"
+        );
+        let s = measure(MIN_ITERS, MIN_TIME, || {
+            disjunctive_chase_with_stats(&rev.deps, &u, &empty, options).unwrap()
+        });
+        Record::new("disjunctive/threads-sweep-union")
+            .int("threads", threads as u64)
+            .int("nodes_visited", out.nodes_visited as u64)
+            .int("waves", out.waves as u64)
+            .int("workers", out.stats.workers as u64)
+            .int("tasks", out.stats.tasks)
+            .num("utilization", out.stats.utilization())
+            .sample(s)
+            .emit();
+    }
+}
+
+fn main() {
+    bench_union_leaves();
+    bench_decomposition_reverse();
+    bench_guard_pruning();
+    bench_thread_sweep();
+}

@@ -1,112 +1,93 @@
 //! E10 — the `~M` machinery of §3 as a benchmark: solution-space
 //! containment, `~M` equivalence, and the bounded property checkers.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qi_bench::{measure, Record};
 use qi_core::enumerate::ground_instances;
 use qi_core::{
     equivalent, solutions_subset, subset_property_bounded, unique_solutions_bounded, Relation,
 };
 use qi_workloads::families::{decomposition_instance, decomposition_k};
 use qi_workloads::paper;
-use std::hint::black_box;
 use std::time::Duration;
 
-fn bench_equivalence_check(c: &mut Criterion) {
+const MIN_TIME: Duration = Duration::from_millis(200);
+const MIN_ITERS: u32 = 3;
+
+fn bench_equivalence_check() {
     let m = decomposition_k(3);
-    let mut group = c.benchmark_group("equivalence/tilde-M");
-    group.measurement_time(Duration::from_secs(3));
     for n in [8usize, 32, 128] {
         let a = decomposition_instance(&m, n);
         // An equivalent variant: duplicate a middle row (chases equal).
-        let b = a
-            .union(&decomposition_instance(&m, n / 2))
-            .unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b_, _| {
-            b_.iter(|| {
-                assert!(equivalent(&m, &a, &b).unwrap());
-                black_box(())
-            })
+        let b = a.union(&decomposition_instance(&m, n / 2)).unwrap();
+        let s = measure(MIN_ITERS, MIN_TIME, || {
+            assert!(equivalent(&m, &a, &b).unwrap());
         });
+        Record::new("equivalence/tilde-M")
+            .int("param", n as u64)
+            .sample(s)
+            .emit();
     }
-    group.finish();
 }
 
-fn bench_solution_subset(c: &mut Criterion) {
+fn bench_solution_subset() {
     let m = decomposition_k(3);
-    let mut group = c.benchmark_group("equivalence/sol-subset");
-    group.measurement_time(Duration::from_secs(3));
     for n in [8usize, 32, 128] {
         let small = decomposition_instance(&m, n);
         let big = decomposition_instance(&m, n * 2);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                assert!(solutions_subset(&m, &big, &small).unwrap());
-                black_box(())
-            })
+        let s = measure(MIN_ITERS, MIN_TIME, || {
+            assert!(solutions_subset(&m, &big, &small).unwrap());
         });
+        Record::new("equivalence/sol-subset")
+            .int("param", n as u64)
+            .sample(s)
+            .emit();
     }
-    group.finish();
 }
 
-fn bench_unique_solutions_universe(c: &mut Criterion) {
+fn bench_unique_solutions_universe() {
     // Bounded unique-solutions check over growing exhaustive universes
     // (the cost of the §1 non-invertibility arguments).
     let m = paper::projection();
-    let mut group = c.benchmark_group("equivalence/unique-solutions-universe");
-    group.measurement_time(Duration::from_secs(3));
-    group.sample_size(10);
     for cap in [2usize, 3, 4] {
         let universe = ground_instances(&m.source, &["a", "b"], cap);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(universe.len()),
-            &cap,
-            |b, _| {
-                b.iter(|| {
-                    assert!(unique_solutions_bounded(&m, &universe).unwrap().is_some());
-                    black_box(())
-                })
-            },
-        );
+        let s = measure(MIN_ITERS, MIN_TIME, || {
+            assert!(unique_solutions_bounded(&m, &universe).unwrap().is_some());
+        });
+        Record::new("equivalence/unique-solutions-universe")
+            .int("param", universe.len() as u64)
+            .sample(s)
+            .emit();
     }
-    group.finish();
 }
 
-fn bench_subset_property_prop_3_12(c: &mut Criterion) {
+fn bench_subset_property_prop_3_12() {
     // The conclusive Prop 3.12 refutation over the 512-instance universe
     // (the heaviest bounded check in the test-suite).
     let m = paper::prop_3_12();
-    let mut group = c.benchmark_group("equivalence/subset-property-prop-3.12");
-    group.measurement_time(Duration::from_secs(5));
-    group.sample_size(10);
     for consts in [2usize, 3] {
         let pool: Vec<&str> = ["a", "b", "c"][..consts].to_vec();
         let universe = ground_instances(&m.source, &pool, consts * consts);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(universe.len()),
-            &consts,
-            |b, &consts| {
-                b.iter(|| {
-                    let r = subset_property_bounded(
-                        &m,
-                        Relation::SolutionEquiv,
-                        Relation::SolutionEquiv,
-                        &universe,
-                    )
-                    .unwrap();
-                    assert_eq!(r.holds, consts < 3);
-                    black_box(r)
-                })
-            },
-        );
+        let s = measure(MIN_ITERS, MIN_TIME, || {
+            let r = subset_property_bounded(
+                &m,
+                Relation::SolutionEquiv,
+                Relation::SolutionEquiv,
+                &universe,
+            )
+            .unwrap();
+            assert_eq!(r.holds, consts < 3);
+            r
+        });
+        Record::new("equivalence/subset-property-prop-3.12")
+            .int("param", universe.len() as u64)
+            .sample(s)
+            .emit();
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_equivalence_check,
-    bench_solution_subset,
-    bench_unique_solutions_universe,
-    bench_subset_property_prop_3_12
-);
-criterion_main!(benches);
+fn main() {
+    bench_equivalence_check();
+    bench_solution_subset();
+    bench_unique_solutions_universe();
+    bench_subset_property_prop_3_12();
+}

@@ -7,19 +7,27 @@
 //! search must join across facts. Core computation (iterated folding) is
 //! included as the stress variant.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qi_bench::{measure, Record};
 use qi_schema::{core_of, has_hom, Instance, Schema};
 use qi_workloads::families::{decomposition_instance, decomposition_k};
-use std::hint::black_box;
 use std::time::Duration;
+
+const MIN_TIME: Duration = Duration::from_millis(200);
+const MIN_ITERS: u32 = 5;
 
 /// A path of `n` null-to-null edges (maximally flexible pattern).
 fn null_path(schema: &Schema, n: usize) -> Instance {
     let mut i = Instance::new(schema.clone());
     let e = schema.rel("E").unwrap();
     for k in 0..n {
-        i.insert(e, vec![qi_schema::Value::null(k as u64), qi_schema::Value::null(k as u64 + 1)])
-            .unwrap();
+        i.insert(
+            e,
+            vec![
+                qi_schema::Value::null(k as u64),
+                qi_schema::Value::null(k as u64 + 1),
+            ],
+        )
+        .unwrap();
     }
     i
 }
@@ -41,55 +49,49 @@ fn cycle(schema: &Schema, n: usize) -> Instance {
     i
 }
 
-fn bench_path_into_cycle(c: &mut Criterion) {
+fn bench_path_into_cycle() {
     let schema = Schema::parse("E/2").unwrap();
-    let mut group = c.benchmark_group("hom/null-path-into-cycle");
-    group.measurement_time(Duration::from_secs(3));
     for n in [4usize, 8, 16, 32] {
         let path = null_path(&schema, n);
         let target = cycle(&schema, n + 1);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(has_hom(&path, &target)))
-        });
+        let s = measure(MIN_ITERS, MIN_TIME, || has_hom(&path, &target));
+        Record::new("hom/null-path-into-cycle")
+            .int("param", n as u64)
+            .sample(s)
+            .emit();
     }
-    group.finish();
 }
 
-fn bench_chase_output_equivalence(c: &mut Criterion) {
+fn bench_chase_output_equivalence() {
     // hom checks between chase outputs — the exact shape `~M` uses.
     let m = decomposition_k(3);
-    let mut group = c.benchmark_group("hom/chase-outputs");
-    group.measurement_time(Duration::from_secs(3));
     for n in [10usize, 40, 160] {
         let u1 = m.chase(&decomposition_instance(&m, n)).unwrap();
         let u2 = m.chase(&decomposition_instance(&m, n + 1)).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(has_hom(&u1, &u2)))
-        });
+        let s = measure(MIN_ITERS, MIN_TIME, || has_hom(&u1, &u2));
+        Record::new("hom/chase-outputs")
+            .int("param", n as u64)
+            .sample(s)
+            .emit();
     }
-    group.finish();
 }
 
-fn bench_core(c: &mut Criterion) {
+fn bench_core() {
     let schema = Schema::parse("E/2").unwrap();
-    let mut group = c.benchmark_group("hom/core");
-    group.measurement_time(Duration::from_secs(3));
-    group.sample_size(10);
     for n in [4usize, 8, 12] {
         // A constant loop plus a redundant null path that folds onto it.
         let mut i = cycle(&schema, 1);
         i = i.union(&null_path(&schema, n)).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(core_of(&i)))
-        });
+        let s = measure(MIN_ITERS, MIN_TIME, || core_of(&i));
+        Record::new("hom/core")
+            .int("param", n as u64)
+            .sample(s)
+            .emit();
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_path_into_cycle,
-    bench_chase_output_equivalence,
-    bench_core
-);
-criterion_main!(benches);
+fn main() {
+    bench_path_into_cycle();
+    bench_chase_output_equivalence();
+    bench_core();
+}

@@ -8,15 +8,17 @@
 //! exactly; `Σ''` recovers a same-size instance with nulls whose
 //! re-chase is only hom-equivalent (the certificate costs a hom search).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qi_bench::par_run;
+use qi_bench::{measure, Record};
 use qi_core::{quasi_inverse, round_trip, QuasiInverseOptions};
+use qi_exec::{par_map, Parallelism};
 use qi_workloads::families::decomposition_instance;
 use qi_workloads::paper;
-use std::hint::black_box;
 use std::time::Duration;
 
-fn bench_roundtrip_variants(c: &mut Criterion) {
+const MIN_TIME: Duration = Duration::from_millis(200);
+const MIN_ITERS: u32 = 3;
+
+fn bench_roundtrip_variants() {
     let m = paper::decomposition();
     // The algorithm output is a *disjunctive* reverse mapping: every
     // all-distinct trigger branches two ways, so its leaf count is
@@ -41,61 +43,49 @@ fn bench_roundtrip_variants(c: &mut Criterion) {
         ),
     ];
     for (name, rev, sizes) in &variants {
-        let mut group = c.benchmark_group(format!("roundtrip/{name}"));
-        group.measurement_time(Duration::from_secs(4));
-        group.sample_size(10);
         for &n in sizes {
             let i = decomposition_instance(&m, n);
-            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-                b.iter(|| {
-                    let rt = round_trip(&m, rev, &i, Default::default()).unwrap();
-                    assert!(rt.is_faithful());
-                    black_box(rt)
-                })
+            let s = measure(MIN_ITERS, MIN_TIME, || {
+                let rt = round_trip(&m, rev, &i, Default::default()).unwrap();
+                assert!(rt.is_faithful());
+                rt
             });
+            Record::new(&format!("roundtrip/{name}"))
+                .int("param", n as u64)
+                .sample(s)
+                .emit();
         }
-        group.finish();
     }
 }
 
-fn bench_parallel_verification(c: &mut Criterion) {
+fn bench_parallel_verification() {
     // Verifying faithfulness over a batch of instances is embarrassingly
-    // parallel; measure the batch throughput through the crossbeam
-    // fan-out helper (the shape EXPERIMENTS.md's E4 sweep uses).
+    // parallel; measure the batch throughput through the deterministic
+    // executor (the shape EXPERIMENTS.md's E4 sweep uses).
     let m = paper::decomposition();
     let rev = paper::decomposition_quasi_inverse_join();
     let instances: Vec<_> = (1..=8).map(|n| decomposition_instance(&m, n)).collect();
-    let mut group = c.benchmark_group("roundtrip/batch-verification");
-    group.measurement_time(Duration::from_secs(4));
-    group.sample_size(10);
-    group.bench_function("sequential", |b| {
-        b.iter(|| {
-            for i in &instances {
-                let rt = round_trip(&m, &rev, i, Default::default()).unwrap();
-                assert!(rt.is_faithful());
-            }
-        })
-    });
-    group.bench_function("parallel", |b| {
-        b.iter(|| {
-            let jobs: Vec<Box<dyn FnOnce() -> bool + Send>> = instances
-                .iter()
-                .map(|i| {
-                    let m = m.clone();
-                    let rev = rev.clone();
-                    let i = i.clone();
-                    Box::new(move || {
-                        round_trip(&m, &rev, &i, Default::default())
-                            .unwrap()
-                            .is_faithful()
-                    }) as Box<dyn FnOnce() -> bool + Send>
-                })
-                .collect();
-            assert!(par_run(jobs).into_iter().all(|ok| ok));
-        })
-    });
-    group.finish();
+    for (variant, parallelism) in [
+        ("sequential", Parallelism::sequential()),
+        ("parallel", Parallelism::default()),
+    ] {
+        let s = measure(MIN_ITERS, MIN_TIME, || {
+            let ok = par_map(parallelism, &instances, |i| {
+                round_trip(&m, &rev, i, Default::default())
+                    .unwrap()
+                    .is_faithful()
+            });
+            assert!(ok.into_iter().all(|b| b));
+        });
+        Record::new("roundtrip/batch-verification")
+            .str("variant", variant)
+            .int("batch", instances.len() as u64)
+            .sample(s)
+            .emit();
+    }
 }
 
-criterion_group!(benches, bench_roundtrip_variants, bench_parallel_verification);
-criterion_main!(benches);
+fn main() {
+    bench_roundtrip_variants();
+    bench_parallel_verification();
+}

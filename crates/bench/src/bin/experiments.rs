@@ -39,13 +39,7 @@ fn rev_size(rev: &qi_core::ReverseMapping) -> (usize, usize, usize) {
     let atoms: usize = rev
         .deps
         .iter()
-        .map(|d| {
-            d.body.len()
-                + d.disjuncts
-                    .iter()
-                    .map(|dj| dj.atoms.len())
-                    .sum::<usize>()
-        })
+        .map(|d| d.body.len() + d.disjuncts.iter().map(|dj| dj.atoms.len()).sum::<usize>())
         .sum();
     (deps, disjuncts, atoms)
 }

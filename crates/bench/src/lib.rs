@@ -1,15 +1,23 @@
 //! # qi-bench — benchmark harness
 //!
-//! Criterion benches regenerating the measurable claims of the paper; see
-//! `EXPERIMENTS.md` at the workspace root for the experiment index. The
-//! library part only hosts tiny shared helpers; the benches live under
-//! `benches/`.
+//! Plain `main()`-style bench targets (`harness = false`) regenerating
+//! the measurable claims of the paper; see `EXPERIMENTS.md` at the
+//! workspace root for the experiment index. Each series point prints one
+//! machine-readable line of the form
+//!
+//! ```text
+//! BENCH JSON {"bench":"chase/union4","param":256,"iters":12,"mean_ns":83211.0}
+//! ```
+//!
+//! so sweeps can be grepped out of any log. The library hosts the tiny
+//! timing / JSON helpers shared by the targets; everything is std-only.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use qi_core::SchemaMapping;
 use qi_schema::Instance;
+use std::time::{Duration, Instant};
 
 /// Chase an instance and panic with context on failure — benches want a
 /// terse infallible call.
@@ -17,19 +25,140 @@ pub fn chase_or_panic(m: &SchemaMapping, i: &Instance) -> Instance {
     m.chase(i).expect("bench chase must succeed")
 }
 
-/// Fan a list of independent closures across threads (used by the
-/// round-trip bench to verify many instances concurrently while the
-/// measurement itself stays single-threaded).
-pub fn par_run<T: Send>(jobs: Vec<Box<dyn FnOnce() -> T + Send>>) -> Vec<T> {
-    crossbeam::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .into_iter()
-            .map(|job| scope.spawn(move |_| job()))
+/// One timed series point: how often the closure ran and for how long.
+#[derive(Clone, Copy, Debug)]
+pub struct Sample {
+    /// Timed iterations (after one untimed warm-up call).
+    pub iters: u32,
+    /// Total wall-clock across the timed iterations.
+    pub total: Duration,
+}
+
+impl Sample {
+    /// Mean wall-clock per iteration in nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        self.total.as_nanos() as f64 / self.iters.max(1) as f64
+    }
+}
+
+/// Time `f`: one untimed warm-up call, then iterations until both
+/// `min_iters` and `min_time` are spent. Single-threaded measurement —
+/// any parallelism under test lives inside `f`.
+pub fn measure<T>(min_iters: u32, min_time: Duration, mut f: impl FnMut() -> T) -> Sample {
+    std::hint::black_box(f());
+    let start = Instant::now();
+    let mut iters = 0u32;
+    loop {
+        std::hint::black_box(f());
+        iters += 1;
+        if iters >= min_iters && start.elapsed() >= min_time {
+            return Sample {
+                iters,
+                total: start.elapsed(),
+            };
+        }
+    }
+}
+
+/// The thread counts the seq-vs-par sweeps report.
+pub const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// A `BENCH JSON` line under construction. Values are rendered
+/// immediately (no serde in the build), keys in insertion order.
+pub struct Record {
+    pairs: Vec<(String, String)>,
+}
+
+impl Record {
+    /// Start a record for the named bench series.
+    pub fn new(bench: &str) -> Self {
+        Record { pairs: Vec::new() }.str("bench", bench)
+    }
+
+    /// Add a string field (JSON-escaped).
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        let escaped: String = value
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                '\n' => vec!['\\', 'n'],
+                c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                c => vec![c],
+            })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("bench worker panicked"))
-            .collect()
-    })
-    .expect("crossbeam scope")
+        self.pairs.push((key.to_owned(), format!("\"{escaped}\"")));
+        self
+    }
+
+    /// Add an integer field.
+    pub fn int(mut self, key: &str, value: u64) -> Self {
+        self.pairs.push((key.to_owned(), value.to_string()));
+        self
+    }
+
+    /// Add a float field (non-finite values become `null`).
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        let rendered = if value.is_finite() {
+            format!("{value:.1}")
+        } else {
+            "null".to_owned()
+        };
+        self.pairs.push((key.to_owned(), rendered));
+        self
+    }
+
+    /// Add the standard fields of a timed [`Sample`].
+    pub fn sample(self, s: Sample) -> Self {
+        self.int("iters", s.iters as u64)
+            .num("mean_ns", s.mean_ns())
+    }
+
+    /// Render the record as its `BENCH JSON {...}` line.
+    pub fn render(&self) -> String {
+        let body: Vec<String> = self
+            .pairs
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect();
+        format!("BENCH JSON {{{}}}", body.join(","))
+    }
+
+    /// Print the record to stdout.
+    pub fn emit(self) {
+        println!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_renders_valid_shape() {
+        let line = Record::new("x/y")
+            .int("param", 4)
+            .num("mean_ns", 1234.5)
+            .str("note", "a \"quoted\" thing")
+            .render();
+        assert!(line.starts_with("BENCH JSON {\"bench\":\"x/y\""));
+        assert!(line.contains("\"param\":4"));
+        assert!(line.contains("\"mean_ns\":1234.5"));
+        assert!(line.contains("\\\"quoted\\\""));
+        assert!(line.ends_with('}'));
+    }
+
+    #[test]
+    fn measure_runs_at_least_min_iters() {
+        let mut n = 0u64;
+        let s = measure(5, Duration::from_millis(0), || n += 1);
+        assert!(s.iters >= 5);
+        assert_eq!(n as u32, s.iters + 1, "one warm-up call");
+        assert!(s.mean_ns() >= 0.0);
+    }
+
+    #[test]
+    fn non_finite_nums_become_null() {
+        let line = Record::new("x").num("bad", f64::NAN).render();
+        assert!(line.contains("\"bad\":null"));
+    }
 }

@@ -16,6 +16,7 @@
 //! blow-up on large inputs.
 
 use crate::error::ChaseError;
+use qi_exec::{par_map_stats, ExecStats, Parallelism};
 use qi_lang::{compile_atoms, DisjTgd, Var};
 use qi_schema::{Instance, MatchConstraints, MatchEngine, PatTerm, Pattern, Schema, Value};
 
@@ -24,12 +25,32 @@ use qi_schema::{Instance, MatchConstraints, MatchEngine, PatTerm, Pattern, Schem
 pub struct DisjChaseOptions {
     /// Maximum number of chase-tree nodes to visit before giving up.
     pub max_nodes: usize,
+    /// Degree of parallelism for the branch-exploration fan-out. The
+    /// leaves are bit-identical at every setting (see `qi-exec`).
+    pub parallelism: Parallelism,
 }
 
 impl Default for DisjChaseOptions {
     fn default() -> Self {
-        DisjChaseOptions { max_nodes: 200_000 }
+        DisjChaseOptions {
+            max_nodes: 200_000,
+            parallelism: Parallelism::default(),
+        }
     }
+}
+
+/// Result of a disjunctive chase run with statistics attached.
+#[derive(Clone, Debug)]
+pub struct DisjChaseOutcome {
+    /// The leaves' `to` sides (exact duplicates removed), in the
+    /// deterministic left-to-right chase-tree order.
+    pub leaves: Vec<Instance>,
+    /// Chase-tree nodes visited (internal nodes and leaves).
+    pub nodes_visited: usize,
+    /// Breadth-first waves the frontier went through.
+    pub waves: usize,
+    /// Executor counters for the branch-exploration stage.
+    pub stats: ExecStats,
 }
 
 struct CompiledDep {
@@ -166,6 +187,34 @@ pub fn disjunctive_chase(
     to0: &Instance,
     options: DisjChaseOptions,
 ) -> Result<Vec<Instance>, ChaseError> {
+    Ok(disjunctive_chase_with_stats(deps, from, to0, options)?.leaves)
+}
+
+/// A frontier entry: either a settled leaf or a node still to be
+/// examined (with its private fresh-null counter).
+enum Node {
+    Open(Instance, u64),
+    Leaf(Instance),
+}
+
+/// [`disjunctive_chase`] returning the full [`DisjChaseOutcome`].
+///
+/// The chase tree is explored in waves: each wave examines every open
+/// node *in parallel* against the immutable trigger list, then a
+/// sequential commit phase replaces each node (left to right) by its
+/// children — or marks it a leaf. Children are inserted in disjunct
+/// order at their parent's position, so the frontier stays in the
+/// chase tree's left-to-right order and the final leaf list (and its
+/// first-occurrence dedup) is exactly the one the depth-first
+/// sequential exploration produces. The node budget likewise trips iff
+/// the sequential exploration would trip it, since both visit the whole
+/// tree.
+pub fn disjunctive_chase_with_stats(
+    deps: &[DisjTgd],
+    from: &Instance,
+    to0: &Instance,
+    options: DisjChaseOptions,
+) -> Result<DisjChaseOutcome, ChaseError> {
     for d in deps {
         if !d.from.same_as(from.schema()) {
             return Err(ChaseError::SchemaMismatch(
@@ -191,40 +240,82 @@ pub fn disjunctive_chase(
             });
         }
     }
-    let mut leaves: Vec<Instance> = Vec::new();
-    let mut stack: Vec<(Instance, u64)> = vec![(
+    let mut frontier: Vec<Node> = vec![Node::Open(
         to0.clone(),
         from.fresh_null_floor().max(to0.fresh_null_floor()),
     )];
     let mut visited = 0usize;
-    while let Some((to, next_null)) = stack.pop() {
-        visited += 1;
+    let mut waves = 0usize;
+    let mut stats = ExecStats::default();
+    loop {
+        // Snapshot the open nodes of this wave.
+        let open: Vec<(usize, &Instance)> = frontier
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| match n {
+                Node::Open(to, _) => Some((i, to)),
+                Node::Leaf(_) => None,
+            })
+            .collect();
+        if open.is_empty() {
+            break;
+        }
+        waves += 1;
+        visited += open.len();
         if visited > options.max_nodes {
             return Err(ChaseError::Budget {
                 max_nodes: options.max_nodes,
             });
         }
-        // First unsatisfied trigger, in deterministic order.
-        let pending = triggers
-            .iter()
-            .find(|t| !trigger_satisfied(&compiled[t.dep], &t.fixed, &to));
-        match pending {
-            None => {
-                if !leaves.contains(&to) {
-                    leaves.push(to);
-                }
-            }
-            Some(t) => {
-                let dep = &compiled[t.dep];
-                // Push children in reverse so disjunct 0 is explored first.
-                for di in (0..dep.disjuncts.len()).rev() {
-                    let (child, next) = apply_disjunct(dep, di, &t.fixed, &to, next_null);
-                    stack.push((child, next));
+        // Parallel enumerate: the first unsatisfied trigger per node, a
+        // pure function of the node's immutable instance.
+        let (pending, wave_stats) = par_map_stats(options.parallelism, &open, |(_, to)| {
+            triggers
+                .iter()
+                .position(|t| !trigger_satisfied(&compiled[t.dep], &t.fixed, to))
+        });
+        stats.absorb(&wave_stats);
+        // Ordered commit: expand (or settle) every open node in place.
+        let mut next_frontier: Vec<Node> = Vec::with_capacity(frontier.len());
+        let mut open_at = 0usize;
+        for node in frontier {
+            match node {
+                Node::Leaf(to) => next_frontier.push(Node::Leaf(to)),
+                Node::Open(to, next_null) => {
+                    let verdict = pending[open_at];
+                    open_at += 1;
+                    match verdict {
+                        None => next_frontier.push(Node::Leaf(to)),
+                        Some(ti) => {
+                            let t = &triggers[ti];
+                            let dep = &compiled[t.dep];
+                            for di in 0..dep.disjuncts.len() {
+                                let (child, next) =
+                                    apply_disjunct(dep, di, &t.fixed, &to, next_null);
+                                next_frontier.push(Node::Open(child, next));
+                            }
+                        }
+                    }
                 }
             }
         }
+        frontier = next_frontier;
     }
-    Ok(leaves)
+    let mut leaves: Vec<Instance> = Vec::new();
+    for node in frontier {
+        let Node::Leaf(to) = node else {
+            unreachable!("loop exits only when no open nodes remain")
+        };
+        if !leaves.contains(&to) {
+            leaves.push(to);
+        }
+    }
+    Ok(DisjChaseOutcome {
+        leaves,
+        nodes_visited: visited,
+        waves,
+        stats,
+    })
 }
 
 /// Chase with *non-disjunctive* tgds with constants and inequalities:
@@ -279,13 +370,8 @@ mod tests {
         let s = Schema::parse("P/1 Q/1").unwrap();
         let dep = parse_disj_tgd(&t, &s, "S(x) -> P(x) | Q(x)").unwrap();
         let u = Instance::parse(&t, "S(a) S(b)").unwrap();
-        let leaves = disjunctive_chase(
-            &[dep],
-            &u,
-            &Instance::new(s),
-            DisjChaseOptions::default(),
-        )
-        .unwrap();
+        let leaves =
+            disjunctive_chase(&[dep], &u, &Instance::new(s), DisjChaseOptions::default()).unwrap();
         assert_eq!(leaves.len(), 4);
     }
 
@@ -298,8 +384,7 @@ mod tests {
         let dep = parse_disj_tgd(&t, &s, "S(x) -> P(x) | Q(x)").unwrap();
         let u = Instance::parse(&t, "S(a)").unwrap();
         let pre = Instance::parse(&s, "P(a)").unwrap();
-        let leaves =
-            disjunctive_chase(&[dep], &u, &pre, DisjChaseOptions::default()).unwrap();
+        let leaves = disjunctive_chase(&[dep], &u, &pre, DisjChaseOptions::default()).unwrap();
         assert_eq!(leaves, vec![pre]);
     }
 
@@ -320,8 +405,7 @@ mod tests {
     fn guards_filter_triggers() {
         let t = Schema::parse("S/2").unwrap();
         let s = Schema::parse("P/2").unwrap();
-        let dep =
-            parse_disj_tgd(&t, &s, "S(x,y) & const(x) & x != y -> P(x,y)").unwrap();
+        let dep = parse_disj_tgd(&t, &s, "S(x,y) & const(x) & x != y -> P(x,y)").unwrap();
         let u = Instance::parse(&t, "S(a,a) S(a,b) S(N1,b)").unwrap();
         let v = chase_with_guards(&[dep], &u, &s).unwrap();
         // Only S(a,b) passes both guards.
@@ -341,7 +425,10 @@ mod tests {
             &[dep],
             &u,
             &Instance::new(s),
-            DisjChaseOptions { max_nodes: 100 },
+            DisjChaseOptions {
+                max_nodes: 100,
+                ..Default::default()
+            },
         )
         .unwrap_err();
         assert!(matches!(err, ChaseError::Budget { .. }));

@@ -33,13 +33,19 @@ pub mod standard;
 pub mod target;
 pub mod universal;
 
-pub use disjunctive::{chase_with_guards, disjunctive_chase, DisjChaseOptions};
+pub use disjunctive::{
+    chase_with_guards, disjunctive_chase, disjunctive_chase_with_stats, DisjChaseOptions,
+    DisjChaseOutcome,
+};
 pub use error::ChaseError;
 pub use implication::{implies_tgd, is_generator};
 pub use query::{certain_answers, certain_answers_with_setting, evaluate};
 pub use satisfy::{satisfies_all_disj_tgds, satisfies_all_tgds, satisfies_disj_tgd, satisfies_tgd};
 pub use sotgd_chase::so_chase;
-pub use standard::{chase, chase_oblivious, ChaseOutcome};
+pub use standard::{
+    chase, chase_oblivious, chase_oblivious_with_options, chase_with_options, ChaseOptions,
+    ChaseOutcome,
+};
 pub use target::{
     chase_with_target_deps, is_weakly_acyclic, ExchangeSetting, TargetChaseOptions,
     TargetChaseResult,

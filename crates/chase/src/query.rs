@@ -178,15 +178,10 @@ mod tests {
         let plain = certain_answers(&setting.st_tgds, &i, &t, &q).unwrap();
         assert_eq!(plain.len(), 1);
         // …with the key, still one answer but the chase is ground.
-        let keyed = certain_answers_with_setting(
-            &setting,
-            &i,
-            &t,
-            &q,
-            TargetChaseOptions::default(),
-        )
-        .unwrap()
-        .expect("consistent");
+        let keyed =
+            certain_answers_with_setting(&setting, &i, &t, &q, TargetChaseOptions::default())
+                .unwrap()
+                .expect("consistent");
         assert_eq!(keyed, BTreeSet::from([vec![val("a"), val("b")]]));
         // An inconsistent source is reported as such.
         let bad = Instance::parse(&s, "P(a,b) P(a,c)").unwrap();

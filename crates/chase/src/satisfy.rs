@@ -65,7 +65,11 @@ pub fn satisfies_disj_tgd(from: &Instance, to: &Instance, dep: &DisjTgd) -> bool
     };
     let body_constraints = MatchConstraints {
         constants_only: dep.constant.iter().map(&var_idx).collect(),
-        distinct: dep.neq.iter().map(|(a, b)| (var_idx(a), var_idx(b))).collect(),
+        distinct: dep
+            .neq
+            .iter()
+            .map(|(a, b)| (var_idx(a), var_idx(b)))
+            .collect(),
         ..Default::default()
     };
     // Pre-compile each disjunct over an extended ordering: body vars keep
@@ -138,9 +142,21 @@ mod tests {
         let t = Schema::parse("Q/2").unwrap();
         let tgd = parse_tgd(&s, &t, "P(x) -> exists y . Q(x,y)").unwrap();
         let i = Instance::parse(&s, "P(a)").unwrap();
-        assert!(satisfies_tgd(&i, &Instance::parse(&t, "Q(a,N1)").unwrap(), &tgd));
-        assert!(satisfies_tgd(&i, &Instance::parse(&t, "Q(a,c)").unwrap(), &tgd));
-        assert!(!satisfies_tgd(&i, &Instance::parse(&t, "Q(b,c)").unwrap(), &tgd));
+        assert!(satisfies_tgd(
+            &i,
+            &Instance::parse(&t, "Q(a,N1)").unwrap(),
+            &tgd
+        ));
+        assert!(satisfies_tgd(
+            &i,
+            &Instance::parse(&t, "Q(a,c)").unwrap(),
+            &tgd
+        ));
+        assert!(!satisfies_tgd(
+            &i,
+            &Instance::parse(&t, "Q(b,c)").unwrap(),
+            &tgd
+        ));
     }
 
     #[test]
@@ -149,9 +165,21 @@ mod tests {
         let s = Schema::parse("P/1 Q/1").unwrap();
         let dep = parse_disj_tgd(&t, &s, "S(x) -> P(x) | Q(x)").unwrap();
         let u = Instance::parse(&t, "S(a)").unwrap();
-        assert!(satisfies_disj_tgd(&u, &Instance::parse(&s, "P(a)").unwrap(), &dep));
-        assert!(satisfies_disj_tgd(&u, &Instance::parse(&s, "Q(a)").unwrap(), &dep));
-        assert!(!satisfies_disj_tgd(&u, &Instance::parse(&s, "P(b)").unwrap(), &dep));
+        assert!(satisfies_disj_tgd(
+            &u,
+            &Instance::parse(&s, "P(a)").unwrap(),
+            &dep
+        ));
+        assert!(satisfies_disj_tgd(
+            &u,
+            &Instance::parse(&s, "Q(a)").unwrap(),
+            &dep
+        ));
+        assert!(!satisfies_disj_tgd(
+            &u,
+            &Instance::parse(&s, "P(b)").unwrap(),
+            &dep
+        ));
     }
 
     #[test]
@@ -197,7 +225,15 @@ mod tests {
         let s = Schema::parse("P/2").unwrap();
         let dep = parse_disj_tgd(&t, &s, "S(x) -> exists z . P(x,z)").unwrap();
         let u = Instance::parse(&t, "S(a)").unwrap();
-        assert!(satisfies_disj_tgd(&u, &Instance::parse(&s, "P(a,q)").unwrap(), &dep));
-        assert!(!satisfies_disj_tgd(&u, &Instance::parse(&s, "P(b,q)").unwrap(), &dep));
+        assert!(satisfies_disj_tgd(
+            &u,
+            &Instance::parse(&s, "P(a,q)").unwrap(),
+            &dep
+        ));
+        assert!(!satisfies_disj_tgd(
+            &u,
+            &Instance::parse(&s, "P(b,q)").unwrap(),
+            &dep
+        ));
     }
 }

@@ -26,8 +26,7 @@ impl SkolemTable {
         match term {
             SkTerm::Var(v) => assign(v),
             SkTerm::App(f, args) => {
-                let arg_vals: Vec<Value> =
-                    args.iter().map(|a| self.eval(a, assign)).collect();
+                let arg_vals: Vec<Value> = args.iter().map(|a| self.eval(a, assign)).collect();
                 let key = (f.name().to_owned(), arg_vals);
                 if let Some(&v) = self.values.get(&key) {
                     return v;
@@ -64,8 +63,7 @@ pub fn so_chase(so: &SoTgd, source: &Instance) -> Result<Instance, ChaseError> {
             facts: body_facts,
             nvars: vars.len(),
         };
-        let matches =
-            MatchEngine::new(&pattern, source, &MatchConstraints::default()).all();
+        let matches = MatchEngine::new(&pattern, source, &MatchConstraints::default()).all();
         for assignment in matches {
             let assign = |v: &Var| -> Value {
                 let idx = vars
@@ -86,11 +84,7 @@ pub fn so_chase(so: &SoTgd, source: &Instance) -> Result<Instance, ChaseError> {
                 continue;
             }
             for atom in &clause.head {
-                let args: Vec<Value> = atom
-                    .args
-                    .iter()
-                    .map(|t| table.eval(t, &assign))
-                    .collect();
+                let args: Vec<Value> = atom.args.iter().map(|t| table.eval(t, &assign)).collect();
                 target.insert(atom.rel, args).expect("validated arity");
             }
         }
@@ -108,9 +102,7 @@ mod tests {
     fn skolemized_chase_agrees_with_plain_chase() {
         let s = Schema::parse("P/2").unwrap();
         let t = Schema::parse("Q/2").unwrap();
-        let tgds = vec![
-            parse_tgd(&s, &t, "P(x,y) -> exists z . Q(x,z) & Q(z,y)").unwrap(),
-        ];
+        let tgds = vec![parse_tgd(&s, &t, "P(x,y) -> exists z . Q(x,z) & Q(z,y)").unwrap()];
         let so = skolemize(&tgds, "");
         let i = Instance::parse(&s, "P(a,b) P(b,a)").unwrap();
         let via_so = so_chase(&so, &i).unwrap();

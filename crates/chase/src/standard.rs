@@ -24,10 +24,17 @@
 //! null already present.
 
 use crate::error::ChaseError;
+use qi_exec::{par_map_stats, ExecStats, Parallelism};
 use qi_lang::{compile_atoms, Tgd, Var};
-use qi_schema::{
-    Instance, MatchConstraints, MatchEngine, PatTerm, Pattern, Schema, Value,
-};
+use qi_schema::{Instance, MatchConstraints, MatchEngine, PatTerm, Pattern, Schema, Value};
+
+/// Options for the standard chase.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChaseOptions {
+    /// Degree of parallelism for the trigger-enumeration stage. The
+    /// result is bit-identical at every setting (see `qi-exec`).
+    pub parallelism: Parallelism,
+}
 
 /// Outcome of a chase run: the result instance plus step statistics.
 #[derive(Clone, Debug)]
@@ -38,6 +45,8 @@ pub struct ChaseOutcome {
     pub fired: usize,
     /// Number of triggers examined.
     pub triggers: usize,
+    /// Executor counters for the trigger-enumeration stage.
+    pub stats: ExecStats,
 }
 
 fn check_schemas(tgds: &[Tgd], source: &Instance, target: &Schema) -> Result<(), ChaseError> {
@@ -83,11 +92,7 @@ fn compile(tgd: &Tgd) -> CompiledTgd {
 
 /// Does the head of `c` have a satisfying extension in `target` when the
 /// body variables are bound as in `assignment`?
-fn head_satisfied(
-    c: &CompiledTgd,
-    assignment: &qi_schema::Assignment,
-    target: &Instance,
-) -> bool {
+fn head_satisfied(c: &CompiledTgd, assignment: &qi_schema::Assignment, target: &Instance) -> bool {
     let head_pattern = Pattern {
         facts: c.head_facts.clone(),
         nvars: c.vars.len(),
@@ -143,6 +148,7 @@ fn run(
     source: &Instance,
     target_schema: &Schema,
     restricted: bool,
+    options: ChaseOptions,
 ) -> Result<ChaseOutcome, ChaseError> {
     check_schemas(tgds, source, target_schema)?;
     let mut target = Instance::new(target_schema.clone());
@@ -150,10 +156,18 @@ fn run(
     let mut fired = 0usize;
     let mut triggers = 0usize;
     let compiled: Vec<CompiledTgd> = tgds.iter().map(compile).collect();
-    for c in &compiled {
-        let constraints = MatchConstraints::default();
-        let matches = MatchEngine::new(&c.body, source, &constraints).all();
-        for assignment in &matches {
+    // Parallel enumerate: the source is an immutable snapshot, so the
+    // per-tgd trigger sets are independent pure computations. Results
+    // come back in tgd order, making the commit phase below identical to
+    // the sequential chase.
+    let (all_matches, stats) = par_map_stats(options.parallelism, &compiled, |c| {
+        MatchEngine::new(&c.body, source, &MatchConstraints::default()).all()
+    });
+    // Ordered commit: the restricted chase's satisfaction check depends
+    // on the evolving target, so firing stays sequential, in the same
+    // (tgd, trigger) order as the sequential chase.
+    for (c, matches) in compiled.iter().zip(&all_matches) {
+        for assignment in matches {
             triggers += 1;
             if restricted && head_satisfied(c, assignment, &target) {
                 continue;
@@ -166,6 +180,7 @@ fn run(
         instance: target,
         fired,
         triggers,
+        stats,
     })
 }
 
@@ -192,7 +207,19 @@ pub fn chase(
     source: &Instance,
     target_schema: &Schema,
 ) -> Result<ChaseOutcome, ChaseError> {
-    run(tgds, source, target_schema, true)
+    run(tgds, source, target_schema, true, ChaseOptions::default())
+}
+
+/// [`chase`] with explicit [`ChaseOptions`] (degree of parallelism for
+/// the trigger-enumeration stage). The result instance is bit-identical
+/// at every thread count.
+pub fn chase_with_options(
+    tgds: &[Tgd],
+    source: &Instance,
+    target_schema: &Schema,
+    options: ChaseOptions,
+) -> Result<ChaseOutcome, ChaseError> {
+    run(tgds, source, target_schema, true, options)
 }
 
 /// The oblivious chase: fires every trigger once, without the
@@ -202,7 +229,17 @@ pub fn chase_oblivious(
     source: &Instance,
     target_schema: &Schema,
 ) -> Result<ChaseOutcome, ChaseError> {
-    run(tgds, source, target_schema, false)
+    run(tgds, source, target_schema, false, ChaseOptions::default())
+}
+
+/// [`chase_oblivious`] with explicit [`ChaseOptions`].
+pub fn chase_oblivious_with_options(
+    tgds: &[Tgd],
+    source: &Instance,
+    target_schema: &Schema,
+    options: ChaseOptions,
+) -> Result<ChaseOutcome, ChaseError> {
+    run(tgds, source, target_schema, false, options)
 }
 
 #[cfg(test)]
@@ -253,11 +290,7 @@ mod tests {
     #[test]
     fn restricted_chase_reuses_satisfied_heads() {
         // Second tgd's head is already satisfied by the first one's output.
-        let (s, t, tgds) = setup(
-            "P/1 R/1",
-            "Q/1",
-            &["P(x) -> Q(x)", "R(x) -> Q(x)"],
-        );
+        let (s, t, tgds) = setup("P/1 R/1", "Q/1", &["P(x) -> Q(x)", "R(x) -> Q(x)"]);
         let i = Instance::parse(&s, "P(a) R(a)").unwrap();
         let out = chase(&tgds, &i, &t).unwrap();
         assert_eq!(out.instance.fact_count(), 1);

@@ -90,11 +90,11 @@ pub fn is_weakly_acyclic(target_tgds: &[Tgd]) -> bool {
                 if tgd.exists.contains(v) {
                     // Special edges from every body position of every
                     // universal variable occurring in this head.
-                    for hv in atom.args.iter().chain(
-                        tgd.head
-                            .iter()
-                            .flat_map(|a| a.args.iter()),
-                    ) {
+                    for hv in atom
+                        .args
+                        .iter()
+                        .chain(tgd.head.iter().flat_map(|a| a.args.iter()))
+                    {
                         if let Some(sources) = body_pos.get(hv) {
                             for &src in sources {
                                 special.entry(src).or_default().insert(head_node);
@@ -198,9 +198,7 @@ fn fire_target_tgds(
                         }
                     })
                     .collect();
-                instance
-                    .insert(fact.rel, args)
-                    .expect("validated arity");
+                instance.insert(fact.rel, args).expect("validated arity");
             }
             fired += 1;
         }
@@ -210,10 +208,7 @@ fn fire_target_tgds(
 
 /// One pass of egd repairs; `Ok(Some(n))` = `n` repairs applied,
 /// `Err`-free failure is returned through the result enum by the caller.
-fn repair_egds(
-    egds: &[Egd],
-    instance: &mut Instance,
-) -> Result<Option<usize>, (Value, Value)> {
+fn repair_egds(egds: &[Egd], instance: &mut Instance) -> Result<Option<usize>, (Value, Value)> {
     let mut repairs = 0usize;
     for egd in egds {
         loop {
@@ -385,12 +380,8 @@ mod tests {
         );
         assert!(!is_weakly_acyclic(&setting.target_tgds));
         let i = Instance::parse(&s, "S0(a)").unwrap();
-        let result = chase_with_target_deps(
-            &setting,
-            &i,
-            &t,
-            TargetChaseOptions { max_steps: 500 },
-        );
+        let result =
+            chase_with_target_deps(&setting, &i, &t, TargetChaseOptions { max_steps: 500 });
         assert!(matches!(result, Err(ChaseError::Budget { .. })));
     }
 

@@ -135,9 +135,7 @@ pub fn parse_mapping_file(text: &str) -> Result<MappingFile, CliError> {
         .collect();
     let egds: Result<Vec<Egd>, CliError> = egd_texts
         .iter()
-        .map(|d| {
-            parse_egd(&mapping.target, d).map_err(|e| err(format!("invalid egd `{d}`: {e}")))
-        })
+        .map(|d| parse_egd(&mapping.target, d).map_err(|e| err(format!("invalid egd `{d}`: {e}"))))
         .collect();
     Ok(MappingFile {
         mapping,
@@ -172,10 +170,7 @@ pub fn cmd_check(mapping_text: &str) -> Result<String, CliError> {
         );
     }
     if m.is_lav() {
-        let _ = writeln!(
-            out,
-            "quasi-invertible:     yes (LAV — Proposition 3.11)"
-        );
+        let _ = writeln!(out, "quasi-invertible:     yes (LAV — Proposition 3.11)");
     }
     if !cprop {
         let _ = writeln!(out, "invertible:           no (Proposition 5.3)");
@@ -246,13 +241,9 @@ pub fn cmd_chase(mapping_text: &str, instance_literal: &str) -> Result<String, C
     let i = Instance::parse(&m.source, instance_literal)
         .map_err(|e| err(format!("invalid instance: {e}")))?;
     if mf.has_target_deps() {
-        let result = chase_with_target_deps(
-            &mf.setting(),
-            &i,
-            &m.target,
-            TargetChaseOptions::default(),
-        )
-        .map_err(|e| err(e.to_string()))?;
+        let result =
+            chase_with_target_deps(&mf.setting(), &i, &m.target, TargetChaseOptions::default())
+                .map_err(|e| err(e.to_string()))?;
         return Ok(match result {
             TargetChaseResult::Solution(u) => format!("{u}\n"),
             TargetChaseResult::Failed { left, right } => format!(
@@ -280,7 +271,11 @@ pub fn cmd_roundtrip(mapping_text: &str, instance_literal: &str) -> Result<Strin
     let mut out = String::new();
     let _ = writeln!(out, "I  = {i}");
     let _ = writeln!(out, "U  = chase_Σ(I) = {}", rt.u);
-    let _ = writeln!(out, "recovered {} candidate source instance(s)", rt.recovered.len());
+    let _ = writeln!(
+        out,
+        "recovered {} candidate source instance(s)",
+        rt.recovered.len()
+    );
     for (k, v) in rt.recovered.iter().enumerate().take(8) {
         let _ = writeln!(out, "  V{k} = {v}");
     }
@@ -327,10 +322,46 @@ pub fn cmd_compose(m12_text: &str, m23_text: &str) -> Result<String, CliError> {
     }
 }
 
+/// Strip the global `--threads N` / `--threads=N` flag out of `args`,
+/// applying it via [`qi_exec::set_global_threads`]. Every chase and
+/// search result is bit-identical at any setting; the flag only changes
+/// how many workers the deterministic executor fans out to.
+fn apply_threads_flag(args: &[String]) -> Result<Vec<String>, CliError> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let value = if a == "--threads" {
+            Some(
+                it.next()
+                    .ok_or_else(|| err("--threads needs a value"))?
+                    .clone(),
+            )
+        } else {
+            a.strip_prefix("--threads=").map(str::to_owned)
+        };
+        match value {
+            Some(v) => {
+                let n: usize = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| err(format!("invalid --threads value `{v}`")))?;
+                qi_exec::set_global_threads(n);
+            }
+            None => rest.push(a.clone()),
+        }
+    }
+    Ok(rest)
+}
+
 /// Dispatch a full argument vector (excluding the binary name). Reads the
 /// mapping file through the provided loader so tests can inject content.
-pub fn run(args: &[String], read_file: impl Fn(&str) -> Result<String, CliError>) -> Result<String, CliError> {
-    let usage = "usage: qimap <check|quasi-inverse|inverse|chase|roundtrip|compose> <mapping-file> [instance | second-mapping-file]";
+pub fn run(
+    args: &[String],
+    read_file: impl Fn(&str) -> Result<String, CliError>,
+) -> Result<String, CliError> {
+    let usage = "usage: qimap [--threads N] <check|quasi-inverse|inverse|chase|roundtrip|compose> <mapping-file> [instance | second-mapping-file]";
+    let args = apply_threads_flag(args)?;
     let cmd = args.first().ok_or_else(|| err(usage))?;
     let file = args.get(1).ok_or_else(|| err(usage))?;
     let text = read_file(file)?;
@@ -339,7 +370,9 @@ pub fn run(args: &[String], read_file: impl Fn(&str) -> Result<String, CliError>
         "quasi-inverse" => cmd_quasi_inverse(&text),
         "inverse" => cmd_inverse(&text),
         "chase" => {
-            let inst = args.get(2).ok_or_else(|| err("chase needs an instance literal"))?;
+            let inst = args
+                .get(2)
+                .ok_or_else(|| err("chase needs an instance literal"))?;
             cmd_chase(&text, inst)
         }
         "roundtrip" => {
@@ -472,5 +505,33 @@ tgd: P(x,y,z) -> Q(x,y) & R(y,z)
         assert!(run(&[], loader).is_err());
         assert!(run(&["bogus".into(), "m.qim".into()], loader).is_err());
         assert!(run(&["chase".into(), "m.qim".into()], loader).is_err());
+    }
+
+    #[test]
+    fn threads_flag_is_global_and_output_invariant() {
+        let loader = |_: &str| Ok(DECOMP.to_owned());
+        let baseline = run(&["chase".into(), "m.qim".into(), "P(a,b,c)".into()], loader).unwrap();
+        for argv in [
+            vec![
+                "--threads".to_owned(),
+                "2".to_owned(),
+                "chase".to_owned(),
+                "m.qim".to_owned(),
+                "P(a,b,c)".to_owned(),
+            ],
+            vec![
+                "chase".to_owned(),
+                "--threads=4".to_owned(),
+                "m.qim".to_owned(),
+                "P(a,b,c)".to_owned(),
+            ],
+        ] {
+            assert_eq!(run(&argv, loader).unwrap(), baseline);
+        }
+        qi_exec::set_global_threads(0); // don't leak into other tests
+        assert!(run(&["--threads".into(), "zero".into()], loader).is_err());
+        assert!(run(&["--threads=0".into()], loader).is_err());
+        assert!(run(&["--threads".into()], loader).is_err());
+        qi_exec::set_global_threads(0);
     }
 }

@@ -150,12 +150,8 @@ mod tests {
     fn join_in_the_second_premise() {
         // σ23's premise joins two middle relations; generators must find
         // the source combinations producing both.
-        let m12 = SchemaMapping::parse(
-            "A/1 B/1",
-            "S1/1 S2/1",
-            &["A(x) -> S1(x)", "B(x) -> S2(x)"],
-        )
-        .unwrap();
+        let m12 = SchemaMapping::parse("A/1 B/1", "S1/1 S2/1", &["A(x) -> S1(x)", "B(x) -> S2(x)"])
+            .unwrap();
         let m23 = SchemaMapping::parse("S1/1 S2/1", "T/1", &["S1(x) & S2(x) -> T(x)"]).unwrap();
         let composed = compose(&m12, &m23, &MinGenOptions::default()).unwrap();
         assert_composition_correct(&m12, &m23);
@@ -168,24 +164,16 @@ mod tests {
     fn frontier_identification_is_covered_by_sigma_star() {
         // The middle premise Q(x,y) can be matched with x = y by a
         // different set of source facts — Σ* makes the composition see it.
-        let m12 = SchemaMapping::parse(
-            "D/1 P/2",
-            "Q/2",
-            &["P(x,y) -> Q(x,y)", "D(x) -> Q(x,x)"],
-        )
-        .unwrap();
+        let m12 = SchemaMapping::parse("D/1 P/2", "Q/2", &["P(x,y) -> Q(x,y)", "D(x) -> Q(x,x)"])
+            .unwrap();
         let m23 = SchemaMapping::parse("Q/2", "T/2", &["Q(x,y) -> T(y,x)"]).unwrap();
         assert_composition_correct(&m12, &m23);
     }
 
     #[test]
     fn union_fans_out() {
-        let m12 = SchemaMapping::parse(
-            "A/1 B/1",
-            "S/1",
-            &["A(x) -> S(x)", "B(x) -> S(x)"],
-        )
-        .unwrap();
+        let m12 =
+            SchemaMapping::parse("A/1 B/1", "S/1", &["A(x) -> S(x)", "B(x) -> S(x)"]).unwrap();
         let m23 = SchemaMapping::parse("S/1", "T/1", &["S(x) -> T(x)"]).unwrap();
         let composed = compose(&m12, &m23, &MinGenOptions::default()).unwrap();
         assert_composition_correct(&m12, &m23);
@@ -198,17 +186,14 @@ mod tests {
         let m = SchemaMapping::parse("P/2", "T/1", &["P(x,y) -> T(x)"]).unwrap();
         let id = SchemaMapping::identity(&m.source).unwrap();
         // Rebuild m over the replica as its source.
-        let m_replica =
-            SchemaMapping::parse("P/2", "T/1", &["P(x,y) -> T(x)"]).unwrap();
+        let m_replica = SchemaMapping::parse("P/2", "T/1", &["P(x,y) -> T(x)"]).unwrap();
         let m23 = SchemaMapping::new(
             id.target.clone(),
             m_replica.target.clone(),
             m_replica
                 .tgds
                 .iter()
-                .map(|t| {
-                    qi_lang::parse_tgd(&id.target, &m_replica.target, &t.to_string()).unwrap()
-                })
+                .map(|t| qi_lang::parse_tgd(&id.target, &m_replica.target, &t.to_string()).unwrap())
                 .collect(),
         )
         .unwrap();
@@ -217,8 +202,7 @@ mod tests {
 
     #[test]
     fn non_full_first_mapping_rejected() {
-        let m12 =
-            SchemaMapping::parse("P/1", "Q/2", &["P(x) -> exists y . Q(x,y)"]).unwrap();
+        let m12 = SchemaMapping::parse("P/1", "Q/2", &["P(x) -> exists y . Q(x,y)"]).unwrap();
         let m23 = SchemaMapping::parse("Q/2", "T/1", &["Q(x,y) -> T(x)"]).unwrap();
         assert!(compose(&m12, &m23, &MinGenOptions::default()).is_err());
         let i = Instance::new(m12.source.clone());

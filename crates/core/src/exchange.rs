@@ -206,7 +206,12 @@ mod tests {
     fn algorithm_output_round_trips_faithfully() {
         let m = decomposition();
         let rev = quasi_inverse(&m, &QuasiInverseOptions::default()).unwrap();
-        for text in ["P(a,b,c)", "P(a,b,c) P(a2,b,c2)", "P(a,a,a)", "P(a,b,b) P(b,b,a)"] {
+        for text in [
+            "P(a,b,c)",
+            "P(a,b,c) P(a2,b,c2)",
+            "P(a,a,a)",
+            "P(a,b,b) P(b,b,a)",
+        ] {
             let i = Instance::parse(&m.source, text).unwrap();
             let rt = round_trip(&m, &rev, &i, DisjChaseOptions::default()).unwrap();
             assert!(rt.is_sound(), "unsound on {text}");

@@ -182,9 +182,9 @@ pub fn subset_property_bounded(
             (Relation::SolutionEquiv, Relation::SolutionEquiv) => {
                 Ok(class_wit[class_of[i1]][class_of[i2]])
             }
-            (Relation::Equality, Relation::Equality) => {
-                universe[i1].is_subinstance_of(&universe[i2]).map_err(Into::into)
-            }
+            (Relation::Equality, Relation::Equality) => universe[i1]
+                .is_subinstance_of(&universe[i2])
+                .map_err(Into::into),
             (Relation::Equality, Relation::SolutionEquiv) => {
                 for &w2 in &members[class_of[i2]] {
                     if universe[i1].is_subinstance_of(&universe[w2])? {
@@ -315,8 +315,7 @@ mod tests {
         assert!(quasi.holds, "failures: {:?}", quasi.failures);
         assert!(quasi.checked_pairs > 0);
         let exact =
-            subset_property_bounded(&m, Relation::Equality, Relation::Equality, &universe)
-                .unwrap();
+            subset_property_bounded(&m, Relation::Equality, Relation::Equality, &universe).unwrap();
         assert!(!exact.holds);
     }
 
@@ -345,9 +344,13 @@ mod tests {
             })
             .collect();
         // With (=,=), the bracket is the identity on D.
-        let eq = relate_mod(&m, Relation::Equality, Relation::Equality, &universe, |i, j| {
-            subset[i][j]
-        })
+        let eq = relate_mod(
+            &m,
+            Relation::Equality,
+            Relation::Equality,
+            &universe,
+            |i, j| subset[i][j],
+        )
         .unwrap();
         assert_eq!(eq, subset);
         // With (~M,~M), the bracket only grows D (reflexivity of ~M) and
@@ -366,8 +369,7 @@ mod tests {
                 assert!(!subset[i][j] || qm[i][j], "bracket must contain D");
                 let direct = (0..n).any(|w1| {
                     idx.class[w1] == idx.class[i]
-                        && (0..n)
-                            .any(|w2| idx.class[w2] == idx.class[j] && subset[w1][w2])
+                        && (0..n).any(|w2| idx.class[w2] == idx.class[j] && subset[w1][w2])
                 });
                 assert_eq!(qm[i][j], direct, "({i},{j})");
             }
@@ -381,8 +383,8 @@ mod tests {
     fn copy_has_equality_subset_property() {
         let m = SchemaMapping::parse("P/1", "Q/1", &["P(x) -> Q(x)"]).unwrap();
         let universe = ground_instances(&m.source, &["a", "b"], 2);
-        let r = subset_property_bounded(&m, Relation::Equality, Relation::Equality, &universe)
-            .unwrap();
+        let r =
+            subset_property_bounded(&m, Relation::Equality, Relation::Equality, &universe).unwrap();
         assert!(r.holds);
     }
 }

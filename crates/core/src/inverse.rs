@@ -20,8 +20,8 @@
 use crate::error::CoreError;
 use crate::mapping::{ReverseMapping, SchemaMapping};
 use qi_lang::{
-    canonical_instance, restricted_growth_strings, thaw_value, Atom, Disjunct, DisjTgd,
-    FrozenVars, Var,
+    canonical_instance, restricted_growth_strings, thaw_value, Atom, DisjTgd, Disjunct, FrozenVars,
+    Var,
 };
 use qi_schema::{Instance, Value};
 use std::collections::BTreeMap;
@@ -208,7 +208,7 @@ mod tests {
         assert!(constant_propagation_property(&m).unwrap());
         let rev = inverse(&m).unwrap().unwrap();
         assert_eq!(rev.deps.len(), 2); // two prime atoms for R/2
-        // ω(Σ, I_{R(x1,x1)}): Q(x1,y1) ∧ S(x1,x1,y2) ∧ U(x1) ∧ Constant(x1) → R(x1,x1)
+                                       // ω(Σ, I_{R(x1,x1)}): Q(x1,y1) ∧ S(x1,x1,y2) ∧ U(x1) ∧ Constant(x1) → R(x1,x1)
         let d1 = &rev.deps[0];
         assert_eq!(d1.body.len(), 3);
         assert_eq!(d1.constant, vec![Var::new("x1")]);
@@ -236,10 +236,7 @@ mod tests {
         let m = SchemaMapping::parse("P/2", "Q/2", &["P(x,y) -> Q(x,y)"]).unwrap();
         let rev = inverse(&m).unwrap().unwrap();
         assert_eq!(rev.deps.len(), 2);
-        assert_eq!(
-            rev.deps[0].to_string(),
-            "Q(x1,x1) & const(x1) -> P(x1,x1)"
-        );
+        assert_eq!(rev.deps[0].to_string(), "Q(x1,x1) & const(x1) -> P(x1,x1)");
         assert_eq!(
             rev.deps[1].to_string(),
             "Q(x1,x2) & const(x1) & const(x2) & x1 != x2 -> P(x1,x2)"
@@ -249,8 +246,8 @@ mod tests {
     #[test]
     fn two_hop_copy_inverse_uses_join() {
         // Theorem 4.8's mapping: P(x,y) -> ∃z (Q(x,z) ∧ Q(z,y)).
-        let m = SchemaMapping::parse("P/2", "Q/2", &["P(x,y) -> exists z . Q(x,z) & Q(z,y)"])
-            .unwrap();
+        let m =
+            SchemaMapping::parse("P/2", "Q/2", &["P(x,y) -> exists z . Q(x,z) & Q(z,y)"]).unwrap();
         let rev = inverse(&m).unwrap().unwrap();
         // ω for R(x1,x2): Q(x1,y1) ∧ Q(y1,x2) ∧ guards → P(x1,x2)
         let d = &rev.deps[1];

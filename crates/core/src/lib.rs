@@ -62,17 +62,18 @@ pub use compose::{compose, composition_membership};
 pub use error::CoreError;
 pub use exchange::{composition_contains, round_trip, RoundTrip};
 pub use framework::{
-    relate_mod, subset_property_bounded, unique_solutions_bounded,
-    union_witness_subset_property, Relation, SubsetPropertyReport,
+    relate_mod, subset_property_bounded, union_witness_subset_property, unique_solutions_bounded,
+    Relation, SubsetPropertyReport,
 };
 pub use inverse::{constant_propagation_property, inverse, prime_atoms};
 pub use mapping::{ReverseMapping, SchemaMapping};
-pub use mingen::{min_gen, MinGenOptions};
+pub use mingen::{min_gen, min_gen_with_stats, Generator, MinGenOptions, MinGenOutcome};
 pub use quasi_inverse::{
-    minimize_disjuncts, quasi_inverse, quasi_inverse_full, quasi_inverse_lav,
-    QuasiInverseOptions,
+    minimize_disjuncts, quasi_inverse, quasi_inverse_full, quasi_inverse_lav, QuasiInverseOptions,
 };
 pub use sigma_star::sigma_star;
 pub use so_compose::so_compose;
 pub use solutions::{equivalent, solutions_subset};
-pub use verify::{is_inverse_bounded, is_quasi_inverse_bounded, is_relaxed_inverse_bounded, VerifyReport};
+pub use verify::{
+    is_inverse_bounded, is_quasi_inverse_bounded, is_relaxed_inverse_bounded, VerifyReport,
+};

@@ -1,14 +1,15 @@
 //! Schema mappings `M = (S, T, Σ)` and reverse mappings `M' = (T, S, Σ')`.
 
 use crate::error::CoreError;
-use qi_chase::{chase, ChaseError};
+use qi_chase::{chase_with_options, ChaseError, ChaseOptions, ChaseOutcome};
+use qi_exec::Parallelism;
 use qi_lang::{parse_disj_tgd, parse_tgd, DisjTgd, Tgd};
 use qi_schema::{Instance, Schema};
 use std::fmt;
 
 /// A schema mapping `M = (S, T, Σ)` where `Σ` is a finite set of s-t tgds
 /// (the class all of the paper's results are about).
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Debug)]
 pub struct SchemaMapping {
     /// The source schema `S`.
     pub source: Schema,
@@ -16,7 +17,19 @@ pub struct SchemaMapping {
     pub target: Schema,
     /// The specification `Σ`.
     pub tgds: Vec<Tgd>,
+    /// Degree of parallelism for this mapping's chase. Not part of the
+    /// mapping's mathematical identity `(S, T, Σ)`: equality ignores it,
+    /// and every chase result is bit-identical at every setting.
+    pub parallelism: Parallelism,
 }
+
+impl PartialEq for SchemaMapping {
+    fn eq(&self, other: &Self) -> bool {
+        self.source == other.source && self.target == other.target && self.tgds == other.tgds
+    }
+}
+
+impl Eq for SchemaMapping {}
 
 impl SchemaMapping {
     /// Build a mapping, checking that every tgd is over `(source, target)`.
@@ -32,7 +45,16 @@ impl SchemaMapping {
             source,
             target,
             tgds,
+            parallelism: Parallelism::default(),
         })
+    }
+
+    /// The same mapping with an explicit degree of parallelism for its
+    /// chase (`Parallelism::sequential()` selects the exact sequential
+    /// code path; the default auto-detects).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Parse a mapping from compact schema descriptions and one tgd per
@@ -66,7 +88,21 @@ impl SchemaMapping {
 
     /// `chase_Σ(I)`: the canonical universal solution for `instance`.
     pub fn chase(&self, instance: &Instance) -> Result<Instance, ChaseError> {
-        Ok(chase(&self.tgds, instance, &self.target)?.instance)
+        Ok(self.chase_outcome(instance)?.instance)
+    }
+
+    /// [`SchemaMapping::chase`] returning the full
+    /// [`ChaseOutcome`](qi_chase::ChaseOutcome) (trigger counters and
+    /// executor statistics).
+    pub fn chase_outcome(&self, instance: &Instance) -> Result<ChaseOutcome, ChaseError> {
+        chase_with_options(
+            &self.tgds,
+            instance,
+            &self.target,
+            ChaseOptions {
+                parallelism: self.parallelism,
+            },
+        )
     }
 
     /// The **core** universal solution: the core of `chase_Σ(I)` — the
@@ -241,8 +277,8 @@ mod tests {
 
     #[test]
     fn parse_and_classify() {
-        let m = SchemaMapping::parse("P/2 Q/1", "S/1", &["P(x,y) -> S(x)", "Q(x) -> S(x)"])
-            .unwrap();
+        let m =
+            SchemaMapping::parse("P/2 Q/1", "S/1", &["P(x,y) -> S(x)", "Q(x) -> S(x)"]).unwrap();
         assert!(m.is_lav());
         assert!(m.is_full());
         assert_eq!(m.max_body_atoms(), 1);

@@ -29,6 +29,7 @@
 use crate::error::CoreError;
 use crate::mapping::SchemaMapping;
 use qi_chase::is_generator;
+use qi_exec::{par_map_stats, ExecStats, Parallelism};
 use qi_lang::atom::vars_of;
 use qi_lang::{Atom, Var, VarGen};
 use qi_schema::{
@@ -44,6 +45,9 @@ pub struct MinGenOptions {
     pub max_atoms: Option<usize>,
     /// Budget on chase tests; exceeded ⇒ [`CoreError::Budget`].
     pub max_candidates: usize,
+    /// Degree of parallelism for the candidate chase tests. The output
+    /// (and the budget-error point) is bit-identical at every setting.
+    pub parallelism: Parallelism,
 }
 
 impl Default for MinGenOptions {
@@ -51,8 +55,21 @@ impl Default for MinGenOptions {
         MinGenOptions {
             max_atoms: None,
             max_candidates: 1_000_000,
+            parallelism: Parallelism::default(),
         }
     }
+}
+
+/// Result of a MinGen run with search statistics attached.
+#[derive(Clone, Debug)]
+pub struct MinGenOutcome {
+    /// The minimal generators, in canonical enumeration order.
+    pub generators: Vec<Generator>,
+    /// Candidates that were chase-tested against the budget (identical
+    /// at every thread count).
+    pub candidates_tested: usize,
+    /// Executor counters for the candidate-evaluation stage.
+    pub stats: ExecStats,
 }
 
 /// A generator `β(x,z)`: its atoms and its existential variables `z`.
@@ -69,7 +86,8 @@ pub struct Generator {
 type Code = u16;
 type EncAtom = (RelId, Vec<Code>);
 
-struct SearchCtx<'a> {
+/// Immutable encoding context shared by the enumerator and the workers.
+struct EncCtx<'a> {
     m: &'a SchemaMapping,
     psi: &'a [Atom],
     x: &'a [Var],
@@ -78,14 +96,9 @@ struct SearchCtx<'a> {
     rels: Vec<RelId>,
     /// Frozen constants for the subset-up-to-renaming encoding.
     x_consts: Vec<Value>,
-    found: Vec<Vec<EncAtom>>,
-    out: Vec<Generator>,
-    tested: BTreeSet<Vec<EncAtom>>,
-    budget: usize,
-    used_budget: usize,
 }
 
-impl SearchCtx<'_> {
+impl EncCtx<'_> {
     /// Instance encoding of a conjunction: `x_i` as a reserved constant,
     /// `z_j` as the null `N_j`.
     fn as_instance(&self, atoms: &[EncAtom]) -> Instance {
@@ -154,8 +167,18 @@ impl SearchCtx<'_> {
     }
 
     /// Does the prefix already contain a found generator (⇒ prune)?
-    fn covered(&self, prefix: &[EncAtom]) -> bool {
-        self.found.iter().any(|g| self.subconj(g, prefix))
+    fn covered(&self, prefix: &[EncAtom], found: &[Vec<EncAtom>]) -> bool {
+        found.iter().any(|g| self.subconj(g, prefix))
+    }
+
+    /// Safety of the induced tgd: every frontier variable occurs.
+    fn safe(&self, atoms: &[EncAtom]) -> bool {
+        let present: BTreeSet<Code> = atoms
+            .iter()
+            .flat_map(|(_, args)| args.iter().copied())
+            .filter(|&c| (c as usize) < self.nx)
+            .collect();
+        present.len() == self.nx
     }
 
     /// Heuristic normal form used only to avoid re-testing duplicates:
@@ -227,43 +250,6 @@ impl SearchCtx<'_> {
         }
     }
 
-    /// Chase-test a full-size candidate; record it when it generates.
-    fn consider(&mut self, atoms: &[EncAtom]) -> Result<(), CoreError> {
-        // All frontier variables must occur (safety of the induced tgd).
-        let present: BTreeSet<Code> = atoms
-            .iter()
-            .flat_map(|(_, args)| args.iter().copied())
-            .filter(|&c| (c as usize) < self.nx)
-            .collect();
-        if present.len() != self.nx {
-            return Ok(());
-        }
-        let nf = self.normal_form(atoms);
-        if !self.tested.insert(nf) {
-            return Ok(());
-        }
-        self.used_budget += 1;
-        if self.used_budget > self.budget {
-            return Err(CoreError::Budget(format!(
-                "MinGen exceeded {} candidate chase tests",
-                self.budget
-            )));
-        }
-        let gen = self.decode(atoms);
-        if is_generator(
-            &self.m.tgds,
-            &self.m.source,
-            &self.m.target,
-            &gen.atoms,
-            self.psi,
-            self.x,
-        )? {
-            self.found.push(atoms.to_vec());
-            self.out.push(gen);
-        }
-        Ok(())
-    }
-
     /// Enumerate the atoms that may follow the current prefix: relation id
     /// at least `min_rel`, new `z` variables introduced consecutively
     /// starting at `z_used`.
@@ -297,28 +283,97 @@ impl SearchCtx<'_> {
         }
         out
     }
+}
 
-    fn dfs(
-        &mut self,
-        prefix: &mut Vec<EncAtom>,
-        z_used: usize,
-        remaining: usize,
-    ) -> Result<(), CoreError> {
-        if remaining == 0 {
-            return self.consider(prefix);
+/// One level of the explicit DFS stack: the options for the atom at this
+/// depth and the cursor into them.
+struct Frame {
+    opts: Vec<(EncAtom, usize)>,
+    next: usize,
+}
+
+/// Resumable iterative-deepening enumerator over encoded conjunctions.
+///
+/// Yields, in the canonical (size-then-lexicographic) order of the
+/// sequential search, each candidate that (a) survives prefix-pruning
+/// against the generators found *so far*, (b) is safe (all frontier
+/// variables occur) and (c) has an unseen normal form. Because pruning
+/// is monotone in `found` — a conjunction covered now stays covered
+/// forever — drawing a batch of candidates against a stale `found` and
+/// re-checking coverage at commit time reproduces the sequential
+/// candidate stream exactly.
+struct Enumerator {
+    size: usize,
+    cap: usize,
+    prefix: Vec<EncAtom>,
+    frames: Vec<Frame>,
+    done: bool,
+}
+
+impl Enumerator {
+    fn new(cap: usize) -> Self {
+        Enumerator {
+            size: 0,
+            cap,
+            prefix: Vec::new(),
+            frames: Vec::new(),
+            done: false,
         }
-        let min_rel = prefix.last().map(|(r, _)| r.0).unwrap_or(0);
-        for (atom, used) in self.next_atoms(min_rel, z_used) {
-            if prefix.contains(&atom) {
+    }
+
+    fn next_candidate(
+        &mut self,
+        ctx: &EncCtx,
+        found: &[Vec<EncAtom>],
+        tested: &mut BTreeSet<Vec<EncAtom>>,
+    ) -> Option<Vec<EncAtom>> {
+        while !self.done {
+            if self.frames.is_empty() {
+                // Begin the next deepening level.
+                self.size += 1;
+                if self.size > self.cap {
+                    self.done = true;
+                    return None;
+                }
+                self.prefix.clear();
+                self.frames.push(Frame {
+                    opts: ctx.next_atoms(0, 0),
+                    next: 0,
+                });
+            }
+            let frame = self.frames.last_mut().expect("nonempty");
+            if frame.next >= frame.opts.len() {
+                self.frames.pop();
+                if !self.frames.is_empty() {
+                    self.prefix.pop();
+                }
+                continue;
+            }
+            let (atom, z_used) = frame.opts[frame.next].clone();
+            frame.next += 1;
+            if self.prefix.contains(&atom) {
                 continue; // duplicate conjunct adds nothing
             }
-            prefix.push(atom);
-            if !self.covered(prefix) {
-                self.dfs(prefix, used, remaining - 1)?;
+            self.prefix.push(atom);
+            if ctx.covered(&self.prefix, found) {
+                self.prefix.pop();
+                continue;
             }
-            prefix.pop();
+            if self.prefix.len() == self.size {
+                let cand = self.prefix.clone();
+                self.prefix.pop();
+                if ctx.safe(&cand) && tested.insert(ctx.normal_form(&cand)) {
+                    return Some(cand);
+                }
+                continue;
+            }
+            let min_rel = self.prefix.last().map(|(r, _)| r.0).expect("just pushed");
+            self.frames.push(Frame {
+                opts: ctx.next_atoms(min_rel, z_used),
+                next: 0,
+            });
         }
-        Ok(())
+        None
     }
 }
 
@@ -331,6 +386,29 @@ pub fn min_gen(
     x: &[Var],
     options: &MinGenOptions,
 ) -> Result<Vec<Generator>, CoreError> {
+    Ok(min_gen_with_stats(m, psi, x, options)?.generators)
+}
+
+/// [`min_gen`] returning the full [`MinGenOutcome`].
+///
+/// ## How the parallel search stays exact
+///
+/// Candidates are drawn from the canonical enumeration in batches and
+/// chase-tested speculatively in parallel; a sequential commit phase then
+/// walks the batch in enumeration order, re-checks each candidate against
+/// the generators found *before it* (a candidate whose prefix became
+/// covered mid-batch is dropped, exactly as the sequential search's
+/// pruning would have skipped it), charges the budget, and records the
+/// speculative verdict. Coverage is monotone — found generators only
+/// accumulate — so the committed candidate stream, the found-generator
+/// order, and the point where the budget trips are all bit-identical to
+/// the single-threaded search.
+pub fn min_gen_with_stats(
+    m: &SchemaMapping,
+    psi: &[Atom],
+    x: &[Var],
+    options: &MinGenOptions,
+) -> Result<MinGenOutcome, CoreError> {
     if psi.is_empty() {
         return Err(CoreError::Precondition("ψ must be nonempty".into()));
     }
@@ -344,7 +422,11 @@ pub fn min_gen(
     }
     let s1 = m.max_body_atoms();
     if s1 == 0 {
-        return Ok(Vec::new()); // Σ empty: nothing generates anything
+        return Ok(MinGenOutcome {
+            generators: Vec::new(), // Σ empty: nothing generates anything
+            candidates_tested: 0,
+            stats: ExecStats::default(),
+        });
     }
     let cap = options.max_atoms.unwrap_or(s1 * psi.len());
     // Only relations occurring in some premise can matter.
@@ -358,27 +440,65 @@ pub fn min_gen(
     let x_consts: Vec<Value> = (0..nx)
         .map(|i| Value::Const(ConstId::new(&format!("$mgx{i}"))))
         .collect();
-    let mut ctx = SearchCtx {
+    let ctx = EncCtx {
         m,
         psi,
         x,
         nx,
         rels,
         x_consts,
-        found: Vec::new(),
-        out: Vec::new(),
-        tested: BTreeSet::new(),
-        budget: options.max_candidates,
-        used_budget: 0,
     };
-    for size in 1..=cap {
-        let mut prefix = Vec::with_capacity(size);
-        ctx.dfs(&mut prefix, 0, size)?;
+    let mut enumerator = Enumerator::new(cap);
+    let mut tested: BTreeSet<Vec<EncAtom>> = BTreeSet::new();
+    let mut found: Vec<Vec<EncAtom>> = Vec::new();
+    let mut out: Vec<Generator> = Vec::new();
+    let mut candidates_tested = 0usize;
+    let mut stats = ExecStats::default();
+    // Speculation depth: enough work per wave to keep every worker busy.
+    // Batching never changes the result (see above), only the amount of
+    // possibly-wasted speculative work.
+    let threads = options.parallelism.resolve();
+    let batch_cap = if threads == 1 { 1 } else { threads * 4 };
+    loop {
+        let mut batch: Vec<Vec<EncAtom>> = Vec::with_capacity(batch_cap);
+        while batch.len() < batch_cap {
+            match enumerator.next_candidate(&ctx, &found, &mut tested) {
+                Some(c) => batch.push(c),
+                None => break,
+            }
+        }
+        if batch.is_empty() {
+            break;
+        }
+        // Parallel enumerate: chase-test the whole batch speculatively.
+        let (verdicts, wave_stats) = par_map_stats(options.parallelism, &batch, |cand| {
+            let gen = ctx.decode(cand);
+            is_generator(&m.tgds, &m.source, &m.target, &gen.atoms, psi, x).map(|ok| (gen, ok))
+        });
+        stats.absorb(&wave_stats);
+        // Ordered commit, in canonical enumeration order.
+        for (cand, verdict) in batch.iter().zip(verdicts) {
+            if ctx.covered(cand, &found) {
+                continue; // a generator committed just before it covers it
+            }
+            candidates_tested += 1;
+            if candidates_tested > options.max_candidates {
+                return Err(CoreError::Budget(format!(
+                    "MinGen exceeded {} candidate chase tests",
+                    options.max_candidates
+                )));
+            }
+            let (gen, ok) = verdict?;
+            if ok {
+                found.push(cand.clone());
+                out.push(gen);
+            }
+        }
     }
     // Step 3 (minimize): drop every generator subsumed by another kept
     // one. For mutually-subsuming pairs the earlier (smaller, since sizes
     // ascend) is kept.
-    let n = ctx.found.len();
+    let n = found.len();
     let mut alive = vec![true; n];
     #[allow(clippy::needless_range_loop)] // symmetric double-index over `alive`
     for i in 0..n {
@@ -389,20 +509,21 @@ pub fn min_gen(
             if i == j || !alive[j] {
                 continue;
             }
-            if ctx.subconj(&ctx.found[i], &ctx.found[j])
-                && !(j < i && ctx.subconj(&ctx.found[j], &ctx.found[i]))
-            {
+            if ctx.subconj(&found[i], &found[j]) && !(j < i && ctx.subconj(&found[j], &found[i])) {
                 alive[j] = false;
             }
         }
     }
-    Ok(ctx
-        .out
-        .into_iter()
-        .zip(alive)
-        .filter(|(_, a)| *a)
-        .map(|(g, _)| g)
-        .collect())
+    Ok(MinGenOutcome {
+        generators: out
+            .into_iter()
+            .zip(alive)
+            .filter(|(_, a)| *a)
+            .map(|(g, _)| g)
+            .collect(),
+        candidates_tested,
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -430,16 +551,12 @@ mod tests {
 
     #[test]
     fn union_has_two_generators() {
-        let m = SchemaMapping::parse("P/1 Q/1", "S/1", &["P(x) -> S(x)", "Q(x) -> S(x)"])
-            .unwrap();
+        let m = SchemaMapping::parse("P/1 Q/1", "S/1", &["P(x) -> S(x)", "Q(x) -> S(x)"]).unwrap();
         let psi = atoms(&m.target, &[("S", &["x"])]);
         let x = vec![Var::new("x")];
         let gens = min_gen(&m, &psi, &x, &MinGenOptions::default()).unwrap();
         assert_eq!(gens.len(), 2);
-        let names: BTreeSet<&str> = gens
-            .iter()
-            .map(|g| m.source.name(g.atoms[0].rel))
-            .collect();
+        let names: BTreeSet<&str> = gens.iter().map(|g| m.source.name(g.atoms[0].rel)).collect();
         assert_eq!(names, BTreeSet::from(["P", "Q"]));
     }
 
@@ -448,12 +565,8 @@ mod tests {
         // Σ = { S(x,y) -> P(x,y), T(x,y) -> P(x,x) }.
         // Generators of P(x1,x2) (x1 ≠ x2 case handled by QuasiInverse):
         // S(x1,x2) only. Generators of P(x1,x1): S(x1,x1) and ∃y T(x1,y).
-        let m = SchemaMapping::parse(
-            "S/2 T/2",
-            "P/2",
-            &["S(x,y) -> P(x,y)", "T(x,y) -> P(x,x)"],
-        )
-        .unwrap();
+        let m = SchemaMapping::parse("S/2 T/2", "P/2", &["S(x,y) -> P(x,y)", "T(x,y) -> P(x,x)"])
+            .unwrap();
         let psi_distinct = atoms(&m.target, &[("P", &["x1", "x2"])]);
         let gens = min_gen(
             &m,
@@ -466,13 +579,7 @@ mod tests {
         assert_eq!(m.source.name(gens[0].atoms[0].rel), "S");
 
         let psi_equal = atoms(&m.target, &[("P", &["x1", "x1"])]);
-        let gens = min_gen(
-            &m,
-            &psi_equal,
-            &[Var::new("x1")],
-            &MinGenOptions::default(),
-        )
-        .unwrap();
+        let gens = min_gen(&m, &psi_equal, &[Var::new("x1")], &MinGenOptions::default()).unwrap();
         assert_eq!(gens.len(), 2);
     }
 
@@ -482,8 +589,7 @@ mod tests {
         // single fact P(x,y,z), and also — with two facts — by
         // P(x,y,w1) ∧ P(w2,y,z) (the Q-part from one, the R-part from the
         // other). Every other two-fact generator is subsumed by the latter.
-        let m =
-            SchemaMapping::parse("P/3", "Q/2 R/2", &["P(x,y,z) -> Q(x,y) & R(y,z)"]).unwrap();
+        let m = SchemaMapping::parse("P/3", "Q/2 R/2", &["P(x,y,z) -> Q(x,y) & R(y,z)"]).unwrap();
         let psi = atoms(&m.target, &[("Q", &["x", "y"]), ("R", &["y", "z"])]);
         let x = vec![Var::new("x"), Var::new("y"), Var::new("z")];
         let gens = min_gen(&m, &psi, &x, &MinGenOptions::default()).unwrap();
@@ -511,6 +617,7 @@ mod tests {
             &MinGenOptions {
                 max_atoms: None,
                 max_candidates: 3,
+                ..Default::default()
             },
         )
         .unwrap_err();

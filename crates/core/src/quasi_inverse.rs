@@ -25,7 +25,7 @@ use crate::error::CoreError;
 use crate::mapping::{ReverseMapping, SchemaMapping};
 use crate::mingen::{min_gen, MinGenOptions};
 use crate::sigma_star::sigma_star;
-use qi_lang::{canonical_instance, compile_atoms, Disjunct, DisjTgd, FrozenVars, Var};
+use qi_lang::{canonical_instance, compile_atoms, DisjTgd, Disjunct, FrozenVars, Var};
 use qi_schema::{MatchConstraints, MatchEngine, Pattern};
 
 /// Options for the QuasiInverse algorithm.
@@ -67,10 +67,17 @@ pub fn quasi_inverse(
     } else {
         sigma_star(&m.tgds)?
     };
+    // An unset (auto) MinGen parallelism inherits the mapping-level knob,
+    // so `SchemaMapping::with_parallelism` governs the whole algorithm;
+    // an explicit per-call setting still wins.
+    let mut mingen_options = options.mingen.clone();
+    if mingen_options.parallelism == qi_exec::Parallelism::auto() {
+        mingen_options.parallelism = m.parallelism;
+    }
     let mut deps: Vec<DisjTgd> = Vec::new();
     for sigma in &star {
         let x = sigma.frontier();
-        let generators = min_gen(m, &sigma.head, &x, &options.mingen)?;
+        let generators = min_gen(m, &sigma.head, &x, &mingen_options)?;
         debug_assert!(
             !generators.is_empty(),
             "σ's own premise is a generator, so MinGen cannot come back empty"
@@ -118,8 +125,7 @@ pub fn quasi_inverse_full(
 ) -> Result<ReverseMapping, CoreError> {
     if !m.is_full() {
         return Err(CoreError::Precondition(
-            "quasi_inverse_full requires a mapping specified by full s-t tgds (Theorem 4.6)"
-                .into(),
+            "quasi_inverse_full requires a mapping specified by full s-t tgds (Theorem 4.6)".into(),
         ));
     }
     let guarded = quasi_inverse(m, options)?;
@@ -306,8 +312,7 @@ mod tests {
     #[test]
     fn union_quasi_inverse_is_disjunctive() {
         // Paper §1: S(x) → P(x) ∨ Q(x).
-        let m = SchemaMapping::parse("P/1 Q/1", "S/1", &["P(x) -> S(x)", "Q(x) -> S(x)"])
-            .unwrap();
+        let m = SchemaMapping::parse("P/1 Q/1", "S/1", &["P(x) -> S(x)", "Q(x) -> S(x)"]).unwrap();
         let rev = quasi_inverse(&m, &QuasiInverseOptions::default()).unwrap();
         assert_eq!(rev.deps.len(), 1);
         assert_eq!(rev.deps[0].to_string(), "S(x) & const(x) -> P(x) | Q(x)");
@@ -315,8 +320,7 @@ mod tests {
 
     #[test]
     fn decomposition_quasi_inverse_shape() {
-        let m = SchemaMapping::parse("P/3", "Q/2 R/2", &["P(x,y,z) -> Q(x,y) & R(y,z)"])
-            .unwrap();
+        let m = SchemaMapping::parse("P/3", "Q/2 R/2", &["P(x,y,z) -> Q(x,y) & R(y,z)"]).unwrap();
         let rev = quasi_inverse(&m, &QuasiInverseOptions::default()).unwrap();
         // B(3) = 5 complete descriptions, each giving one dependency.
         assert_eq!(rev.deps.len(), 5);
@@ -355,12 +359,7 @@ mod tests {
     fn minimize_mutually_equivalent_keeps_first() {
         let t = Schema::parse("S/1").unwrap();
         let s = Schema::parse("P/2").unwrap();
-        let dep = parse_disj_tgd(
-            &t,
-            &s,
-            "S(x) -> exists z . P(x,z) | exists w . P(x,w)",
-        )
-        .unwrap();
+        let dep = parse_disj_tgd(&t, &s, "S(x) -> exists z . P(x,z) | exists w . P(x,w)").unwrap();
         let min = minimize_disjuncts(&dep);
         assert_eq!(min.disjuncts.len(), 1);
         assert_eq!(min.disjuncts[0].exists, vec![Var::new("z")]);
@@ -368,12 +367,8 @@ mod tests {
 
     #[test]
     fn algorithm_output_is_already_disjunct_minimal() {
-        let m = SchemaMapping::parse(
-            "S/2 T/2",
-            "P/2",
-            &["S(x,y) -> P(x,y)", "T(x,y) -> P(x,x)"],
-        )
-        .unwrap();
+        let m = SchemaMapping::parse("S/2 T/2", "P/2", &["S(x,y) -> P(x,y)", "T(x,y) -> P(x,x)"])
+            .unwrap();
         let rev = quasi_inverse(&m, &QuasiInverseOptions::default()).unwrap();
         for d in &rev.deps {
             assert_eq!(minimize_disjuncts(d), *d);

@@ -125,10 +125,7 @@ fn resolve(c23: &SoClause, so12: &SoTgd, choice: &[usize]) -> SoClause {
             t.substitute(&|v: &Var| rename.get(v).cloned().map(SkTerm::Var))
         };
         for b in &producer.body {
-            body.push(qi_lang::substitution::substitute_atom(
-                b,
-                &rename,
-            ));
+            body.push(qi_lang::substitution::substitute_atom(b, &rename));
         }
         for (l, r) in &producer.eqs {
             eqs.push((rename_term(l), rename_term(r)));
@@ -188,8 +185,8 @@ mod tests {
         // The classic composition needing SO-tgds:
         //   Σ12: Emp(e) → ∃m Mgr1(e,m)
         //   Σ23: Mgr1(e,m) → Mgr(e,m);  Mgr1(e,e) → SelfMgr(e)
-        let m12 = SchemaMapping::parse("Emp/1", "Mgr1/2", &["Emp(e) -> exists m . Mgr1(e,m)"])
-            .unwrap();
+        let m12 =
+            SchemaMapping::parse("Emp/1", "Mgr1/2", &["Emp(e) -> exists m . Mgr1(e,m)"]).unwrap();
         let m23 = align(
             &m12,
             "Mgr1/2",
@@ -210,12 +207,8 @@ mod tests {
 
     #[test]
     fn agrees_with_first_order_compose_on_full_first_mapping() {
-        let m12 = SchemaMapping::parse(
-            "A/1 B/1",
-            "S1/1 S2/1",
-            &["A(x) -> S1(x)", "B(x) -> S2(x)"],
-        )
-        .unwrap();
+        let m12 = SchemaMapping::parse("A/1 B/1", "S1/1 S2/1", &["A(x) -> S1(x)", "B(x) -> S2(x)"])
+            .unwrap();
         let m23 = align(&m12, "S1/1 S2/1", "T/1", &["S1(x) & S2(x) -> T(x)"]);
         let so = so_compose(&m12, &m23).unwrap();
         let fo = crate::compose::compose(&m12, &m23, &Default::default()).unwrap();
@@ -232,7 +225,12 @@ mod tests {
         // Non-full first mapping: first-order compose refuses, SO compose
         // handles it.
         let m12 = SchemaMapping::parse("P/1", "Q/2", &["P(x) -> exists y . Q(x,y)"]).unwrap();
-        let m23 = align(&m12, "Q/2", "R/2 W/1", &["Q(x,y) -> R(y,x)", "Q(x,x) -> W(x)"]);
+        let m23 = align(
+            &m12,
+            "Q/2",
+            "R/2 W/1",
+            &["Q(x,y) -> R(y,x)", "Q(x,x) -> W(x)"],
+        );
         assert!(crate::compose::compose(&m12, &m23, &Default::default()).is_err());
         let so = so_compose(&m12, &m23).unwrap();
         for i_text in ["P(a)", "P(a) P(b)"] {
@@ -258,12 +256,8 @@ mod tests {
 
     #[test]
     fn multi_producer_premises_fan_out() {
-        let m12 = SchemaMapping::parse(
-            "A/1 B/1",
-            "S/1",
-            &["A(x) -> S(x)", "B(x) -> S(x)"],
-        )
-        .unwrap();
+        let m12 =
+            SchemaMapping::parse("A/1 B/1", "S/1", &["A(x) -> S(x)", "B(x) -> S(x)"]).unwrap();
         let m23 = align(&m12, "S/1", "T/2", &["S(x) & S(y) -> T(x,y)"]);
         let so = so_compose(&m12, &m23).unwrap();
         // 2 producers per atom, 2 atoms: 4 combinations.
@@ -305,7 +299,9 @@ mod tests {
     // qi-core on qi-workloads, which depends back on qi-core).
     struct Lcg(u64);
     fn rand_rng(seed: u64) -> Lcg {
-        Lcg(seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407))
+        Lcg(seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407))
     }
     impl Lcg {
         fn next(&mut self, bound: usize) -> usize {
@@ -328,7 +324,11 @@ mod tests {
         SchemaMapping::new(src, tgt, tgds).unwrap()
     }
 
-    fn random_tgd_between(r: &mut Lcg, src: &qi_schema::Schema, tgt: &qi_schema::Schema) -> qi_lang::Tgd {
+    fn random_tgd_between(
+        r: &mut Lcg,
+        src: &qi_schema::Schema,
+        tgt: &qi_schema::Schema,
+    ) -> qi_lang::Tgd {
         random_tgd_between_impl(r, src, tgt, false)
     }
 

@@ -105,9 +105,7 @@ pub fn is_relaxed_inverse_bounded(
         for b in 0..n {
             checked += 1;
             let w2s = witnesses(rel2, b);
-            let lhs = w1s
-                .iter()
-                .any(|&w1| w2s.iter().any(|&w2| subset[w1][w2]));
+            let lhs = w1s.iter().any(|&w1| w2s.iter().any(|&w2| subset[w1][w2]));
             let rhs = w1s.iter().any(|&w1| w2s.iter().any(|&w2| comp[w1][w2]));
             if lhs != rhs {
                 mismatches.push((a, b));
@@ -183,11 +181,7 @@ mod tests {
     fn wrong_reverse_mapping_rejected() {
         // "Inverse" that transposes the copy: detectably wrong.
         let m = SchemaMapping::parse("P/2", "Q/2", &["P(x,y) -> Q(x,y)"]).unwrap();
-        let rev = ReverseMapping::parse(
-            &m,
-            &["Q(x,y) & const(x) & const(y) -> P(y,x)"],
-        )
-        .unwrap();
+        let rev = ReverseMapping::parse(&m, &["Q(x,y) & const(x) & const(y) -> P(y,x)"]).unwrap();
         let universe = ground_instances(&m.source, &["a", "b"], 1);
         let report = is_inverse_bounded(&m, &rev, &universe).unwrap();
         assert!(!report.holds);
@@ -195,8 +189,7 @@ mod tests {
 
     #[test]
     fn union_algorithm_output_verifies_as_quasi_inverse() {
-        let m = SchemaMapping::parse("P/1 Q/1", "S/1", &["P(x) -> S(x)", "Q(x) -> S(x)"])
-            .unwrap();
+        let m = SchemaMapping::parse("P/1 Q/1", "S/1", &["P(x) -> S(x)", "Q(x) -> S(x)"]).unwrap();
         let rev = quasi_inverse(&m, &QuasiInverseOptions::default()).unwrap();
         let universe = ground_instances(&m.source, &["a", "b"], 2);
         let report = is_quasi_inverse_bounded(&m, &rev, &universe).unwrap();

@@ -1,0 +1,284 @@
+//! # qi-exec — the deterministic parallel executor
+//!
+//! Every search-heavy path of the reproduction (MinGen candidate
+//! evaluation, chase trigger enumeration, disjunctive-chase branch
+//! exploration) is exponential by construction, yet each decomposes into
+//! *independent pure tasks over an immutable snapshot*. This crate is the
+//! one place that turns such task lists into wall-clock parallelism
+//! without sacrificing reproducibility.
+//!
+//! ## Determinism contract
+//!
+//! 1. **Snapshot** — callers hand [`par_map`] an immutable slice of task
+//!    inputs; tasks must not mutate shared state.
+//! 2. **Parallel enumerate** — tasks are pulled off a shared atomic
+//!    cursor by scoped worker threads in unspecified interleaving.
+//! 3. **Ordered commit** — results are returned in *input order*, so any
+//!    downstream fold (pruning, dedup, output) observes exactly the
+//!    sequence the sequential run would produce.
+//!
+//! With [`Parallelism`] resolving to one thread, `par_map` degenerates to
+//! a plain in-place `iter().map()` — the exact sequential code path, with
+//! no thread spawned. Consequently a parallel run is *bit-identical* to
+//! the sequential run whenever the per-task closure is a pure function of
+//! its input, which `tests/determinism.rs` locks down across thread
+//! counts for every workload.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide default thread count override (0 = unset). Set by the
+/// CLI's `--threads` flag; read by [`Parallelism::resolve`].
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the process-wide default degree of parallelism (`0` clears the
+/// override). Explicit [`Parallelism::fixed`] values always win over
+/// this; it only changes what [`Parallelism::auto`] resolves to.
+pub fn set_global_threads(n: usize) {
+    GLOBAL_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Degree of parallelism for the deterministic executor.
+///
+/// `auto` (the default) resolves, in order, to: the process-wide override
+/// of [`set_global_threads`], the `QI_THREADS` environment variable, and
+/// finally `std::thread::available_parallelism()`. `fixed(1)` selects the
+/// exact sequential code path.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub struct Parallelism {
+    /// `None` = auto-detect at resolution time.
+    threads: Option<NonZeroUsize>,
+}
+
+impl Parallelism {
+    /// Auto-detect (global override, then `QI_THREADS`, then cores).
+    pub fn auto() -> Self {
+        Parallelism { threads: None }
+    }
+
+    /// Exactly `n` worker threads (`n` is clamped up to 1).
+    pub fn fixed(n: usize) -> Self {
+        Parallelism {
+            threads: Some(NonZeroUsize::new(n.max(1)).expect("clamped")),
+        }
+    }
+
+    /// The exact sequential code path (one thread, no spawns).
+    pub fn sequential() -> Self {
+        Parallelism::fixed(1)
+    }
+
+    /// The concrete thread count this configuration resolves to now.
+    pub fn resolve(self) -> usize {
+        if let Some(n) = self.threads {
+            return n.get();
+        }
+        let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+        if global > 0 {
+            return global;
+        }
+        if let Ok(v) = std::env::var("QI_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+
+    /// Does this configuration resolve to more than one worker?
+    pub fn is_parallel(self) -> bool {
+        self.resolve() > 1
+    }
+}
+
+/// Counters describing one executor run, for bench JSON and utilization
+/// reports.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Worker threads that participated (1 for the sequential path).
+    pub workers: usize,
+    /// Total tasks executed.
+    pub tasks: u64,
+    /// Tasks executed by each worker, in worker index order.
+    pub per_worker: Vec<u64>,
+}
+
+impl ExecStats {
+    /// Merge another run's counters into this one (workers = max).
+    pub fn absorb(&mut self, other: &ExecStats) {
+        self.workers = self.workers.max(other.workers);
+        self.tasks += other.tasks;
+        if self.per_worker.len() < other.per_worker.len() {
+            self.per_worker.resize(other.per_worker.len(), 0);
+        }
+        for (mine, theirs) in self.per_worker.iter_mut().zip(&other.per_worker) {
+            *mine += theirs;
+        }
+    }
+
+    /// Load balance in `[0, 1]`: mean worker load over max worker load.
+    /// `1.0` means perfectly even; meaningless (reported as 1.0) when no
+    /// tasks ran.
+    pub fn utilization(&self) -> f64 {
+        let max = self.per_worker.iter().copied().max().unwrap_or(0);
+        if max == 0 || self.per_worker.is_empty() {
+            return 1.0;
+        }
+        let mean = self.tasks as f64 / self.per_worker.len() as f64;
+        mean / max as f64
+    }
+}
+
+/// Map `f` over `items`, returning results in input order.
+///
+/// The parallel path fans items out to scoped worker threads through a
+/// shared atomic cursor and scatters the results back by index, so the
+/// output is independent of scheduling. With one resolved thread this is
+/// exactly `items.iter().map(f).collect()`.
+pub fn par_map<I, T, F>(par: Parallelism, items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    par_map_stats(par, items, f).0
+}
+
+/// [`par_map`] plus per-run counters.
+pub fn par_map_stats<I, T, F>(par: Parallelism, items: &[I], f: F) -> (Vec<T>, ExecStats)
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let threads = par.resolve().min(items.len()).max(1);
+    if threads == 1 {
+        let out: Vec<T> = items.iter().map(&f).collect();
+        let stats = ExecStats {
+            workers: 1,
+            tasks: out.len() as u64,
+            per_worker: vec![out.len() as u64],
+        };
+        return (out, stats);
+    }
+    let cursor = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(local) => local,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut per_worker = Vec::with_capacity(threads);
+    let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    for bucket in buckets {
+        per_worker.push(bucket.len() as u64);
+        for (i, value) in bucket {
+            debug_assert!(slots[i].is_none(), "index produced twice");
+            slots[i] = Some(value);
+        }
+    }
+    let out: Vec<T> = slots
+        .into_iter()
+        .map(|s| s.expect("atomic cursor visits every index exactly once"))
+        .collect();
+    let stats = ExecStats {
+        workers: threads,
+        tasks: out.len() as u64,
+        per_worker,
+    };
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_results_at_every_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [1usize, 2, 3, 4, 8] {
+            let got = par_map(Parallelism::fixed(threads), &items, |&x| x * x + 1);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let none: Vec<u32> = Vec::new();
+        assert!(par_map(Parallelism::fixed(4), &none, |&x| x).is_empty());
+        assert_eq!(par_map(Parallelism::fixed(4), &[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn stats_account_for_every_task() {
+        let items: Vec<u32> = (0..100).collect();
+        let (_, stats) = par_map_stats(Parallelism::fixed(4), &items, |&x| x);
+        assert_eq!(stats.tasks, 100);
+        assert_eq!(stats.per_worker.iter().sum::<u64>(), 100);
+        assert_eq!(stats.workers, 4);
+        assert!(stats.utilization() > 0.0 && stats.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn sequential_stats() {
+        let (_, stats) = par_map_stats(Parallelism::sequential(), &[1, 2, 3], |&x: &i32| x);
+        assert_eq!(stats.workers, 1);
+        assert_eq!(stats.per_worker, vec![3]);
+    }
+
+    #[test]
+    fn fixed_overrides_global() {
+        assert_eq!(Parallelism::fixed(3).resolve(), 3);
+        assert_eq!(Parallelism::fixed(0).resolve(), 1, "clamped up to 1");
+    }
+
+    #[test]
+    fn workers_capped_by_item_count() {
+        let (_, stats) = par_map_stats(Parallelism::fixed(8), &[1, 2], |&x: &i32| x);
+        assert_eq!(stats.workers, 2);
+    }
+
+    #[test]
+    fn absorb_merges_counters() {
+        let mut a = ExecStats {
+            workers: 2,
+            tasks: 4,
+            per_worker: vec![2, 2],
+        };
+        let b = ExecStats {
+            workers: 4,
+            tasks: 8,
+            per_worker: vec![2, 2, 2, 2],
+        };
+        a.absorb(&b);
+        assert_eq!(a.workers, 4);
+        assert_eq!(a.tasks, 12);
+        assert_eq!(a.per_worker, vec![4, 4, 2, 2]);
+    }
+}

@@ -75,11 +75,7 @@ impl FrozenVars {
 
 /// Build the canonical instance `I_α` of a conjunction over `schema`,
 /// freezing any variable not already frozen in `frozen`.
-pub fn canonical_instance(
-    schema: &Schema,
-    atoms: &[Atom],
-    frozen: &mut FrozenVars,
-) -> Instance {
+pub fn canonical_instance(schema: &Schema, atoms: &[Atom], frozen: &mut FrozenVars) -> Instance {
     let mut inst = Instance::new(schema.clone());
     for atom in atoms {
         let args: Vec<Value> = atom

@@ -482,10 +482,7 @@ mod tests {
         assert!(lav.is_lav() && lav.is_full());
         let gav = parse_tgd(&s, &t, "P(x,y,z) & U(x) -> exists w . S(x,y,w)").unwrap();
         assert!(!gav.is_lav() && !gav.is_full());
-        assert_eq!(
-            gav.frontier(),
-            vec![Var::new("x"), Var::new("y")]
-        );
+        assert_eq!(gav.frontier(), vec![Var::new("x"), Var::new("y")]);
     }
 
     #[test]
@@ -573,10 +570,7 @@ mod tests {
     fn display_examples_match_paper_shape() {
         let (s, t) = schemas();
         let gav = parse_tgd(&s, &t, "P(x,y,z) & U(x) -> exists w . S(x,y,w)").unwrap();
-        assert_eq!(
-            gav.to_string(),
-            "P(x,y,z) & U(x) -> exists w . S(x,y,w)"
-        );
+        assert_eq!(gav.to_string(), "P(x,y,z) & U(x) -> exists w . S(x,y,w)");
         let d = parse_disj_tgd(
             &t,
             &s,

@@ -54,7 +54,7 @@ pub mod substitution;
 pub use atom::{Atom, Var};
 pub use canonical::{canonical_instance, thaw_value, FrozenVars};
 pub use compile::compile_atoms;
-pub use dependency::{Disjunct, DisjTgd, Egd, Tgd};
+pub use dependency::{DisjTgd, Disjunct, Egd, Tgd};
 pub use error::LangError;
 pub use parser::{parse_disj_tgd, parse_egd, parse_tgd};
 pub use partition::{restricted_growth_strings, Partition};

@@ -5,7 +5,7 @@
 //! in the integration suite).
 
 use crate::atom::{Atom, Var};
-use crate::dependency::{Disjunct, DisjTgd, Egd, Tgd};
+use crate::dependency::{DisjTgd, Disjunct, Egd, Tgd};
 use crate::error::LangError;
 use qi_schema::Schema;
 
@@ -125,18 +125,14 @@ impl Parser {
     fn expect(&mut self, tok: Tok, what: &str) -> Result<(), LangError> {
         match self.next() {
             Some(t) if t == tok => Ok(()),
-            other => Err(LangError::parse(format!(
-                "expected {what}, got {other:?}"
-            ))),
+            other => Err(LangError::parse(format!("expected {what}, got {other:?}"))),
         }
     }
 
     fn ident(&mut self, what: &str) -> Result<String, LangError> {
         match self.next() {
             Some(Tok::Ident(s)) => Ok(s),
-            other => Err(LangError::parse(format!(
-                "expected {what}, got {other:?}"
-            ))),
+            other => Err(LangError::parse(format!("expected {what}, got {other:?}"))),
         }
     }
 

@@ -62,7 +62,11 @@ impl Partition {
     /// the block's first variable, matching the paper's "select a unique
     /// representative of each equivalence class determined by δ".
     pub fn representative_map(&self, vars: &[Var]) -> BTreeMap<Var, Var> {
-        assert_eq!(vars.len(), self.block.len(), "partition/vector length mismatch");
+        assert_eq!(
+            vars.len(),
+            self.block.len(),
+            "partition/vector length mismatch"
+        );
         let mut first_of_block: Vec<Option<&Var>> = vec![None; self.num_blocks()];
         for (i, v) in vars.iter().enumerate() {
             let b = self.block[i];

@@ -82,10 +82,9 @@ impl SkTerm {
     pub fn substitute(&self, map: &dyn Fn(&Var) -> Option<SkTerm>) -> SkTerm {
         match self {
             SkTerm::Var(v) => map(v).unwrap_or_else(|| SkTerm::Var(v.clone())),
-            SkTerm::App(f, args) => SkTerm::App(
-                f.clone(),
-                args.iter().map(|a| a.substitute(map)).collect(),
-            ),
+            SkTerm::App(f, args) => {
+                SkTerm::App(f.clone(), args.iter().map(|a| a.substitute(map)).collect())
+            }
         }
     }
 }
@@ -262,9 +261,8 @@ mod tests {
             vec![SkTerm::Var(Var::new("x")), SkTerm::Var(Var::new("y"))],
         );
         assert_eq!(t.vars(), vec![Var::new("x"), Var::new("y")]);
-        let sub = t.substitute(&|v: &Var| {
-            (v == &Var::new("x")).then(|| SkTerm::Var(Var::new("z")))
-        });
+        let sub =
+            t.substitute(&|v: &Var| (v == &Var::new("x")).then(|| SkTerm::Var(Var::new("z"))));
         assert_eq!(sub.to_string(), "f(z,y)");
     }
 

@@ -70,10 +70,7 @@ mod tests {
         let mut m = BTreeMap::new();
         m.insert(Var::new("x"), Var::new("z"));
         let b = substitute_atom(&a, &m);
-        assert_eq!(
-            b.args,
-            vec![Var::new("z"), Var::new("y"), Var::new("z")]
-        );
+        assert_eq!(b.args, vec![Var::new("z"), Var::new("y"), Var::new("z")]);
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Brute-force reference semantics for the pattern matcher.
+//!
+//! [`MatchEngine`](crate::hom::MatchEngine) earns its keep with
+//! fail-first ordering, candidate capping, and a lazily-built value index
+//! — all of which are exactly the machinery that can silently change
+//! *which* matches are found. This module spells out the intended
+//! semantics with none of it: enumerate every assignment of the pattern
+//! variables over the target's active domain and keep the ones where all
+//! pattern facts and all side conditions hold. Exponential, deliberately
+//! so — it exists to be obviously correct, as the oracle the differential
+//! tests (`tests/match_oracle.rs`) compare the engine against.
+
+use crate::hom::{Assignment, MatchConstraints, MatchEngine, PatFact, PatTerm, Pattern, VarIdx};
+use crate::instance::Instance;
+use crate::value::Value;
+use std::collections::BTreeSet;
+
+/// The slot vector of an assignment — `slots[v]` is the value of variable
+/// `v`, or `None` when the variable occurs in no pattern fact and carries
+/// no `fixed` constraint. This is the comparable form shared by
+/// [`brute_force_matches`] and [`engine_matches`].
+pub type Slots = Vec<Option<Value>>;
+
+fn slots_of(a: &Assignment, nvars: usize) -> Slots {
+    (0..nvars as VarIdx).map(|v| a.get(v)).collect()
+}
+
+/// Run [`MatchEngine::all`] and render the matches as sorted [`Slots`]
+/// (the engine's enumeration order is its own business; the semantics is
+/// the *set* of matches).
+pub fn engine_matches(
+    pattern: &Pattern,
+    target: &Instance,
+    constraints: &MatchConstraints,
+) -> Vec<Slots> {
+    let engine = MatchEngine::new(pattern, target, constraints);
+    let mut out: Vec<Slots> = engine
+        .all()
+        .iter()
+        .map(|a| slots_of(a, pattern.nvars))
+        .collect();
+    out.sort();
+    out
+}
+
+/// Every satisfying assignment, found the slow, obvious way: try all
+/// `|adom|^nvars` value vectors. Variables that occur in no fact (and are
+/// not `fixed`) stay `None`, mirroring the engine. Returns sorted
+/// [`Slots`], deduplicated (distinct full vectors are distinct matches).
+pub fn brute_force_matches(
+    pattern: &Pattern,
+    target: &Instance,
+    constraints: &MatchConstraints,
+) -> Vec<Slots> {
+    // Candidate values: the target's active domain plus any pre-fixed
+    // values (a fixed value outside the domain can still satisfy a
+    // pattern whose facts don't mention the variable).
+    let mut domain: BTreeSet<Value> = target.active_domain();
+    for &(_, v) in &constraints.fixed {
+        domain.insert(v);
+    }
+    let domain: Vec<Value> = domain.into_iter().collect();
+    let mut occurs = vec![false; pattern.nvars];
+    for fact in &pattern.facts {
+        for term in &fact.args {
+            if let PatTerm::Var(v) = *term {
+                occurs[v as usize] = true;
+            }
+        }
+    }
+    for &(v, _) in &constraints.fixed {
+        occurs[v as usize] = true;
+    }
+    let mut slots: Slots = vec![None; pattern.nvars];
+    let mut out: Vec<Slots> = Vec::new();
+    enumerate(
+        pattern,
+        target,
+        constraints,
+        &domain,
+        &occurs,
+        0,
+        &mut slots,
+        &mut out,
+    );
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate(
+    pattern: &Pattern,
+    target: &Instance,
+    constraints: &MatchConstraints,
+    domain: &[Value],
+    occurs: &[bool],
+    var: usize,
+    slots: &mut Slots,
+    out: &mut Vec<Slots>,
+) {
+    if var == pattern.nvars {
+        if satisfies(pattern, target, constraints, slots) {
+            out.push(slots.clone());
+        }
+        return;
+    }
+    if !occurs[var] {
+        slots[var] = None;
+        enumerate(
+            pattern,
+            target,
+            constraints,
+            domain,
+            occurs,
+            var + 1,
+            slots,
+            out,
+        );
+        return;
+    }
+    for &v in domain {
+        slots[var] = Some(v);
+        enumerate(
+            pattern,
+            target,
+            constraints,
+            domain,
+            occurs,
+            var + 1,
+            slots,
+            out,
+        );
+    }
+    slots[var] = None;
+}
+
+fn fact_holds(fact: &PatFact, target: &Instance, slots: &Slots) -> bool {
+    let image: Option<Vec<Value>> = fact
+        .args
+        .iter()
+        .map(|term| match *term {
+            PatTerm::Value(v) => Some(v),
+            PatTerm::Var(var) => slots[var as usize],
+        })
+        .collect();
+    match image {
+        Some(tuple) => target.contains(fact.rel, &tuple),
+        None => false,
+    }
+}
+
+fn satisfies(
+    pattern: &Pattern,
+    target: &Instance,
+    constraints: &MatchConstraints,
+    slots: &Slots,
+) -> bool {
+    if !pattern.facts.iter().all(|f| fact_holds(f, target, slots)) {
+        return false;
+    }
+    for &(var, value) in &constraints.fixed {
+        if slots[var as usize] != Some(value) {
+            return false;
+        }
+    }
+    for &(a, b) in &constraints.distinct {
+        let (va, vb) = (slots[a as usize], slots[b as usize]);
+        if va.is_some() && va == vb {
+            return false;
+        }
+    }
+    for &var in &constraints.constants_only {
+        if let Some(v) = slots[var as usize] {
+            if !v.is_const() {
+                return false;
+            }
+        }
+    }
+    for &var in &constraints.nulls_only {
+        if let Some(v) = slots[var as usize] {
+            if !v.is_null() {
+                return false;
+            }
+        }
+    }
+    if constraints.injective {
+        let assigned: Vec<Value> = slots.iter().filter_map(|s| *s).collect();
+        let distinct: BTreeSet<Value> = assigned.iter().copied().collect();
+        if distinct.len() != assigned.len() {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    #[test]
+    fn brute_force_agrees_on_a_known_case() {
+        let s = Schema::parse("P/2").unwrap();
+        let b = Instance::parse(&s, "P(a,a) P(a,N1)").unwrap();
+        let pattern = Pattern {
+            facts: vec![PatFact {
+                rel: s.rel("P").unwrap(),
+                args: vec![PatTerm::Var(0), PatTerm::Var(1)],
+            }],
+            nvars: 2,
+        };
+        let c = MatchConstraints::default();
+        let brute = brute_force_matches(&pattern, &b, &c);
+        assert_eq!(brute.len(), 2);
+        assert_eq!(brute, engine_matches(&pattern, &b, &c));
+    }
+
+    #[test]
+    fn unused_vars_stay_unassigned() {
+        let s = Schema::parse("P/1").unwrap();
+        let b = Instance::parse(&s, "P(a)").unwrap();
+        let pattern = Pattern {
+            facts: vec![PatFact {
+                rel: s.rel("P").unwrap(),
+                args: vec![PatTerm::Var(0)],
+            }],
+            nvars: 2,
+        };
+        let c = MatchConstraints::default();
+        let brute = brute_force_matches(&pattern, &b, &c);
+        assert_eq!(brute, vec![vec![Some(Value::constant("a")), None]]);
+        assert_eq!(brute, engine_matches(&pattern, &b, &c));
+    }
+}

@@ -1,17 +1,17 @@
-//! Serde-friendly mirror types.
+//! Plain-data mirror types.
 //!
-//! Interned ids are process-local, so instances are (de)serialized through
-//! a plain-data mirror: relation names and value spellings. Null values
-//! use the same `N<digits>` convention as the textual instance format.
+//! Interned ids are process-local, so instances are exchanged across
+//! process boundaries through a plain-data mirror: relation names and
+//! value spellings. Null values use the same `N<digits>` convention as
+//! the textual instance format.
 
 use crate::error::SchemaError;
 use crate::instance::Instance;
 use crate::schema::Schema;
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 
 /// Plain-data form of a [`Schema`].
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SchemaData {
     /// `(name, arity)` pairs in declaration order.
     pub relations: Vec<(String, usize)>,
@@ -36,7 +36,7 @@ impl SchemaData {
 }
 
 /// Plain-data form of an [`Instance`].
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct InstanceData {
     /// The schema the facts are over.
     pub schema: SchemaData,

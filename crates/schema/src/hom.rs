@@ -208,7 +208,11 @@ pub struct MatchEngine<'a> {
 impl<'a> MatchEngine<'a> {
     /// Create a matcher; validates nothing (arity mismatches simply never
     /// match, since candidate tuples have the relation's arity).
-    pub fn new(pattern: &'a Pattern, target: &'a Instance, constraints: &'a MatchConstraints) -> Self {
+    pub fn new(
+        pattern: &'a Pattern,
+        target: &'a Instance,
+        constraints: &'a MatchConstraints,
+    ) -> Self {
         let index = TargetIndex::new(target.schema().len());
         MatchEngine {
             pattern,
@@ -275,6 +279,13 @@ impl<'a> MatchEngine<'a> {
             return false;
         }
         for &(a, b) in &self.constraints.distinct {
+            if a == b && a == var {
+                // A reflexive pair `x ≠ x` is unsatisfiable; without this
+                // arm the generic check below compares the candidate value
+                // against the same (still unassigned) slot and lets it
+                // through — found by the brute-force differential oracle.
+                return false;
+            }
             let other = if a == var {
                 b
             } else if b == var {
@@ -332,7 +343,12 @@ impl<'a> MatchEngine<'a> {
     /// `cap` (for fail-first counting). Uses the lazily-built posting
     /// lists when a position is bound and the relation is hot enough;
     /// falls back to scanning the relation.
-    fn candidates(&self, fact: &PatFact, assignment: &Assignment, cap: usize) -> Vec<&'a Vec<Value>> {
+    fn candidates(
+        &self,
+        fact: &PatFact,
+        assignment: &Assignment,
+        cap: usize,
+    ) -> Vec<&'a Vec<Value>> {
         let mut out = Vec::new();
         // The index can only narrow the scan when some position is bound.
         let any_bound = fact.args.iter().any(|term| match *term {
@@ -623,6 +639,59 @@ mod tests {
         let pattern = Pattern::empty(0);
         let c = MatchConstraints::default();
         assert_eq!(MatchEngine::new(&pattern, &b, &c).all().len(), 1);
+    }
+
+    #[test]
+    fn engine_reuse_after_early_exit_is_stateless() {
+        // `exists`/`first` stop the search mid-enumeration by returning
+        // `false` from the callback; the unwinding at that early-exit
+        // point must restore `assignment` and `remaining` exactly, and
+        // the only state that persists across calls on one engine — the
+        // lazily-built target index — must never change the match set.
+        // 20 tuples and repeated calls push the relation past
+        // INDEX_SCAN_THRESHOLD between the first call and the last, so
+        // this exercises the scan path and the indexed path on the same
+        // engine instance.
+        let s = Schema::parse("E/2").unwrap();
+        let mut text = String::new();
+        for k in 0..20 {
+            text.push_str(&format!("E(v{},v{}) ", k, k + 1));
+        }
+        let b = inst(&s, &text);
+        let e = s.rel("E").unwrap();
+        let pattern = Pattern {
+            facts: vec![
+                PatFact {
+                    rel: e,
+                    args: vec![PatTerm::Var(0), PatTerm::Var(1)],
+                },
+                PatFact {
+                    rel: e,
+                    args: vec![PatTerm::Var(1), PatTerm::Var(2)],
+                },
+            ],
+            nvars: 3,
+        };
+        let c = MatchConstraints::default();
+        let fresh = MatchEngine::new(&pattern, &b, &c).all();
+        assert_eq!(fresh.len(), 19, "one match per interior vertex");
+
+        let engine = MatchEngine::new(&pattern, &b, &c);
+        assert!(engine.exists());
+        assert_eq!(engine.first().as_ref(), fresh.first());
+        // A partial enumeration stopped mid-stream is the general form of
+        // the early exit; it must not perturb later full enumerations.
+        let mut seen = 0;
+        engine.for_each(|_| {
+            seen += 1;
+            seen < 5
+        });
+        assert_eq!(seen, 5);
+        for _ in 0..6 {
+            assert_eq!(engine.first().as_ref(), fresh.first());
+        }
+        assert_eq!(engine.all(), fresh);
+        assert!(engine.exists());
     }
 
     #[test]

@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod brute;
 pub mod core_of;
 pub mod data;
 pub mod error;
@@ -33,12 +34,13 @@ pub mod iso;
 pub mod schema;
 pub mod value;
 
+pub use brute::{brute_force_matches, engine_matches};
 pub use core_of::core_of;
 pub use error::SchemaError;
 pub use fact::Fact;
 pub use hom::{
-    find_hom, has_hom, hom_equivalent, Assignment, MatchConstraints, MatchEngine, PatFact,
-    PatTerm, Pattern, VarIdx,
+    find_hom, has_hom, hom_equivalent, Assignment, MatchConstraints, MatchEngine, PatFact, PatTerm,
+    Pattern, VarIdx,
 };
 pub use instance::Instance;
 pub use iso::is_isomorphic;

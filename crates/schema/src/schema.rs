@@ -54,10 +54,7 @@ impl Schema {
             if *arity == 0 {
                 return Err(SchemaError::ZeroArity(name.to_owned()));
             }
-            if by_name
-                .insert(name.to_owned(), RelId(i as u32))
-                .is_some()
-            {
+            if by_name.insert(name.to_owned(), RelId(i as u32)).is_some() {
                 return Err(SchemaError::DuplicateRelation(name.to_owned()));
             }
             rels.push(RelSym {

@@ -11,10 +11,9 @@
 //! freshness is managed by the consumers (the chase keeps a counter above
 //! the maximum null of the instances involved).
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{OnceLock, RwLock};
 
 /// Process-wide constant interner.
 struct Interner {
@@ -42,10 +41,10 @@ impl ConstId {
     /// Intern `name`, returning its (process-wide) constant id.
     pub fn new(name: &str) -> Self {
         let table = interner();
-        if let Some(&id) = table.read().ids.get(name) {
+        if let Some(&id) = table.read().expect("interner lock").ids.get(name) {
             return ConstId(id);
         }
-        let mut w = table.write();
+        let mut w = table.write().expect("interner lock");
         if let Some(&id) = w.ids.get(name) {
             return ConstId(id);
         }
@@ -57,7 +56,7 @@ impl ConstId {
 
     /// The spelling this constant was interned from.
     pub fn name(self) -> String {
-        interner().read().names[self.0 as usize].clone()
+        interner().read().expect("interner lock").names[self.0 as usize].clone()
     }
 
     /// Raw interner index (stable within the process only).

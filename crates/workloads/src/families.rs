@@ -64,7 +64,9 @@ pub fn chain_join_j(j: usize) -> SchemaMapping {
 /// recovered instance).
 pub fn decomposition_instance(m: &SchemaMapping, n: usize) -> Instance {
     let mut inst = Instance::new(m.source.clone());
-    let k = m.source.arity(m.source.rel("P").expect("family schema has P"));
+    let k = m
+        .source
+        .arity(m.source.rel("P").expect("family schema has P"));
     for i in 0..n {
         let mut row: Vec<&str> = Vec::with_capacity(k);
         let first = format!("a{i}");

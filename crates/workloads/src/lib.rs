@@ -17,5 +17,6 @@
 pub mod families;
 pub mod paper;
 pub mod random;
+pub mod rng;
 
 pub use paper::{catalogue, CatalogueEntry, Verdict};

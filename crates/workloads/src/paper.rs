@@ -42,8 +42,7 @@ pub fn union_mapping() -> SchemaMapping {
 /// §1 / Example 3.10 / Figure 1 *Decomposition*:
 /// `P(x,y,z) → Q(x,y) ∧ R(y,z)`.
 pub fn decomposition() -> SchemaMapping {
-    SchemaMapping::parse("P/3", "Q/2 R/2", &["P(x,y,z) -> Q(x,y) & R(y,z)"])
-        .expect("paper mapping")
+    SchemaMapping::parse("P/3", "Q/2 R/2", &["P(x,y,z) -> Q(x,y) & R(y,z)"]).expect("paper mapping")
 }
 
 /// Example 3.10's first quasi-inverse `Σ' = {Q(x,y) ∧ R(y,z) → P(x,y,z)}`.

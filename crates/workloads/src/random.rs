@@ -5,11 +5,10 @@
 //! chase benchmarks. All generators take an explicit RNG so runs are
 //! reproducible from a seed.
 
+use crate::rng::Rng64;
 use qi_core::SchemaMapping;
 use qi_lang::{Atom, Tgd, Var};
 use qi_schema::{Instance, Schema, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Parameters for random ground instances.
 #[derive(Clone, Copy, Debug)]
@@ -24,7 +23,7 @@ pub struct InstanceParams {
 /// A random ground instance over `schema`.
 pub fn random_ground_instance(
     schema: &Schema,
-    rng: &mut StdRng,
+    rng: &mut Rng64,
     params: &InstanceParams,
 ) -> Instance {
     let consts: Vec<Value> = (0..params.n_consts.max(1))
@@ -83,12 +82,22 @@ impl Default for MappingParams {
 /// A random schema mapping. Construction guarantees validity: head
 /// variables are drawn from the premise variables plus (unless `full`) a
 /// pool of existential variables; unused existentials are dropped.
-pub fn random_mapping(rng: &mut StdRng, params: &MappingParams) -> SchemaMapping {
+pub fn random_mapping(rng: &mut Rng64, params: &MappingParams) -> SchemaMapping {
     let source_desc: Vec<(String, usize)> = (0..params.n_source_rels.max(1))
-        .map(|i| (format!("Src{i}"), rng.random_range(1..=params.max_arity.max(1))))
+        .map(|i| {
+            (
+                format!("Src{i}"),
+                rng.random_range(1..=params.max_arity.max(1)),
+            )
+        })
         .collect();
     let target_desc: Vec<(String, usize)> = (0..params.n_target_rels.max(1))
-        .map(|i| (format!("Tgt{i}"), rng.random_range(1..=params.max_arity.max(1))))
+        .map(|i| {
+            (
+                format!("Tgt{i}"),
+                rng.random_range(1..=params.max_arity.max(1)),
+            )
+        })
         .collect();
     let source = Schema::new(&source_desc).expect("valid generated schema");
     let target = Schema::new(&target_desc).expect("valid generated schema");
@@ -105,7 +114,7 @@ pub fn random_mapping(rng: &mut StdRng, params: &MappingParams) -> SchemaMapping
 /// second mapping whose source is the first one's target, for
 /// composition tests).
 pub fn random_mapping_between(
-    rng: &mut StdRng,
+    rng: &mut Rng64,
     source: &Schema,
     target: &Schema,
     params: &MappingParams,
@@ -116,12 +125,11 @@ pub fn random_mapping_between(
             tgds.push(tgd);
         }
     }
-    SchemaMapping::new(source.clone(), target.clone(), tgds)
-        .expect("schemas match by construction")
+    SchemaMapping::new(source.clone(), target.clone(), tgds).expect("schemas match by construction")
 }
 
 fn random_tgd(
-    rng: &mut StdRng,
+    rng: &mut Rng64,
     source: &Schema,
     target: &Schema,
     params: &MappingParams,
@@ -159,13 +167,16 @@ fn random_tgd(
         head.push(Atom::new(rel, args));
     }
     let head_vars = qi_lang::atom::vars_of(&head);
-    let exists: Vec<Var> = e_pool.into_iter().filter(|v| head_vars.contains(v)).collect();
+    let exists: Vec<Var> = e_pool
+        .into_iter()
+        .filter(|v| head_vars.contains(v))
+        .collect();
     Tgd::new(source.clone(), target.clone(), body, exists, head).ok()
 }
 
 /// Convenience: a fresh seeded RNG.
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> Rng64 {
+    Rng64::new(seed)
 }
 
 #[cfg(test)]

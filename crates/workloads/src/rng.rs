@@ -1,0 +1,112 @@
+//! A tiny deterministic PRNG for workload generation.
+//!
+//! The generators only need reproducible, reasonably-distributed draws —
+//! not cryptographic quality — so a self-contained SplitMix64 keeps the
+//! workspace dependency-free while preserving the explicit-seed contract:
+//! the same seed always produces the same mapping/instance, across
+//! platforms and releases.
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64 generator state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Rng64 { state: seed }
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A draw from `range` (uniform up to negligible modulo bias).
+    /// Panics on an empty range.
+    pub fn random_range<R: SampleRange>(&mut self, range: R) -> usize {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        // 53 high bits give a uniform double in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+/// Integer ranges [`Rng64::random_range`] can sample from.
+pub trait SampleRange {
+    /// A uniform draw from the range.
+    fn sample(self, rng: &mut Rng64) -> usize;
+}
+
+impl SampleRange for Range<usize> {
+    fn sample(self, rng: &mut Rng64) -> usize {
+        assert!(self.start < self.end, "empty range");
+        let span = (self.end - self.start) as u64;
+        self.start + (rng.next_u64() % span) as usize
+    }
+}
+
+impl SampleRange for RangeInclusive<usize> {
+    fn sample(self, rng: &mut Rng64) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        let span = (hi - lo) as u64 + 1;
+        lo + (rng.next_u64() % span) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng64::new(7);
+        let mut b = Rng64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng64::new(1);
+        let mut b = Rng64::new(2);
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng64::new(3);
+        for _ in 0..1000 {
+            let x = r.random_range(2..7);
+            assert!((2..7).contains(&x));
+            let y = r.random_range(1..=3);
+            assert!((1..=3).contains(&y));
+        }
+    }
+
+    #[test]
+    fn bool_respects_extremes() {
+        let mut r = Rng64::new(9);
+        assert!((0..50).all(|_| !r.random_bool(0.0)));
+        assert!((0..50).all(|_| r.random_bool(1.0)));
+        // p = 0.5 hits both sides over a reasonable sample.
+        let heads = (0..200).filter(|_| r.random_bool(0.5)).count();
+        assert!(heads > 40 && heads < 160, "{heads}");
+    }
+}

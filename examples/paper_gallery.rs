@@ -37,7 +37,14 @@ fn claimed(v: Option<bool>) -> &'static str {
 fn main() {
     println!(
         "{:<14} {:>4} {:>4} {:>6} {:<28} {:>8} {:>8}   {:<18}",
-        "mapping", "LAV", "full", "c-prop", "quasi-inverse language", "QI ok?", "inv ok?", "paper claims (inv/qi)"
+        "mapping",
+        "LAV",
+        "full",
+        "c-prop",
+        "quasi-inverse language",
+        "QI ok?",
+        "inv ok?",
+        "paper claims (inv/qi)"
     );
     println!("{}", "-".repeat(110));
     for entry in catalogue() {
@@ -62,9 +69,11 @@ fn main() {
             let q = is_quasi_inverse_bounded(m, &qi, &universe).expect("verification");
             let inv = inverse(m).expect("algorithm succeeds");
             let i_ok = match inv {
-                Some(rev) => is_inverse_bounded(m, &rev, &universe)
-                    .expect("verification")
-                    .holds,
+                Some(rev) => {
+                    is_inverse_bounded(m, &rev, &universe)
+                        .expect("verification")
+                        .holds
+                }
                 None => false,
             };
             (yesno(q.holds), yesno(i_ok))

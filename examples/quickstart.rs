@@ -57,7 +57,5 @@ fn main() {
         .expect("Theorem 6.8: the algorithm's output is faithful");
     println!("Data-exchange-equivalent recovery V:\n  {v}\n");
     assert!(rt.is_sound() && rt.is_faithful());
-    println!(
-        "Soundness and faithfulness certified: chase_Σ(V) ≡hom U  (Definitions 6.5(1,2))."
-    );
+    println!("Soundness and faithfulness certified: chase_Σ(V) ≡hom U  (Definitions 6.5(1,2)).");
 }

@@ -45,7 +45,8 @@ fn main() {
     assert!(report.holds);
     println!(
         "Bounded Definition 3.3 check: {} pairs over a {}-instance universe — inverse confirmed.\n",
-        report.checked, universe.len()
+        report.checked,
+        universe.len()
     );
 
     // ---- schema evolution: add an audit table to the SOURCE ----
@@ -77,7 +78,8 @@ fn main() {
 
     // It is no longer an inverse … but it verifies as a quasi-inverse.
     let universe_aug = ground_instances(&m_aug.source, &["a", "b"], 6);
-    let inv_report = is_inverse_bounded(&m_aug, &rollback_aug, &universe_aug).expect("verification");
+    let inv_report =
+        is_inverse_bounded(&m_aug, &rollback_aug, &universe_aug).expect("verification");
     assert!(!inv_report.holds, "invertibility is destroyed");
     let qi_report =
         is_quasi_inverse_bounded(&m_aug, &rollback_aug, &universe_aug).expect("verification");

@@ -39,6 +39,7 @@
 
 pub use qi_chase as chase;
 pub use qi_core as core;
+pub use qi_exec as exec;
 pub use qi_lang as lang;
 pub use qi_schema as schema;
 pub use qi_workloads as workloads;
@@ -54,15 +55,15 @@ pub mod prelude {
     // `compute_quasi_inverse` so that a glob import of this prelude does
     // not shadow the `quasi_inverse` crate name itself.
     pub use qi_core::quasi_inverse as compute_quasi_inverse;
-    pub use qi_core::{quasi_inverse_full, quasi_inverse_lav, so_compose};
     pub use qi_core::{
-        compose, composition_contains, composition_membership,
-        constant_propagation_property, equivalent, inverse,
-        is_inverse_bounded, is_quasi_inverse_bounded, min_gen, minimize_disjuncts, round_trip,
-        sigma_star, solutions_subset, subset_property_bounded, union_witness_subset_property,
-        unique_solutions_bounded, MinGenOptions, QuasiInverseOptions, Relation, ReverseMapping,
-        RoundTrip, SchemaMapping,
+        compose, composition_contains, composition_membership, constant_propagation_property,
+        equivalent, inverse, is_inverse_bounded, is_quasi_inverse_bounded, min_gen,
+        minimize_disjuncts, round_trip, sigma_star, solutions_subset, subset_property_bounded,
+        union_witness_subset_property, unique_solutions_bounded, MinGenOptions,
+        QuasiInverseOptions, Relation, ReverseMapping, RoundTrip, SchemaMapping,
     };
+    pub use qi_core::{quasi_inverse_full, quasi_inverse_lav, so_compose};
+    pub use qi_exec::{set_global_threads, ExecStats, Parallelism};
     pub use qi_lang::{
         parse_disj_tgd, parse_egd, parse_tgd, skolemize, Atom, DisjTgd, Egd, SoTgd, Tgd, Var,
     };

@@ -44,8 +44,7 @@ fn sigma_star_ablation_detected_by_bounded_verification() {
         },
     )
     .unwrap();
-    let universe =
-        quasi_inverse::core::enumerate::ground_instances(&m.source, &["a", "b"], 3);
+    let universe = quasi_inverse::core::enumerate::ground_instances(&m.source, &["a", "b"], 3);
     let report = is_quasi_inverse_bounded(&m, &ablated, &universe).unwrap();
     assert!(!report.holds, "the ablated output is not a quasi-inverse");
 }
@@ -84,12 +83,7 @@ fn lemma_4_4_bound_is_tight_enough() {
     // Capping MinGen below Lemma 4.4's s1·s2 bound loses generators: the
     // chain-join premise needs 2 atoms, a cap of 1 finds nothing.
     use quasi_inverse::core::{min_gen, MinGenOptions};
-    let m = SchemaMapping::parse(
-        "A/2 B/2",
-        "T/2",
-        &["A(x,y) & B(y,z) -> T(x,z)"],
-    )
-    .unwrap();
+    let m = SchemaMapping::parse("A/2 B/2", "T/2", &["A(x,y) & B(y,z) -> T(x,z)"]).unwrap();
     let psi = vec![Atom::parse_parts(&m.target, "T", &["x", "z"]).unwrap()];
     let x = vec![Var::new("x"), Var::new("z")];
     let full = min_gen(&m, &psi, &x, &MinGenOptions::default()).unwrap();

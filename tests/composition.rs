@@ -1,64 +1,98 @@
 //! Property-level validation of the composition operator (experiment
 //! E12): on random (full, arbitrary) mapping pairs, the syntactic
 //! composition produced by `compose` agrees with chase-based membership
-//! in `Inst(M12 ∘ M23)` on random instance pairs.
+//! in `Inst(M12 ∘ M23)` on random instance pairs. Seed-scheduled random
+//! inputs; failures reproduce from the seed in the assertion message.
 
-use proptest::prelude::*;
 use quasi_inverse::prelude::*;
 use quasi_inverse::workloads::random::{
     random_ground_instance, random_mapping, random_mapping_between, rng, InstanceParams,
     MappingParams,
 };
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
+const CASES: u64 = 20;
 
-    #[test]
-    fn compose_agrees_with_membership(seed in any::<u64>()) {
+#[test]
+fn compose_agrees_with_membership() {
+    for seed in 0..CASES {
         let mut r = rng(seed);
-        let m12 = random_mapping(&mut r, &MappingParams {
-            full: true,
-            max_arity: 2,
-            n_tgds: 2,
-            ..Default::default()
-        });
-        let m23 = random_mapping_between(&mut r, &m12.target, &Schema::parse("Out0/2 Out1/1").unwrap(), &MappingParams {
-            n_tgds: 2,
-            max_arity: 2,
-            ..Default::default()
-        });
+        let m12 = random_mapping(
+            &mut r,
+            &MappingParams {
+                full: true,
+                max_arity: 2,
+                n_tgds: 2,
+                ..Default::default()
+            },
+        );
+        let m23 = random_mapping_between(
+            &mut r,
+            &m12.target,
+            &Schema::parse("Out0/2 Out1/1").unwrap(),
+            &MappingParams {
+                n_tgds: 2,
+                max_arity: 2,
+                ..Default::default()
+            },
+        );
         let composed = compose(&m12, &m23, &Default::default()).unwrap();
-        let ip = InstanceParams { n_consts: 2, n_facts: 3 };
+        let ip = InstanceParams {
+            n_consts: 2,
+            n_facts: 3,
+        };
         for _ in 0..4 {
             let i = random_ground_instance(&m12.source, &mut r, &ip);
             let k = random_ground_instance(&m23.target, &mut r, &ip);
             let direct = quasi_inverse::chase::satisfies_all_tgds(&i, &k, &composed.tgds);
             let via_chase = composition_membership(&m12, &m23, &i, &k).unwrap();
-            prop_assert_eq!(direct, via_chase, "I = {}, K = {}\n{}", i, k, composed);
+            assert_eq!(
+                direct, via_chase,
+                "seed {seed}: I = {i}, K = {k}\n{composed}"
+            );
         }
     }
+}
 
-    #[test]
-    fn composed_chase_equals_two_hop_chase_up_to_hom(seed in any::<u64>()) {
+#[test]
+fn composed_chase_equals_two_hop_chase_up_to_hom() {
+    for seed in 0..CASES {
         // chase_{M13}(I) and chase_{M23}(chase_{M12}(I)) are both
         // universal solutions of the composition, hence hom-equivalent.
         let mut r = rng(seed);
-        let m12 = random_mapping(&mut r, &MappingParams {
-            full: true,
-            max_arity: 2,
-            n_tgds: 2,
-            ..Default::default()
-        });
-        let m23 = random_mapping_between(&mut r, &m12.target, &Schema::parse("Out0/2 Out1/1").unwrap(), &MappingParams {
-            n_tgds: 2,
-            max_arity: 2,
-            ..Default::default()
-        });
+        let m12 = random_mapping(
+            &mut r,
+            &MappingParams {
+                full: true,
+                max_arity: 2,
+                n_tgds: 2,
+                ..Default::default()
+            },
+        );
+        let m23 = random_mapping_between(
+            &mut r,
+            &m12.target,
+            &Schema::parse("Out0/2 Out1/1").unwrap(),
+            &MappingParams {
+                n_tgds: 2,
+                max_arity: 2,
+                ..Default::default()
+            },
+        );
         let composed = compose(&m12, &m23, &Default::default()).unwrap();
-        let i = random_ground_instance(&m12.source, &mut r, &InstanceParams { n_consts: 2, n_facts: 4 });
+        let i = random_ground_instance(
+            &m12.source,
+            &mut r,
+            &InstanceParams {
+                n_consts: 2,
+                n_facts: 4,
+            },
+        );
         let one_hop = composed.chase(&i).unwrap();
         let two_hop = m23.chase(&m12.chase(&i).unwrap()).unwrap();
-        prop_assert!(hom_equivalent(&one_hop, &two_hop), "I = {i}\none: {one_hop}\ntwo: {two_hop}");
+        assert!(
+            hom_equivalent(&one_hop, &two_hop),
+            "seed {seed}: I = {i}\none: {one_hop}\ntwo: {two_hop}"
+        );
     }
 }
 

@@ -107,7 +107,11 @@ fn lost_detail_is_reported_honestly() {
     let v = rt.recovered_equivalent().unwrap();
     let order = m.source.rel("Order").unwrap();
     for t in v.tuples(order) {
-        assert!(t[0].is_null(), "order id must come back as a null, got {:?}", t[0]);
+        assert!(
+            t[0].is_null(),
+            "order id must come back as a null, got {:?}",
+            t[0]
+        );
     }
 }
 

@@ -86,7 +86,10 @@ fn chase_budget_is_a_typed_error() {
         &[dep],
         &u,
         &Instance::new(s),
-        DisjChaseOptions { max_nodes: 50 },
+        DisjChaseOptions {
+            max_nodes: 50,
+            ..Default::default()
+        },
     );
     assert!(matches!(result, Err(ChaseError::Budget { max_nodes: 50 })));
 }
@@ -122,8 +125,7 @@ fn mingen_budget_and_preconditions() {
 
 #[test]
 fn composition_preconditions() {
-    let non_full =
-        SchemaMapping::parse("P/1", "Q/2", &["P(x) -> exists y . Q(x,y)"]).unwrap();
+    let non_full = SchemaMapping::parse("P/1", "Q/2", &["P(x) -> exists y . Q(x,y)"]).unwrap();
     let m23 = SchemaMapping::parse("Q/2", "T/1", &["Q(x,y) -> T(x)"]).unwrap();
     assert!(matches!(
         compose(&non_full, &m23, &Default::default()),
@@ -154,7 +156,10 @@ fn roundtrip_budget_propagates() {
     for k in 0..25 {
         i.insert_consts("P", &[&format!("c{k}")]).unwrap();
     }
-    let tight = DisjChaseOptions { max_nodes: 10 };
+    let tight = DisjChaseOptions {
+        max_nodes: 10,
+        ..Default::default()
+    };
     assert!(matches!(
         round_trip(&m, &rev, &i, tight),
         Err(CoreError::Chase(ChaseError::Budget { .. }))

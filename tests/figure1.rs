@@ -73,8 +73,7 @@ fn faithfulness_holds_for_every_ground_instance_sampled() {
     // "It can be shown that this is true for every ground instance I":
     // spot-check the claim across an exhaustive small universe.
     let m = paper::decomposition();
-    let universe =
-        quasi_inverse::core::enumerate::ground_instances(&m.source, &["a", "b"], 3);
+    let universe = quasi_inverse::core::enumerate::ground_instances(&m.source, &["a", "b"], 3);
     for rev in [
         paper::decomposition_quasi_inverse_join(),
         paper::decomposition_quasi_inverse_lav(),

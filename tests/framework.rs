@@ -20,7 +20,11 @@ fn closed_universe(m: &SchemaMapping) -> Vec<Instance> {
 #[test]
 fn section_1_mappings_fail_unique_solutions() {
     // "none of them has the unique-solutions property" (§1).
-    for m in [paper::projection(), paper::union_mapping(), paper::decomposition()] {
+    for m in [
+        paper::projection(),
+        paper::union_mapping(),
+        paper::decomposition(),
+    ] {
         let universe = closed_universe(&m);
         let violation = unique_solutions_bounded(&m, &universe).unwrap();
         assert!(
@@ -46,16 +50,19 @@ fn example_3_10_unique_solutions_witness() {
 fn equality_subset_property_fails_exactly_where_inverses_fail() {
     // Corollary 3.6: invertible ⟺ (=,=)-subset property. The three §1
     // mappings fail it; the copy mapping has it.
-    for m in [paper::projection(), paper::union_mapping(), paper::decomposition()] {
+    for m in [
+        paper::projection(),
+        paper::union_mapping(),
+        paper::decomposition(),
+    ] {
         let universe = closed_universe(&m);
-        let r = subset_property_bounded(&m, Relation::Equality, Relation::Equality, &universe)
-            .unwrap();
+        let r =
+            subset_property_bounded(&m, Relation::Equality, Relation::Equality, &universe).unwrap();
         assert!(!r.holds, "(=,=) must fail for {m}");
     }
     let m = paper::copy();
     let universe = closed_universe(&m);
-    let r =
-        subset_property_bounded(&m, Relation::Equality, Relation::Equality, &universe).unwrap();
+    let r = subset_property_bounded(&m, Relation::Equality, Relation::Equality, &universe).unwrap();
     assert!(r.holds);
 }
 
@@ -63,7 +70,11 @@ fn equality_subset_property_fails_exactly_where_inverses_fail() {
 fn solution_equiv_subset_property_holds_for_section_1_mappings() {
     // Theorem 3.5 + Prop 3.11: the three §1 LAV mappings have the
     // (~M,~M)-subset property, hence quasi-inverses.
-    for m in [paper::projection(), paper::union_mapping(), paper::decomposition()] {
+    for m in [
+        paper::projection(),
+        paper::union_mapping(),
+        paper::decomposition(),
+    ] {
         let universe = closed_universe(&m);
         let r = subset_property_bounded(
             &m,

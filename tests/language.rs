@@ -124,20 +124,11 @@ fn thm_4_6_full_mappings_get_quasi_inverses_without_constant_on_nulls() {
     assert!(!stripped.language_features().constants);
     // Same recovery behaviour on every chase result of the universe.
     for i in ground_instances(&m.source, &["a", "b"], 2) {
-        let a = quasi_inverse::core::exchange::recovery_leaves(
-            &m,
-            &rev,
-            &i,
-            Default::default(),
-        )
-        .unwrap();
-        let b = quasi_inverse::core::exchange::recovery_leaves(
-            &m,
-            &stripped,
-            &i,
-            Default::default(),
-        )
-        .unwrap();
+        let a = quasi_inverse::core::exchange::recovery_leaves(&m, &rev, &i, Default::default())
+            .unwrap();
+        let b =
+            quasi_inverse::core::exchange::recovery_leaves(&m, &stripped, &i, Default::default())
+                .unwrap();
         assert_eq!(a, b, "guard-free behaviour differs on {i}");
     }
 }
@@ -147,7 +138,12 @@ fn thm_5_1_language_of_inverses() {
     // Wherever the Inverse algorithm produces output, that output is in
     // Theorem 5.1's language: FULL tgds with constants and inequalities
     // among constants.
-    for m in [paper::copy(), paper::thm_4_8(), paper::thm_4_9(), paper::example_5_4()] {
+    for m in [
+        paper::copy(),
+        paper::thm_4_8(),
+        paper::thm_4_9(),
+        paper::example_5_4(),
+    ] {
         let rev = inverse(&m).unwrap().expect("constant propagation holds");
         for d in &rev.deps {
             assert!(d.is_full(), "{d}");

@@ -37,7 +37,9 @@ fn union_witness_validates_on_random_lav_mappings() {
         let m = random_mapping(&mut rng(seed), &lav_params());
         let universe = closed_universe(&m);
         assert!(
-            union_witness_subset_property(&m, &universe).unwrap().is_none(),
+            union_witness_subset_property(&m, &universe)
+                .unwrap()
+                .is_none(),
             "union witness failed for seed {seed}: {m}"
         );
     }
@@ -78,7 +80,10 @@ fn quasi_inverse_outputs_round_trip_soundly_and_faithfully() {
             let rt = round_trip(&m, &rev, &i, Default::default())
                 .unwrap_or_else(|e| panic!("seed {seed} on {i}: {e}"));
             assert!(rt.is_sound(), "unsound: seed {seed}, I = {i}, M = {m}");
-            assert!(rt.is_faithful(), "unfaithful: seed {seed}, I = {i}, M = {m}");
+            assert!(
+                rt.is_faithful(),
+                "unfaithful: seed {seed}, I = {i}, M = {m}"
+            );
         }
     }
 }
@@ -88,7 +93,9 @@ fn nullary_head_variables_are_not_a_thing_but_unary_lav_works() {
     // Degenerate LAV shapes: single unary relation each side.
     let m = SchemaMapping::parse("P/1", "Q/1", &["P(x) -> Q(x)"]).unwrap();
     let universe = closed_universe(&m);
-    assert!(union_witness_subset_property(&m, &universe).unwrap().is_none());
+    assert!(union_witness_subset_property(&m, &universe)
+        .unwrap()
+        .is_none());
     let rev = quasi_inverse::core::quasi_inverse(&m, &Default::default()).unwrap();
     let report = is_quasi_inverse_bounded(&m, &rev, &universe).unwrap();
     assert!(report.holds);

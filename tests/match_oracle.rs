@@ -1,0 +1,226 @@
+//! Differential oracle for the pattern matcher.
+//!
+//! `MatchEngine` is the hot core of the whole stack (trigger enumeration,
+//! generator tests, `~M`), and it carries real machinery: fail-first fact
+//! ordering, candidate caps, and a lazily-built per-position value index
+//! that kicks in only after `INDEX_SCAN_THRESHOLD` scans of a relation
+//! with at least `INDEX_MIN_TUPLES` tuples. Any of those can silently
+//! change *which* matches come back. These tests pin the semantics to the
+//! brute-force reference (`qi_schema::brute`): on seed-scheduled random
+//! patterns, instances and constraint bundles, the engine's match *set*
+//! must equal the oracle's exactly — on the pure scan path and on
+//! workloads big and join-heavy enough to cross into the indexed path.
+
+use quasi_inverse::schema::{
+    brute_force_matches, engine_matches, Instance, MatchConstraints, PatFact, PatTerm, Pattern,
+    Schema, Value,
+};
+use quasi_inverse::workloads::random::rng;
+use quasi_inverse::workloads::rng::Rng64;
+
+const CASES: u64 = 40;
+
+/// A random instance over `schema` mixing constants and nulls.
+fn random_instance(schema: &Schema, r: &mut Rng64, n_facts: usize, n_vals: usize) -> Instance {
+    let mut inst = Instance::new(schema.clone());
+    for _ in 0..n_facts {
+        let rel = schema
+            .rel_ids()
+            .nth(r.random_range(0..schema.len()))
+            .unwrap();
+        let args: Vec<Value> = (0..schema.arity(rel))
+            .map(|_| {
+                let k = r.random_range(0..n_vals);
+                if r.random_bool(0.4) {
+                    Value::null(k as u64)
+                } else {
+                    Value::constant(&format!("c{k}"))
+                }
+            })
+            .collect();
+        inst.insert(rel, args).unwrap();
+    }
+    inst
+}
+
+/// A random pattern over `schema` with `nvars` variables; every variable
+/// index may occur in several facts (joins) or, occasionally, none.
+fn random_pattern(schema: &Schema, r: &mut Rng64, n_facts: usize, nvars: usize) -> Pattern {
+    let facts = (0..n_facts)
+        .map(|_| {
+            let rel = schema
+                .rel_ids()
+                .nth(r.random_range(0..schema.len()))
+                .unwrap();
+            let args = (0..schema.arity(rel))
+                .map(|_| {
+                    if r.random_bool(0.15) {
+                        PatTerm::Value(Value::constant(&format!("c{}", r.random_range(0..3))))
+                    } else {
+                        PatTerm::Var(r.random_range(0..nvars) as u32)
+                    }
+                })
+                .collect();
+            PatFact { rel, args }
+        })
+        .collect();
+    Pattern { facts, nvars }
+}
+
+/// A random constraint bundle exercising every kind the engine supports.
+fn random_constraints(r: &mut Rng64, nvars: usize, target: &Instance) -> MatchConstraints {
+    let mut c = MatchConstraints::default();
+    let pick = |r: &mut Rng64| r.random_range(0..nvars) as u32;
+    if r.random_bool(0.3) {
+        let domain: Vec<Value> = target.active_domain().into_iter().collect();
+        if !domain.is_empty() {
+            let var = pick(r);
+            let value = domain[r.random_range(0..domain.len())];
+            c.fixed.push((var, value));
+        }
+    }
+    if r.random_bool(0.4) && nvars >= 2 {
+        let a = pick(r);
+        let b = pick(r);
+        c.distinct.push((a, b));
+        // A reflexive pair (v,v) would be unsatisfiable by construction;
+        // the engine and oracle must agree on that too, so keep it.
+    }
+    if r.random_bool(0.3) {
+        c.constants_only.push(pick(r));
+    }
+    if r.random_bool(0.2) {
+        c.nulls_only.push(pick(r));
+    }
+    c.injective = r.random_bool(0.2);
+    c
+}
+
+#[test]
+fn engine_agrees_with_brute_force_on_scan_path() {
+    // Small instances (< INDEX_MIN_TUPLES) — the index never builds, so
+    // this pins the plain scanning search.
+    let schema = Schema::parse("P/2 Q/1 R/3").unwrap();
+    for seed in 0..CASES {
+        let mut r = rng(seed);
+        let target = random_instance(&schema, &mut r, 6, 4);
+        let nvars = 1 + r.random_range(0..3);
+        let n_facts = 1 + r.random_range(0..3);
+        let pattern = random_pattern(&schema, &mut r, n_facts, nvars);
+        let constraints = random_constraints(&mut r, nvars, &target);
+        assert_eq!(
+            engine_matches(&pattern, &target, &constraints),
+            brute_force_matches(&pattern, &target, &constraints),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn engine_agrees_with_brute_force_on_indexed_path() {
+    // Large single relation (≥ INDEX_MIN_TUPLES = 16 tuples) and a
+    // multi-fact join pattern: the fail-first pick re-counts candidates
+    // for every remaining fact at every search node, so the relation is
+    // scanned far past INDEX_SCAN_THRESHOLD = 4 and the posting lists
+    // kick in mid-search. The match set must not change when they do.
+    let schema = Schema::parse("E/2").unwrap();
+    for seed in 0..CASES {
+        let mut r = rng(1_000 + seed);
+        let target = random_instance(&schema, &mut r, 24, 5);
+        assert!(target.fact_count() >= 16, "seed {seed}: workload too small");
+        let nvars = 2 + r.random_range(0..3);
+        let pattern = random_pattern(&schema, &mut r, 3, nvars);
+        let constraints = random_constraints(&mut r, nvars, &target);
+        assert_eq!(
+            engine_matches(&pattern, &target, &constraints),
+            brute_force_matches(&pattern, &target, &constraints),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn engine_agrees_with_brute_force_under_each_constraint_alone() {
+    // One bundle per constraint kind, deterministic pattern, so a failure
+    // names the guilty constraint directly.
+    let schema = Schema::parse("P/2").unwrap();
+    let mut r = rng(77);
+    let target = random_instance(&schema, &mut r, 20, 4);
+    let pattern = Pattern {
+        facts: vec![
+            PatFact {
+                rel: schema.rel("P").unwrap(),
+                args: vec![PatTerm::Var(0), PatTerm::Var(1)],
+            },
+            PatFact {
+                rel: schema.rel("P").unwrap(),
+                args: vec![PatTerm::Var(1), PatTerm::Var(2)],
+            },
+        ],
+        nvars: 3,
+    };
+    let bundles: Vec<(&str, MatchConstraints)> = vec![
+        ("none", MatchConstraints::default()),
+        (
+            "fixed",
+            MatchConstraints {
+                fixed: vec![(0, Value::constant("c0"))],
+                ..Default::default()
+            },
+        ),
+        (
+            "distinct",
+            MatchConstraints {
+                distinct: vec![(0, 2)],
+                ..Default::default()
+            },
+        ),
+        (
+            "constants_only",
+            MatchConstraints {
+                constants_only: vec![1],
+                ..Default::default()
+            },
+        ),
+        (
+            "nulls_only",
+            MatchConstraints {
+                nulls_only: vec![1],
+                ..Default::default()
+            },
+        ),
+        (
+            "injective",
+            MatchConstraints {
+                injective: true,
+                ..Default::default()
+            },
+        ),
+    ];
+    for (name, constraints) in &bundles {
+        assert_eq!(
+            engine_matches(&pattern, &target, constraints),
+            brute_force_matches(&pattern, &target, constraints),
+            "constraint kind {name}"
+        );
+    }
+}
+
+#[test]
+fn first_and_exists_agree_with_all() {
+    // The early-exit entry points must answer consistently with the full
+    // enumeration (this is the observable contract of the backtracking
+    // state restoration in `MatchEngine::search`).
+    let schema = Schema::parse("P/2 Q/1").unwrap();
+    for seed in 0..CASES {
+        let mut r = rng(2_000 + seed);
+        let target = random_instance(&schema, &mut r, 18, 4);
+        let nvars = 1 + r.random_range(0..3);
+        let pattern = random_pattern(&schema, &mut r, 2, nvars);
+        let constraints = random_constraints(&mut r, nvars, &target);
+        let engine = quasi_inverse::schema::MatchEngine::new(&pattern, &target, &constraints);
+        let all = engine.all();
+        assert_eq!(engine.exists(), !all.is_empty(), "seed {seed}");
+        assert_eq!(engine.first(), all.first().cloned(), "seed {seed}");
+    }
+}

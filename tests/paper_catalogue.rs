@@ -46,9 +46,11 @@ fn invertibility_claims_match_bounded_verification() {
         };
         let computed = match inverse(&entry.mapping).unwrap() {
             None => false, // Prop 5.3: no constant propagation ⇒ no inverse
-            Some(rev) => is_inverse_bounded(&entry.mapping, &rev, &universe)
-                .unwrap()
-                .holds,
+            Some(rev) => {
+                is_inverse_bounded(&entry.mapping, &rev, &universe)
+                    .unwrap()
+                    .holds
+            }
         };
         if let Some(claimed) = entry.verdict.invertible {
             assert_eq!(
@@ -90,7 +92,11 @@ fn quasi_invertibility_claims_match_bounded_verification() {
 fn non_invertibility_follows_from_unique_solutions_failures() {
     // §1's argument: projection, union, decomposition all fail the
     // unique-solutions property, hence have no inverse.
-    for m in [paper::projection(), paper::union_mapping(), paper::decomposition()] {
+    for m in [
+        paper::projection(),
+        paper::union_mapping(),
+        paper::decomposition(),
+    ] {
         let universe = closed_universe(&m).expect("small universes");
         assert!(unique_solutions_bounded(&m, &universe).unwrap().is_some());
     }

@@ -89,7 +89,10 @@ fn subset_property_fails_conclusively() {
         &universe,
     )
     .unwrap();
-    assert!(!report.holds, "Prop 3.12: the (~M,~M)-subset property fails");
+    assert!(
+        !report.holds,
+        "Prop 3.12: the (~M,~M)-subset property fails"
+    );
     // Our specific pair is among the reported failures.
     let (i1, i2) = counterexample(&m);
     let pos1 = universe.iter().position(|w| *w == i1).unwrap();

@@ -64,14 +64,9 @@ fn mixed_relaxations_interpolate_on_projection() {
     let m = paper::projection();
     let qi = quasi_inverse::core::quasi_inverse(&m, &Default::default()).unwrap();
     let universe = closed_universe(&m);
-    let strict = is_relaxed_inverse_bounded(
-        &m,
-        &qi,
-        Relation::Equality,
-        Relation::Equality,
-        &universe,
-    )
-    .unwrap();
+    let strict =
+        is_relaxed_inverse_bounded(&m, &qi, Relation::Equality, Relation::Equality, &universe)
+            .unwrap();
     assert!(!strict.holds);
     let mixed = is_relaxed_inverse_bounded(
         &m,

@@ -38,7 +38,9 @@ fn augmentation_destroys_invertibility() {
     // And the unique-solutions property fails: instances differing only
     // in Extra share all solutions.
     let universe = closed_universe(&m_aug);
-    assert!(unique_solutions_bounded(&m_aug, &universe).unwrap().is_some());
+    assert!(unique_solutions_bounded(&m_aug, &universe)
+        .unwrap()
+        .is_some());
 }
 
 #[test]

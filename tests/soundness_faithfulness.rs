@@ -57,12 +57,7 @@ fn soundness_holds_for_hand_written_quasi_inverses_in_the_language() {
 fn soundness_forbids_invented_target_facts() {
     // A deliberately wrong reverse mapping that manufactures an unrelated
     // source fact which then chases to a target fact outside U.
-    let m = SchemaMapping::parse(
-        "P/1 W/1",
-        "S/1 X/1",
-        &["P(x) -> S(x)", "W(x) -> X(x)"],
-    )
-    .unwrap();
+    let m = SchemaMapping::parse("P/1 W/1", "S/1 X/1", &["P(x) -> S(x)", "W(x) -> X(x)"]).unwrap();
     let bogus = ReverseMapping::parse(&m, &["S(x) -> W(x)"]).unwrap();
     let i = Instance::parse(&m.source, "P(a)").unwrap();
     let rt = round_trip(&m, &bogus, &i, Default::default()).unwrap();
@@ -84,7 +79,10 @@ fn faithfulness_catches_lossy_reverse_mappings() {
     // Union (§1): recovery lands in an ~M-equivalent source.
     let i_q = Instance::parse(&m.source, "Q(a)").unwrap();
     let rt = round_trip(&m, &partial, &i_q, Default::default()).unwrap();
-    assert!(rt.is_sound() && rt.is_faithful(), "P(a) ~M Q(a) under Union");
+    assert!(
+        rt.is_sound() && rt.is_faithful(),
+        "P(a) ~M Q(a) under Union"
+    );
 }
 
 #[test]

@@ -41,20 +41,11 @@ fn thm_4_6_guard_free_output_verifies_on_full_mappings() {
         let guarded = quasi_inverse::core::quasi_inverse(&m, &Default::default()).unwrap();
         let universe = closed_universe(&m).expect("paper mappings are small");
         for i in &universe {
-            let a = quasi_inverse::core::exchange::recovery_leaves(
-                &m,
-                &rev,
-                i,
-                Default::default(),
-            )
-            .unwrap();
-            let b = quasi_inverse::core::exchange::recovery_leaves(
-                &m,
-                &guarded,
-                i,
-                Default::default(),
-            )
-            .unwrap();
+            let a = quasi_inverse::core::exchange::recovery_leaves(&m, &rev, i, Default::default())
+                .unwrap();
+            let b =
+                quasi_inverse::core::exchange::recovery_leaves(&m, &guarded, i, Default::default())
+                    .unwrap();
             assert_eq!(a, b, "guard-free behaviour differs on {i} for {m}");
         }
     }

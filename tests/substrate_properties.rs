@@ -1,8 +1,8 @@
-//! Property tests on the extended substrates: the SO-tgd chase, the
-//! target-dependency chase, and their interactions with the rest of the
-//! stack.
+//! Property-style tests on the extended substrates: the SO-tgd chase,
+//! the target-dependency chase, and their interactions with the rest of
+//! the stack. Seed-scheduled random inputs; failures reproduce from the
+//! seed in the assertion message.
 
-use proptest::prelude::*;
 use quasi_inverse::chase::{
     chase_with_target_deps, is_weakly_acyclic, so_chase, ExchangeSetting, TargetChaseOptions,
     TargetChaseResult,
@@ -13,48 +13,73 @@ use quasi_inverse::workloads::random::{
     MappingParams,
 };
 
+const CASES: u64 = 16;
+
 const IP: InstanceParams = InstanceParams {
     n_consts: 3,
     n_facts: 4,
 };
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
-
-    #[test]
-    fn skolemized_chase_equals_plain_chase(seed in any::<u64>()) {
+#[test]
+fn skolemized_chase_equals_plain_chase() {
+    for seed in 0..CASES {
         let mut r = rng(seed);
         let m = random_mapping(&mut r, &MappingParams::default());
         let so = skolemize(&m.tgds, "");
         let i = random_ground_instance(&m.source, &mut r, &IP);
         let via_so = so_chase(&so, &i).unwrap();
         let via_fo = m.chase(&i).unwrap();
-        prop_assert!(hom_equivalent(&via_so, &via_fo));
+        assert!(hom_equivalent(&via_so, &via_fo), "seed {seed}");
     }
+}
 
-    #[test]
-    fn so_composition_matches_two_hop_chase(seed in any::<u64>()) {
+#[test]
+fn so_composition_matches_two_hop_chase() {
+    for seed in 0..CASES {
         let mut r = rng(seed);
-        let m12 = random_mapping(&mut r, &MappingParams { max_arity: 2, n_tgds: 2, ..Default::default() });
+        let m12 = random_mapping(
+            &mut r,
+            &MappingParams {
+                max_arity: 2,
+                n_tgds: 2,
+                ..Default::default()
+            },
+        );
         let m23 = random_mapping_between(
             &mut r,
             &m12.target,
             &Schema::parse("Out0/2 Out1/1").unwrap(),
-            &MappingParams { max_arity: 2, n_tgds: 2, ..Default::default() },
+            &MappingParams {
+                max_arity: 2,
+                n_tgds: 2,
+                ..Default::default()
+            },
         );
         let so = so_compose(&m12, &m23).unwrap();
         let i = random_ground_instance(&m12.source, &mut r, &IP);
         let one = so_chase(&so, &i).unwrap();
         let two = m23.chase(&m12.chase(&i).unwrap()).unwrap();
-        prop_assert!(hom_equivalent(&one, &two), "I = {}\none: {}\ntwo: {}", i, one, two);
+        assert!(
+            hom_equivalent(&one, &two),
+            "seed {seed}: I = {i}\none: {one}\ntwo: {two}"
+        );
     }
+}
 
-    #[test]
-    fn target_chase_result_satisfies_all_dependencies(seed in any::<u64>()) {
+#[test]
+fn target_chase_result_satisfies_all_dependencies() {
+    for seed in 0..CASES {
         // Random s-t mapping plus a (weakly acyclic) copy-closure target
         // tgd per binary target relation and a key egd on it.
         let mut r = rng(seed);
-        let m = random_mapping(&mut r, &MappingParams { full: true, max_arity: 2, ..Default::default() });
+        let m = random_mapping(
+            &mut r,
+            &MappingParams {
+                full: true,
+                max_arity: 2,
+                ..Default::default()
+            },
+        );
         let binary: Vec<_> = m
             .target
             .rel_ids()
@@ -65,37 +90,63 @@ proptest! {
         for rel in binary {
             let name = m.target.name(rel).to_owned();
             target_tgds.push(
-                parse_tgd(&m.target, &m.target, &format!("{name}(x,y) & {name}(y,z) -> {name}(x,z)")).unwrap(),
+                parse_tgd(
+                    &m.target,
+                    &m.target,
+                    &format!("{name}(x,y) & {name}(y,z) -> {name}(x,z)"),
+                )
+                .unwrap(),
             );
             egds.push(
-                quasi_inverse::lang::parse_egd(&m.target, &format!("{name}(x,y) & {name}(y,x) -> x = y")).unwrap(),
+                quasi_inverse::lang::parse_egd(
+                    &m.target,
+                    &format!("{name}(x,y) & {name}(y,x) -> x = y"),
+                )
+                .unwrap(),
             );
         }
-        prop_assume!(is_weakly_acyclic(&target_tgds));
+        if !is_weakly_acyclic(&target_tgds) {
+            continue;
+        }
         let setting = ExchangeSetting {
             st_tgds: m.tgds.clone(),
             target_tgds,
             egds,
         };
         let i = random_ground_instance(&m.source, &mut r, &IP);
-        match chase_with_target_deps(&setting, &i, &m.target, TargetChaseOptions::default()).unwrap() {
+        match chase_with_target_deps(&setting, &i, &m.target, TargetChaseOptions::default())
+            .unwrap()
+        {
             TargetChaseResult::Failed { left, right } => {
                 // Failure is legitimate (cycles on distinct constants);
                 // the reported values must be distinct constants.
-                prop_assert!(left.is_const() && right.is_const() && left != right);
+                assert!(
+                    left.is_const() && right.is_const() && left != right,
+                    "seed {seed}"
+                );
             }
             TargetChaseResult::Solution(u) => {
-                prop_assert!(quasi_inverse::chase::satisfies_all_tgds(&i, &u, &setting.st_tgds));
-                prop_assert!(quasi_inverse::chase::satisfies_all_tgds(&u, &u, &setting.target_tgds));
+                assert!(
+                    quasi_inverse::chase::satisfies_all_tgds(&i, &u, &setting.st_tgds),
+                    "seed {seed}"
+                );
+                assert!(
+                    quasi_inverse::chase::satisfies_all_tgds(&u, &u, &setting.target_tgds),
+                    "seed {seed}"
+                );
                 // No remaining egd violation: re-running repairs nothing.
-                let again = chase_with_target_deps(&setting, &i, &m.target, TargetChaseOptions::default()).unwrap();
-                prop_assert_eq!(TargetChaseResult::Solution(u), again);
+                let again =
+                    chase_with_target_deps(&setting, &i, &m.target, TargetChaseOptions::default())
+                        .unwrap();
+                assert_eq!(TargetChaseResult::Solution(u), again, "seed {seed}");
             }
         }
     }
+}
 
-    #[test]
-    fn target_chase_is_deterministic(seed in any::<u64>()) {
+#[test]
+fn target_chase_is_deterministic() {
+    for seed in 0..CASES {
         let mut r = rng(seed);
         let m = random_mapping(&mut r, &MappingParams::default());
         let setting = ExchangeSetting {
@@ -104,32 +155,24 @@ proptest! {
             egds: vec![],
         };
         let i = random_ground_instance(&m.source, &mut r, &IP);
-        let a = chase_with_target_deps(&setting, &i, &m.target, TargetChaseOptions::default()).unwrap();
-        let b = chase_with_target_deps(&setting, &i, &m.target, TargetChaseOptions::default()).unwrap();
-        prop_assert_eq!(a.clone(), b);
+        let a =
+            chase_with_target_deps(&setting, &i, &m.target, TargetChaseOptions::default()).unwrap();
+        let b =
+            chase_with_target_deps(&setting, &i, &m.target, TargetChaseOptions::default()).unwrap();
+        assert_eq!(a.clone(), b, "seed {seed}");
         // With no target deps, equals the plain chase.
-        let TargetChaseResult::Solution(u) = a else { unreachable!("no egds ⇒ no failure") };
-        prop_assert_eq!(u, m.chase(&i).unwrap());
+        let TargetChaseResult::Solution(u) = a else {
+            unreachable!("no egds ⇒ no failure")
+        };
+        assert_eq!(u, m.chase(&i).unwrap(), "seed {seed}");
     }
 }
 
 #[test]
 fn par_run_fans_out_and_preserves_order() {
-    let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..16usize)
-        .map(|k| Box::new(move || k * k) as Box<dyn FnOnce() -> usize + Send>)
-        .collect();
-    let results = qi_bench_par_run(jobs);
-    assert_eq!(results, (0..16).map(|k| k * k).collect::<Vec<_>>());
-}
-
-// qi-bench is not a dependency of the root package; duplicate the tiny
-// helper's contract here against crossbeam-free std threads instead.
-fn qi_bench_par_run<T: Send>(jobs: Vec<Box<dyn FnOnce() -> T + Send>>) -> Vec<T> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .into_iter()
-            .map(|job| scope.spawn(job))
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
+    let jobs: Vec<u64> = (0..16).collect();
+    for threads in [1usize, 2, 4, 8] {
+        let results = qi_exec::par_map(qi_exec::Parallelism::fixed(threads), &jobs, |&k| k * k);
+        assert_eq!(results, (0..16).map(|k| k * k).collect::<Vec<_>>());
+    }
 }

@@ -20,9 +20,7 @@ fn setting() -> (Schema, Schema, ExchangeSetting) {
         // Every boss is an employee with some name.
         parse_tgd(&s, &t, "Boss(e,b) -> exists n . Emp(b,n)").unwrap(),
     ];
-    let tt = vec![
-        parse_tgd(&t, &t, "Reports(e,b) & Reports(b,c) -> Reports(e,c)").unwrap(),
-    ];
+    let tt = vec![parse_tgd(&t, &t, "Reports(e,b) & Reports(b,c) -> Reports(e,c)").unwrap()];
     let egds = vec![
         // Employee id is a key for the name.
         parse_egd(&t, "Emp(id,n1) & Emp(id,n2) -> n1 = n2").unwrap(),
@@ -109,6 +107,14 @@ fn closure_result_is_a_solution_of_all_dependency_classes() {
     let TargetChaseResult::Solution(u) = result else {
         panic!()
     };
-    assert!(quasi_inverse::chase::satisfies_all_tgds(&i, &u, &setting.st_tgds));
-    assert!(quasi_inverse::chase::satisfies_all_tgds(&u, &u, &setting.target_tgds));
+    assert!(quasi_inverse::chase::satisfies_all_tgds(
+        &i,
+        &u,
+        &setting.st_tgds
+    ));
+    assert!(quasi_inverse::chase::satisfies_all_tgds(
+        &u,
+        &u,
+        &setting.target_tgds
+    ));
 }
