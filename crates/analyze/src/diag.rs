@@ -1,0 +1,379 @@
+//! The diagnostics engine: stable codes, severities, spans, and the text
+//! and JSON renderers shared by every lint in the workspace.
+
+use std::fmt;
+
+/// How bad a diagnostic is. `Error` means the input is rejected (the CLI
+/// exits nonzero); `Warning` flags something that will bite at runtime
+/// (e.g. a chase that cannot terminate); `Info` is classification.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Severity {
+    /// Classification and advice; never blocks.
+    Info,
+    /// Suspicious or runtime-dangerous; does not block.
+    Warning,
+    /// The input is rejected.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase name used in both renderers.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Stable lint codes. Codes are append-only: a released code never
+/// changes meaning, and retired codes are not reused.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[allow(missing_docs)] // each code is documented by `title`
+pub enum Code {
+    Qi001,
+    Qi002,
+    Qi003,
+    Qi004,
+    Qi005,
+    Qi006,
+    Qi007,
+    Qi008,
+    Qi009,
+    Qi010,
+    Qi011,
+    Qi012,
+    Qi013,
+    Qi014,
+    Qi015,
+    Qi016,
+}
+
+impl Code {
+    /// Every code, in order — used by the catalog table and tests.
+    pub const ALL: [Code; 16] = [
+        Code::Qi001,
+        Code::Qi002,
+        Code::Qi003,
+        Code::Qi004,
+        Code::Qi005,
+        Code::Qi006,
+        Code::Qi007,
+        Code::Qi008,
+        Code::Qi009,
+        Code::Qi010,
+        Code::Qi011,
+        Code::Qi012,
+        Code::Qi013,
+        Code::Qi014,
+        Code::Qi015,
+        Code::Qi016,
+    ];
+
+    /// The stable code string, e.g. `"QI003"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::Qi001 => "QI001",
+            Code::Qi002 => "QI002",
+            Code::Qi003 => "QI003",
+            Code::Qi004 => "QI004",
+            Code::Qi005 => "QI005",
+            Code::Qi006 => "QI006",
+            Code::Qi007 => "QI007",
+            Code::Qi008 => "QI008",
+            Code::Qi009 => "QI009",
+            Code::Qi010 => "QI010",
+            Code::Qi011 => "QI011",
+            Code::Qi012 => "QI012",
+            Code::Qi013 => "QI013",
+            Code::Qi014 => "QI014",
+            Code::Qi015 => "QI015",
+            Code::Qi016 => "QI016",
+        }
+    }
+
+    /// The severity this code always carries.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::Qi001
+            | Code::Qi002
+            | Code::Qi003
+            | Code::Qi004
+            | Code::Qi005
+            | Code::Qi008
+            | Code::Qi010 => Severity::Error,
+            Code::Qi007 | Code::Qi011 | Code::Qi014 | Code::Qi015 | Code::Qi016 => {
+                Severity::Warning
+            }
+            Code::Qi006 | Code::Qi009 | Code::Qi012 | Code::Qi013 => Severity::Info,
+        }
+    }
+
+    /// One-line description for the lint catalog.
+    pub fn title(self) -> &'static str {
+        match self {
+            Code::Qi001 => "malformed mapping-file line",
+            Code::Qi002 => "dependency parse error",
+            Code::Qi003 => "unknown relation",
+            Code::Qi004 => "arity mismatch",
+            Code::Qi005 => "ill-formed dependency (safety condition violated)",
+            Code::Qi006 => "body variable used only once and never exported",
+            Code::Qi007 => "existential variable reused across disjuncts",
+            Code::Qi008 => "statically unsatisfiable inequality",
+            Code::Qi009 => "inequality clique needs more constants than small instances have",
+            Code::Qi010 => "relation used on the wrong side of the mapping",
+            Code::Qi011 => "target tgds are not weakly acyclic",
+            Code::Qi012 => "mapping is not LAV",
+            Code::Qi013 => "mapping is not full",
+            Code::Qi014 => "constant propagation fails: the mapping has no inverse",
+            Code::Qi015 => "subset property fails on a bounded universe: not quasi-invertible",
+            Code::Qi016 => "duplicate dependency",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A 1-based source location in a mapping file: line, column, and the
+/// byte length of the offending token (0 when the diagnostic points at a
+/// position rather than a token).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column (byte offset within the line).
+    pub col: usize,
+    /// Token length in bytes.
+    pub len: usize,
+}
+
+/// One finding: a stable code (which fixes the severity), a message, and
+/// an optional source span.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// The stable lint code.
+    pub code: Code,
+    /// Human-readable, single-line message.
+    pub message: String,
+    /// Where in the mapping file, when the lint knows.
+    pub span: Option<Span>,
+}
+
+impl Diagnostic {
+    /// Build a spanless diagnostic.
+    pub fn new(code: Code, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            message: message.into(),
+            span: None,
+        }
+    }
+
+    /// Attach a span.
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
+    }
+
+    /// The severity (fixed by the code).
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+
+    /// Render as one `file:line:col: severity[CODE]: message` line.
+    pub fn render_text(&self, path: &str) -> String {
+        let loc = match self.span {
+            Some(s) => format!("{path}:{}:{}", s.line, s.col),
+            None => path.to_owned(),
+        };
+        format!(
+            "{loc}: {}[{}]: {}",
+            self.severity().as_str(),
+            self.code,
+            self.message
+        )
+    }
+
+    /// Render as a JSON object (one line, stable key order).
+    pub fn render_json(&self, path: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{");
+        let _ = write!(out, "\"file\":\"{}\"", escape_json(path));
+        let _ = write!(out, ",\"code\":\"{}\"", self.code);
+        let _ = write!(out, ",\"severity\":\"{}\"", self.severity());
+        let _ = write!(out, ",\"message\":\"{}\"", escape_json(&self.message));
+        match self.span {
+            Some(s) => {
+                let _ = write!(
+                    out,
+                    ",\"line\":{},\"col\":{},\"len\":{}",
+                    s.line, s.col, s.len
+                );
+            }
+            None => out.push_str(",\"line\":null,\"col\":null,\"len\":null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// An ordered collection of diagnostics with the two renderers.
+#[derive(Clone, Debug, Default)]
+pub struct Diagnostics {
+    /// The findings, in emission order (file order, then lint order).
+    pub items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// An empty collection.
+    pub fn new() -> Self {
+        Diagnostics::default()
+    }
+
+    /// Append one diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    /// Append many.
+    pub fn extend(&mut self, ds: impl IntoIterator<Item = Diagnostic>) {
+        self.items.extend(ds);
+    }
+
+    /// Any `Error`-severity finding?
+    pub fn has_errors(&self) -> bool {
+        self.items.iter().any(|d| d.severity() == Severity::Error)
+    }
+
+    /// Count findings at `sev`.
+    pub fn count(&self, sev: Severity) -> usize {
+        self.items.iter().filter(|d| d.severity() == sev).count()
+    }
+
+    /// Is the collection empty?
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// The human rendering: one line per finding plus a summary line.
+    pub fn render_text(&self, path: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for d in &self.items {
+            out.push_str(&d.render_text(path));
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
+            "{path}: {} error(s), {} warning(s), {} info(s)",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info)
+        );
+        out
+    }
+
+    /// The machine rendering: a single JSON document.
+    pub fn render_json(&self, path: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\"diagnostics\":[\n");
+        for (i, d) in self.items.iter().enumerate() {
+            out.push_str("  ");
+            out.push_str(&d.render_json(path));
+            if i + 1 < self.items.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
+            "],\"summary\":{{\"errors\":{},\"warnings\":{},\"infos\":{}}}}}",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info)
+        );
+        out
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_strings() {
+        assert_eq!(Code::ALL.len(), 16);
+        for (i, c) in Code::ALL.iter().enumerate() {
+            assert_eq!(c.as_str(), format!("QI{:03}", i + 1));
+        }
+    }
+
+    #[test]
+    fn severity_ordering_puts_error_on_top() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn text_and_json_render() {
+        let mut ds = Diagnostics::new();
+        ds.push(
+            Diagnostic::new(Code::Qi003, "unknown source relation `Z`").with_span(Span {
+                line: 3,
+                col: 6,
+                len: 1,
+            }),
+        );
+        ds.push(Diagnostic::new(Code::Qi012, "mapping is not LAV"));
+        let text = ds.render_text("m.qim");
+        assert!(text.contains("m.qim:3:6: error[QI003]: unknown source relation `Z`"));
+        assert!(text.contains("m.qim: 1 error(s), 0 warning(s), 1 info(s)"));
+        let json = ds.render_json("m.qim");
+        assert!(json.contains("\"code\":\"QI003\""));
+        assert!(json.contains("\"line\":3,\"col\":6,\"len\":1"));
+        assert!(json.contains("\"line\":null"));
+        assert!(json.contains("\"summary\":{\"errors\":1,\"warnings\":0,\"infos\":1}"));
+        assert!(ds.has_errors());
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,437 @@
+//! The dependency graph of a set of (target) tgds — predicate positions,
+//! regular vs. special edges — weak acyclicity, and the **termination
+//! certificate** whose rank-derived bound replaces the chase's magic
+//! step budget.
+//!
+//! Definitions follow Fagin–Kolaitis–Miller–Popa (TCS'05, the paper's
+//! reference \[4\]): nodes are *positions* `(R, i)`; for every tgd and
+//! every body occurrence of a universal variable `x` at position `p`,
+//!
+//! * a **regular** edge goes from `p` to every head position holding `x`;
+//! * a **special** edge goes from `p` to every head position holding an
+//!   existential variable, provided `x` occurs somewhere in the head.
+//!
+//! The tgds are *weakly acyclic* iff no cycle goes through a special
+//! edge — the classical sufficient condition for chase termination.
+//!
+//! ## The certificate
+//!
+//! When the graph is weakly acyclic, every position `p` has a finite
+//! **rank**: the maximum number of special edges on any path ending in
+//! `p`. Ranks witness termination *quantitatively*: values of rank-0
+//! positions are values of the input instance; a fresh null landing in a
+//! rank-`r` position is manufactured from values of rank `< r`. Starting
+//! from `n` distinct input values, the number of distinct values that
+//! can ever occupy rank-≤-`i` positions obeys
+//!
+//! ```text
+//! Q₀ = n,    Qᵢ₊₁ = Qᵢ + Σ_t  e_t · Qᵢ^{f_t}
+//! ```
+//!
+//! where `t` ranges over the tgds, `e_t` counts `t`'s existential
+//! variables and `f_t` its frontier (body variables shared with the
+//! head): a firing is determined by its frontier assignment (the
+//! restricted chase fires a tgd at most once per frontier assignment,
+//! since a second firing finds the head already satisfied), and each
+//! firing mints at most `e_t` fresh values. With `V = Q_maxrank` total
+//! values, at most `F = Σ_R V^{arity(R)}` distinct facts exist, so the
+//! chase performs at most `F` tgd firings between egd merges, and at
+//! most `V` egd merges in total (each merge retires one value forever) —
+//! the step budget `F·(V+1) + V` of [`TerminationCertificate::step_budget`].
+//! All arithmetic saturates at `usize::MAX`; a saturated budget is still
+//! sound (weak acyclicity alone guarantees termination).
+
+use crate::diag::{Code, Diagnostic};
+use qi_lang::{Tgd, Var};
+use qi_schema::{RelId, Schema};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A predicate position: a relation and a 0-based column.
+pub type Position = (RelId, usize);
+
+/// The dependency graph of a set of tgds (usually target tgds, where
+/// source and target schema coincide).
+#[derive(Clone, Debug, Default)]
+pub struct DependencyGraph {
+    /// Regular edges (adjacency, deterministic order).
+    pub regular: BTreeMap<Position, BTreeSet<Position>>,
+    /// Special edges.
+    pub special: BTreeMap<Position, BTreeSet<Position>>,
+    /// The head-side schema, used to render position names.
+    schema: Option<Schema>,
+}
+
+impl DependencyGraph {
+    /// Build the graph of `tgds`.
+    pub fn new(tgds: &[Tgd]) -> Self {
+        let mut g = DependencyGraph {
+            schema: tgds.first().map(|t| t.target.clone()),
+            ..DependencyGraph::default()
+        };
+        for tgd in tgds {
+            let mut body_pos: BTreeMap<&Var, Vec<Position>> = BTreeMap::new();
+            for atom in &tgd.body {
+                for (p, v) in atom.args.iter().enumerate() {
+                    body_pos.entry(v).or_default().push((atom.rel, p));
+                }
+            }
+            let head_universals: BTreeSet<&Var> = tgd
+                .head
+                .iter()
+                .flat_map(|a| a.args.iter())
+                .filter(|v| !tgd.exists.contains(v))
+                .collect();
+            for atom in &tgd.head {
+                for (p, v) in atom.args.iter().enumerate() {
+                    let head_node = (atom.rel, p);
+                    if tgd.exists.contains(v) {
+                        for hv in &head_universals {
+                            if let Some(sources) = body_pos.get(*hv) {
+                                for &src in sources {
+                                    g.special.entry(src).or_default().insert(head_node);
+                                }
+                            }
+                        }
+                    } else if let Some(sources) = body_pos.get(v) {
+                        for &src in sources {
+                            g.regular.entry(src).or_default().insert(head_node);
+                        }
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    /// All nodes that occur in some edge, in deterministic order.
+    pub fn nodes(&self) -> BTreeSet<Position> {
+        let mut nodes = BTreeSet::new();
+        for (u, vs) in self.regular.iter().chain(self.special.iter()) {
+            nodes.insert(*u);
+            nodes.extend(vs.iter().copied());
+        }
+        nodes
+    }
+
+    fn successors(&self, n: Position) -> impl Iterator<Item = Position> + '_ {
+        self.regular
+            .get(&n)
+            .into_iter()
+            .flatten()
+            .chain(self.special.get(&n).into_iter().flatten())
+            .copied()
+    }
+
+    /// Weak acyclicity: no cycle through a special edge.
+    pub fn is_weakly_acyclic(&self) -> bool {
+        self.special_cycle().is_none()
+    }
+
+    /// A witness cycle through a special edge, as a position path whose
+    /// first and last elements coincide — `None` iff weakly acyclic.
+    ///
+    /// The first hop of the returned path is the special edge.
+    pub fn special_cycle(&self) -> Option<Vec<Position>> {
+        for (&u, targets) in &self.special {
+            for &w in targets {
+                // Does w reach u? BFS with parents for path recovery.
+                if let Some(path) = self.path(w, u) {
+                    let mut cycle = vec![u];
+                    cycle.extend(path);
+                    return Some(cycle);
+                }
+            }
+        }
+        None
+    }
+
+    /// Shortest path `from →* to` over all edges (inclusive of both
+    /// endpoints), or `None`.
+    fn path(&self, from: Position, to: Position) -> Option<Vec<Position>> {
+        let mut parent: BTreeMap<Position, Position> = BTreeMap::new();
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::from([from]);
+        seen.insert(from);
+        while let Some(n) = queue.pop_front() {
+            if n == to {
+                let mut path = vec![to];
+                let mut cur = to;
+                while cur != from {
+                    cur = parent[&cur];
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for next in self.successors(n) {
+                if seen.insert(next) {
+                    parent.insert(next, n);
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+
+    /// Human name of a position, e.g. `E.2` (1-based column).
+    pub fn position_name(&self, p: Position) -> String {
+        match &self.schema {
+            Some(s) if p.0.index() < s.len() => format!("{}.{}", s.sym(p.0).name, p.1 + 1),
+            _ => format!("#{}.{}", p.0 .0, p.1 + 1),
+        }
+    }
+
+    /// Render a position path as `E.2 ~> E.1 -> E.2` (`~>` marks a
+    /// special edge).
+    pub fn render_path(&self, path: &[Position]) -> String {
+        let mut out = String::new();
+        for (i, &p) in path.iter().enumerate() {
+            if i > 0 {
+                let prev = path[i - 1];
+                let is_special = self.special.get(&prev).is_some_and(|s| s.contains(&p));
+                out.push_str(if is_special { " ~> " } else { " -> " });
+            }
+            out.push_str(&self.position_name(p));
+        }
+        out
+    }
+
+    /// Per-position ranks: the maximum number of special edges on any
+    /// path ending at the position. `None` when not weakly acyclic
+    /// (ranks would diverge).
+    pub fn ranks(&self) -> Option<BTreeMap<Position, usize>> {
+        if !self.is_weakly_acyclic() {
+            return None;
+        }
+        let nodes = self.nodes();
+        let mut rank: BTreeMap<Position, usize> = nodes.iter().map(|&n| (n, 0)).collect();
+        // Monotone relaxation; converges within |nodes| rounds on a
+        // weakly acyclic graph (ranks are bounded by #special edges).
+        for _ in 0..=nodes.len() {
+            let mut changed = false;
+            for &u in &nodes {
+                let ru = rank[&u];
+                if let Some(vs) = self.regular.get(&u) {
+                    for v in vs {
+                        if rank[v] < ru {
+                            rank.insert(*v, ru);
+                            changed = true;
+                        }
+                    }
+                }
+                if let Some(vs) = self.special.get(&u) {
+                    for v in vs {
+                        if rank[v] < ru + 1 {
+                            rank.insert(*v, ru + 1);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                return Some(rank);
+            }
+        }
+        // Unreachable for weakly acyclic graphs; be safe anyway.
+        None
+    }
+
+    /// The termination certificate, or `None` when not weakly acyclic.
+    pub fn certificate(&self, tgds: &[Tgd]) -> Option<TerminationCertificate> {
+        let ranks = self.ranks()?;
+        let max_rank = ranks.values().copied().max().unwrap_or(0);
+        let tgd_shape = tgds
+            .iter()
+            .map(|t| (t.exists.len(), t.frontier().len()))
+            .collect();
+        let rel_arities = match tgds.first().map(|t| &t.target) {
+            Some(schema) => schema.rel_ids().map(|r| schema.arity(r)).collect(),
+            None => Vec::new(),
+        };
+        Some(TerminationCertificate {
+            ranks,
+            max_rank,
+            tgd_shape,
+            rel_arities,
+        })
+    }
+}
+
+/// Weak acyclicity of a set of target tgds (FKMP): no cycle of the
+/// dependency graph goes through a special edge. This is the classical
+/// sufficient condition for termination of the target chase.
+pub fn is_weakly_acyclic(target_tgds: &[Tgd]) -> bool {
+    DependencyGraph::new(target_tgds).is_weakly_acyclic()
+}
+
+/// The QI011 warning for non-weakly-acyclic target tgds, naming the
+/// offending cycle — `None` when the tgds are weakly acyclic.
+pub fn weak_acyclicity_diagnostic(target_tgds: &[Tgd]) -> Option<Diagnostic> {
+    let g = DependencyGraph::new(target_tgds);
+    let cycle = g.special_cycle()?;
+    Some(Diagnostic::new(
+        Code::Qi011,
+        format!(
+            "target tgds are not weakly acyclic: the dependency graph has a cycle \
+             through a special edge: {}; the chase may not terminate and will run \
+             under a fallback step budget",
+            g.render_path(&cycle)
+        ),
+    ))
+}
+
+/// A quantitative witness of chase termination for a weakly acyclic set
+/// of target tgds. See the module docs for the bound derivation.
+#[derive(Clone, Debug)]
+pub struct TerminationCertificate {
+    /// Rank of every position that occurs in the dependency graph
+    /// (positions outside the graph have rank 0).
+    pub ranks: BTreeMap<Position, usize>,
+    /// The largest rank.
+    pub max_rank: usize,
+    /// `(existentials, frontier size)` of each certified tgd.
+    pub tgd_shape: Vec<(usize, usize)>,
+    /// Arities of the head-side schema's relations.
+    pub rel_arities: Vec<usize>,
+}
+
+fn sat_pow(base: usize, exp: usize) -> usize {
+    let mut acc = 1usize;
+    for _ in 0..exp {
+        acc = acc.saturating_mul(base);
+    }
+    acc
+}
+
+impl TerminationCertificate {
+    /// An upper bound on the number of distinct values (constants and
+    /// nulls) in any chase state, starting from `n` distinct values.
+    pub fn value_bound(&self, n: usize) -> usize {
+        let mut q = n.max(1);
+        for _ in 0..self.max_rank {
+            let mut fresh = 0usize;
+            for &(e, f) in &self.tgd_shape {
+                fresh = fresh.saturating_add(e.saturating_mul(sat_pow(q, f)));
+            }
+            q = q.saturating_add(fresh);
+        }
+        q
+    }
+
+    /// An upper bound on the number of distinct facts in any chase
+    /// state, starting from `n` distinct values.
+    pub fn fact_bound(&self, n: usize) -> usize {
+        let v = self.value_bound(n);
+        self.rel_arities
+            .iter()
+            .fold(0usize, |acc, &a| acc.saturating_add(sat_pow(v, a)))
+    }
+
+    /// The step budget (tgd firings + egd repairs) the target chase can
+    /// consume before termination, starting from `n` distinct values:
+    /// `F·(V+1) + V` for `V = value_bound(n)`, `F = fact_bound(n)`.
+    pub fn step_budget(&self, n: usize) -> usize {
+        let v = self.value_bound(n);
+        let f = self.fact_bound(n);
+        f.saturating_mul(v.saturating_add(1)).saturating_add(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qi_lang::parse_tgd;
+
+    fn t_schema() -> Schema {
+        Schema::parse("E/2 D/1").unwrap()
+    }
+
+    #[test]
+    fn classic_examples_classify() {
+        let t = t_schema();
+        let bad = parse_tgd(&t, &t, "E(x,y) -> exists z . E(y,z)").unwrap();
+        assert!(!is_weakly_acyclic(std::slice::from_ref(&bad)));
+        let good = parse_tgd(&t, &t, "E(x,y) -> D(x)").unwrap();
+        assert!(is_weakly_acyclic(std::slice::from_ref(&good)));
+        let gen = parse_tgd(&t, &t, "D(x) -> exists y . E(x,y)").unwrap();
+        assert!(is_weakly_acyclic(&[good, gen.clone()]));
+        let bad2 = parse_tgd(&t, &t, "E(x,y) -> D(y)").unwrap();
+        assert!(!is_weakly_acyclic(&[bad2, gen]));
+    }
+
+    #[test]
+    fn special_cycle_is_named() {
+        let t = t_schema();
+        let bad = parse_tgd(&t, &t, "E(x,y) -> exists z . E(y,z)").unwrap();
+        let d = weak_acyclicity_diagnostic(std::slice::from_ref(&bad)).expect("diagnostic");
+        assert_eq!(d.code, Code::Qi011);
+        // The E.2 ~> E.2 special self-loop is named.
+        assert!(d.message.contains("E.2"), "{}", d.message);
+        assert!(d.message.contains("~>"), "{}", d.message);
+        let good = parse_tgd(&t, &t, "E(x,y) -> D(x)").unwrap();
+        assert!(weak_acyclicity_diagnostic(std::slice::from_ref(&good)).is_none());
+    }
+
+    #[test]
+    fn ranks_track_special_depth() {
+        // D(x) -> ∃y E(x,y): D.1 -> E.1 regular, D.1 ~> E.2 special.
+        let t = t_schema();
+        let gen = parse_tgd(&t, &t, "D(x) -> exists y . E(x,y)").unwrap();
+        let copy = parse_tgd(&t, &t, "E(x,y) -> D(x)").unwrap();
+        let tgds = [copy, gen];
+        let g = DependencyGraph::new(&tgds);
+        let ranks = g.ranks().expect("weakly acyclic");
+        let e = t.rel("E").unwrap();
+        let d = t.rel("D").unwrap();
+        assert_eq!(ranks[&(d, 0)], 0);
+        assert_eq!(ranks[&(e, 0)], 0);
+        assert_eq!(ranks[&(e, 1)], 1);
+        let cert = g.certificate(&tgds).unwrap();
+        assert_eq!(cert.max_rank, 1);
+        // One tgd with one existential and frontier {x}; from n=2 values:
+        // Q1 = 2 + 1·2 = 4.
+        assert_eq!(cert.value_bound(2), 4);
+        // F = V^2 + V = 20; budget = 20·5 + 4.
+        assert_eq!(cert.fact_bound(2), 20);
+        assert_eq!(cert.step_budget(2), 104);
+    }
+
+    #[test]
+    fn full_tgds_have_rank_zero_certificates() {
+        let t = t_schema();
+        let trans = parse_tgd(&t, &t, "E(x,y) & E(y,z) -> E(x,z)").unwrap();
+        let tgds = [trans];
+        let g = DependencyGraph::new(&tgds);
+        let cert = g.certificate(&tgds).unwrap();
+        assert_eq!(cert.max_rank, 0);
+        // No fresh values: V = n.
+        assert_eq!(cert.value_bound(5), 5);
+        assert_eq!(cert.fact_bound(5), 30);
+    }
+
+    #[test]
+    fn saturating_bounds_do_not_overflow() {
+        let t = Schema::parse("R/8").unwrap();
+        let big = parse_tgd(
+            &t,
+            &t,
+            "R(a,b,c,d,e,f,g,h) -> exists i . R(b,c,d,e,f,g,h,i)",
+        );
+        // This one is *not* weakly acyclic (special self-loops), so force
+        // a certificate through a harmless variant instead.
+        assert!(big.is_ok());
+        let wide = parse_tgd(&t, &t, "R(a,b,c,d,e,f,g,h) -> R(a,a,a,a,a,a,a,a)").unwrap();
+        let tgds = [wide];
+        let cert = DependencyGraph::new(&tgds).certificate(&tgds).unwrap();
+        assert_eq!(cert.step_budget(usize::MAX), usize::MAX);
+    }
+
+    #[test]
+    fn empty_tgds_are_trivially_acyclic() {
+        assert!(is_weakly_acyclic(&[]));
+        let g = DependencyGraph::new(&[]);
+        let cert = g.certificate(&[]).unwrap();
+        assert_eq!(cert.value_bound(3), 3);
+        assert_eq!(cert.fact_bound(3), 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! # qi-analyze — static analysis for schema mappings
+//!
+//! A pre-flight pass over parsed mappings that runs *before* any chase
+//! or inversion: every syntactic side condition the paper's algorithms
+//! rely on, checked once, reported uniformly.
+//!
+//! Three pieces:
+//!
+//! * a **diagnostics engine** ([`diag`]) with stable codes
+//!   (`QI001`–`QI016`), fixed severities, source spans, and text + JSON
+//!   renderers — the single vocabulary for every precondition failure in
+//!   the workspace (the `qimap lint` subcommand, `qimap check`, and the
+//!   rejection errors of `qi-core`'s algorithms all speak it);
+//! * the **dependency graph** ([`graph`]): predicate positions, regular
+//!   vs. special edges, weak acyclicity (moved here from `qi-chase`,
+//!   which keeps a deprecated re-export), witness cycles for the QI011
+//!   warning, and the [`TerminationCertificate`] whose per-position
+//!   ranks induce a polynomial chase-size bound — `qi-chase` derives its
+//!   target-chase step budget from it instead of a magic constant;
+//! * the **mapping-file front end** ([`mapfile`]) and the **lint pass**
+//!   ([`lints`]): parse the `source:`/`target:`/`tgd:` format with
+//!   line/column spans, resolve against the declared schemas, and run
+//!   ~a dozen lints from undeclared relations to fragment
+//!   classification. [`analyze_text`] never fails; problems come back as
+//!   diagnostics.
+//!
+//! ## Lint catalog
+//!
+//! | Code | Severity | Meaning |
+//! |------|----------|---------|
+//! | QI001 | error | malformed mapping-file line |
+//! | QI002 | error | dependency parse error |
+//! | QI003 | error | unknown relation |
+//! | QI004 | error | arity mismatch |
+//! | QI005 | error | ill-formed dependency (safety condition violated) |
+//! | QI006 | info | body variable used only once and never exported |
+//! | QI007 | warning | existential variable reused across disjuncts |
+//! | QI008 | error | statically unsatisfiable inequality |
+//! | QI009 | info | inequality clique exceeds small constant sets |
+//! | QI010 | error | relation used on the wrong side of the mapping |
+//! | QI011 | warning | target tgds not weakly acyclic (witness cycle named) |
+//! | QI012 | info | mapping is not LAV (breaking atom named) |
+//! | QI013 | info | mapping is not full (breaking existential named) |
+//! | QI014 | warning | constant propagation fails — no inverse (qi-core) |
+//! | QI015 | warning | subset property fails on bounded universe (qi-core) |
+//! | QI016 | warning | duplicate dependency |
+//!
+//! QI014/QI015 are *semantic* lints: they need the chase, so they are
+//! emitted by `qi-core` — through the same [`Diagnostic`] type.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Curated pedantic subset (CI runs clippy with `-D warnings`, so every
+// `warn` here is enforced). The allows are deliberate: `#[must_use]`
+// annotations on every getter add noise without catching bugs in this
+// crate, panics documented below are internal invariants, and nested
+// recursion helpers read best next to their only call site.
+#![warn(clippy::pedantic)]
+#![allow(
+    clippy::must_use_candidate,
+    clippy::return_self_not_must_use,
+    clippy::missing_errors_doc,
+    clippy::missing_panics_doc,
+    clippy::items_after_statements,
+    clippy::too_many_lines,
+    clippy::module_name_repetitions
+)]
+
+pub mod diag;
+pub mod graph;
+pub mod lints;
+pub mod mapfile;
+
+pub use diag::{Code, Diagnostic, Diagnostics, Severity, Span};
+pub use graph::{
+    is_weakly_acyclic, weak_acyclicity_diagnostic, DependencyGraph, Position,
+    TerminationCertificate,
+};
+pub use lints::{lint_classification, not_full_diagnostic, not_lav_diagnostic};
+pub use mapfile::{analyze_text, Analysis, MappingParts};

@@ -1,0 +1,303 @@
+//! The lint pass over *resolved* dependencies: style and semantics
+//! problems that schema resolution alone cannot catch, plus the
+//! LAV/full fragment classification the paper's theorems hinge on.
+
+use crate::diag::{Code, Diagnostic};
+use qi_lang::{DisjTgd, Tgd, Var};
+use std::collections::BTreeMap;
+
+/// Lints that apply to any set of plain tgds: QI006 (a body variable
+/// used only once and never exported) and QI016 (duplicates).
+pub fn lint_tgds(kind: &str, tgds: &[Tgd]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for tgd in tgds {
+        let mut occurrences: BTreeMap<&Var, usize> = BTreeMap::new();
+        for atom in &tgd.body {
+            for v in &atom.args {
+                *occurrences.entry(v).or_default() += 1;
+            }
+        }
+        let head_vars = tgd.head_vars();
+        for (v, n) in occurrences {
+            if n == 1 && !head_vars.contains(v) {
+                out.push(Diagnostic::new(
+                    Code::Qi006,
+                    format!(
+                        "in {kind} `{tgd}`: body variable `{v}` occurs only once and is \
+                         never used in the conclusion (it only asserts non-emptiness of \
+                         that column)"
+                    ),
+                ));
+            }
+        }
+    }
+    out.extend(duplicates(kind, tgds));
+    out
+}
+
+/// Lints over reverse (disjunctive) dependencies: QI007 (existential
+/// reused across disjuncts), QI009 (inequality cliques that small
+/// constant sets cannot satisfy), QI016 (duplicates).
+pub fn lint_reverse(deps: &[DisjTgd]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for dep in deps {
+        // QI007: the same existential name quantified in several
+        // disjuncts. Scopes are independent, so this is legal but reads
+        // as if the disjuncts shared a witness.
+        let mut counts: BTreeMap<&Var, usize> = BTreeMap::new();
+        for d in &dep.disjuncts {
+            for v in &d.exists {
+                *counts.entry(v).or_default() += 1;
+            }
+        }
+        for (v, n) in counts {
+            if n > 1 {
+                out.push(Diagnostic::new(
+                    Code::Qi007,
+                    format!(
+                        "in `{dep}`: existential variable `{v}` is quantified in {n} \
+                         disjuncts; the scopes are independent — rename for clarity"
+                    ),
+                ));
+            }
+        }
+        // QI009: a clique of pairwise inequalities over constant-guarded
+        // variables needs as many distinct constants as the clique has
+        // members — premises with a k-clique are vacuously false on
+        // instances with < k distinct constants (the bounded checks in
+        // `qimap check` use 2).
+        let clique = max_neq_clique(dep);
+        if clique.len() >= 3 {
+            let names: Vec<String> = clique.iter().map(|v| format!("`{v}`")).collect();
+            out.push(Diagnostic::new(
+                Code::Qi009,
+                format!(
+                    "in `{dep}`: the inequalities force {} pairwise-distinct constants \
+                     ({}); the premise is unsatisfiable on instances with fewer than {} \
+                     distinct constants, so bounded two-constant checks never exercise it",
+                    clique.len(),
+                    names.join(", "),
+                    clique.len()
+                ),
+            ));
+        }
+    }
+    // QI016 on the rendered text.
+    let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+    for dep in deps {
+        let text = dep.to_string();
+        match seen.get(&text) {
+            Some(_) => out.push(Diagnostic::new(
+                Code::Qi016,
+                format!("duplicate reverse dependency: `{text}`"),
+            )),
+            None => {
+                seen.insert(text, 1);
+            }
+        }
+    }
+    out
+}
+
+/// The LAV/full classification (QI012/QI013), naming the exact atom or
+/// variable that breaks the fragment. These drive which of the paper's
+/// theorems apply: LAV mappings are always quasi-invertible
+/// (Proposition 3.11) with a quasi-inverse free of constants and
+/// inequalities (Theorem 4.10); full mappings get full disjunctive
+/// quasi-inverses (Theorem 4.9).
+pub fn lint_classification(tgds: &[Tgd]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    out.extend(not_lav_diagnostic(tgds));
+    out.extend(not_full_diagnostic(tgds));
+    out
+}
+
+/// QI012 when the mapping is not LAV, naming the breaking atom.
+pub fn not_lav_diagnostic(tgds: &[Tgd]) -> Option<Diagnostic> {
+    let tgd = tgds.iter().find(|t| !t.is_lav())?;
+    let breaking = tgd.body[1].display(&tgd.source).to_string();
+    Some(Diagnostic::new(
+        Code::Qi012,
+        format!(
+            "mapping is not LAV: tgd `{tgd}` has {} body atoms (first extra atom: \
+             `{breaking}`); Proposition 3.11 (LAV ⇒ quasi-invertible) does not apply — \
+             quasi-invertibility depends on the subset property (Theorem 3.9)",
+            tgd.body.len()
+        ),
+    ))
+}
+
+/// QI013 when the mapping is not full, naming the breaking existential.
+pub fn not_full_diagnostic(tgds: &[Tgd]) -> Option<Diagnostic> {
+    let tgd = tgds.iter().find(|t| !t.is_full())?;
+    let v = &tgd.exists[0];
+    let atom = tgd
+        .head
+        .iter()
+        .find(|a| a.args.contains(v))
+        .expect("existential occurs in some head atom")
+        .display(&tgd.target)
+        .to_string();
+    Some(Diagnostic::new(
+        Code::Qi013,
+        format!(
+            "mapping is not full: tgd `{tgd}` existentially quantifies `{v}` \
+             (in head atom `{atom}`); the full-fragment results (Theorems 4.9/4.11) \
+             do not apply"
+        ),
+    ))
+}
+
+/// QI016 duplicate detection over rendered dependency text.
+fn duplicates(kind: &str, tgds: &[Tgd]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+    for tgd in tgds {
+        let text = tgd.to_string();
+        match seen.get(&text) {
+            Some(_) => out.push(Diagnostic::new(
+                Code::Qi016,
+                format!("duplicate {kind}: `{text}`"),
+            )),
+            None => {
+                seen.insert(text, 1);
+            }
+        }
+    }
+    out
+}
+
+/// The largest clique of the inequality graph restricted to
+/// constant-guarded variables, found by exact search (the graphs are
+/// tiny; capped at 24 vertices — beyond that a greedy lower bound is
+/// returned, which can only under-report).
+fn max_neq_clique(dep: &DisjTgd) -> Vec<Var> {
+    let vars: Vec<&Var> = dep.constant.iter().take(24).collect();
+    let index = |v: &Var| vars.iter().position(|w| **w == *v);
+    let mut adj = vec![0u32; vars.len()];
+    for (a, b) in &dep.neq {
+        if let (Some(i), Some(j)) = (index(a), index(b)) {
+            adj[i] |= 1 << j;
+            adj[j] |= 1 << i;
+        }
+    }
+    let mut best: u32 = 0;
+    // Depth-first expansion over candidate sets.
+    fn grow(adj: &[u32], clique: u32, cand: u32, best: &mut u32) {
+        if cand == 0 {
+            if clique.count_ones() > best.count_ones() {
+                *best = clique;
+            }
+            return;
+        }
+        if clique.count_ones() + cand.count_ones() <= best.count_ones() {
+            return; // cannot beat the incumbent
+        }
+        let mut rest = cand;
+        while rest != 0 {
+            let v = rest.trailing_zeros();
+            rest &= rest - 1;
+            grow(
+                adj,
+                clique | (1 << v),
+                cand & adj[v as usize] & !((1 << (v + 1)) - 1),
+                best,
+            );
+        }
+        if clique.count_ones() > best.count_ones() {
+            *best = clique;
+        }
+    }
+    grow(&adj, 0, (1u32 << vars.len()).wrapping_sub(1), &mut best);
+    (0..vars.len())
+        .filter(|&i| best & (1 << i) != 0)
+        .map(|i| vars[i].clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qi_lang::{parse_disj_tgd, parse_tgd};
+    use qi_schema::Schema;
+
+    fn schemas() -> (Schema, Schema) {
+        (
+            Schema::parse("P/3 R/2").unwrap(),
+            Schema::parse("Q/2 S/1").unwrap(),
+        )
+    }
+
+    #[test]
+    fn unused_body_variable_flags() {
+        let (s, t) = schemas();
+        let tgd = parse_tgd(&s, &t, "P(x,y,z) -> Q(x,y)").unwrap();
+        let ds = lint_tgds("s-t tgd", std::slice::from_ref(&tgd));
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, Code::Qi006);
+        assert!(ds[0].message.contains("`z`"), "{}", ds[0].message);
+        // A join variable is not flagged, even if unexported.
+        let tgd = parse_tgd(&s, &t, "P(x,y,z) & R(z,w) -> Q(x,y)").unwrap();
+        let ds = lint_tgds("s-t tgd", std::slice::from_ref(&tgd));
+        assert_eq!(ds.iter().filter(|d| d.message.contains("`z`")).count(), 0);
+        // (w is still a singleton.)
+        assert_eq!(ds.iter().filter(|d| d.message.contains("`w`")).count(), 1);
+    }
+
+    #[test]
+    fn duplicates_flag_second_occurrence() {
+        let (s, t) = schemas();
+        let tgd = parse_tgd(&s, &t, "P(x,y,z) -> Q(x,y) & S(z)").unwrap();
+        let ds = lint_tgds("s-t tgd", &[tgd.clone(), tgd]);
+        let dups: Vec<_> = ds.iter().filter(|d| d.code == Code::Qi016).collect();
+        assert_eq!(dups.len(), 1);
+    }
+
+    #[test]
+    fn classification_names_breaking_parts() {
+        let (s, t) = schemas();
+        let gav = parse_tgd(&s, &t, "P(x,y,z) & R(z,w) -> Q(x,w)").unwrap();
+        let d = not_lav_diagnostic(std::slice::from_ref(&gav)).expect("not LAV");
+        assert_eq!(d.code, Code::Qi012);
+        assert!(d.message.contains("R(z,w)"), "{}", d.message);
+        let lav = parse_tgd(&s, &t, "P(x,y,z) -> exists w . Q(x,w)").unwrap();
+        assert!(not_lav_diagnostic(std::slice::from_ref(&lav)).is_none());
+        let d = not_full_diagnostic(std::slice::from_ref(&lav)).expect("not full");
+        assert_eq!(d.code, Code::Qi013);
+        assert!(d.message.contains("`w`"), "{}", d.message);
+        assert!(d.message.contains("Q(x,w)"), "{}", d.message);
+        assert!(not_full_diagnostic(std::slice::from_ref(&gav)).is_none());
+    }
+
+    #[test]
+    fn existential_reuse_across_disjuncts() {
+        let (s, t) = schemas();
+        let dep =
+            parse_disj_tgd(&t, &s, "Q(x,y) -> exists u . R(x,u) | exists u . R(u,y)").unwrap();
+        let ds = lint_reverse(std::slice::from_ref(&dep));
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, Code::Qi007);
+        assert!(ds[0].message.contains("`u`"));
+    }
+
+    #[test]
+    fn inequality_clique_flags_at_three() {
+        let (s, t) = schemas();
+        // Three pairwise-distinct constants.
+        let dep = parse_disj_tgd(
+            &t,
+            &s,
+            "Q(x,y) & Q(y,z) & const(x) & const(y) & const(z) & \
+             x != y & y != z & x != z -> R(x,z)",
+        )
+        .unwrap();
+        let ds = lint_reverse(std::slice::from_ref(&dep));
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, Code::Qi009);
+        assert!(ds[0].message.contains('3'), "{}", ds[0].message);
+        // A single inequality is fine.
+        let dep =
+            parse_disj_tgd(&t, &s, "Q(x,y) & const(x) & const(y) & x != y -> R(x,y)").unwrap();
+        assert!(lint_reverse(std::slice::from_ref(&dep)).is_empty());
+    }
+}

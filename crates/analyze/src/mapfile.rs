@@ -1,0 +1,718 @@
+//! The mapping-file front end: parse the `source:`/`target:`/`tgd:` line
+//! format with **source spans**, resolve dependencies against the
+//! declared schemas, and collect every problem as a [`Diagnostic`]
+//! instead of bailing at the first error.
+//!
+//! ## File format
+//!
+//! ```text
+//! # comment lines start with '#'
+//! source: Emp/3
+//! target: WorksIn/2 LocatedIn/2
+//! tgd: Emp(n,d,c) -> WorksIn(n,d) & LocatedIn(d,c)
+//! # optional target dependencies:
+//! target-tgd: WorksIn(n,d) & WorksIn(n,e) -> WorksIn(n,d)
+//! egd: LocatedIn(d,c1) & LocatedIn(d,c2) -> c1 = c2
+//! # optional reverse (target-to-source) dependencies, the language of
+//! # quasi-inverses — disjunction, const() guards and inequalities:
+//! reverse: WorksIn(n,d) & const(n) -> exists c . Emp(n,d,c)
+//! ```
+
+use crate::diag::{Code, Diagnostic, Diagnostics, Span};
+use crate::graph::{weak_acyclicity_diagnostic, DependencyGraph, TerminationCertificate};
+use crate::lints;
+use qi_lang::{
+    parse_raw_dependency, Atom, DisjTgd, Disjunct, Egd, LangError, RawAtom, RawConclusion, RawLit,
+    SpannedIdent, TextSpan, Tgd,
+};
+use qi_schema::Schema;
+
+/// The dependencies recovered from a mapping file. Every field is "best
+/// effort": a dependency that failed to resolve is simply absent (its
+/// problems are in the diagnostics).
+#[derive(Clone, Debug, Default)]
+pub struct MappingParts {
+    /// The declared source schema.
+    pub source: Option<Schema>,
+    /// The declared target schema.
+    pub target: Option<Schema>,
+    /// Source-to-target tgds (`tgd:` lines).
+    pub st_tgds: Vec<Tgd>,
+    /// Target tgds (`target-tgd:` lines).
+    pub target_tgds: Vec<Tgd>,
+    /// Target egds (`egd:` lines).
+    pub egds: Vec<Egd>,
+    /// Reverse target-to-source dependencies (`reverse:` lines).
+    pub reverse: Vec<DisjTgd>,
+}
+
+/// The result of analyzing a mapping file: recovered parts, the full
+/// diagnostic list, and — when the target tgds are weakly acyclic — the
+/// termination certificate.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// What resolved.
+    pub parts: MappingParts,
+    /// Everything the analyzer found, in deterministic order.
+    pub diagnostics: Diagnostics,
+    /// Termination certificate for the target tgds (`None` when there
+    /// are none or they are not weakly acyclic).
+    pub certificate: Option<TerminationCertificate>,
+}
+
+/// Where a dependency line sits in the file; converts parser byte spans
+/// into file line/column spans.
+#[derive(Clone, Copy)]
+struct LineCtx {
+    /// 1-based line number.
+    line: usize,
+    /// 1-based column of the first byte of the value text.
+    value_col: usize,
+}
+
+impl LineCtx {
+    fn span(&self, ts: TextSpan) -> Span {
+        Span {
+            line: self.line,
+            col: self.value_col + ts.start,
+            len: ts.len(),
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum DepKind {
+    St,
+    Target,
+    Egd,
+    Reverse,
+}
+
+impl DepKind {
+    fn describe(self) -> &'static str {
+        match self {
+            DepKind::St => "s-t tgd",
+            DepKind::Target => "target tgd",
+            DepKind::Egd => "egd",
+            DepKind::Reverse => "reverse dependency",
+        }
+    }
+}
+
+/// Analyze a mapping file: structure, schema resolution, per-dependency
+/// lints, classification, and chase-termination analysis. Never fails —
+/// problems become diagnostics, and [`Diagnostics::has_errors`] tells
+/// whether the file is usable.
+pub fn analyze_text(text: &str) -> Analysis {
+    let mut diags = Diagnostics::new();
+    let mut parts = MappingParts::default();
+    let mut deps: Vec<(DepKind, LineCtx, String)> = Vec::new();
+    let mut seen_source = false;
+    let mut seen_target = false;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let line_span = Span {
+            line: line_no,
+            col: 1 + (raw.len() - raw.trim_start().len()),
+            len: trimmed.len(),
+        };
+        let Some(colon) = raw.find(':') else {
+            diags.push(Diagnostic::new(Code::Qi001, "expected `key: value`").with_span(line_span));
+            continue;
+        };
+        let key = raw[..colon].trim();
+        let value = &raw[colon + 1..];
+        let ctx = LineCtx {
+            line: line_no,
+            value_col: colon + 2,
+        };
+        match key {
+            "source" | "target" => {
+                let is_source = key == "source";
+                let already = if is_source { seen_source } else { seen_target };
+                if already {
+                    diags.push(
+                        Diagnostic::new(Code::Qi001, format!("duplicate `{key}:` line"))
+                            .with_span(line_span),
+                    );
+                    continue;
+                }
+                match Schema::parse(value.trim()) {
+                    Ok(s) => {
+                        if is_source {
+                            parts.source = Some(s);
+                            seen_source = true;
+                        } else {
+                            parts.target = Some(s);
+                            seen_target = true;
+                        }
+                    }
+                    Err(e) => {
+                        diags.push(
+                            Diagnostic::new(Code::Qi001, format!("invalid `{key}:` schema: {e}"))
+                                .with_span(line_span),
+                        );
+                        // Mark as seen so a later duplicate still flags.
+                        if is_source {
+                            seen_source = true;
+                        } else {
+                            seen_target = true;
+                        }
+                    }
+                }
+            }
+            "tgd" => deps.push((DepKind::St, ctx, value.to_owned())),
+            "target-tgd" => deps.push((DepKind::Target, ctx, value.to_owned())),
+            "egd" => deps.push((DepKind::Egd, ctx, value.to_owned())),
+            "reverse" => deps.push((DepKind::Reverse, ctx, value.to_owned())),
+            other => diags.push(
+                Diagnostic::new(
+                    Code::Qi001,
+                    format!(
+                        "unknown key `{other}` (expected source/target/tgd/target-tgd/egd/reverse)"
+                    ),
+                )
+                .with_span(line_span),
+            ),
+        }
+    }
+
+    if parts.source.is_none() && !seen_source {
+        diags.push(Diagnostic::new(Code::Qi001, "missing `source:` line"));
+    }
+    if parts.target.is_none() && !seen_target {
+        diags.push(Diagnostic::new(Code::Qi001, "missing `target:` line"));
+    }
+    if !deps.iter().any(|(k, _, _)| *k == DepKind::St) {
+        diags.push(Diagnostic::new(Code::Qi001, "no `tgd:` lines"));
+    }
+
+    if let (Some(source), Some(target)) = (parts.source.clone(), parts.target.clone()) {
+        for (kind, ctx, value) in &deps {
+            resolve_dependency(*kind, *ctx, value, &source, &target, &mut parts, &mut diags);
+        }
+    }
+
+    // Per-set lints and classification.
+    diags.extend(lints::lint_tgds("s-t tgd", &parts.st_tgds));
+    diags.extend(lints::lint_tgds("target tgd", &parts.target_tgds));
+    diags.extend(lints::lint_reverse(&parts.reverse));
+    diags.extend(lints::lint_classification(&parts.st_tgds));
+
+    // Chase-termination analysis of the target tgds.
+    let mut certificate = None;
+    if !parts.target_tgds.is_empty() {
+        match weak_acyclicity_diagnostic(&parts.target_tgds) {
+            Some(d) => diags.push(d),
+            None => {
+                certificate =
+                    DependencyGraph::new(&parts.target_tgds).certificate(&parts.target_tgds);
+            }
+        }
+    }
+
+    Analysis {
+        parts,
+        diagnostics: diags,
+        certificate,
+    }
+}
+
+/// Resolve one dependency line, pushing the constructed value into
+/// `parts` on success and diagnostics on failure.
+fn resolve_dependency(
+    kind: DepKind,
+    ctx: LineCtx,
+    value: &str,
+    source: &Schema,
+    target: &Schema,
+    parts: &mut MappingParts,
+    diags: &mut Diagnostics,
+) {
+    let raw = match parse_raw_dependency(value) {
+        Ok(raw) => raw,
+        Err(e) => {
+            let mut d = Diagnostic::new(
+                Code::Qi002,
+                format!(
+                    "cannot parse {}: {}",
+                    kind.describe(),
+                    strip_span_suffix(&e)
+                ),
+            );
+            if let Some(ts) = e.span() {
+                d = d.with_span(ctx.span(ts));
+            }
+            diags.push(d);
+            return;
+        }
+    };
+    match kind {
+        DepKind::St => {
+            if let Some(tgd) = resolve_plain_tgd(kind, ctx, raw, source, target, diags) {
+                parts.st_tgds.push(tgd);
+            }
+        }
+        DepKind::Target => {
+            if let Some(tgd) = resolve_plain_tgd(kind, ctx, raw, target, target, diags) {
+                parts.target_tgds.push(tgd);
+            }
+        }
+        DepKind::Egd => {
+            let RawConclusion::Equalities(eqs) = raw.conclusion else {
+                diags.push(
+                    Diagnostic::new(
+                        Code::Qi005,
+                        "an egd conclusion must be a conjunction of equalities `x = y`",
+                    )
+                    .with_span(ctx.span(raw.arrow)),
+                );
+                return;
+            };
+            let Some(body) = resolve_atoms_only(
+                raw.premise,
+                target,
+                "target",
+                Some((source, "source")),
+                kind,
+                ctx,
+                diags,
+            ) else {
+                return;
+            };
+            let equalities = eqs.iter().map(|(a, b)| (a.var(), b.var())).collect();
+            match Egd::new(target.clone(), body, equalities) {
+                Ok(egd) => parts.egds.push(egd),
+                Err(e) => diags.push(ill_formed(kind, ctx, &e)),
+            }
+        }
+        DepKind::Reverse => {
+            let RawConclusion::Disjuncts(raw_disjuncts) = raw.conclusion else {
+                diags.push(
+                    Diagnostic::new(
+                        Code::Qi005,
+                        "a reverse dependency's conclusion must be a disjunction of conjunctions",
+                    )
+                    .with_span(ctx.span(raw.arrow)),
+                );
+                return;
+            };
+            let mut ok = true;
+            let mut body = Vec::new();
+            let mut constant = Vec::new();
+            let mut neq = Vec::new();
+            for lit in raw.premise {
+                match lit {
+                    RawLit::Atom(a) => {
+                        match resolve_atom(
+                            &a,
+                            target,
+                            "target",
+                            Some((source, "source")),
+                            ctx,
+                            diags,
+                        ) {
+                            Some(atom) => body.push(atom),
+                            None => ok = false,
+                        }
+                    }
+                    RawLit::Const(v) => constant.push(v.var()),
+                    RawLit::Neq(a, b) => {
+                        if a.name == b.name {
+                            diags.push(
+                                Diagnostic::new(
+                                    Code::Qi008,
+                                    format!(
+                                        "inequality `{} != {}` is reflexive and can never hold",
+                                        a.name, b.name
+                                    ),
+                                )
+                                .with_span(ctx.span(TextSpan::new(a.span.start, b.span.end))),
+                            );
+                            ok = false;
+                        } else {
+                            neq.push((a.var(), b.var()));
+                        }
+                    }
+                }
+            }
+            let mut disjuncts = Vec::new();
+            for d in raw_disjuncts {
+                let Some(atoms) = resolve_atoms_only(
+                    d.lits,
+                    source,
+                    "source",
+                    Some((target, "target")),
+                    kind,
+                    ctx,
+                    diags,
+                ) else {
+                    ok = false;
+                    continue;
+                };
+                disjuncts.push(Disjunct {
+                    exists: d.exists.iter().map(SpannedIdent::var).collect(),
+                    atoms,
+                });
+            }
+            if !ok {
+                return;
+            }
+            match DisjTgd::new(
+                target.clone(),
+                source.clone(),
+                body,
+                constant,
+                neq,
+                disjuncts,
+            ) {
+                Ok(dep) => parts.reverse.push(dep),
+                Err(e) => diags.push(ill_formed(kind, ctx, &e)),
+            }
+        }
+    }
+}
+
+/// Resolve a plain (non-disjunctive, guard-free) tgd.
+fn resolve_plain_tgd(
+    kind: DepKind,
+    ctx: LineCtx,
+    raw: qi_lang::RawDependency,
+    premise_schema: &Schema,
+    head_schema: &Schema,
+    diags: &mut Diagnostics,
+) -> Option<Tgd> {
+    let RawConclusion::Disjuncts(mut disjuncts) = raw.conclusion else {
+        diags.push(
+            Diagnostic::new(
+                Code::Qi005,
+                format!(
+                    "a {} conclusion must be a conjunction of atoms",
+                    kind.describe()
+                ),
+            )
+            .with_span(ctx.span(raw.arrow)),
+        );
+        return None;
+    };
+    if disjuncts.len() > 1 {
+        diags.push(
+            Diagnostic::new(
+                Code::Qi005,
+                format!(
+                    "disjunction is not allowed in a {} (use a `reverse:` line for \
+                     disjunctive dependencies)",
+                    kind.describe()
+                ),
+            )
+            .with_span(ctx.span(raw.arrow)),
+        );
+        return None;
+    }
+    let d = disjuncts.pop().expect("at least one disjunct");
+    let (premise_side, head_side, other) = match kind {
+        DepKind::St => ("source", "target", true),
+        _ => ("target", "target", false),
+    };
+    let premise_other = if other {
+        Some((head_schema, head_side))
+    } else {
+        None
+    };
+    let body = resolve_atoms_only(
+        raw.premise,
+        premise_schema,
+        premise_side,
+        premise_other,
+        kind,
+        ctx,
+        diags,
+    )?;
+    let head_other = if other {
+        Some((premise_schema, premise_side))
+    } else {
+        None
+    };
+    let head = resolve_atoms_only(d.lits, head_schema, head_side, head_other, kind, ctx, diags)?;
+    match Tgd::new(
+        premise_schema.clone(),
+        head_schema.clone(),
+        body,
+        d.exists.iter().map(SpannedIdent::var).collect(),
+        head,
+    ) {
+        Ok(tgd) => Some(tgd),
+        Err(e) => {
+            diags.push(ill_formed(kind, ctx, &e));
+            None
+        }
+    }
+}
+
+/// Resolve literals that must all be relational atoms (guards and
+/// inequalities are QI005 here). `None` when anything failed.
+fn resolve_atoms_only(
+    lits: Vec<RawLit>,
+    schema: &Schema,
+    side: &str,
+    other: Option<(&Schema, &str)>,
+    kind: DepKind,
+    ctx: LineCtx,
+    diags: &mut Diagnostics,
+) -> Option<Vec<Atom>> {
+    let mut atoms = Vec::new();
+    let mut ok = true;
+    for lit in lits {
+        match lit {
+            RawLit::Atom(raw) => match resolve_atom(&raw, schema, side, other, ctx, diags) {
+                Some(a) => atoms.push(a),
+                None => ok = false,
+            },
+            RawLit::Const(v) => {
+                diags.push(
+                    Diagnostic::new(
+                        Code::Qi005,
+                        format!(
+                            "`const({})` guards are not allowed in a {} \
+                             (only `reverse:` dependencies may use them)",
+                            v.name,
+                            kind.describe()
+                        ),
+                    )
+                    .with_span(ctx.span(v.span)),
+                );
+                ok = false;
+            }
+            RawLit::Neq(a, b) => {
+                diags.push(
+                    Diagnostic::new(
+                        Code::Qi005,
+                        format!(
+                            "inequality `{} != {}` is not allowed in a {} \
+                             (only `reverse:` dependencies may use inequalities)",
+                            a.name,
+                            b.name,
+                            kind.describe()
+                        ),
+                    )
+                    .with_span(ctx.span(TextSpan::new(a.span.start, b.span.end))),
+                );
+                ok = false;
+            }
+        }
+    }
+    ok.then_some(atoms)
+}
+
+/// Resolve one atom against `schema`; emits QI003/QI004/QI010.
+fn resolve_atom(
+    raw: &RawAtom,
+    schema: &Schema,
+    side: &str,
+    other: Option<(&Schema, &str)>,
+    ctx: LineCtx,
+    diags: &mut Diagnostics,
+) -> Option<Atom> {
+    let Some(rel) = schema.rel(&raw.name.name) else {
+        let d = match other.and_then(|(o, oname)| o.rel(&raw.name.name).map(|_| oname)) {
+            Some(oname) => Diagnostic::new(
+                Code::Qi010,
+                format!(
+                    "`{}` is a {oname} relation but appears on the {side} side",
+                    raw.name.name
+                ),
+            ),
+            None => Diagnostic::new(
+                Code::Qi003,
+                format!("unknown {side} relation `{}`", raw.name.name),
+            ),
+        };
+        diags.push(d.with_span(ctx.span(raw.name.span)));
+        return None;
+    };
+    let arity = schema.arity(rel);
+    if raw.args.len() != arity {
+        diags.push(
+            Diagnostic::new(
+                Code::Qi004,
+                format!(
+                    "relation `{}` has arity {arity} but is used with {} argument(s)",
+                    raw.name.name,
+                    raw.args.len()
+                ),
+            )
+            .with_span(ctx.span(raw.name.span)),
+        );
+        return None;
+    }
+    Some(Atom::new(
+        rel,
+        raw.args.iter().map(SpannedIdent::var).collect(),
+    ))
+}
+
+fn ill_formed(kind: DepKind, ctx: LineCtx, e: &LangError) -> Diagnostic {
+    Diagnostic::new(
+        Code::Qi005,
+        format!("ill-formed {}: {}", kind.describe(), e),
+    )
+    .with_span(Span {
+        line: ctx.line,
+        col: ctx.value_col,
+        len: 0,
+    })
+}
+
+/// `LangError`'s Display appends `(at byte N)` for spanned errors; the
+/// analyzer reports file line/col instead, so drop the suffix.
+fn strip_span_suffix(e: &LangError) -> String {
+    let s = e.to_string();
+    let s = s.strip_prefix("parse error: ").unwrap_or(&s);
+    match s.rfind(" (at byte ") {
+        Some(i) => s[..i].to_owned(),
+        None => s.to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    const DECOMP: &str = "\
+# the paper's Decomposition mapping
+source: P/3
+target: Q/2 R/2
+tgd: P(x,y,z) -> Q(x,y) & R(y,z)
+";
+
+    #[test]
+    fn clean_file_has_only_classification() {
+        let a = analyze_text(DECOMP);
+        assert!(!a.diagnostics.has_errors(), "{:?}", a.diagnostics);
+        assert_eq!(a.parts.st_tgds.len(), 1);
+        // Not full (z is dropped? no — decomposition is full and LAV).
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn unknown_relation_is_spanned() {
+        let text = "source: P/2\ntarget: Q/1\ntgd: Z(x,y) -> Q(x)\n";
+        let a = analyze_text(text);
+        let d = &a.diagnostics.items[0];
+        assert_eq!(d.code, Code::Qi003);
+        let s = d.span.expect("span");
+        assert_eq!((s.line, s.col, s.len), (3, 6, 1));
+        assert!(a.parts.st_tgds.is_empty());
+    }
+
+    #[test]
+    fn wrong_side_relation_is_qi010() {
+        let text = "source: P/2\ntarget: Q/1\ntgd: Q(x) -> Q(x)\n";
+        let a = analyze_text(text);
+        let d = &a.diagnostics.items[0];
+        assert_eq!(d.code, Code::Qi010);
+        assert!(d.message.contains("target relation"), "{}", d.message);
+    }
+
+    #[test]
+    fn arity_mismatch_is_qi004() {
+        let text = "source: P/2\ntarget: Q/1\ntgd: P(x,y,z) -> Q(x)\n";
+        let a = analyze_text(text);
+        assert_eq!(a.diagnostics.items[0].code, Code::Qi004);
+        assert!(a.diagnostics.items[0].message.contains("arity 2"));
+    }
+
+    #[test]
+    fn parse_error_is_qi002_with_position() {
+        let text = "source: P/2\ntarget: Q/1\ntgd: P(x,y) -> \n";
+        let a = analyze_text(text);
+        let d = &a.diagnostics.items[0];
+        assert_eq!(d.code, Code::Qi002);
+        assert!(!d.message.contains("at byte"), "{}", d.message);
+        assert!(d.span.is_some());
+    }
+
+    #[test]
+    fn structural_errors() {
+        let a = analyze_text("");
+        assert_eq!(a.diagnostics.len(), 3); // no source, no target, no tgds
+        assert!(a.diagnostics.has_errors());
+        let a = analyze_text("source: P/1\nsource: P/1\ntarget: Q/1\ntgd: P(x) -> Q(x)\n");
+        assert!(a
+            .diagnostics
+            .items
+            .iter()
+            .any(|d| d.message.contains("duplicate `source:`")));
+        let a = analyze_text("bogus: x\nsource: P/1\ntarget: Q/1\ntgd: P(x) -> Q(x)\n");
+        assert!(a.diagnostics.items[0].message.contains("unknown key"));
+        let a = analyze_text("source P/1\n");
+        assert!(a.diagnostics.items[0].message.contains("key: value"));
+    }
+
+    #[test]
+    fn reverse_lines_resolve_disjunctive_deps() {
+        let text = "source: P/2\ntarget: Q/1\ntgd: P(x,y) -> Q(x)\n\
+                    reverse: Q(x) & const(x) -> exists y . P(x,y)\n";
+        let a = analyze_text(text);
+        assert!(!a.diagnostics.has_errors(), "{:?}", a.diagnostics);
+        assert_eq!(a.parts.reverse.len(), 1);
+        assert!(a.parts.reverse[0].has_constants());
+    }
+
+    #[test]
+    fn reflexive_inequality_is_qi008() {
+        let text = "source: P/2\ntarget: Q/2\ntgd: P(x,y) -> Q(x,y)\n\
+                    reverse: Q(x,y) & x != x -> P(x,y)\n";
+        let a = analyze_text(text);
+        assert!(a
+            .diagnostics
+            .items
+            .iter()
+            .any(|d| d.code == Code::Qi008 && d.severity() == Severity::Error));
+        assert!(a.parts.reverse.is_empty());
+    }
+
+    #[test]
+    fn guards_outside_reverse_are_qi005() {
+        let text = "source: P/2\ntarget: Q/1\ntgd: P(x,y) & const(x) -> Q(x)\n";
+        let a = analyze_text(text);
+        assert_eq!(a.diagnostics.items[0].code, Code::Qi005);
+        let text = "source: P/2\ntarget: Q/1\ntgd: P(x,y) & x != y -> Q(x)\n";
+        let a = analyze_text(text);
+        assert_eq!(a.diagnostics.items[0].code, Code::Qi005);
+    }
+
+    #[test]
+    fn non_weakly_acyclic_target_deps_warn_with_cycle() {
+        let text = "source: S0/1\ntarget: E/2\ntgd: S0(x) -> exists y . E(x,y)\n\
+                    target-tgd: E(x,y) -> exists z . E(y,z)\n";
+        let a = analyze_text(text);
+        let qi011: Vec<_> = a
+            .diagnostics
+            .items
+            .iter()
+            .filter(|d| d.code == Code::Qi011)
+            .collect();
+        assert_eq!(qi011.len(), 1);
+        assert!(qi011[0].message.contains("E.2"), "{}", qi011[0].message);
+        assert!(a.certificate.is_none());
+        assert!(!a.diagnostics.has_errors());
+    }
+
+    #[test]
+    fn weakly_acyclic_target_deps_get_a_certificate() {
+        let text = "source: E0/2\ntarget: E/2\ntgd: E0(x,y) -> E(x,y)\n\
+                    target-tgd: E(x,y) & E(y,z) -> E(x,z)\n";
+        let a = analyze_text(text);
+        assert!(!a.diagnostics.has_errors());
+        let cert = a.certificate.expect("certificate");
+        assert_eq!(cert.max_rank, 0);
+        assert_eq!(cert.value_bound(4), 4);
+    }
+}

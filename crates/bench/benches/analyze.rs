@@ -1,0 +1,77 @@
+//! E17 — static-analyzer throughput.
+//!
+//! `qi_analyze::analyze_text` runs the whole front end — parse, schema
+//! checks, the lint battery, and the weak-acyclicity certificate — so
+//! its cost per mapping file is the cost of `qimap lint`. The batch is
+//! random mappings of growing size (rendered to mapping-file text via
+//! `mapping_file_text`), and the reported rates are mappings/sec and
+//! lints/sec so regressions in either the parser or an individual lint
+//! show up as a throughput drop.
+
+use qi_analyze::analyze_text;
+use qi_bench::{measure, Record};
+use qi_workloads::mapping_file_text;
+use qi_workloads::random::{random_mapping, rng, MappingParams};
+use std::time::Duration;
+
+const MIN_TIME: Duration = Duration::from_millis(200);
+const MIN_ITERS: u32 = 3;
+const BATCH: usize = 64;
+
+fn batch_texts(params: &MappingParams) -> Vec<String> {
+    let mut r = rng(7);
+    (0..BATCH)
+        .map(|_| mapping_file_text(&random_mapping(&mut r, params)))
+        .collect()
+}
+
+fn bench_lint_throughput() {
+    for (label, params) in [
+        (
+            "lav-full",
+            MappingParams {
+                lav: true,
+                full: true,
+                ..Default::default()
+            },
+        ),
+        ("default", MappingParams::default()),
+        (
+            "wide",
+            MappingParams {
+                n_source_rels: 6,
+                n_target_rels: 6,
+                n_tgds: 12,
+                max_arity: 4,
+                max_body_atoms: 3,
+                max_head_atoms: 3,
+                ..Default::default()
+            },
+        ),
+    ] {
+        let texts = batch_texts(&params);
+        let total_lints: usize = texts
+            .iter()
+            .map(|t| analyze_text(t).diagnostics.items.len())
+            .sum();
+        let s = measure(MIN_ITERS, MIN_TIME, || {
+            texts
+                .iter()
+                .map(|t| analyze_text(t).diagnostics.items.len())
+                .sum::<usize>()
+        });
+        let secs_per_batch = s.mean_ns() / 1e9;
+        Record::new("analyze/lint-throughput")
+            .str("shape", label)
+            .int("mappings", BATCH as u64)
+            .int("lints", total_lints as u64)
+            .num("mappings_per_sec", BATCH as f64 / secs_per_batch)
+            .num("lints_per_sec", total_lints as f64 / secs_per_batch)
+            .sample(s)
+            .emit();
+    }
+}
+
+fn main() {
+    bench_lint_throughput();
+}

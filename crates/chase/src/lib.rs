@@ -46,8 +46,10 @@ pub use standard::{
     chase, chase_oblivious, chase_oblivious_with_options, chase_with_options, ChaseOptions,
     ChaseOutcome,
 };
+#[allow(deprecated)] // the alias is re-exported for callers of the old path
+pub use target::is_weakly_acyclic;
 pub use target::{
-    chase_with_target_deps, is_weakly_acyclic, ExchangeSetting, TargetChaseOptions,
-    TargetChaseResult,
+    chase_with_target_deps, chase_with_target_deps_stats, ExchangeSetting, TargetChaseOptions,
+    TargetChaseResult, TargetChaseStats, FALLBACK_MAX_STEPS,
 };
 pub use universal::{is_solution, is_universal_solution};

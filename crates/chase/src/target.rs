@@ -17,9 +17,9 @@
 
 use crate::error::ChaseError;
 use crate::standard::{chase, ChaseOutcome};
+use qi_analyze::DependencyGraph;
 use qi_lang::{compile_atoms, Egd, Tgd, Var};
 use qi_schema::{Instance, MatchConstraints, MatchEngine, PatTerm, Pattern, Schema, Value};
-use std::collections::{BTreeMap, BTreeSet};
 
 /// A data-exchange setting `(S, T, Σ_st, Σ_t)` with `Σ_t` split into
 /// target tgds and egds.
@@ -34,19 +34,23 @@ pub struct ExchangeSetting {
 }
 
 /// Options for the target chase.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct TargetChaseOptions {
     /// Maximum tgd firings + egd repairs before giving up
-    /// ([`ChaseError::Budget`]); weakly acyclic settings never hit it on
-    /// reasonable instances.
-    pub max_steps: usize,
+    /// ([`ChaseError::Budget`]).
+    ///
+    /// `None` (the default) derives the budget from the target tgds'
+    /// [termination certificate](qi_analyze::TerminationCertificate):
+    /// when they are weakly acyclic, the rank-induced step bound on the
+    /// actual input size is used (the chase provably stays under it, so
+    /// the budget only trips on an engine bug); otherwise the
+    /// [`FALLBACK_MAX_STEPS`] safety net applies.
+    pub max_steps: Option<usize>,
 }
 
-impl Default for TargetChaseOptions {
-    fn default() -> Self {
-        TargetChaseOptions { max_steps: 100_000 }
-    }
-}
+/// Step budget for target chases whose tgds are *not* weakly acyclic
+/// (no certificate exists; termination is not guaranteed).
+pub const FALLBACK_MAX_STEPS: usize = 100_000;
 
 /// Outcome of a target chase: the instance, or `Failed` when an egd
 /// demanded the equality of two distinct constants (then `I` has **no**
@@ -64,84 +68,13 @@ pub enum TargetChaseResult {
     },
 }
 
-/// Weak acyclicity of a set of target tgds (FKMP):
-/// nodes are `(relation, position)` pairs; for each tgd, each body
-/// occurrence of a universal variable at position `p` adds a *regular*
-/// edge to each head occurrence of the same variable, and a *special*
-/// edge to every position holding an existential variable in the same
-/// head. Weakly acyclic ⟺ no cycle containing a special edge — the
-/// classical sufficient condition for chase termination.
+/// Weak acyclicity of a set of target tgds (FKMP). The implementation
+/// moved to `qi-analyze`, which also derives witness cycles and
+/// termination certificates from the same dependency graph; this alias
+/// keeps the historical `qi_chase` path working.
+#[deprecated(note = "moved to qi-analyze; use `qi_analyze::is_weakly_acyclic`")]
 pub fn is_weakly_acyclic(target_tgds: &[Tgd]) -> bool {
-    // Collect positions and edges.
-    type Node = (u32, usize); // (rel id, position)
-    let mut regular: BTreeMap<Node, BTreeSet<Node>> = BTreeMap::new();
-    let mut special: BTreeMap<Node, BTreeSet<Node>> = BTreeMap::new();
-    for tgd in target_tgds {
-        // Positions of each universal variable in the body.
-        let mut body_pos: BTreeMap<&Var, Vec<Node>> = BTreeMap::new();
-        for atom in &tgd.body {
-            for (p, v) in atom.args.iter().enumerate() {
-                body_pos.entry(v).or_default().push((atom.rel.0, p));
-            }
-        }
-        for atom in &tgd.head {
-            for (p, v) in atom.args.iter().enumerate() {
-                let head_node = (atom.rel.0, p);
-                if tgd.exists.contains(v) {
-                    // Special edges from every body position of every
-                    // universal variable occurring in this head.
-                    for hv in atom
-                        .args
-                        .iter()
-                        .chain(tgd.head.iter().flat_map(|a| a.args.iter()))
-                    {
-                        if let Some(sources) = body_pos.get(hv) {
-                            for &src in sources {
-                                special.entry(src).or_default().insert(head_node);
-                            }
-                        }
-                    }
-                } else if let Some(sources) = body_pos.get(v) {
-                    for &src in sources {
-                        regular.entry(src).or_default().insert(head_node);
-                    }
-                }
-            }
-        }
-    }
-    // No cycle through a special edge: for every special edge (u → w),
-    // w must not reach u through regular ∪ special edges.
-    let neighbors = |n: Node| -> Vec<Node> {
-        let mut out = Vec::new();
-        if let Some(s) = regular.get(&n) {
-            out.extend(s.iter().copied());
-        }
-        if let Some(s) = special.get(&n) {
-            out.extend(s.iter().copied());
-        }
-        out
-    };
-    let reaches = |from: Node, to: Node| -> bool {
-        let mut seen = BTreeSet::new();
-        let mut stack = vec![from];
-        while let Some(n) = stack.pop() {
-            if n == to {
-                return true;
-            }
-            if seen.insert(n) {
-                stack.extend(neighbors(n));
-            }
-        }
-        false
-    };
-    for (&u, targets) in &special {
-        for &w in targets {
-            if reaches(w, u) {
-                return false;
-            }
-        }
-    }
-    true
+    qi_analyze::is_weakly_acyclic(target_tgds)
 }
 
 /// One pass of target-tgd firing; returns the number fired.
@@ -261,20 +194,57 @@ fn repair_egds(egds: &[Egd], instance: &mut Instance) -> Result<Option<usize>, (
     Ok(Some(repairs))
 }
 
+/// How a target chase spent its step budget — returned by
+/// [`chase_with_target_deps_stats`] so callers (and the bound tests)
+/// can audit that certified runs stay under the certificate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TargetChaseStats {
+    /// Tgd firings + egd repairs actually performed.
+    pub steps: usize,
+    /// The budget the run was held to.
+    pub budget: usize,
+    /// Whether the budget came from a termination certificate (as
+    /// opposed to an explicit `max_steps` or the fallback constant).
+    pub certified: bool,
+}
+
 /// Chase `source` through the full data-exchange setting: s-t tgds, then
 /// target tgds and egds to a fixpoint.
 ///
 /// Deterministic. Termination is guaranteed for weakly acyclic target
-/// tgds (check with [`is_weakly_acyclic`]); other settings run until the
-/// step budget trips ([`ChaseError::Budget`]).
+/// tgds (check with [`qi_analyze::is_weakly_acyclic`]); other settings
+/// run until the step budget trips ([`ChaseError::Budget`]). See
+/// [`TargetChaseOptions::max_steps`] for how the budget is chosen.
 pub fn chase_with_target_deps(
     setting: &ExchangeSetting,
     source: &Instance,
     target_schema: &Schema,
     options: TargetChaseOptions,
 ) -> Result<TargetChaseResult, ChaseError> {
+    chase_with_target_deps_stats(setting, source, target_schema, options).map(|(r, _)| r)
+}
+
+/// [`chase_with_target_deps`] plus budget accounting.
+pub fn chase_with_target_deps_stats(
+    setting: &ExchangeSetting,
+    source: &Instance,
+    target_schema: &Schema,
+    options: TargetChaseOptions,
+) -> Result<(TargetChaseResult, TargetChaseStats), ChaseError> {
     let ChaseOutcome { instance, .. } = chase(&setting.st_tgds, source, target_schema)?;
     let mut current = instance;
+    let (budget, certified) = match options.max_steps {
+        Some(n) => (n, false),
+        None => {
+            let graph = DependencyGraph::new(&setting.target_tgds);
+            match graph.certificate(&setting.target_tgds) {
+                // The certificate bounds value growth from the number of
+                // distinct values the target chase starts with.
+                Some(cert) => (cert.step_budget(current.active_domain().len()), true),
+                None => (FALLBACK_MAX_STEPS, false),
+            }
+        }
+    };
     let mut next_null = current.fresh_null_floor().max(source.fresh_null_floor());
     let mut steps = 0usize;
     loop {
@@ -282,16 +252,30 @@ pub fn chase_with_target_deps(
         let repaired = match repair_egds(&setting.egds, &mut current) {
             Ok(Some(n)) => n,
             Ok(None) => unreachable!("repair_egds always counts"),
-            Err((left, right)) => return Ok(TargetChaseResult::Failed { left, right }),
+            Err((left, right)) => {
+                return Ok((
+                    TargetChaseResult::Failed { left, right },
+                    TargetChaseStats {
+                        steps,
+                        budget,
+                        certified,
+                    },
+                ))
+            }
         };
         steps += fired + repaired;
         if fired == 0 && repaired == 0 {
-            return Ok(TargetChaseResult::Solution(current));
+            return Ok((
+                TargetChaseResult::Solution(current),
+                TargetChaseStats {
+                    steps,
+                    budget,
+                    certified,
+                },
+            ));
         }
-        if steps > options.max_steps {
-            return Err(ChaseError::Budget {
-                max_nodes: options.max_steps,
-            });
+        if steps > budget {
+            return Err(ChaseError::Budget { max_nodes: budget });
         }
     }
 }
@@ -325,24 +309,19 @@ mod tests {
     }
 
     #[test]
-    fn weak_acyclicity_classifies_classic_examples() {
+    #[allow(deprecated)]
+    fn deprecated_alias_still_answers() {
+        // The implementation lives in qi-analyze now; the old qi-chase
+        // path must keep working and agreeing.
         let t = Schema::parse("E/2 D/1").unwrap();
-        // E(x,y) → ∃z E(y,z): special self-loop — NOT weakly acyclic.
         let bad = parse_tgd(&t, &t, "E(x,y) -> exists z . E(y,z)").unwrap();
-        assert!(!is_weakly_acyclic(&[bad]));
-        // E(x,y) → D(x): no existential — weakly acyclic.
         let good = parse_tgd(&t, &t, "E(x,y) -> D(x)").unwrap();
-        assert!(is_weakly_acyclic(std::slice::from_ref(&good)));
-        // {E(x,y) → D(x), D(x) → ∃y E(x,y)}: the only cycle
-        // (D.1 → E.1 → D.1) is regular — weakly acyclic, and indeed the
-        // chase saturates (the fresh E-fact regenerates the same D-fact).
-        let gen = parse_tgd(&t, &t, "D(x) -> exists y . E(x,y)").unwrap();
-        assert!(is_weakly_acyclic(&[good, gen.clone()]));
-        // {E(x,y) → D(y), D(x) → ∃y E(x,y)}: now D.1 → E.2 is special and
-        // E.2 → D.1 regular — a cycle through a special edge, and the
-        // chase diverges (each fresh null spawns a new D-fact).
-        let bad2 = parse_tgd(&t, &t, "E(x,y) -> D(y)").unwrap();
-        assert!(!is_weakly_acyclic(&[bad2, gen]));
+        for tgds in [vec![bad], vec![good]] {
+            assert_eq!(
+                is_weakly_acyclic(&tgds),
+                qi_analyze::is_weakly_acyclic(&tgds)
+            );
+        }
     }
 
     #[test]
@@ -354,10 +333,13 @@ mod tests {
             &["E(x,y) & E(y,z) -> E(x,z)"],
             &[],
         );
-        assert!(is_weakly_acyclic(&setting.target_tgds));
+        assert!(qi_analyze::is_weakly_acyclic(&setting.target_tgds));
         let i = Instance::parse(&s, "E0(a,b) E0(b,c) E0(c,d)").unwrap();
-        let result =
-            chase_with_target_deps(&setting, &i, &t, TargetChaseOptions::default()).unwrap();
+        let (result, stats) =
+            chase_with_target_deps_stats(&setting, &i, &t, TargetChaseOptions::default()).unwrap();
+        // The default budget is certificate-derived and never exceeded.
+        assert!(stats.certified);
+        assert!(stats.steps <= stats.budget, "{stats:?}");
         let TargetChaseResult::Solution(u) = result else {
             panic!("expected a solution");
         };
@@ -378,11 +360,58 @@ mod tests {
             &["E(x,y) -> exists z . E(y,z)"],
             &[],
         );
-        assert!(!is_weakly_acyclic(&setting.target_tgds));
+        assert!(!qi_analyze::is_weakly_acyclic(&setting.target_tgds));
         let i = Instance::parse(&s, "S0(a)").unwrap();
-        let result =
-            chase_with_target_deps(&setting, &i, &t, TargetChaseOptions { max_steps: 500 });
+        let result = chase_with_target_deps(
+            &setting,
+            &i,
+            &t,
+            TargetChaseOptions {
+                max_steps: Some(500),
+            },
+        );
         assert!(matches!(result, Err(ChaseError::Budget { .. })));
+    }
+
+    #[test]
+    fn certified_budget_covers_existential_generation() {
+        // D(x) → ∃y E(x,y) plus E(x,y) → D(x): weakly acyclic with a
+        // rank-1 certificate; the chase must stay under the derived
+        // budget.
+        let (s, t, setting) = setting(
+            "D0/1",
+            "E/2 D/1",
+            &["D0(x) -> D(x)"],
+            &["D(x) -> exists y . E(x,y)", "E(x,y) -> D(x)"],
+            &[],
+        );
+        let i = Instance::parse(&s, "D0(a) D0(b) D0(c)").unwrap();
+        let (result, stats) =
+            chase_with_target_deps_stats(&setting, &i, &t, TargetChaseOptions::default()).unwrap();
+        assert!(matches!(result, TargetChaseResult::Solution(_)));
+        assert!(stats.certified);
+        assert!(stats.steps <= stats.budget, "{stats:?}");
+    }
+
+    #[test]
+    fn uncertified_settings_fall_back_to_the_constant_budget() {
+        // E(x,x) → ∃z E(x,z) is not weakly acyclic (special self-loop on
+        // E.2), but never fires here: the instance has no diagonal fact.
+        // The run terminates and reports the fallback budget.
+        let (s, t, setting) = setting(
+            "P/2",
+            "E/2",
+            &["P(x,y) -> E(x,y)"],
+            &["E(x,x) -> exists z . E(x,z)"],
+            &[],
+        );
+        assert!(!qi_analyze::is_weakly_acyclic(&setting.target_tgds));
+        let i = Instance::parse(&s, "P(a,b)").unwrap();
+        let (result, stats) =
+            chase_with_target_deps_stats(&setting, &i, &t, TargetChaseOptions::default()).unwrap();
+        assert!(matches!(result, TargetChaseResult::Solution(_)));
+        assert!(!stats.certified);
+        assert_eq!(stats.budget, FALLBACK_MAX_STEPS);
     }
 
     #[test]

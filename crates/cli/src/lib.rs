@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! qimap check        <mapping-file>                classify + verify
+//! qimap lint [--json] <mapping-file>               static analysis (QI001…)
 //! qimap quasi-inverse <mapping-file>               run Algorithm QuasiInverse
 //! qimap inverse      <mapping-file>                run Algorithm Inverse
 //! qimap chase        <mapping-file> <instance>     forward exchange
@@ -22,7 +23,14 @@
 //! # optional target dependencies (used by `chase`, reported by `check`):
 //! target-tgd: WorksIn(n,d) & WorksIn(n,e) -> WorksIn(n,d)
 //! egd: LocatedIn(d,c1) & LocatedIn(d,c2) -> c1 = c2
+//! # optional reverse (target-to-source) dependencies, linted by `lint`:
+//! reverse: WorksIn(n,d) & const(n) -> exists c . Emp(n,d,c)
 //! ```
+//!
+//! File handling is built on [`qi_analyze::analyze_text`]: every command
+//! rejects files with `Error`-severity diagnostics, and `qimap lint`
+//! reports the full diagnostic list (stable `QI001`–`QI016` codes) as
+//! text or JSON.
 //!
 //! Instances are given inline using the literal syntax of
 //! [`qi_schema::Instance::parse`], e.g. `"Emp(a,b,c) Emp(d,b,e)"`.
@@ -33,16 +41,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use qi_chase::{
-    chase_with_target_deps, is_weakly_acyclic, ExchangeSetting, TargetChaseOptions,
-    TargetChaseResult,
-};
+use qi_analyze::{analyze_text, Analysis, Severity};
+use qi_chase::{chase_with_target_deps, ExchangeSetting, TargetChaseOptions, TargetChaseResult};
 use qi_core::enumerate::ground_instances;
 use qi_core::{
     constant_propagation_property, inverse, is_inverse_bounded, is_quasi_inverse_bounded,
-    quasi_inverse, round_trip, QuasiInverseOptions, SchemaMapping,
+    quasi_inverse, round_trip, semantic_lints, QuasiInverseOptions, SchemaMapping,
 };
-use qi_lang::{parse_egd, parse_tgd, Egd, Tgd};
+use qi_lang::{Egd, Tgd};
 use qi_schema::Instance;
 use std::fmt::Write as _;
 
@@ -89,66 +95,72 @@ impl MappingFile {
     }
 }
 
-/// Parse the mapping file format described in the crate docs.
-pub fn parse_mapping_file(text: &str) -> Result<MappingFile, CliError> {
-    let mut source: Option<String> = None;
-    let mut target: Option<String> = None;
-    let mut tgds: Vec<String> = Vec::new();
-    let mut target_tgd_texts: Vec<String> = Vec::new();
-    let mut egd_texts: Vec<String> = Vec::new();
-    for (lineno, raw) in text.lines().enumerate() {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let (key, value) = line
-            .split_once(':')
-            .ok_or_else(|| err(format!("line {}: expected `key: value`", lineno + 1)))?;
-        match key.trim() {
-            "source" => source = Some(value.trim().to_owned()),
-            "target" => target = Some(value.trim().to_owned()),
-            "tgd" => tgds.push(value.trim().to_owned()),
-            "target-tgd" => target_tgd_texts.push(value.trim().to_owned()),
-            "egd" => egd_texts.push(value.trim().to_owned()),
-            other => {
-                return Err(err(format!(
-                    "line {}: unknown key `{other}` (expected source/target/tgd/target-tgd/egd)",
-                    lineno + 1
-                )))
-            }
-        }
-    }
-    let source = source.ok_or_else(|| err("missing `source:` line"))?;
-    let target = target.ok_or_else(|| err("missing `target:` line"))?;
-    if tgds.is_empty() {
-        return Err(err("no `tgd:` lines"));
-    }
-    let refs: Vec<&str> = tgds.iter().map(String::as_str).collect();
-    let mapping = SchemaMapping::parse(&source, &target, &refs)
-        .map_err(|e| err(format!("invalid mapping: {e}")))?;
-    let target_tgds: Result<Vec<Tgd>, CliError> = target_tgd_texts
+/// Render the `Error`-severity findings of an analysis as a `CliError`
+/// (one `file:line:col: error[QIxxx]: …` line each).
+fn errors_to_cli(analysis: &Analysis, path: &str) -> CliError {
+    let lines: Vec<String> = analysis
+        .diagnostics
+        .items
         .iter()
-        .map(|d| {
-            parse_tgd(&mapping.target, &mapping.target, d)
-                .map_err(|e| err(format!("invalid target tgd `{d}`: {e}")))
-        })
+        .filter(|d| d.severity() == Severity::Error)
+        .map(|d| d.render_text(path))
         .collect();
-    let egds: Result<Vec<Egd>, CliError> = egd_texts
-        .iter()
-        .map(|d| parse_egd(&mapping.target, d).map_err(|e| err(format!("invalid egd `{d}`: {e}"))))
-        .collect();
+    err(lines.join("\n"))
+}
+
+/// Convert a static analysis into the executable `MappingFile`,
+/// rejecting when any `Error`-severity diagnostic fired.
+fn mapping_file_of(analysis: Analysis, path: &str) -> Result<MappingFile, CliError> {
+    if analysis.diagnostics.has_errors() {
+        return Err(errors_to_cli(&analysis, path));
+    }
+    let parts = analysis.parts;
+    let (source, target) = (
+        parts.source.expect("no errors ⇒ source schema resolved"),
+        parts.target.expect("no errors ⇒ target schema resolved"),
+    );
+    let mapping =
+        SchemaMapping::new(source, target, parts.st_tgds).map_err(|e| err(e.to_string()))?;
     Ok(MappingFile {
         mapping,
-        target_tgds: target_tgds?,
-        egds: egds?,
+        target_tgds: parts.target_tgds,
+        egds: parts.egds,
     })
 }
 
-/// `qimap check`: classification, constant propagation, and — when the
-/// two-constant tuple universe is small — bounded verification of the
-/// algorithms' outputs.
+/// Parse the mapping file format described in the crate docs. Built on
+/// [`qi_analyze::analyze_text`]; fails iff the analyzer reports an
+/// `Error`-severity diagnostic, with one rendered finding per line.
+pub fn parse_mapping_file(text: &str) -> Result<MappingFile, CliError> {
+    mapping_file_of(analyze_text(text), "mapping")
+}
+
+/// `qimap lint`: run the static analyzer and render every finding, as
+/// human-readable text or as a JSON document (`--json`). Errors (exit 1)
+/// iff any `Error`-severity diagnostic fired, with the same rendering as
+/// the message.
+pub fn cmd_lint(path: &str, text: &str, json: bool) -> Result<String, CliError> {
+    let analysis = analyze_text(text);
+    let rendered = if json {
+        analysis.diagnostics.render_json(path)
+    } else {
+        analysis.diagnostics.render_text(path)
+    };
+    if analysis.diagnostics.has_errors() {
+        Err(err(rendered))
+    } else {
+        Ok(rendered)
+    }
+}
+
+/// `qimap check`: static analysis, classification, constant propagation,
+/// and — when the two-constant tuple universe is small — bounded
+/// verification of the algorithms' outputs.
 pub fn cmd_check(mapping_text: &str) -> Result<String, CliError> {
-    let mf = parse_mapping_file(mapping_text)?;
+    let analysis = analyze_text(mapping_text);
+    let findings = analysis.diagnostics.items.clone();
+    let certificate = analysis.certificate.clone();
+    let mf = mapping_file_of(analysis, "mapping")?;
     let m = &mf.mapping;
     let mut out = String::new();
     let _ = writeln!(out, "{m}");
@@ -162,8 +174,17 @@ pub fn cmd_check(mapping_text: &str) -> Result<String, CliError> {
             "target dependencies:  {} tgd(s), {} egd(s); weakly acyclic: {}",
             mf.target_tgds.len(),
             mf.egds.len(),
-            is_weakly_acyclic(&mf.target_tgds)
+            mf.target_tgds.is_empty() || certificate.is_some()
         );
+        if let Some(cert) = &certificate {
+            let _ = writeln!(
+                out,
+                "termination certificate: max position rank {}; e.g. step budget {} from 4 \
+                 active-domain values",
+                cert.max_rank,
+                cert.step_budget(4)
+            );
+        }
         let _ = writeln!(
             out,
             "note: the (quasi-)inverse algorithms below treat the mapping as plain s-t tgds"
@@ -205,6 +226,20 @@ pub fn cmd_check(mapping_text: &str) -> Result<String, CliError> {
             out,
             "bounded verification skipped (tuple universe of size {tuples} > 8)"
         );
+    }
+    let mut lint_lines: Vec<String> = findings.iter().map(|d| d.render_text("mapping")).collect();
+    if tuples <= 8 {
+        // The chase-based lints (QI014/QI015) run on the same small
+        // universes as the bounded verification above.
+        for d in semantic_lints(m).map_err(|e| err(e.to_string()))? {
+            lint_lines.push(d.render_text("mapping"));
+        }
+    }
+    if !lint_lines.is_empty() {
+        let _ = writeln!(out, "lints:");
+        for l in lint_lines {
+            let _ = writeln!(out, "  {l}");
+        }
     }
     Ok(out)
 }
@@ -360,13 +395,21 @@ pub fn run(
     args: &[String],
     read_file: impl Fn(&str) -> Result<String, CliError>,
 ) -> Result<String, CliError> {
-    let usage = "usage: qimap [--threads N] <check|quasi-inverse|inverse|chase|roundtrip|compose> <mapping-file> [instance | second-mapping-file]";
-    let args = apply_threads_flag(args)?;
+    let usage = "usage: qimap [--threads N] <check|lint|quasi-inverse|inverse|chase|roundtrip|compose> <mapping-file> [instance | second-mapping-file]\n       qimap lint [--json] <mapping-file>";
+    let mut args = apply_threads_flag(args)?;
+    let json = match args.iter().position(|a| a == "--json") {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    };
     let cmd = args.first().ok_or_else(|| err(usage))?;
     let file = args.get(1).ok_or_else(|| err(usage))?;
     let text = read_file(file)?;
     match cmd.as_str() {
         "check" => cmd_check(&text),
+        "lint" => cmd_lint(file, &text, json),
         "quasi-inverse" => cmd_quasi_inverse(&text),
         "inverse" => cmd_inverse(&text),
         "chase" => {
@@ -495,6 +538,62 @@ tgd: P(x,y,z) -> Q(x,y) & R(y,z)
         // Mismatched middle schema is reported.
         let bad = "source: Z/1\ntarget: W/1\ntgd: Z(x) -> W(x)\n";
         assert!(cmd_compose(m12_full, bad).is_err());
+    }
+
+    #[test]
+    fn lint_command_renders_text_and_json() {
+        // Clean file: only the summary line, exit 0.
+        let out = cmd_lint("m.qim", DECOMP, false).unwrap();
+        assert_eq!(out.trim(), "m.qim: 0 error(s), 0 warning(s), 0 info(s)");
+        // A GAV + existential file: info findings, still exit 0.
+        let gav = "source: P/2 R/2\ntarget: Q/2\ntgd: P(x,y) & R(y,z) -> exists w . Q(x,w)\n";
+        let out = cmd_lint("m.qim", gav, false).unwrap();
+        assert!(out.contains("info[QI012]"), "{out}");
+        assert!(out.contains("info[QI013]"), "{out}");
+        let out = cmd_lint("m.qim", gav, true).unwrap();
+        assert!(out.contains("\"code\":\"QI012\""), "{out}");
+        assert!(out.contains("\"summary\""), "{out}");
+        // An unknown relation is an error: the rendering comes back as
+        // the CliError (nonzero exit), in both formats.
+        let bad = "source: P/2\ntarget: Q/1\ntgd: Z(x,y) -> Q(x)\n";
+        let e = cmd_lint("m.qim", bad, false).unwrap_err();
+        assert!(e.0.contains("m.qim:3:6: error[QI003]"), "{}", e.0);
+        let e = cmd_lint("m.qim", bad, true).unwrap_err();
+        assert!(e.0.contains("\"severity\":\"error\""), "{}", e.0);
+    }
+
+    #[test]
+    fn check_appends_analyzer_and_semantic_lints() {
+        // Projection: drops a column, so the dropped variable is both a
+        // QI006 singleton (syntactic) and a QI014 constant-propagation
+        // failure (semantic, chase-based).
+        let projection = "source: P/2\ntarget: Q/1\ntgd: P(x,y) -> Q(x)\n";
+        let out = cmd_check(projection).unwrap();
+        assert!(out.contains("lints:"), "{out}");
+        assert!(out.contains("info[QI006]"), "{out}");
+        assert!(out.contains("warning[QI014]"), "{out}");
+    }
+
+    #[test]
+    fn check_prints_the_termination_certificate() {
+        let text = "source: E0/2\ntarget: E/2\ntgd: E0(x,y) -> E(x,y)\n\
+                    target-tgd: E(x,y) & E(y,z) -> E(x,z)\n";
+        let out = cmd_check(text).unwrap();
+        assert!(
+            out.contains("termination certificate: max position rank 0"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn dispatch_lint_with_json_flag() {
+        let loader = |_: &str| Ok(DECOMP.to_owned());
+        let out = run(&["lint".into(), "--json".into(), "m.qim".into()], loader).unwrap();
+        assert!(out.contains("\"diagnostics\""), "{out}");
+        let out = run(&["--json".into(), "lint".into(), "m.qim".into()], loader).unwrap();
+        assert!(out.contains("\"summary\""), "{out}");
+        let out = run(&["lint".into(), "m.qim".into()], loader).unwrap();
+        assert!(out.contains("0 error(s)"), "{out}");
     }
 
     #[test]

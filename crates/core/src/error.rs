@@ -1,5 +1,6 @@
 //! Errors of the core algorithms.
 
+use qi_analyze::Diagnostic;
 use qi_chase::ChaseError;
 use qi_lang::LangError;
 use qi_schema::SchemaError;
@@ -16,6 +17,10 @@ pub enum CoreError {
     Chase(ChaseError),
     /// The input violates a precondition of the algorithm.
     Precondition(String),
+    /// The input was rejected by the static analyzer: the carried
+    /// diagnostic names the lint code and the exact offending part
+    /// (e.g. QI012/QI013 from the fragment classification).
+    Rejected(Diagnostic),
     /// A search exceeded its configured budget.
     Budget(String),
 }
@@ -27,6 +32,7 @@ impl fmt::Display for CoreError {
             CoreError::Lang(e) => write!(f, "{e}"),
             CoreError::Chase(e) => write!(f, "{e}"),
             CoreError::Precondition(m) => write!(f, "precondition violated: {m}"),
+            CoreError::Rejected(d) => write!(f, "rejected [{}]: {}", d.code, d.message),
             CoreError::Budget(m) => write!(f, "budget exceeded: {m}"),
         }
     }
@@ -49,5 +55,11 @@ impl From<LangError> for CoreError {
 impl From<ChaseError> for CoreError {
     fn from(e: ChaseError) -> Self {
         CoreError::Chase(e)
+    }
+}
+
+impl From<Diagnostic> for CoreError {
+    fn from(d: Diagnostic) -> Self {
+        CoreError::Rejected(d)
     }
 }

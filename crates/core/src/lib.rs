@@ -24,6 +24,9 @@
 //! * [`mod@inverse`] — Algorithm **Inverse** (Theorem 5.1): the
 //!   constant-propagation property, prime atoms, and the `ω(Σ, I_α)`
 //!   dependencies;
+//! * [`lint`] — the semantic lints QI014/QI015: chase-based
+//!   invertibility preconditions reported through `qi-analyze`'s
+//!   diagnostic vocabulary;
 //! * [`exchange`] — §6: forward/backward data exchange, the
 //!   chase-of-the-chase composition membership test (Proposition 6.6),
 //!   and the soundness / faithfulness certificates of Definition 6.5;
@@ -50,6 +53,7 @@ pub mod error;
 pub mod exchange;
 pub mod framework;
 pub mod inverse;
+pub mod lint;
 pub mod mapping;
 pub mod mingen;
 pub mod quasi_inverse;
@@ -66,6 +70,7 @@ pub use framework::{
     Relation, SubsetPropertyReport,
 };
 pub use inverse::{constant_propagation_property, inverse, prime_atoms};
+pub use lint::{constant_propagation_diagnostic, semantic_lints, subset_property_diagnostic};
 pub use mapping::{ReverseMapping, SchemaMapping};
 pub use mingen::{min_gen, min_gen_with_stats, Generator, MinGenOptions, MinGenOutcome};
 pub use quasi_inverse::{

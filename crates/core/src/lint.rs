@@ -1,0 +1,169 @@
+//! Semantic lints: invertibility preconditions that need the chase.
+//!
+//! `qi-analyze` covers everything decidable from the *syntax* of a
+//! mapping (QI001–QI013, QI016). Two of the paper's preconditions are
+//! semantic — they quantify over chase results — so they live here, in
+//! the crate that owns the chase, but speak the same [`Diagnostic`]
+//! vocabulary:
+//!
+//! * **QI014** — the constant-propagation property (Definition 5.2)
+//!   fails: some source column is dropped by every chase step, so by
+//!   Proposition 5.3 the mapping has no inverse and Algorithm Inverse
+//!   halts without output. The diagnostic names the relation and the
+//!   dropped variable.
+//! * **QI015** — the `(~M,~M)`-subset property (Definition 3.4) fails on
+//!   a caller-bounded universe of ground instances: a counterexample
+//!   candidate for quasi-invertibility (Theorem 3.9). Bounded, so
+//!   witnesses outside the universe are not ruled out; the diagnostic
+//!   says so and names the failing instance pair.
+
+use crate::enumerate::ground_instances;
+use crate::error::CoreError;
+use crate::framework::{subset_property_bounded, Relation};
+use crate::mapping::SchemaMapping;
+use qi_analyze::{Code, Diagnostic};
+use qi_lang::{canonical_instance, Atom, FrozenVars, Var};
+
+/// QI014: check the constant-propagation property and, on failure, name
+/// the source relation and the exact variable whose value the chase
+/// drops. Returns `None` when the property holds (the boolean
+/// [`constant_propagation_property`](crate::constant_propagation_property)
+/// agrees with `is_none()`).
+pub fn constant_propagation_diagnostic(m: &SchemaMapping) -> Result<Option<Diagnostic>, CoreError> {
+    for rel in m.source.rel_ids() {
+        let arity = m.source.arity(rel);
+        let vars: Vec<Var> = (1..=arity).map(|i| Var::new(&format!("x{i}"))).collect();
+        let atom = Atom::new(rel, vars.clone());
+        let mut frozen = FrozenVars::default();
+        let inst = canonical_instance(&m.source, std::slice::from_ref(&atom), &mut frozen);
+        let chased = m.chase(&inst)?;
+        let adom = chased.active_domain();
+        if let Some((col, v)) = vars
+            .iter()
+            .enumerate()
+            .find(|(_, v)| !adom.contains(&frozen.value(v)))
+        {
+            let rel_name = m.source.name(rel);
+            let fact = atom.display(&m.source).to_string();
+            return Ok(Some(Diagnostic::new(
+                Code::Qi014,
+                format!(
+                    "constant propagation fails (Definition 5.2): chasing the single \
+                     fact `{fact}` drops variable `{v}` (column {} of \
+                     `{rel_name}/{arity}`); by Proposition 5.3 the mapping has no \
+                     inverse, and Algorithm Inverse halts without output",
+                    col + 1
+                ),
+            )));
+        }
+    }
+    Ok(None)
+}
+
+/// QI015: check the `(~M,~M)`-subset property over the universe of all
+/// ground source instances with at most `max_facts` facts drawn from
+/// `consts`, and report the first pair without a witness. Returns `None`
+/// when the bounded check passes.
+///
+/// A failure is a counterexample *candidate*: the witness pair of
+/// Definition 3.4 is only sought inside the same universe, so this warns
+/// rather than rejects. A pass on a universe closed under the relevant
+/// constructions is strong evidence of quasi-invertibility
+/// (Theorem 3.9 / the discussion in §7).
+pub fn subset_property_diagnostic(
+    m: &SchemaMapping,
+    consts: &[&str],
+    max_facts: usize,
+) -> Result<Option<Diagnostic>, CoreError> {
+    let universe = ground_instances(&m.source, consts, max_facts);
+    let report = subset_property_bounded(
+        m,
+        Relation::SolutionEquiv,
+        Relation::SolutionEquiv,
+        &universe,
+    )?;
+    if report.holds {
+        return Ok(None);
+    }
+    let (i1, i2) = report.failures[0];
+    Ok(Some(Diagnostic::new(
+        Code::Qi015,
+        format!(
+            "the (~M,~M)-subset property (Definition 3.4) fails on the bounded \
+             universe ({} instances over constants {{{}}}, ≤{max_facts} facts): \
+             Sol({}) ⊆ Sol({}) but no ~M-equivalent pair I1' ⊆ I2' exists in the \
+             universe ({} of {} containment pairs lack a witness); this is evidence \
+             against quasi-invertibility (Theorem 3.9), though witnesses outside \
+             the universe are not ruled out",
+            universe.len(),
+            consts.join(","),
+            &universe[i2],
+            &universe[i1],
+            report.failures.len(),
+            report.checked_pairs,
+        ),
+    )))
+}
+
+/// Run both semantic lints with a small default universe (two constants,
+/// two facts — enough to catch the paper's stock counterexamples like
+/// projection) and collect whatever fires.
+pub fn semantic_lints(m: &SchemaMapping) -> Result<Vec<Diagnostic>, CoreError> {
+    let mut out = Vec::new();
+    out.extend(constant_propagation_diagnostic(m)?);
+    out.extend(subset_property_diagnostic(m, &["a", "b"], 2)?);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constant_propagation_property;
+
+    #[test]
+    fn projection_fails_constant_propagation_with_witness() {
+        let m = SchemaMapping::parse("P/2", "Q/1", &["P(x,y) -> Q(x)"]).unwrap();
+        let d = constant_propagation_diagnostic(&m)
+            .unwrap()
+            .expect("projection drops y");
+        assert_eq!(d.code, Code::Qi014);
+        assert!(d.message.contains("`x2`"), "{}", d.message);
+        assert!(d.message.contains("column 2 of `P/2`"), "{}", d.message);
+        assert!(!constant_propagation_property(&m).unwrap());
+    }
+
+    #[test]
+    fn copy_passes_both_lints() {
+        let m = SchemaMapping::parse("P/2", "Q/2", &["P(x,y) -> Q(x,y)"]).unwrap();
+        assert!(semantic_lints(&m).unwrap().is_empty());
+    }
+
+    #[test]
+    fn projection_is_still_quasi_invertible() {
+        // LAV ⇒ the (~M,~M)-subset property holds (Proposition 3.11):
+        // QI014 fires but QI015 does not.
+        let m = SchemaMapping::parse("P/2", "Q/1", &["P(x,y) -> Q(x)"]).unwrap();
+        let ds = semantic_lints(&m).unwrap();
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, Code::Qi014);
+    }
+
+    #[test]
+    fn non_quasi_invertible_mapping_trips_qi015() {
+        // Proposition 3.12's mapping `E(x,z) & E(z,y) -> F(x,y) & M(z)`
+        // has no quasi-inverse; the refutation needs a three-constant
+        // universe (see tests/prop_3_12.rs), where the bounded check is
+        // conclusive.
+        let m =
+            SchemaMapping::parse("E/2", "F/2 M/1", &["E(x,z) & E(z,y) -> F(x,y) & M(z)"]).unwrap();
+        let d = subset_property_diagnostic(&m, &["a", "b", "c"], 9)
+            .unwrap()
+            .expect("Prop 3.12: not quasi-invertible");
+        assert_eq!(d.code, Code::Qi015);
+        assert!(d.message.contains("Definition 3.4"), "{}", d.message);
+        // Too small a universe produces no (false) alarm.
+        assert!(subset_property_diagnostic(&m, &["a", "b"], 4)
+            .unwrap()
+            .is_none());
+    }
+}

@@ -91,9 +91,8 @@ impl SchemaMapping {
         Ok(self.chase_outcome(instance)?.instance)
     }
 
-    /// [`SchemaMapping::chase`] returning the full
-    /// [`ChaseOutcome`](qi_chase::ChaseOutcome) (trigger counters and
-    /// executor statistics).
+    /// [`SchemaMapping::chase`] returning the full [`ChaseOutcome`]
+    /// (trigger counters and executor statistics).
     pub fn chase_outcome(&self, instance: &Instance) -> Result<ChaseOutcome, ChaseError> {
         chase_with_options(
             &self.tgds,

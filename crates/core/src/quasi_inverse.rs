@@ -117,16 +117,15 @@ pub fn quasi_inverse(
 /// chases ground instances to ground instances, so on the
 /// composition-relevant pairs the guards never cut anything.
 ///
-/// Errors when `m` is not full (then guards are load-bearing — see the
-/// ablation tests).
+/// Rejects with the analyzer's QI013 diagnostic when `m` is not full
+/// (then guards are load-bearing — see the ablation tests), naming the
+/// offending existential and head atom.
 pub fn quasi_inverse_full(
     m: &SchemaMapping,
     options: &QuasiInverseOptions,
 ) -> Result<ReverseMapping, CoreError> {
-    if !m.is_full() {
-        return Err(CoreError::Precondition(
-            "quasi_inverse_full requires a mapping specified by full s-t tgds (Theorem 4.6)".into(),
-        ));
+    if let Some(d) = qi_analyze::not_full_diagnostic(&m.tgds) {
+        return Err(CoreError::Rejected(d));
     }
     let guarded = quasi_inverse(m, options)?;
     let deps = guarded
@@ -161,13 +160,12 @@ pub fn quasi_inverse_full(
 /// the emitted premise both fires on every original fact (faithfulness)
 /// and recovers only `~M`-justified facts (soundness).
 ///
-/// Errors when `m` is not LAV (multi-atom premises are not captured by
-/// single-fact chase signatures).
+/// Rejects with the analyzer's QI012 diagnostic when `m` is not LAV
+/// (multi-atom premises are not captured by single-fact chase
+/// signatures), naming the first extra body atom.
 pub fn quasi_inverse_lav(m: &SchemaMapping) -> Result<ReverseMapping, CoreError> {
-    if !m.is_lav() {
-        return Err(CoreError::Precondition(
-            "quasi_inverse_lav requires a LAV mapping (Theorem 4.7)".into(),
-        ));
+    if let Some(d) = qi_analyze::not_lav_diagnostic(&m.tgds) {
+        return Err(CoreError::Rejected(d));
     }
     let mut deps: Vec<DisjTgd> = Vec::new();
     for rel in m.source.rel_ids() {

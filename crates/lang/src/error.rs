@@ -1,14 +1,108 @@
-//! Errors of the dependency language.
+//! Errors of the dependency language, with source spans.
 
 use std::fmt;
+
+/// A half-open byte range `[start, end)` into the text a parser was given.
+///
+/// Spans are carried by [`LangError::Parse`] and by the raw parse tree
+/// ([`crate::parser::RawDependency`]) so that tooling — most importantly
+/// the `qi-analyze` diagnostics engine — can point at the offending token
+/// instead of reporting a bare message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TextSpan {
+    /// Byte offset of the first byte of the span.
+    pub start: usize,
+    /// Byte offset one past the last byte of the span.
+    pub end: usize,
+}
+
+impl TextSpan {
+    /// Build a span; `end` is clamped to `start`.
+    pub fn new(start: usize, end: usize) -> Self {
+        TextSpan {
+            start,
+            end: end.max(start),
+        }
+    }
+
+    /// A zero-width span at `offset` (used for end-of-input errors).
+    pub fn point(offset: usize) -> Self {
+        TextSpan {
+            start: offset,
+            end: offset,
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Is the span zero-width?
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Compute the 1-based `(line, column)` of a byte `offset` into `text`.
+///
+/// Columns count bytes from the last newline — exact for the ASCII
+/// dependency syntax. Offsets past the end report the position one past
+/// the final character.
+pub fn line_col(text: &str, offset: usize) -> (usize, usize) {
+    let offset = offset.min(text.len());
+    let before = &text.as_bytes()[..offset];
+    let line = 1 + before.iter().filter(|&&b| b == b'\n').count();
+    let col = 1 + before.iter().rev().take_while(|&&b| b != b'\n').count();
+    (line, col)
+}
+
+/// Payload of [`LangError::Parse`]: a message plus the span of the
+/// offending token, when the parser knows it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Where in the input it went wrong (byte offsets into the text
+    /// handed to the parser).
+    pub span: Option<TextSpan>,
+}
+
+impl From<String> for ParseError {
+    fn from(message: String) -> Self {
+        ParseError {
+            message,
+            span: None,
+        }
+    }
+}
+
+impl From<&str> for ParseError {
+    fn from(message: &str) -> Self {
+        ParseError {
+            message: message.to_owned(),
+            span: None,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)?;
+        if let Some(span) = self.span {
+            write!(f, " (at byte {})", span.start)?;
+        }
+        Ok(())
+    }
+}
 
 /// Errors raised by dependency construction and parsing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LangError {
     /// Construction-time validation failure (safety conditions, arities).
     Invalid(String),
-    /// Textual parse failure.
-    Parse(String),
+    /// Textual parse failure, with the offending span when known.
+    Parse(ParseError),
 }
 
 impl LangError {
@@ -16,8 +110,24 @@ impl LangError {
         LangError::Invalid(msg.into())
     }
 
-    pub(crate) fn parse(msg: impl Into<String>) -> Self {
+    pub(crate) fn parse(msg: impl Into<ParseError>) -> Self {
         LangError::Parse(msg.into())
+    }
+
+    pub(crate) fn parse_at(msg: impl Into<String>, span: TextSpan) -> Self {
+        LangError::Parse(ParseError {
+            message: msg.into(),
+            span: Some(span),
+        })
+    }
+
+    /// The span of the offending token, when this is a parse error that
+    /// carries one.
+    pub fn span(&self) -> Option<TextSpan> {
+        match self {
+            LangError::Parse(p) => p.span,
+            LangError::Invalid(_) => None,
+        }
     }
 }
 
@@ -31,3 +141,29 @@ impl fmt::Display for LangError {
 }
 
 impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_counts_from_one() {
+        let text = "ab\ncde\nf";
+        assert_eq!(line_col(text, 0), (1, 1));
+        assert_eq!(line_col(text, 1), (1, 2));
+        assert_eq!(line_col(text, 3), (2, 1));
+        assert_eq!(line_col(text, 5), (2, 3));
+        assert_eq!(line_col(text, 7), (3, 1));
+        // Past the end: clamped.
+        assert_eq!(line_col(text, 99), (3, 2));
+    }
+
+    #[test]
+    fn parse_error_displays_span() {
+        let e = LangError::parse_at("stray `-`", TextSpan::new(4, 5));
+        assert_eq!(e.to_string(), "parse error: stray `-` (at byte 4)");
+        let plain = LangError::parse("no span");
+        assert_eq!(plain.to_string(), "parse error: no span");
+        assert_eq!(plain.span(), None);
+    }
+}

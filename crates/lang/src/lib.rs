@@ -55,8 +55,11 @@ pub use atom::{Atom, Var};
 pub use canonical::{canonical_instance, thaw_value, FrozenVars};
 pub use compile::compile_atoms;
 pub use dependency::{DisjTgd, Disjunct, Egd, Tgd};
-pub use error::LangError;
-pub use parser::{parse_disj_tgd, parse_egd, parse_tgd};
+pub use error::{line_col, LangError, ParseError, TextSpan};
+pub use parser::{
+    parse_disj_tgd, parse_egd, parse_raw_dependency, parse_tgd, RawAtom, RawConclusion,
+    RawDependency, RawDisjunct, RawLit, SpannedIdent,
+};
 pub use partition::{restricted_growth_strings, Partition};
 pub use query::ConjunctiveQuery;
 pub use sotgd::{skolemize, SkFun, SkTerm, SoAtom, SoClause, SoTgd};

@@ -3,10 +3,23 @@
 //! See the crate docs for the grammar. The parser is the inverse of the
 //! `Display` impls on [`Tgd`] and [`DisjTgd`] (round-trip property tested
 //! in the integration suite).
+//!
+//! Parsing is split into two layers:
+//!
+//! 1. a **raw layer** ([`parse_raw_dependency`]) that lexes and parses
+//!    the text into a span-carrying tree ([`RawDependency`]) without any
+//!    schema resolution — every identifier remembers the byte range it
+//!    came from, so downstream tooling (the `qi-analyze` lints) can point
+//!    diagnostics at the offending token;
+//! 2. **resolution** against source/target schemas, which turns the raw
+//!    tree into validated [`Tgd`] / [`DisjTgd`] / [`Egd`] values.
+//!
+//! All parse errors carry a [`TextSpan`] naming
+//! the offending token (or the end of input).
 
 use crate::atom::{Atom, Var};
 use crate::dependency::{DisjTgd, Disjunct, Egd, Tgd};
-use crate::error::LangError;
+use crate::error::{LangError, TextSpan};
 use qi_schema::Schema;
 
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -23,7 +36,90 @@ enum Tok {
     Dot,
 }
 
-fn lex(text: &str) -> Result<Vec<Tok>, LangError> {
+impl Tok {
+    fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("`{s}`"),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::Amp => "`&`".into(),
+            Tok::Pipe => "`|`".into(),
+            Tok::Arrow => "`->`".into(),
+            Tok::Neq => "`!=`".into(),
+            Tok::Eq => "`=`".into(),
+            Tok::Dot => "`.`".into(),
+        }
+    }
+}
+
+/// An identifier together with the byte range it was lexed from.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SpannedIdent {
+    /// The identifier text.
+    pub name: String,
+    /// Where it sits in the parsed text.
+    pub span: TextSpan,
+}
+
+impl SpannedIdent {
+    /// The identifier as a [`Var`].
+    pub fn var(&self) -> Var {
+        Var::new(&self.name)
+    }
+}
+
+/// A premise or conclusion atom before schema resolution.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RawAtom {
+    /// Relation name token.
+    pub name: SpannedIdent,
+    /// Argument variable tokens.
+    pub args: Vec<SpannedIdent>,
+}
+
+/// One literal of a premise conjunction, before schema resolution.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RawLit {
+    /// A relational atom `R(x,…)`.
+    Atom(RawAtom),
+    /// A `const(x)` / `Constant(x)` guard.
+    Const(SpannedIdent),
+    /// An inequality `x != y`.
+    Neq(SpannedIdent, SpannedIdent),
+}
+
+/// One conclusion disjunct `[exists y… .] atoms`, before resolution.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RawDisjunct {
+    /// Existentially quantified variable tokens.
+    pub exists: Vec<SpannedIdent>,
+    /// The disjunct's literals (atoms; guards are rejected at resolution).
+    pub lits: Vec<RawLit>,
+}
+
+/// The right-hand side of a raw dependency.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RawConclusion {
+    /// A disjunction of conjunctions (tgds and disjunctive tgds).
+    Disjuncts(Vec<RawDisjunct>),
+    /// A conjunction of equalities (egds).
+    Equalities(Vec<(SpannedIdent, SpannedIdent)>),
+}
+
+/// A schema-unresolved dependency: the shared surface form of tgds,
+/// disjunctive tgds and egds, with every token spanned.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RawDependency {
+    /// Premise literals.
+    pub premise: Vec<RawLit>,
+    /// Span of the `->` token.
+    pub arrow: TextSpan,
+    /// The conclusion.
+    pub conclusion: RawConclusion,
+}
+
+fn lex(text: &str) -> Result<Vec<(Tok, TextSpan)>, LangError> {
     let mut out = Vec::new();
     let bytes = text.as_bytes();
     let mut i = 0;
@@ -32,47 +128,47 @@ fn lex(text: &str) -> Result<Vec<Tok>, LangError> {
         match c {
             ' ' | '\t' | '\n' | '\r' => i += 1,
             '(' => {
-                out.push(Tok::LParen);
+                out.push((Tok::LParen, TextSpan::new(i, i + 1)));
                 i += 1;
             }
             ')' => {
-                out.push(Tok::RParen);
+                out.push((Tok::RParen, TextSpan::new(i, i + 1)));
                 i += 1;
             }
             ',' => {
-                out.push(Tok::Comma);
+                out.push((Tok::Comma, TextSpan::new(i, i + 1)));
                 i += 1;
             }
             '&' => {
-                out.push(Tok::Amp);
+                out.push((Tok::Amp, TextSpan::new(i, i + 1)));
                 i += 1;
             }
             '|' => {
-                out.push(Tok::Pipe);
+                out.push((Tok::Pipe, TextSpan::new(i, i + 1)));
                 i += 1;
             }
             '.' => {
-                out.push(Tok::Dot);
+                out.push((Tok::Dot, TextSpan::new(i, i + 1)));
                 i += 1;
             }
             '-' => {
                 if bytes.get(i + 1) == Some(&b'>') {
-                    out.push(Tok::Arrow);
+                    out.push((Tok::Arrow, TextSpan::new(i, i + 2)));
                     i += 2;
                 } else {
-                    return Err(LangError::parse(format!("stray `-` at byte {i}")));
+                    return Err(LangError::parse_at("stray `-`", TextSpan::new(i, i + 1)));
                 }
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Tok::Neq);
+                    out.push((Tok::Neq, TextSpan::new(i, i + 2)));
                     i += 2;
                 } else {
-                    return Err(LangError::parse(format!("stray `!` at byte {i}")));
+                    return Err(LangError::parse_at("stray `!`", TextSpan::new(i, i + 1)));
                 }
             }
             '=' => {
-                out.push(Tok::Eq);
+                out.push((Tok::Eq, TextSpan::new(i, i + 1)));
                 i += 1;
             }
             c if c.is_ascii_alphanumeric() || c == '_' => {
@@ -85,12 +181,16 @@ fn lex(text: &str) -> Result<Vec<Tok>, LangError> {
                         break;
                     }
                 }
-                out.push(Tok::Ident(text[start..i].to_owned()));
+                out.push((
+                    Tok::Ident(text[start..i].to_owned()),
+                    TextSpan::new(start, i),
+                ));
             }
             other => {
-                return Err(LangError::parse(format!(
-                    "unexpected character `{other}` at byte {i}"
-                )))
+                return Err(LangError::parse_at(
+                    format!("unexpected character `{other}`"),
+                    TextSpan::new(i, i + 1),
+                ))
             }
         }
     }
@@ -98,23 +198,35 @@ fn lex(text: &str) -> Result<Vec<Tok>, LangError> {
 }
 
 struct Parser {
-    toks: Vec<Tok>,
+    toks: Vec<(Tok, TextSpan)>,
     pos: usize,
-}
-
-/// A parsed premise literal.
-enum Lit {
-    Atom(String, Vec<String>),
-    Const(String),
-    Neq(String, String),
+    /// Length of the input text; end-of-input errors point here.
+    eof: usize,
 }
 
 impl Parser {
-    fn peek(&self) -> Option<&Tok> {
-        self.toks.get(self.pos)
+    fn new(text: &str) -> Result<Self, LangError> {
+        Ok(Parser {
+            toks: lex(text)?,
+            pos: 0,
+            eof: text.len(),
+        })
     }
 
-    fn next(&mut self) -> Option<Tok> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    /// The span the next error should point at: the next token, or a
+    /// zero-width span at the end of input.
+    fn here(&self) -> TextSpan {
+        self.toks
+            .get(self.pos)
+            .map(|&(_, s)| s)
+            .unwrap_or_else(|| TextSpan::point(self.eof))
+    }
+
+    fn next(&mut self) -> Option<(Tok, TextSpan)> {
         let t = self.toks.get(self.pos).cloned();
         if t.is_some() {
             self.pos += 1;
@@ -122,48 +234,72 @@ impl Parser {
         t
     }
 
-    fn expect(&mut self, tok: Tok, what: &str) -> Result<(), LangError> {
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<TextSpan, LangError> {
+        let at = self.here();
         match self.next() {
-            Some(t) if t == tok => Ok(()),
-            other => Err(LangError::parse(format!("expected {what}, got {other:?}"))),
+            Some((t, span)) if t == tok => Ok(span),
+            Some((t, span)) => Err(LangError::parse_at(
+                format!("expected {what}, got {}", t.describe()),
+                span,
+            )),
+            None => Err(LangError::parse_at(
+                format!("expected {what}, got end of input"),
+                at,
+            )),
         }
     }
 
-    fn ident(&mut self, what: &str) -> Result<String, LangError> {
+    fn ident(&mut self, what: &str) -> Result<SpannedIdent, LangError> {
+        let at = self.here();
         match self.next() {
-            Some(Tok::Ident(s)) => Ok(s),
-            other => Err(LangError::parse(format!("expected {what}, got {other:?}"))),
+            Some((Tok::Ident(name), span)) => Ok(SpannedIdent { name, span }),
+            Some((t, span)) => Err(LangError::parse_at(
+                format!("expected {what}, got {}", t.describe()),
+                span,
+            )),
+            None => Err(LangError::parse_at(
+                format!("expected {what}, got end of input"),
+                at,
+            )),
         }
     }
 
     /// `name ( v, v, … )` — name already consumed.
-    fn atom_tail(&mut self, name: String) -> Result<Lit, LangError> {
+    fn atom_tail(&mut self, name: SpannedIdent) -> Result<RawLit, LangError> {
         self.expect(Tok::LParen, "`(`")?;
         let mut args = Vec::new();
         loop {
             args.push(self.ident("variable")?);
+            let at = self.here();
             match self.next() {
-                Some(Tok::Comma) => continue,
-                Some(Tok::RParen) => break,
-                other => {
-                    return Err(LangError::parse(format!(
-                        "expected `,` or `)`, got {other:?}"
-                    )))
+                Some((Tok::Comma, _)) => continue,
+                Some((Tok::RParen, _)) => break,
+                Some((t, span)) => {
+                    return Err(LangError::parse_at(
+                        format!("expected `,` or `)`, got {}", t.describe()),
+                        span,
+                    ))
+                }
+                None => {
+                    return Err(LangError::parse_at(
+                        "expected `,` or `)`, got end of input",
+                        at,
+                    ))
                 }
             }
         }
-        Ok(Lit::Atom(name, args))
+        Ok(RawLit::Atom(RawAtom { name, args }))
     }
 
-    fn literal(&mut self) -> Result<Lit, LangError> {
+    fn literal(&mut self) -> Result<RawLit, LangError> {
         let name = self.ident("relation, `const`, or variable")?;
         match self.peek() {
             Some(Tok::LParen) => {
-                if name == "const" || name == "constant" || name == "Constant" {
+                if name.name == "const" || name.name == "constant" || name.name == "Constant" {
                     self.expect(Tok::LParen, "`(`")?;
                     let v = self.ident("variable")?;
                     self.expect(Tok::RParen, "`)`")?;
-                    Ok(Lit::Const(v))
+                    Ok(RawLit::Const(v))
                 } else {
                     self.atom_tail(name)
                 }
@@ -171,16 +307,17 @@ impl Parser {
             Some(Tok::Neq) => {
                 self.next();
                 let rhs = self.ident("variable")?;
-                Ok(Lit::Neq(name, rhs))
+                Ok(RawLit::Neq(name, rhs))
             }
-            other => Err(LangError::parse(format!(
-                "expected `(` or `!=` after `{name}`, got {other:?}"
-            ))),
+            _ => Err(LangError::parse_at(
+                format!("expected `(` or `!=` after `{}`", name.name),
+                self.here(),
+            )),
         }
     }
 
     /// Conjunction of literals until a token outside the conjunction.
-    fn conjunction(&mut self) -> Result<Vec<Lit>, LangError> {
+    fn conjunction(&mut self) -> Result<Vec<RawLit>, LangError> {
         let mut lits = vec![self.literal()?];
         while matches!(self.peek(), Some(Tok::Amp) | Some(Tok::Comma)) {
             self.next();
@@ -190,55 +327,130 @@ impl Parser {
     }
 
     /// `[ exists v+ . ] atoms`
-    fn disjunct(&mut self) -> Result<(Vec<String>, Vec<Lit>), LangError> {
+    fn disjunct(&mut self) -> Result<RawDisjunct, LangError> {
         let mut exists = Vec::new();
         if matches!(self.peek(), Some(Tok::Ident(s)) if s == "exists") {
-            self.next();
+            let (_, kw_span) = self.next().expect("peeked");
             loop {
+                let at = self.here();
                 match self.next() {
-                    Some(Tok::Ident(v)) => exists.push(v),
-                    Some(Tok::Dot) => break,
-                    other => {
-                        return Err(LangError::parse(format!(
-                            "expected variable or `.`, got {other:?}"
-                        )))
+                    Some((Tok::Ident(name), span)) => exists.push(SpannedIdent { name, span }),
+                    Some((Tok::Dot, _)) => break,
+                    Some((t, span)) => {
+                        return Err(LangError::parse_at(
+                            format!("expected variable or `.`, got {}", t.describe()),
+                            span,
+                        ))
+                    }
+                    None => {
+                        return Err(LangError::parse_at(
+                            "expected variable or `.`, got end of input",
+                            at,
+                        ))
                     }
                 }
             }
             if exists.is_empty() {
-                return Err(LangError::parse("`exists` with no variables"));
+                return Err(LangError::parse_at("`exists` with no variables", kw_span));
             }
         }
-        Ok((exists, self.conjunction()?))
+        Ok(RawDisjunct {
+            exists,
+            lits: self.conjunction()?,
+        })
+    }
+
+    /// Conjunction of equalities `x = y [& …]` (egd conclusions).
+    fn equalities(&mut self) -> Result<Vec<(SpannedIdent, SpannedIdent)>, LangError> {
+        let mut out = Vec::new();
+        loop {
+            let a = self.ident("variable")?;
+            self.expect(Tok::Eq, "`=`")?;
+            let b = self.ident("variable")?;
+            out.push((a, b));
+            match self.peek() {
+                Some(Tok::Amp) | Some(Tok::Comma) => {
+                    self.next();
+                }
+                _ => break,
+            }
+        }
+        Ok(out)
     }
 
     fn at_end(&self) -> Result<(), LangError> {
         match self.peek() {
             None => Ok(()),
-            Some(t) => Err(LangError::parse(format!("trailing input at {t:?}"))),
+            Some(t) => Err(LangError::parse_at(
+                format!("trailing input at {}", t.describe()),
+                self.here(),
+            )),
         }
     }
 }
 
-fn resolve_atoms(schema: &Schema, lits: Vec<Lit>, side: &str) -> Result<Vec<Atom>, LangError> {
+/// Parse any dependency of the surface syntax — tgd, disjunctive tgd, or
+/// egd — into the schema-unresolved [`RawDependency`] tree. Every
+/// identifier carries its [`TextSpan`], which is what the static analyzer
+/// uses to point diagnostics at tokens.
+pub fn parse_raw_dependency(text: &str) -> Result<RawDependency, LangError> {
+    let mut p = Parser::new(text)?;
+    let premise = p.conjunction()?;
+    let arrow = p.expect(Tok::Arrow, "`->`")?;
+    // An egd conclusion starts `ident =`; a (disjunctive) tgd conclusion
+    // starts `ident (`, `exists`, or `const(`.
+    let is_equality = matches!(
+        (p.toks.get(p.pos), p.toks.get(p.pos + 1)),
+        (Some((Tok::Ident(_), _)), Some((Tok::Eq, _)))
+    );
+    let conclusion = if is_equality {
+        RawConclusion::Equalities(p.equalities()?)
+    } else {
+        let mut disjuncts = vec![p.disjunct()?];
+        while matches!(p.peek(), Some(Tok::Pipe)) {
+            p.next();
+            disjuncts.push(p.disjunct()?);
+        }
+        RawConclusion::Disjuncts(disjuncts)
+    };
+    p.at_end()?;
+    Ok(RawDependency {
+        premise,
+        arrow,
+        conclusion,
+    })
+}
+
+fn resolve_atoms(schema: &Schema, lits: Vec<RawLit>, side: &str) -> Result<Vec<Atom>, LangError> {
     let mut atoms = Vec::new();
     for lit in lits {
         match lit {
-            Lit::Atom(name, args) => {
-                let rel = schema
-                    .rel(&name)
-                    .ok_or_else(|| LangError::parse(format!("unknown {side} relation `{name}`")))?;
-                atoms.push(Atom::new(rel, args.iter().map(|a| Var::new(a)).collect()));
+            RawLit::Atom(raw) => {
+                let rel = schema.rel(&raw.name.name).ok_or_else(|| {
+                    LangError::parse_at(
+                        format!("unknown {side} relation `{}`", raw.name.name),
+                        raw.name.span,
+                    )
+                })?;
+                atoms.push(Atom::new(
+                    rel,
+                    raw.args.iter().map(SpannedIdent::var).collect(),
+                ));
             }
-            Lit::Const(v) => {
-                return Err(LangError::parse(format!(
-                    "`const({v})` is not allowed in this position"
-                )))
+            RawLit::Const(v) => {
+                return Err(LangError::parse_at(
+                    format!("`const({})` is not allowed in this position", v.name),
+                    v.span,
+                ))
             }
-            Lit::Neq(a, b) => {
-                return Err(LangError::parse(format!(
-                    "inequality `{a} != {b}` is not allowed in this position"
-                )))
+            RawLit::Neq(a, b) => {
+                return Err(LangError::parse_at(
+                    format!(
+                        "inequality `{} != {}` is not allowed in this position",
+                        a.name, b.name
+                    ),
+                    TextSpan::new(a.span.start, b.span.end),
+                ))
             }
         }
     }
@@ -259,26 +471,26 @@ fn resolve_atoms(schema: &Schema, lits: Vec<Lit>, side: &str) -> Result<Vec<Atom
 /// assert_eq!(tgd.to_string(), "P(x,y,z) -> Q(x,y) & R(y,z)");
 /// ```
 pub fn parse_tgd(source: &Schema, target: &Schema, text: &str) -> Result<Tgd, LangError> {
-    let mut p = Parser {
-        toks: lex(text)?,
-        pos: 0,
+    let raw = parse_raw_dependency(text)?;
+    let RawConclusion::Disjuncts(mut disjuncts) = raw.conclusion else {
+        return Err(LangError::parse_at(
+            "an s-t tgd conclusion must be a conjunction of atoms, not equalities",
+            raw.arrow,
+        ));
     };
-    let body = p.conjunction()?;
-    p.expect(Tok::Arrow, "`->`")?;
-    let (exists, head) = p.disjunct()?;
-    if matches!(p.peek(), Some(Tok::Pipe)) {
+    if disjuncts.len() > 1 {
         return Err(LangError::parse(
             "disjunction is not allowed in an s-t tgd (use parse_disj_tgd)",
         ));
     }
-    p.at_end()?;
-    let body = resolve_atoms(source, body, "source")?;
-    let head = resolve_atoms(target, head, "target")?;
+    let d = disjuncts.pop().expect("at least one disjunct");
+    let body = resolve_atoms(source, raw.premise, "source")?;
+    let head = resolve_atoms(target, d.lits, "target")?;
     Tgd::new(
         source.clone(),
         target.clone(),
         body,
-        exists.iter().map(|v| Var::new(v)).collect(),
+        d.exists.iter().map(SpannedIdent::var).collect(),
         head,
     )
 }
@@ -286,40 +498,36 @@ pub fn parse_tgd(source: &Schema, target: &Schema, text: &str) -> Result<Tgd, La
 /// Parse a disjunctive tgd with constants and inequalities such as
 /// `S(x,y) & const(x) & x != y -> P(x) | exists z . R(x,z)`.
 pub fn parse_disj_tgd(from: &Schema, to: &Schema, text: &str) -> Result<DisjTgd, LangError> {
-    let mut p = Parser {
-        toks: lex(text)?,
-        pos: 0,
+    let raw = parse_raw_dependency(text)?;
+    let RawConclusion::Disjuncts(raw_disjuncts) = raw.conclusion else {
+        return Err(LangError::parse_at(
+            "a disjunctive tgd conclusion must be a disjunction of conjunctions, not equalities",
+            raw.arrow,
+        ));
     };
-    let lits = p.conjunction()?;
-    p.expect(Tok::Arrow, "`->`")?;
     let mut disjuncts = Vec::new();
-    loop {
-        let (exists, atoms) = p.disjunct()?;
+    for d in raw_disjuncts {
         disjuncts.push(Disjunct {
-            exists: exists.iter().map(|v| Var::new(v)).collect(),
-            atoms: resolve_atoms(to, atoms, "rhs")?,
+            exists: d.exists.iter().map(SpannedIdent::var).collect(),
+            atoms: resolve_atoms(to, d.lits, "rhs")?,
         });
-        match p.peek() {
-            Some(Tok::Pipe) => {
-                p.next();
-            }
-            _ => break,
-        }
     }
-    p.at_end()?;
     let mut body = Vec::new();
     let mut constant = Vec::new();
     let mut neq = Vec::new();
-    for lit in lits {
+    for lit in raw.premise {
         match lit {
-            Lit::Atom(name, args) => {
-                let rel = from
-                    .rel(&name)
-                    .ok_or_else(|| LangError::parse(format!("unknown relation `{name}`")))?;
-                body.push(Atom::new(rel, args.iter().map(|a| Var::new(a)).collect()));
+            RawLit::Atom(a) => {
+                let rel = from.rel(&a.name.name).ok_or_else(|| {
+                    LangError::parse_at(format!("unknown relation `{}`", a.name.name), a.name.span)
+                })?;
+                body.push(Atom::new(
+                    rel,
+                    a.args.iter().map(SpannedIdent::var).collect(),
+                ));
             }
-            Lit::Const(v) => constant.push(Var::new(&v)),
-            Lit::Neq(a, b) => neq.push((Var::new(&a), Var::new(&b))),
+            RawLit::Const(v) => constant.push(v.var()),
+            RawLit::Neq(a, b) => neq.push((a.var(), b.var())),
         }
     }
     DisjTgd::new(from.clone(), to.clone(), body, constant, neq, disjuncts)
@@ -328,27 +536,15 @@ pub fn parse_disj_tgd(from: &Schema, to: &Schema, text: &str) -> Result<DisjTgd,
 /// Parse an equality-generating dependency such as
 /// `E(x,y) & E(x,z) -> y = z`.
 pub fn parse_egd(schema: &Schema, text: &str) -> Result<Egd, LangError> {
-    let mut p = Parser {
-        toks: lex(text)?,
-        pos: 0,
+    let raw = parse_raw_dependency(text)?;
+    let RawConclusion::Equalities(eqs) = raw.conclusion else {
+        return Err(LangError::parse_at(
+            "an egd conclusion must be a conjunction of equalities `x = y`",
+            raw.arrow,
+        ));
     };
-    let body = p.conjunction()?;
-    p.expect(Tok::Arrow, "`->`")?;
-    let mut equalities = Vec::new();
-    loop {
-        let a = p.ident("variable")?;
-        p.expect(Tok::Eq, "`=`")?;
-        let b = p.ident("variable")?;
-        equalities.push((Var::new(&a), Var::new(&b)));
-        match p.peek() {
-            Some(Tok::Amp) | Some(Tok::Comma) => {
-                p.next();
-            }
-            _ => break,
-        }
-    }
-    p.at_end()?;
-    let body = resolve_atoms(schema, body, "egd")?;
+    let body = resolve_atoms(schema, raw.premise, "egd")?;
+    let equalities = eqs.iter().map(|(a, b)| (a.var(), b.var())).collect();
     Egd::new(schema.clone(), body, equalities)
 }
 
@@ -429,6 +625,36 @@ mod tests {
         let (s, t) = schemas();
         let err = parse_tgd(&s, &t, "Z(x) -> S(x)").unwrap_err();
         assert!(err.to_string().contains("Z"));
+    }
+
+    #[test]
+    fn errors_carry_token_spans() {
+        let (s, t) = schemas();
+        // The unknown relation's own token is named.
+        let text = "P(x,y) -> Zz(x)";
+        let err = parse_tgd(&s, &t, text).unwrap_err();
+        let span = err.span().expect("span");
+        assert_eq!(&text[span.start..span.end], "Zz");
+        // A lexer error points at the stray byte.
+        let text = "P(x,y) - S(x)";
+        let err = parse_tgd(&s, &t, text).unwrap_err();
+        assert_eq!(err.span().unwrap().start, 7);
+        // End-of-input errors point one past the end.
+        let text = "P(x,y) ->";
+        let err = parse_tgd(&s, &t, text).unwrap_err();
+        assert_eq!(err.span().unwrap(), TextSpan::point(text.len()));
+    }
+
+    #[test]
+    fn raw_dependency_distinguishes_conclusions() {
+        let raw = parse_raw_dependency("E(x,y) & E(x,z) -> y = z").unwrap();
+        assert!(matches!(raw.conclusion, RawConclusion::Equalities(ref e) if e.len() == 1));
+        let raw = parse_raw_dependency("E(x,y) -> exists z . E(y,z)").unwrap();
+        let RawConclusion::Disjuncts(d) = raw.conclusion else {
+            panic!("expected disjuncts");
+        };
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].exists.len(), 1);
     }
 
     #[test]

@@ -93,17 +93,19 @@ impl ConjunctiveQuery {
             }
             let open = rest
                 .find('(')
-                .ok_or_else(|| LangError::Parse(format!("expected `(` in `{rest}`")))?;
+                .ok_or_else(|| LangError::Parse(format!("expected `(` in `{rest}`").into()))?;
             let close = rest
                 .find(')')
-                .ok_or_else(|| LangError::Parse(format!("unclosed atom near `{rest}`")))?;
+                .ok_or_else(|| LangError::Parse(format!("unclosed atom near `{rest}`").into()))?;
             if close < open {
-                return Err(LangError::Parse(format!("misplaced `)` in `{rest}`")));
+                return Err(LangError::Parse(
+                    format!("misplaced `)` in `{rest}`").into(),
+                ));
             }
             let name = rest[..open].trim();
             let rel = schema
                 .rel(name)
-                .ok_or_else(|| LangError::Parse(format!("unknown relation `{name}`")))?;
+                .ok_or_else(|| LangError::Parse(format!("unknown relation `{name}`").into()))?;
             let args: Vec<Var> = rest[open + 1..close]
                 .split(',')
                 .map(|v| {

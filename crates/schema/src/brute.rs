@@ -1,6 +1,6 @@
 //! Brute-force reference semantics for the pattern matcher.
 //!
-//! [`MatchEngine`](crate::hom::MatchEngine) earns its keep with
+//! [`MatchEngine`] earns its keep with
 //! fail-first ordering, candidate capping, and a lazily-built value index
 //! — all of which are exactly the machinery that can silently change
 //! *which* matches are found. This module spells out the intended

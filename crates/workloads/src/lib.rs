@@ -19,4 +19,4 @@ pub mod paper;
 pub mod random;
 pub mod rng;
 
-pub use paper::{catalogue, CatalogueEntry, Verdict};
+pub use paper::{catalogue, mapping_file_text, CatalogueEntry, Verdict};

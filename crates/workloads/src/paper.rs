@@ -28,6 +28,21 @@ pub struct CatalogueEntry {
     pub verdict: Verdict,
 }
 
+/// Render a mapping in the `qimap` mapping-file format (`source:` /
+/// `target:` / `tgd:` lines) — the bridge from the programmatic
+/// catalogue to the static analyzer (`qi_analyze::analyze_text`) and the
+/// CLI, used by the golden lint tests and the analyzer benchmark.
+pub fn mapping_file_text(m: &SchemaMapping) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "source: {}", m.source);
+    let _ = writeln!(out, "target: {}", m.target);
+    for t in &m.tgds {
+        let _ = writeln!(out, "tgd: {t}");
+    }
+    out
+}
+
 /// §1 *Projection*: `P(x,y) → Q(x)`.
 pub fn projection() -> SchemaMapping {
     SchemaMapping::parse("P/2", "Q/1", &["P(x,y) -> Q(x)"]).expect("paper mapping")

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use qi_analyze as analyze;
 pub use qi_chase as chase;
 pub use qi_core as core;
 pub use qi_exec as exec;
@@ -46,10 +47,13 @@ pub use qi_workloads as workloads;
 
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use qi_analyze::{
+        analyze_text, is_weakly_acyclic, Diagnostic, Diagnostics, TerminationCertificate,
+    };
     pub use qi_chase::{
-        chase, chase_with_guards, chase_with_target_deps, disjunctive_chase, is_generator,
-        is_solution, is_universal_solution, is_weakly_acyclic, so_chase, DisjChaseOptions,
-        ExchangeSetting, TargetChaseOptions, TargetChaseResult,
+        chase, chase_with_guards, chase_with_target_deps, chase_with_target_deps_stats,
+        disjunctive_chase, is_generator, is_solution, is_universal_solution, so_chase,
+        DisjChaseOptions, ExchangeSetting, TargetChaseOptions, TargetChaseResult, TargetChaseStats,
     };
     // `quasi_inverse` (the function) is re-exported as
     // `compute_quasi_inverse` so that a glob import of this prelude does

@@ -1,0 +1,216 @@
+//! The static analyzer end to end: termination certificates really
+//! bound the target chase, witness cycles are named in QI011, and the
+//! core algorithms reject out-of-fragment inputs through the same
+//! diagnostic vocabulary.
+
+use quasi_inverse::analyze::{analyze_text, weak_acyclicity_diagnostic, Code, Severity};
+use quasi_inverse::chase::{
+    ExchangeSetting, TargetChaseOptions, TargetChaseResult, FALLBACK_MAX_STEPS,
+};
+use quasi_inverse::core::CoreError;
+use quasi_inverse::lang::{parse_egd, parse_tgd};
+use quasi_inverse::prelude::*;
+use quasi_inverse::workloads::random::{
+    random_ground_instance, random_mapping, rng, InstanceParams, MappingParams,
+};
+
+/// Run the target chase with the default (certificate-derived) budget
+/// and assert the certified bound was honoured with room to spare.
+fn assert_certified_run(setting: &ExchangeSetting, i: &Instance, t: &Schema, ctx: &str) {
+    let (result, stats) =
+        chase_with_target_deps_stats(setting, i, t, TargetChaseOptions::default()).unwrap();
+    assert!(
+        matches!(result, TargetChaseResult::Solution(_)),
+        "{ctx}: expected a solution"
+    );
+    assert!(
+        stats.certified,
+        "{ctx}: budget should come from a certificate"
+    );
+    assert!(
+        stats.steps <= stats.budget,
+        "{ctx}: certified budget exceeded ({} > {})",
+        stats.steps,
+        stats.budget
+    );
+}
+
+#[test]
+fn certified_budget_is_never_exceeded_on_transitive_closure() {
+    let s = Schema::parse("E0/2").unwrap();
+    let t = Schema::parse("E/2").unwrap();
+    let setting = ExchangeSetting {
+        st_tgds: vec![parse_tgd(&s, &t, "E0(x,y) -> E(x,y)").unwrap()],
+        target_tgds: vec![parse_tgd(&t, &t, "E(x,y) & E(y,z) -> E(x,z)").unwrap()],
+        egds: vec![],
+    };
+    // A chain maximises closure work relative to the input size.
+    let i = Instance::parse(&s, "E0(a,b) E0(b,c) E0(c,d) E0(d,e) E0(e,f)").unwrap();
+    assert_certified_run(&setting, &i, &t, "closure chain");
+}
+
+#[test]
+fn certified_budget_is_never_exceeded_on_the_employee_setting() {
+    // Mirror of tests/target_dependencies.rs: existential st-tgd, a
+    // closure target tgd, and a key egd.
+    let s = Schema::parse("EmpSrc/2 Boss/2").unwrap();
+    let t = Schema::parse("Emp/2 Reports/2").unwrap();
+    let setting = ExchangeSetting {
+        st_tgds: vec![
+            parse_tgd(&s, &t, "EmpSrc(id,name) -> Emp(id,name)").unwrap(),
+            parse_tgd(&s, &t, "Boss(e,b) -> Reports(e,b)").unwrap(),
+            parse_tgd(&s, &t, "Boss(e,b) -> exists n . Emp(b,n)").unwrap(),
+        ],
+        target_tgds: vec![
+            parse_tgd(&t, &t, "Reports(e,b) & Reports(b,c) -> Reports(e,c)").unwrap(),
+        ],
+        egds: vec![parse_egd(&t, "Emp(id,n1) & Emp(id,n2) -> n1 = n2").unwrap()],
+    };
+    let i = Instance::parse(
+        &s,
+        "EmpSrc(e1,ana) EmpSrc(e2,bo) EmpSrc(e3,cy) Boss(e1,e2) Boss(e2,e3)",
+    )
+    .unwrap();
+    assert_certified_run(&setting, &i, &t, "employee setting");
+}
+
+#[test]
+fn certified_budget_is_never_exceeded_on_random_settings() {
+    // Random s-t mappings with copy-closure target tgds per binary
+    // target relation (the same construction the substrate property
+    // tests use); every weakly acyclic draw must chase within its
+    // certificate-derived budget.
+    let ip = InstanceParams {
+        n_consts: 3,
+        n_facts: 4,
+    };
+    for seed in 0..16 {
+        let mut r = rng(seed);
+        let m = random_mapping(
+            &mut r,
+            &MappingParams {
+                full: true,
+                max_arity: 2,
+                ..Default::default()
+            },
+        );
+        let binary: Vec<_> = m
+            .target
+            .rel_ids()
+            .filter(|&rel| m.target.arity(rel) == 2)
+            .collect();
+        let mut target_tgds = Vec::new();
+        for rel in binary {
+            let name = m.target.name(rel).to_owned();
+            target_tgds.push(
+                parse_tgd(
+                    &m.target,
+                    &m.target,
+                    &format!("{name}(x,y) & {name}(y,z) -> {name}(x,z)"),
+                )
+                .unwrap(),
+            );
+        }
+        let setting = ExchangeSetting {
+            st_tgds: m.tgds.clone(),
+            target_tgds,
+            egds: vec![],
+        };
+        let i = random_ground_instance(&m.source, &mut r, &ip);
+        assert_certified_run(&setting, &i, &m.target, &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn non_weakly_acyclic_tgds_fall_back_to_the_fixed_budget() {
+    // `B.2 ~> B.2` is a special-edge cycle (not weakly acyclic, so no
+    // certificate), yet this particular chase terminates at once: the
+    // s-t tgds never produce a `B` fact, so the runaway tgd is vacuous.
+    // The stats must still show the uncertified fallback budget.
+    let s = Schema::parse("S0/1").unwrap();
+    let t = Schema::parse("A/1 B/2").unwrap();
+    let setting = ExchangeSetting {
+        st_tgds: vec![parse_tgd(&s, &t, "S0(x) -> A(x)").unwrap()],
+        target_tgds: vec![parse_tgd(&t, &t, "B(x,y) -> exists z . B(y,z)").unwrap()],
+        egds: vec![],
+    };
+    let i = Instance::parse(&s, "S0(a)").unwrap();
+    let (result, stats) =
+        chase_with_target_deps_stats(&setting, &i, &t, TargetChaseOptions::default()).unwrap();
+    assert!(matches!(result, TargetChaseResult::Solution(_)));
+    assert!(!stats.certified);
+    assert_eq!(stats.budget, FALLBACK_MAX_STEPS);
+
+    // A genuinely non-terminating tgd trips an explicit budget.
+    let t2 = Schema::parse("E/2").unwrap();
+    let runaway = ExchangeSetting {
+        st_tgds: vec![parse_tgd(&s, &t2, "S0(x) -> exists y . E(x,y)").unwrap()],
+        target_tgds: vec![parse_tgd(&t2, &t2, "E(x,y) -> exists z . E(y,z)").unwrap()],
+        egds: vec![],
+    };
+    let err = chase_with_target_deps_stats(
+        &runaway,
+        &i,
+        &t2,
+        TargetChaseOptions {
+            max_steps: Some(200),
+        },
+    )
+    .expect_err("the non-terminating tgd must exhaust the budget");
+    assert!(err.to_string().contains("200"), "error: {err}");
+}
+
+#[test]
+fn qi011_names_the_paper_cycle() {
+    // The canonical non-terminating target tgd: E.2 feeds a fresh
+    // existential back into E.2 through a special edge.
+    let t = Schema::parse("E/2").unwrap();
+    let tgd = parse_tgd(&t, &t, "E(x,y) -> exists z . E(y,z)").unwrap();
+    let d = weak_acyclicity_diagnostic(std::slice::from_ref(&tgd)).expect("not weakly acyclic");
+    assert_eq!(d.code, Code::Qi011);
+    assert_eq!(d.code.severity(), Severity::Warning);
+    assert!(d.message.contains("E.2 ~> E.2"), "message: {}", d.message);
+
+    // And through the file front end, where it also gets a span.
+    let analysis = analyze_text(
+        "source: S0/1\n\
+         target: E/2\n\
+         tgd: S0(x) -> exists y . E(x,y)\n\
+         target-tgd: E(x,y) -> exists z . E(y,z)\n",
+    );
+    let qi011 = analysis
+        .diagnostics
+        .items
+        .iter()
+        .find(|d| d.code == Code::Qi011)
+        .expect("QI011 fires via analyze_text");
+    assert!(qi011.message.contains("E.2 ~> E.2"));
+    assert!(
+        analysis.certificate.is_none(),
+        "no certificate without weak acyclicity"
+    );
+}
+
+#[test]
+fn quasi_inverse_lav_rejects_with_qi012() {
+    let m = SchemaMapping::parse("P/2 R/2", "Q/2", &["P(x,y) & R(y,z) -> Q(x,z)"]).unwrap();
+    let err = quasi_inverse_lav(&m).expect_err("not LAV");
+    let CoreError::Rejected(d) = &err else {
+        panic!("expected Rejected, got {err:?}");
+    };
+    assert_eq!(d.code, Code::Qi012);
+    assert!(d.message.contains("R(y,z)"), "message: {}", d.message);
+    assert!(err.to_string().starts_with("rejected [QI012]"));
+}
+
+#[test]
+fn quasi_inverse_full_rejects_with_qi013() {
+    let m = SchemaMapping::parse("P/2", "Q/2", &["P(x,y) -> exists z . Q(x,z)"]).unwrap();
+    let err = quasi_inverse_full(&m, &QuasiInverseOptions::default()).expect_err("not full");
+    let CoreError::Rejected(d) = &err else {
+        panic!("expected Rejected, got {err:?}");
+    };
+    assert_eq!(d.code, Code::Qi013);
+    assert!(d.message.contains('z'), "message: {}", d.message);
+    assert!(err.to_string().starts_with("rejected [QI013]"));
+}

@@ -1,0 +1,100 @@
+//! Golden-file tests for the static analyzer: the rendered lint output
+//! (text, and JSON for representative cases) over every example mapping
+//! file and every paper-catalogue mapping is pinned byte-for-byte.
+//!
+//! Regenerate after an intentional change with
+//! `UPDATE_GOLDEN=1 cargo test --test lint_golden`.
+
+use quasi_inverse::analyze::analyze_text;
+use quasi_inverse::workloads::{catalogue, mapping_file_text};
+use std::fs;
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = repo_root().join("tests/golden").join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "golden mismatch for {name}; run with UPDATE_GOLDEN=1 to regenerate"
+    );
+}
+
+fn example_files() -> Vec<PathBuf> {
+    let dir = repo_root().join("examples/mappings");
+    let mut files: Vec<_> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "qim"))
+        .collect();
+    files.sort();
+    assert!(
+        files.len() >= 8,
+        "expected the full example set, found {}",
+        files.len()
+    );
+    files
+}
+
+#[test]
+fn example_mappings_text_output_is_pinned() {
+    for f in example_files() {
+        let stem = f.file_stem().unwrap().to_str().unwrap().to_owned();
+        let text = fs::read_to_string(&f).unwrap();
+        let analysis = analyze_text(&text);
+        // Every shipped example must be usable: lint-clean of errors
+        // (warnings and infos are expected and pinned below).
+        assert!(
+            !analysis.diagnostics.has_errors(),
+            "example {stem}.qim has analyzer errors"
+        );
+        let rendered = analysis.diagnostics.render_text(&format!("{stem}.qim"));
+        check_golden(&format!("{stem}.lint.txt"), &rendered);
+    }
+}
+
+#[test]
+fn example_mappings_json_output_is_pinned() {
+    // One file with findings (the non-terminating target tgd) and one
+    // whose findings are info-only, to pin both shapes of the JSON.
+    for stem in ["nonterminating", "example_5_4"] {
+        let path = repo_root().join(format!("examples/mappings/{stem}.qim"));
+        let text = fs::read_to_string(&path).unwrap();
+        let analysis = analyze_text(&text);
+        let rendered = analysis.diagnostics.render_json(&format!("{stem}.qim"));
+        check_golden(&format!("{stem}.lint.json"), &rendered);
+    }
+}
+
+#[test]
+fn paper_catalogue_lint_output_is_pinned() {
+    // The paper workloads (Examples 3.10, 4.5, 5.4, Figure 1, …) run
+    // through the same front end via their mapping-file rendering; all
+    // outputs are concatenated into a single golden file so a new
+    // catalogue entry forces a conscious regeneration.
+    let mut out = String::new();
+    for entry in catalogue() {
+        let text = mapping_file_text(&entry.mapping);
+        let analysis = analyze_text(&text);
+        assert!(
+            !analysis.diagnostics.has_errors(),
+            "catalogue entry {} has analyzer errors",
+            entry.name
+        );
+        out.push_str(&format!("== {} ==\n", entry.name));
+        out.push_str(&analysis.diagnostics.render_text(entry.name));
+    }
+    check_golden("paper_catalogue.lint.txt", &out);
+}

@@ -3,9 +3,9 @@
 //! the stack. Seed-scheduled random inputs; failures reproduce from the
 //! seed in the assertion message.
 
+use quasi_inverse::analyze::is_weakly_acyclic;
 use quasi_inverse::chase::{
-    chase_with_target_deps, is_weakly_acyclic, so_chase, ExchangeSetting, TargetChaseOptions,
-    TargetChaseResult,
+    chase_with_target_deps, so_chase, ExchangeSetting, TargetChaseOptions, TargetChaseResult,
 };
 use quasi_inverse::prelude::*;
 use quasi_inverse::workloads::random::{

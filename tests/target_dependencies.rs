@@ -2,9 +2,9 @@
 //! egds) as a downstream user would run it: a master-data scenario with
 //! key constraints and a derived closure table.
 
+use quasi_inverse::analyze::is_weakly_acyclic;
 use quasi_inverse::chase::{
-    chase_with_target_deps, is_weakly_acyclic, ExchangeSetting, TargetChaseOptions,
-    TargetChaseResult,
+    chase_with_target_deps, ExchangeSetting, TargetChaseOptions, TargetChaseResult,
 };
 use quasi_inverse::lang::{parse_egd, parse_tgd};
 use quasi_inverse::prelude::*;
