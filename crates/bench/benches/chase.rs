@@ -6,8 +6,13 @@
 //! trigger-enumeration sweep (per-stage counters included in the JSON).
 
 use qi_bench::{measure, Record, THREAD_SWEEP};
-use qi_chase::{chase, chase_oblivious, chase_with_options, ChaseOptions};
+use qi_chase::{
+    chase, chase_oblivious, chase_with_options, chase_with_target_deps_stats, ChaseOptions,
+    ChaseStrategy, ExchangeSetting, TargetChaseOptions, TargetChaseResult,
+};
 use qi_exec::Parallelism;
+use qi_lang::parse_tgd;
+use qi_schema::{Instance, Schema};
 use qi_workloads::families::{
     chain_join_j, decomposition_instance, decomposition_k, graph_instance, union_instance, union_n,
 };
@@ -134,10 +139,74 @@ fn bench_thread_sweep() {
     }
 }
 
+fn bench_seminaive() {
+    // E18 — naive vs semi-naive trigger enumeration on the iterated
+    // target chase. Transitive closure over a chain is the canonical
+    // iterating workload: path lengths double each round, so the naive
+    // strategy re-enumerates an ever-growing join from scratch while the
+    // semi-naive rounds touch only the previous round's delta. The
+    // solution is byte-identical either way (asserted here and locked
+    // down in tests/match_oracle.rs).
+    let s = Schema::parse("E0/2").unwrap();
+    let t = Schema::parse("E/2").unwrap();
+    let setting = ExchangeSetting {
+        st_tgds: vec![parse_tgd(&s, &t, "E0(x,y) -> E(x,y)").unwrap()],
+        target_tgds: vec![parse_tgd(&t, &t, "E(x,y) & E(y,z) -> E(x,z)").unwrap()],
+        egds: vec![],
+    };
+    for n in [16usize, 48] {
+        let mut i = Instance::new(s.clone());
+        let rel = s.rel("E0").unwrap();
+        for k in 0..n {
+            i.insert(
+                rel,
+                vec![
+                    qi_schema::Value::constant(&format!("v{k:03}")),
+                    qi_schema::Value::constant(&format!("v{:03}", k + 1)),
+                ],
+            )
+            .unwrap();
+        }
+        let options = |strategy| TargetChaseOptions {
+            max_steps: Some(5_000_000),
+            strategy,
+            parallelism: Parallelism::auto(),
+        };
+        let run =
+            |strategy| chase_with_target_deps_stats(&setting, &i, &t, options(strategy)).unwrap();
+        let (naive_result, _) = run(ChaseStrategy::Naive);
+        let (semi_result, _) = run(ChaseStrategy::SemiNaive);
+        assert_eq!(naive_result, semi_result, "strategies must be exact");
+        for (variant, strategy) in [
+            ("naive", ChaseStrategy::Naive),
+            ("semi-naive", ChaseStrategy::SemiNaive),
+        ] {
+            let (_, stats) = run(strategy);
+            let sample = measure(MIN_ITERS, MIN_TIME, || match run(strategy).0 {
+                TargetChaseResult::Solution(u) => u,
+                TargetChaseResult::Failed { .. } => unreachable!("no egds"),
+            });
+            Record::new("chase/strategy-closure-chain")
+                .str("variant", variant)
+                .int("param", n as u64)
+                .int("steps", stats.steps as u64)
+                .int("rounds", stats.exec.rounds)
+                .int("triggers_enumerated", stats.exec.triggers_enumerated)
+                .int("triggers_fired", stats.exec.triggers_fired)
+                .int("postings_reused", stats.exec.postings_reused)
+                .int("postings_rebuilt", stats.exec.postings_rebuilt)
+                .int("delta_facts", stats.exec.delta_facts)
+                .sample(sample)
+                .emit();
+        }
+    }
+}
+
 fn main() {
     bench_decomposition();
     bench_union();
     bench_join_premise();
     bench_restricted_vs_oblivious();
     bench_thread_sweep();
+    bench_seminaive();
 }

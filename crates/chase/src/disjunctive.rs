@@ -16,6 +16,7 @@
 //! blow-up on large inputs.
 
 use crate::error::ChaseError;
+use crate::strategy::ChaseStrategy;
 use qi_exec::{par_map_stats, ExecStats, Parallelism};
 use qi_lang::{compile_atoms, DisjTgd, Var};
 use qi_schema::{Instance, MatchConstraints, MatchEngine, PatTerm, Pattern, Schema, Value};
@@ -28,6 +29,12 @@ pub struct DisjChaseOptions {
     /// Degree of parallelism for the branch-exploration fan-out. The
     /// leaves are bit-identical at every setting (see `qi-exec`).
     pub parallelism: Parallelism,
+    /// Trigger probing per node: semi-naive (the default) resumes the
+    /// scan after the parent's fired trigger — trigger satisfaction is
+    /// monotone along a root-to-leaf path, so earlier triggers can never
+    /// re-fire; naive re-probes every trigger at every node. The chase
+    /// tree (and its leaves) is byte-identical either way.
+    pub strategy: ChaseStrategy,
 }
 
 impl Default for DisjChaseOptions {
@@ -35,6 +42,7 @@ impl Default for DisjChaseOptions {
         DisjChaseOptions {
             max_nodes: 200_000,
             parallelism: Parallelism::default(),
+            strategy: ChaseStrategy::default(),
         }
     }
 }
@@ -191,9 +199,12 @@ pub fn disjunctive_chase(
 }
 
 /// A frontier entry: either a settled leaf or a node still to be
-/// examined (with its private fresh-null counter).
+/// examined, carrying its private fresh-null counter and the index of
+/// the first trigger that could still be unsatisfied (every earlier
+/// trigger was satisfied at an ancestor, and satisfaction only grows
+/// along a path).
 enum Node {
-    Open(Instance, u64),
+    Open(Instance, u64, usize),
     Leaf(Instance),
 }
 
@@ -243,17 +254,18 @@ pub fn disjunctive_chase_with_stats(
     let mut frontier: Vec<Node> = vec![Node::Open(
         to0.clone(),
         from.fresh_null_floor().max(to0.fresh_null_floor()),
+        0,
     )];
+    let naive = matches!(options.strategy, ChaseStrategy::Naive);
     let mut visited = 0usize;
     let mut waves = 0usize;
     let mut stats = ExecStats::default();
     loop {
         // Snapshot the open nodes of this wave.
-        let open: Vec<(usize, &Instance)> = frontier
+        let open: Vec<(&Instance, usize)> = frontier
             .iter()
-            .enumerate()
-            .filter_map(|(i, n)| match n {
-                Node::Open(to, _) => Some((i, to)),
+            .filter_map(|n| match n {
+                Node::Open(to, _, next_trigger) => Some((to, *next_trigger)),
                 Node::Leaf(_) => None,
             })
             .collect();
@@ -268,11 +280,18 @@ pub fn disjunctive_chase_with_stats(
             });
         }
         // Parallel enumerate: the first unsatisfied trigger per node, a
-        // pure function of the node's immutable instance.
-        let (pending, wave_stats) = par_map_stats(options.parallelism, &open, |(_, to)| {
-            triggers
+        // pure function of the node's immutable instance. Semi-naive
+        // nodes resume the probe after the parent's fired trigger.
+        let (pending, wave_stats) = par_map_stats(options.parallelism, &open, |&(to, start)| {
+            let from_idx = if naive { 0 } else { start };
+            let found = triggers[from_idx..]
                 .iter()
-                .position(|t| !trigger_satisfied(&compiled[t.dep], &t.fixed, to))
+                .position(|t| !trigger_satisfied(&compiled[t.dep], &t.fixed, to));
+            let probed = match found {
+                Some(k) => k as u64 + 1,
+                None => (triggers.len() - from_idx) as u64,
+            };
+            (found.map(|k| from_idx + k), probed)
         });
         stats.absorb(&wave_stats);
         // Ordered commit: expand (or settle) every open node in place.
@@ -281,18 +300,23 @@ pub fn disjunctive_chase_with_stats(
         for node in frontier {
             match node {
                 Node::Leaf(to) => next_frontier.push(Node::Leaf(to)),
-                Node::Open(to, next_null) => {
-                    let verdict = pending[open_at];
+                Node::Open(to, next_null, _) => {
+                    let (verdict, probed) = pending[open_at];
                     open_at += 1;
+                    stats.triggers_enumerated += probed;
                     match verdict {
                         None => next_frontier.push(Node::Leaf(to)),
                         Some(ti) => {
                             let t = &triggers[ti];
                             let dep = &compiled[t.dep];
+                            stats.triggers_fired += 1;
                             for di in 0..dep.disjuncts.len() {
                                 let (child, next) =
                                     apply_disjunct(dep, di, &t.fixed, &to, next_null);
-                                next_frontier.push(Node::Open(child, next));
+                                // The applied disjunct satisfies trigger
+                                // `ti` in every child; the child's probe
+                                // resumes right after it.
+                                next_frontier.push(Node::Open(child, next, ti + 1));
                             }
                         }
                     }

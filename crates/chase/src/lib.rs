@@ -30,6 +30,7 @@ pub mod query;
 pub mod satisfy;
 pub mod sotgd_chase;
 pub mod standard;
+pub mod strategy;
 pub mod target;
 pub mod universal;
 
@@ -46,6 +47,7 @@ pub use standard::{
     chase, chase_oblivious, chase_oblivious_with_options, chase_with_options, ChaseOptions,
     ChaseOutcome,
 };
+pub use strategy::ChaseStrategy;
 #[allow(deprecated)] // the alias is re-exported for callers of the old path
 pub use target::is_weakly_acyclic;
 pub use target::{

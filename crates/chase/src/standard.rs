@@ -65,17 +65,21 @@ fn check_schemas(tgds: &[Tgd], source: &Instance, target: &Schema) -> Result<(),
     Ok(())
 }
 
-/// Compiled form of one tgd, reused across triggers.
-struct CompiledTgd {
-    /// Variable ordering: body vars first, then existential head vars.
-    vars: Vec<Var>,
-    body: Pattern,
-    head_facts: Vec<qi_schema::PatFact>,
-    n_body_vars: usize,
+/// Compiled form of one tgd: body and head patterns built once and
+/// reused across triggers — and, for the target chase, across rounds
+/// (the per-dependency persistent engine state).
+pub(crate) struct CompiledTgd {
+    /// Body pattern over variables `0..n_body_vars`.
+    pub(crate) body: Pattern,
+    /// Head pattern over all variables (body vars shared, existential
+    /// head vars after them).
+    pub(crate) head: Pattern,
+    /// Number of body (universally quantified) variables.
+    pub(crate) n_body_vars: usize,
 }
 
-fn compile(tgd: &Tgd) -> CompiledTgd {
-    let mut vars = Vec::new();
+pub(crate) fn compile(tgd: &Tgd) -> CompiledTgd {
+    let mut vars: Vec<Var> = Vec::new();
     let body_facts = compile_atoms(&tgd.body, &mut vars);
     let n_body_vars = vars.len();
     let head_facts = compile_atoms(&tgd.head, &mut vars);
@@ -84,41 +88,41 @@ fn compile(tgd: &Tgd) -> CompiledTgd {
             facts: body_facts,
             nvars: n_body_vars,
         },
-        head_facts,
-        vars,
+        head: Pattern {
+            facts: head_facts,
+            nvars: vars.len(),
+        },
         n_body_vars,
     }
 }
 
 /// Does the head of `c` have a satisfying extension in `target` when the
-/// body variables are bound as in `assignment`?
-fn head_satisfied(c: &CompiledTgd, assignment: &qi_schema::Assignment, target: &Instance) -> bool {
-    let head_pattern = Pattern {
-        facts: c.head_facts.clone(),
-        nvars: c.vars.len(),
-    };
-    let fixed: Vec<(u32, Value)> = (0..c.n_body_vars as u32)
-        .map(|i| (i, assignment.value(i)))
+/// body variables take the values `body_vals` (indexed by variable)?
+pub(crate) fn head_satisfied(c: &CompiledTgd, body_vals: &[Value], target: &Instance) -> bool {
+    let fixed: Vec<(u32, Value)> = body_vals
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (i as u32, v))
         .collect();
     let constraints = MatchConstraints {
         fixed,
         ..Default::default()
     };
-    MatchEngine::new(&head_pattern, target, &constraints).exists()
+    MatchEngine::new(&c.head, target, &constraints).exists()
 }
 
 /// Instantiate and insert the head facts for one trigger, minting fresh
 /// nulls for existential variables.
-fn fire(
+pub(crate) fn fire(
     c: &CompiledTgd,
-    assignment: &qi_schema::Assignment,
+    body_vals: &[Value],
     target: &mut Instance,
     next_null: &mut u64,
 ) {
     // Existential variables get one fresh null each, shared across the
     // head atoms of this instantiation.
-    let mut exist_vals: Vec<Option<Value>> = vec![None; c.vars.len()];
-    for fact in &c.head_facts {
+    let mut exist_vals: Vec<Option<Value>> = vec![None; c.head.nvars];
+    for fact in &c.head.facts {
         let args: Vec<Value> = fact
             .args
             .iter()
@@ -126,7 +130,7 @@ fn fire(
                 PatTerm::Value(v) => v,
                 PatTerm::Var(i) => {
                     if (i as usize) < c.n_body_vars {
-                        assignment.value(i)
+                        body_vals[i as usize]
                     } else {
                         *exist_vals[i as usize].get_or_insert_with(|| {
                             let v = Value::null(*next_null);
@@ -160,22 +164,36 @@ fn run(
     // per-tgd trigger sets are independent pure computations. Results
     // come back in tgd order, making the commit phase below identical to
     // the sequential chase.
+    let constraints = MatchConstraints::default();
     let (all_matches, stats) = par_map_stats(options.parallelism, &compiled, |c| {
-        MatchEngine::new(&c.body, source, &MatchConstraints::default()).all()
+        let engine = MatchEngine::new(&c.body, source, &constraints);
+        let matches: Vec<Vec<Value>> = engine
+            .all()
+            .iter()
+            .map(|a| (0..c.n_body_vars as u32).map(|i| a.value(i)).collect())
+            .collect();
+        let (reused, rebuilt) = engine.posting_counters();
+        (matches, reused, rebuilt)
     });
+    let mut stats = stats;
     // Ordered commit: the restricted chase's satisfaction check depends
     // on the evolving target, so firing stays sequential, in the same
     // (tgd, trigger) order as the sequential chase.
-    for (c, matches) in compiled.iter().zip(&all_matches) {
-        for assignment in matches {
+    for (c, (matches, reused, rebuilt)) in compiled.iter().zip(&all_matches) {
+        stats.postings_reused += reused;
+        stats.postings_rebuilt += rebuilt;
+        for body_vals in matches {
             triggers += 1;
-            if restricted && head_satisfied(c, assignment, &target) {
+            if restricted && head_satisfied(c, body_vals, &target) {
                 continue;
             }
-            fire(c, assignment, &mut target, &mut next_null);
+            fire(c, body_vals, &mut target, &mut next_null);
             fired += 1;
         }
     }
+    stats.rounds += 1;
+    stats.triggers_enumerated += triggers as u64;
+    stats.triggers_fired += fired as u64;
     Ok(ChaseOutcome {
         instance: target,
         fired,

@@ -1,0 +1,20 @@
+//! Trigger-enumeration strategy for the iterated chase loops.
+
+/// How an iterated chase (target-constraint fixpoint, disjunctive tree)
+/// enumerates triggers each round.
+///
+/// Both strategies produce **byte-identical** results: semi-naive rounds
+/// only skip work that provably cannot fire (see DESIGN.md, "Semi-naive
+/// evaluation"), and `tests/match_oracle.rs` locks the equality down
+/// differentially across the paper workloads.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ChaseStrategy {
+    /// Re-enumerate every trigger from scratch each round. Kept as the
+    /// reference implementation for differential testing.
+    Naive,
+    /// Delta-restricted rounds: after the first (full) round, enumerate
+    /// only triggers whose body touches at least one fact inserted in
+    /// the previous round ([`qi_schema::FactStore`]'s per-round delta).
+    #[default]
+    SemiNaive,
+}

@@ -16,10 +16,13 @@
 //!   (hit only by non-weakly-acyclic inputs).
 
 use crate::error::ChaseError;
-use crate::standard::{chase, ChaseOutcome};
+use crate::standard::{chase, compile, fire, head_satisfied, ChaseOutcome, CompiledTgd};
+use crate::strategy::ChaseStrategy;
 use qi_analyze::DependencyGraph;
+use qi_exec::{par_map_stats, ExecStats, Parallelism};
 use qi_lang::{compile_atoms, Egd, Tgd, Var};
-use qi_schema::{Instance, MatchConstraints, MatchEngine, PatTerm, Pattern, Schema, Value};
+use qi_schema::{Instance, MatchConstraints, MatchEngine, Pattern, Schema, Value};
+use std::collections::BTreeSet;
 
 /// A data-exchange setting `(S, T, Σ_st, Σ_t)` with `Σ_t` split into
 /// target tgds and egds.
@@ -46,6 +49,13 @@ pub struct TargetChaseOptions {
     /// the budget only trips on an engine bug); otherwise the
     /// [`FALLBACK_MAX_STEPS`] safety net applies.
     pub max_steps: Option<usize>,
+    /// Per-round trigger enumeration: delta-restricted semi-naive
+    /// rounds (the default) or full naive re-enumeration. The chased
+    /// instance is byte-identical either way.
+    pub strategy: ChaseStrategy,
+    /// Degree of parallelism for per-round trigger enumeration; the
+    /// result is bit-identical at every setting (see `qi-exec`).
+    pub parallelism: Parallelism,
 }
 
 /// Step budget for target chases whose tgds are *not* weakly acyclic
@@ -77,66 +87,55 @@ pub fn is_weakly_acyclic(target_tgds: &[Tgd]) -> bool {
     qi_analyze::is_weakly_acyclic(target_tgds)
 }
 
-/// One pass of target-tgd firing; returns the number fired.
-fn fire_target_tgds(
-    tgds: &[Tgd],
-    instance: &mut Instance,
-    next_null: &mut u64,
-) -> Result<usize, ChaseError> {
-    let mut fired = 0usize;
-    for tgd in tgds {
-        // Recompute matches against the current instance (it grows).
-        let mut vars: Vec<Var> = Vec::new();
-        let body_facts = compile_atoms(&tgd.body, &mut vars);
-        let n_body = vars.len();
-        let head_facts = compile_atoms(&tgd.head, &mut vars);
-        let body = Pattern {
-            facts: body_facts,
-            nvars: n_body,
-        };
-        let head = Pattern {
-            facts: head_facts.clone(),
-            nvars: vars.len(),
-        };
-        let triggers = MatchEngine::new(&body, instance, &MatchConstraints::default()).all();
-        for assignment in triggers {
-            let fixed: Vec<(u32, Value)> = (0..n_body as u32)
-                .map(|i| (i, assignment.value(i)))
-                .collect();
-            let constraints = MatchConstraints {
-                fixed,
-                ..Default::default()
-            };
-            if MatchEngine::new(&head, instance, &constraints).exists() {
-                continue;
+/// Enumerate one round's triggers over the round-start snapshot, as a
+/// canonically ordered set of `(tgd index, body-variable values)`.
+///
+/// With `full` unset (semi-naive), each tgd spawns one delta-restricted
+/// enumeration per body atom — a match is found iff some body atom is a
+/// fact of the current delta — and the `BTreeSet` dedups triggers found
+/// through several delta atoms. The set ordering also makes the firing
+/// order independent of how the triggers were discovered, which is what
+/// makes naive and semi-naive rounds byte-identical.
+fn enumerate_round(
+    compiled: &[CompiledTgd],
+    current: &Instance,
+    full: bool,
+    parallelism: Parallelism,
+    exec: &mut ExecStats,
+) -> BTreeSet<(usize, Vec<Value>)> {
+    let mut tasks: Vec<(usize, Option<usize>)> = Vec::new();
+    for (ti, c) in compiled.iter().enumerate() {
+        if full {
+            tasks.push((ti, None));
+        } else {
+            for atom in 0..c.body.facts.len() {
+                tasks.push((ti, Some(atom)));
             }
-            // Fire: instantiate head with fresh nulls for existentials.
-            let mut exist_vals: Vec<Option<Value>> = vec![None; vars.len()];
-            for fact in &head_facts {
-                let args: Vec<Value> = fact
-                    .args
-                    .iter()
-                    .map(|term| match *term {
-                        PatTerm::Value(v) => v,
-                        PatTerm::Var(i) => {
-                            if (i as usize) < n_body {
-                                assignment.value(i)
-                            } else {
-                                *exist_vals[i as usize].get_or_insert_with(|| {
-                                    let v = Value::null(*next_null);
-                                    *next_null += 1;
-                                    v
-                                })
-                            }
-                        }
-                    })
-                    .collect();
-                instance.insert(fact.rel, args).expect("validated arity");
-            }
-            fired += 1;
         }
     }
-    Ok(fired)
+    let constraints = MatchConstraints::default();
+    let (results, stats) = par_map_stats(parallelism, &tasks, |&(ti, delta_atom)| {
+        let c = &compiled[ti];
+        let engine = MatchEngine::new(&c.body, current, &constraints).with_delta_atom(delta_atom);
+        let matches: Vec<Vec<Value>> = engine
+            .all()
+            .iter()
+            .map(|a| (0..c.n_body_vars as u32).map(|i| a.value(i)).collect())
+            .collect();
+        let (reused, rebuilt) = engine.posting_counters();
+        (matches, reused, rebuilt)
+    });
+    exec.absorb(&stats);
+    let mut triggers = BTreeSet::new();
+    for ((ti, _), (matches, reused, rebuilt)) in tasks.iter().zip(results) {
+        exec.postings_reused += reused;
+        exec.postings_rebuilt += rebuilt;
+        exec.triggers_enumerated += matches.len() as u64;
+        for m in matches {
+            triggers.insert((*ti, m));
+        }
+    }
+    triggers
 }
 
 /// One pass of egd repairs; `Ok(Some(n))` = `n` repairs applied,
@@ -197,7 +196,7 @@ fn repair_egds(egds: &[Egd], instance: &mut Instance) -> Result<Option<usize>, (
 /// How a target chase spent its step budget — returned by
 /// [`chase_with_target_deps_stats`] so callers (and the bound tests)
 /// can audit that certified runs stay under the certificate.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TargetChaseStats {
     /// Tgd firings + egd repairs actually performed.
     pub steps: usize,
@@ -206,6 +205,10 @@ pub struct TargetChaseStats {
     /// Whether the budget came from a termination certificate (as
     /// opposed to an explicit `max_steps` or the fallback constant).
     pub certified: bool,
+    /// Executor and chase counters summed over the s-t stage and every
+    /// target round: triggers enumerated vs. fired, posting-list usage,
+    /// rounds, and delta sizes consulted by semi-naive rounds.
+    pub exec: ExecStats,
 }
 
 /// Chase `source` through the full data-exchange setting: s-t tgds, then
@@ -231,7 +234,11 @@ pub fn chase_with_target_deps_stats(
     target_schema: &Schema,
     options: TargetChaseOptions,
 ) -> Result<(TargetChaseResult, TargetChaseStats), ChaseError> {
-    let ChaseOutcome { instance, .. } = chase(&setting.st_tgds, source, target_schema)?;
+    let ChaseOutcome {
+        instance,
+        stats: st_stats,
+        ..
+    } = chase(&setting.st_tgds, source, target_schema)?;
     let mut current = instance;
     let (budget, certified) = match options.max_steps {
         Some(n) => (n, false),
@@ -247,8 +254,37 @@ pub fn chase_with_target_deps_stats(
     };
     let mut next_null = current.fresh_null_floor().max(source.fresh_null_floor());
     let mut steps = 0usize;
+    let mut exec = st_stats;
+    // Compile every target tgd once; the compiled body/head patterns are
+    // the persistent per-dependency engine state reused by all rounds.
+    let compiled: Vec<CompiledTgd> = setting.target_tgds.iter().map(compile).collect();
+    let naive = matches!(options.strategy, ChaseStrategy::Naive);
+    // The first round must see everything; later semi-naive rounds only
+    // re-enumerate after egd repairs, which rewrite values wholesale and
+    // invalidate the delta.
+    let mut force_full = true;
     loop {
-        let fired = fire_target_tgds(&setting.target_tgds, &mut current, &mut next_null)?;
+        let full = naive || force_full;
+        if !full {
+            exec.delta_facts += current.delta_len() as u64;
+        }
+        let triggers = enumerate_round(&compiled, &current, full, options.parallelism, &mut exec);
+        exec.rounds += 1;
+        // Facts inserted by this round's firings form the next delta.
+        current.begin_round();
+        let mut fired = 0usize;
+        for (ti, body_vals) in &triggers {
+            let c = &compiled[*ti];
+            // Restricted chase: fire only when the head has no satisfying
+            // extension in the instance as it stands *now* (earlier
+            // firings of this same round count).
+            if head_satisfied(c, body_vals, &current) {
+                continue;
+            }
+            fire(c, body_vals, &mut current, &mut next_null);
+            fired += 1;
+        }
+        exec.triggers_fired += fired as u64;
         let repaired = match repair_egds(&setting.egds, &mut current) {
             Ok(Some(n)) => n,
             Ok(None) => unreachable!("repair_egds always counts"),
@@ -259,11 +295,13 @@ pub fn chase_with_target_deps_stats(
                         steps,
                         budget,
                         certified,
+                        exec,
                     },
                 ))
             }
         };
         steps += fired + repaired;
+        force_full = repaired > 0;
         if fired == 0 && repaired == 0 {
             return Ok((
                 TargetChaseResult::Solution(current),
@@ -271,6 +309,7 @@ pub fn chase_with_target_deps_stats(
                     steps,
                     budget,
                     certified,
+                    exec,
                 },
             ));
         }
@@ -368,6 +407,7 @@ mod tests {
             &t,
             TargetChaseOptions {
                 max_steps: Some(500),
+                ..Default::default()
             },
         );
         assert!(matches!(result, Err(ChaseError::Budget { .. })));

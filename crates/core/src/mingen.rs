@@ -144,31 +144,34 @@ impl EncCtx<'_> {
         Pattern { facts, nvars }
     }
 
-    /// Does `sub` *subsume* `sup`: is there a substitution fixing every
-    /// frontier variable and mapping `sub`'s existential variables to
-    /// arbitrary variables of `sup` such that `sub`'s conjuncts become a
-    /// subset of `sup`'s?
+    /// Does the prefix already contain a found generator (⇒ prune)?
     ///
-    /// This is the "subset of the conjuncts (up to renaming of variables
-    /// in z, z')" of the algorithm's Step 3, read the way the paper's own
-    /// examples require: §4 lists only `S(x,x)` and `T(x,y)` as the
-    /// generators of `P(x,x)` — `T(x,x)` is excluded exactly because
-    /// renaming `T(x,y)`'s existential `y` **to `x`** turns it into a
-    /// subset of `{T(x,x)}`; and Example 4.5's remark discards the
-    /// disjunct `T(x1,x1) ∧ R(x1,x1,x4)` because `T(x3,x1) ∧ R(x3,x3,x4)`
-    /// maps onto it with `x3 ↦ x1`.
-    fn subconj(&self, sub: &[EncAtom], sup: &[EncAtom]) -> bool {
-        if sub.len() > sup.len() {
+    /// A conjunction `sub` *subsumes* `sup` when a substitution fixing
+    /// every frontier variable maps `sub`'s existential variables to
+    /// arbitrary variables of `sup` such that `sub`'s conjuncts become a
+    /// subset of `sup`'s. This is the "subset of the conjuncts (up to
+    /// renaming of variables in z, z')" of the algorithm's Step 3, read
+    /// the way the paper's own examples require: §4 lists only `S(x,x)`
+    /// and `T(x,y)` as the generators of `P(x,x)` — `T(x,x)` is excluded
+    /// exactly because renaming `T(x,y)`'s existential `y` **to `x`**
+    /// turns it into a subset of `{T(x,x)}`; and Example 4.5's remark
+    /// discards the disjunct `T(x1,x1) ∧ R(x1,x1,x4)` because
+    /// `T(x3,x1) ∧ R(x3,x3,x4)` maps onto it with `x3 ↦ x1`.
+    ///
+    /// `found_pats` holds the found generators' *pre-compiled* patterns
+    /// (built once when each generator was committed), paired with their
+    /// atom counts; the prefix is encoded as an instance once per call
+    /// instead of once per found generator. The same encodings drive the
+    /// Step 3 minimization sweep in [`min_gen_with_stats`].
+    fn covered(&self, prefix: &[EncAtom], found_pats: &[(usize, Pattern)]) -> bool {
+        if found_pats.is_empty() {
             return false;
         }
-        let pattern = self.as_pattern(sub);
-        let target = self.as_instance(sup);
-        MatchEngine::new(&pattern, &target, &MatchConstraints::default()).exists()
-    }
-
-    /// Does the prefix already contain a found generator (⇒ prune)?
-    fn covered(&self, prefix: &[EncAtom], found: &[Vec<EncAtom>]) -> bool {
-        found.iter().any(|g| self.subconj(g, prefix))
+        let target = self.as_instance(prefix);
+        let constraints = MatchConstraints::default();
+        found_pats.iter().any(|(len, pattern)| {
+            *len <= prefix.len() && MatchEngine::new(pattern, &target, &constraints).exists()
+        })
     }
 
     /// Safety of the induced tgd: every frontier variable occurs.
@@ -324,7 +327,7 @@ impl Enumerator {
     fn next_candidate(
         &mut self,
         ctx: &EncCtx,
-        found: &[Vec<EncAtom>],
+        found_pats: &[(usize, Pattern)],
         tested: &mut BTreeSet<Vec<EncAtom>>,
     ) -> Option<Vec<EncAtom>> {
         while !self.done {
@@ -355,7 +358,7 @@ impl Enumerator {
                 continue; // duplicate conjunct adds nothing
             }
             self.prefix.push(atom);
-            if ctx.covered(&self.prefix, found) {
+            if ctx.covered(&self.prefix, found_pats) {
                 self.prefix.pop();
                 continue;
             }
@@ -451,6 +454,9 @@ pub fn min_gen_with_stats(
     let mut enumerator = Enumerator::new(cap);
     let mut tested: BTreeSet<Vec<EncAtom>> = BTreeSet::new();
     let mut found: Vec<Vec<EncAtom>> = Vec::new();
+    // Compiled (atom count, pattern) per found generator, reused by every
+    // coverage check instead of re-encoding the generator each time.
+    let mut found_pats: Vec<(usize, Pattern)> = Vec::new();
     let mut out: Vec<Generator> = Vec::new();
     let mut candidates_tested = 0usize;
     let mut stats = ExecStats::default();
@@ -462,7 +468,7 @@ pub fn min_gen_with_stats(
     loop {
         let mut batch: Vec<Vec<EncAtom>> = Vec::with_capacity(batch_cap);
         while batch.len() < batch_cap {
-            match enumerator.next_candidate(&ctx, &found, &mut tested) {
+            match enumerator.next_candidate(&ctx, &found_pats, &mut tested) {
                 Some(c) => batch.push(c),
                 None => break,
             }
@@ -478,7 +484,7 @@ pub fn min_gen_with_stats(
         stats.absorb(&wave_stats);
         // Ordered commit, in canonical enumeration order.
         for (cand, verdict) in batch.iter().zip(verdicts) {
-            if ctx.covered(cand, &found) {
+            if ctx.covered(cand, &found_pats) {
                 continue; // a generator committed just before it covers it
             }
             candidates_tested += 1;
@@ -490,6 +496,7 @@ pub fn min_gen_with_stats(
             }
             let (gen, ok) = verdict?;
             if ok {
+                found_pats.push((cand.len(), ctx.as_pattern(cand)));
                 found.push(cand.clone());
                 out.push(gen);
             }
@@ -499,6 +506,14 @@ pub fn min_gen_with_stats(
     // one. For mutually-subsuming pairs the earlier (smaller, since sizes
     // ascend) is kept.
     let n = found.len();
+    // Encode every found generator as pattern and instance once; the
+    // O(n²) subsumption sweep below then reuses them pairwise.
+    let insts: Vec<Instance> = found.iter().map(|g| ctx.as_instance(g)).collect();
+    let constraints = MatchConstraints::default();
+    let subsumes = |i: usize, j: usize| -> bool {
+        found[i].len() <= found[j].len()
+            && MatchEngine::new(&found_pats[i].1, &insts[j], &constraints).exists()
+    };
     let mut alive = vec![true; n];
     #[allow(clippy::needless_range_loop)] // symmetric double-index over `alive`
     for i in 0..n {
@@ -509,7 +524,7 @@ pub fn min_gen_with_stats(
             if i == j || !alive[j] {
                 continue;
             }
-            if ctx.subconj(&found[i], &found[j]) && !(j < i && ctx.subconj(&found[j], &found[i])) {
+            if subsumes(i, j) && !(j < i && subsumes(j, i)) {
                 alive[j] = false;
             }
         }

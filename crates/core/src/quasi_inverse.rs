@@ -221,44 +221,58 @@ pub fn quasi_inverse_lav(m: &SchemaMapping) -> Result<ReverseMapping, CoreError>
     ReverseMapping::new(m.target.clone(), m.source.clone(), deps)
 }
 
-/// Does disjunct `i` of `dep` subsume disjunct `j`: is there a
-/// substitution fixing the universal variables and mapping disjunct `i`'s
-/// existentials into disjunct `j`'s terms such that `i`'s atoms become a
-/// subset of `j`'s? Then `Dⱼ ⇒ Dᵢ` and `Dⱼ` may be dropped from the
-/// disjunction ("we need only keep the more general disjunct",
-/// Example 4.5).
-fn disjunct_subsumes(dep: &DisjTgd, i: usize, j: usize) -> bool {
-    // Freeze the universal variables once; freeze disjunct j's
-    // existentials only in the copy used to build its instance, so that a
-    // like-named existential of disjunct i stays a free pattern variable.
-    let universals = FrozenVars::freeze(dep.body_vars());
-    let mut frozen_j = universals.clone();
-    let inst = canonical_instance(&dep.to, &dep.disjuncts[j].atoms, &mut frozen_j);
-    // Encode disjunct i as a pattern: universal variables fixed to their
-    // frozen constants, existentials free.
-    let mut vars: Vec<Var> = Vec::new();
-    let facts = compile_atoms(&dep.disjuncts[i].atoms, &mut vars);
-    let pattern = Pattern {
-        facts,
-        nvars: vars.len(),
-    };
-    let fixed = vars
-        .iter()
-        .enumerate()
-        .filter_map(|(k, v)| universals.get(v).map(|val| (k as u32, val)))
-        .collect();
-    let constraints = MatchConstraints {
-        fixed,
-        ..Default::default()
-    };
-    MatchEngine::new(&pattern, &inst, &constraints).exists()
-}
-
 /// Drop every disjunct implied by a more general co-disjunct
 /// (Example 4.5's remark). For mutually-subsuming disjuncts the first is
 /// kept. Logically equivalent to the input dependency.
+///
+/// Disjunct `i` subsumes disjunct `j` when a substitution fixing the
+/// universal variables maps disjunct `i`'s existentials into disjunct
+/// `j`'s terms such that `i`'s atoms become a subset of `j`'s; then
+/// `Dⱼ ⇒ Dᵢ` and `Dⱼ` may be dropped ("we need only keep the more
+/// general disjunct"). Each disjunct is encoded once up front — as a
+/// canonical instance (subsumption target) and as a pattern with the
+/// universal variables pinned (subsumption probe) — and the pairwise
+/// sweep reuses those encodings.
 pub fn minimize_disjuncts(dep: &DisjTgd) -> DisjTgd {
     let n = dep.disjuncts.len();
+    // Freeze the universal variables once; freeze each disjunct's
+    // existentials only in the copy used to build its instance, so that a
+    // like-named existential of another disjunct stays a free pattern
+    // variable.
+    let universals = FrozenVars::freeze(dep.body_vars());
+    let insts: Vec<_> = dep
+        .disjuncts
+        .iter()
+        .map(|d| {
+            let mut frozen = universals.clone();
+            canonical_instance(&dep.to, &d.atoms, &mut frozen)
+        })
+        .collect();
+    let probes: Vec<(Pattern, MatchConstraints)> = dep
+        .disjuncts
+        .iter()
+        .map(|d| {
+            let mut vars: Vec<Var> = Vec::new();
+            let facts = compile_atoms(&d.atoms, &mut vars);
+            let pattern = Pattern {
+                facts,
+                nvars: vars.len(),
+            };
+            let fixed = vars
+                .iter()
+                .enumerate()
+                .filter_map(|(k, v)| universals.get(v).map(|val| (k as u32, val)))
+                .collect();
+            let constraints = MatchConstraints {
+                fixed,
+                ..Default::default()
+            };
+            (pattern, constraints)
+        })
+        .collect();
+    let subsumes = |i: usize, j: usize| -> bool {
+        MatchEngine::new(&probes[i].0, &insts[j], &probes[i].1).exists()
+    };
     let mut alive = vec![true; n];
     #[allow(clippy::needless_range_loop)] // symmetric double-index over `alive`
     for i in 0..n {
@@ -269,7 +283,7 @@ pub fn minimize_disjuncts(dep: &DisjTgd) -> DisjTgd {
             if i == j || !alive[j] {
                 continue;
             }
-            if disjunct_subsumes(dep, i, j) && !(j < i && disjunct_subsumes(dep, j, i)) {
+            if subsumes(i, j) && !(j < i && subsumes(j, i)) {
                 alive[j] = false;
             }
         }

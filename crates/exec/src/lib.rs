@@ -108,10 +108,25 @@ pub struct ExecStats {
     pub tasks: u64,
     /// Tasks executed by each worker, in worker index order.
     pub per_worker: Vec<u64>,
+    /// Chase rounds executed (semi-naive or naive).
+    pub rounds: u64,
+    /// Trigger candidates enumerated by the match engines (pre-dedup).
+    pub triggers_enumerated: u64,
+    /// Triggers that actually fired (inserted head facts).
+    pub triggers_fired: u64,
+    /// Match-engine candidate queries served from an incrementally
+    /// maintained posting list.
+    pub postings_reused: u64,
+    /// Match-engine candidate queries that scanned a whole relation
+    /// (no pattern position bound).
+    pub postings_rebuilt: u64,
+    /// Sum of per-round delta sizes consulted by semi-naive rounds.
+    pub delta_facts: u64,
 }
 
 impl ExecStats {
-    /// Merge another run's counters into this one (workers = max).
+    /// Merge another run's counters into this one (workers = max,
+    /// everything else sums).
     pub fn absorb(&mut self, other: &ExecStats) {
         self.workers = self.workers.max(other.workers);
         self.tasks += other.tasks;
@@ -121,6 +136,12 @@ impl ExecStats {
         for (mine, theirs) in self.per_worker.iter_mut().zip(&other.per_worker) {
             *mine += theirs;
         }
+        self.rounds += other.rounds;
+        self.triggers_enumerated += other.triggers_enumerated;
+        self.triggers_fired += other.triggers_fired;
+        self.postings_reused += other.postings_reused;
+        self.postings_rebuilt += other.postings_rebuilt;
+        self.delta_facts += other.delta_facts;
     }
 
     /// Load balance in `[0, 1]`: mean worker load over max worker load.
@@ -165,6 +186,7 @@ where
             workers: 1,
             tasks: out.len() as u64,
             per_worker: vec![out.len() as u64],
+            ..Default::default()
         };
         return (out, stats);
     }
@@ -210,6 +232,7 @@ where
         workers: threads,
         tasks: out.len() as u64,
         per_worker,
+        ..Default::default()
     };
     (out, stats)
 }
@@ -270,15 +293,30 @@ mod tests {
             workers: 2,
             tasks: 4,
             per_worker: vec![2, 2],
+            triggers_enumerated: 10,
+            postings_reused: 3,
+            ..Default::default()
         };
         let b = ExecStats {
             workers: 4,
             tasks: 8,
             per_worker: vec![2, 2, 2, 2],
+            rounds: 2,
+            triggers_enumerated: 5,
+            triggers_fired: 4,
+            postings_rebuilt: 1,
+            delta_facts: 7,
+            ..Default::default()
         };
         a.absorb(&b);
         assert_eq!(a.workers, 4);
         assert_eq!(a.tasks, 12);
         assert_eq!(a.per_worker, vec![4, 4, 2, 2]);
+        assert_eq!(a.rounds, 2);
+        assert_eq!(a.triggers_enumerated, 15);
+        assert_eq!(a.triggers_fired, 4);
+        assert_eq!(a.postings_reused, 3);
+        assert_eq!(a.postings_rebuilt, 1);
+        assert_eq!(a.delta_facts, 7);
     }
 }

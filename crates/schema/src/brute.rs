@@ -55,7 +55,7 @@ pub fn brute_force_matches(
     // Candidate values: the target's active domain plus any pre-fixed
     // values (a fixed value outside the domain can still satisfy a
     // pattern whose facts don't mention the variable).
-    let mut domain: BTreeSet<Value> = target.active_domain();
+    let mut domain: BTreeSet<Value> = (*target.active_domain()).clone();
     for &(_, v) in &constraints.fixed {
         domain.insert(v);
     }

@@ -57,7 +57,7 @@ impl From<&Instance> for InstanceData {
                         f.args
                             .iter()
                             .map(|v| match v {
-                                Value::Const(c) => c.name(),
+                                Value::Const(c) => c.with_name(str::to_owned),
                                 Value::Null(n) => format!("N{}", n.0),
                             })
                             .collect(),

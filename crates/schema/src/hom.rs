@@ -15,15 +15,23 @@
 //! [`Assignment`]s against a target [`Instance`].
 //!
 //! The search picks, at every step, the pattern fact with the fewest
-//! consistent candidate tuples (fail-first). Relations that one engine
-//! scans repeatedly get a lazily-built per-position value index
-//! (`TargetIndex`); short-lived engines (the chase's per-trigger
-//! satisfaction probes) never pay for index construction.
+//! consistent candidate tuples (fail-first). Candidate lookup uses the
+//! target's incrementally-maintained per-`(relation, position)` posting
+//! lists ([`crate::FactStore`]) whenever some position of the pattern
+//! fact is bound; posting lists are kept in canonical tuple order, so the
+//! indexed enumeration is byte-identical to a filtered relation scan.
+//! An engine can additionally be restricted to one *delta atom*
+//! ([`MatchEngine::with_delta_atom`]): that pattern fact then draws its
+//! candidates from the facts inserted since the target's last
+//! `begin_round()`, which is what semi-naive chase rounds use to
+//! enumerate only triggers touching at least one new fact.
 
 use crate::instance::Instance;
 use crate::schema::RelId;
+use crate::store::TupleId;
 use crate::value::{NullId, Value};
-use std::collections::{BTreeMap, HashMap};
+use std::cell::Cell;
+use std::collections::BTreeMap;
 
 /// Index of a match variable within a [`Pattern`].
 pub type VarIdx = u32;
@@ -68,7 +76,7 @@ impl Pattern {
     /// variable. Returns the pattern and the nulls in variable order, so
     /// `vars[i]` is the null represented by variable `i`.
     pub fn from_instance(instance: &Instance) -> (Pattern, Vec<NullId>) {
-        let nulls: Vec<NullId> = instance.nulls().into_iter().collect();
+        let nulls: Vec<NullId> = instance.nulls().iter().copied().collect();
         let index: BTreeMap<NullId, VarIdx> = nulls
             .iter()
             .enumerate()
@@ -144,65 +152,19 @@ impl Assignment {
     }
 }
 
-/// Lazily-built per-relation, per-position value index over the target.
-///
-/// `postings[rel][pos][value]` lists the tuples of `rel` whose `pos`-th
-/// component is `value`. Building the index costs a pass over the
-/// relation, which only pays off for engines that scan the same relation
-/// many times (trigger enumeration over large instances). Short-lived
-/// engines — the chase's per-trigger satisfaction probes — never reach
-/// the scan threshold and keep using direct scans of the B-tree.
-/// Posting lists of one relation: per position, value → tuples.
-type Postings<'a> = Vec<HashMap<Value, Vec<&'a Vec<Value>>>>;
-
-struct TargetIndex<'a> {
-    postings: Vec<std::cell::OnceCell<Postings<'a>>>,
-    scans: Vec<std::cell::Cell<u32>>,
-}
-
-/// Scans of one relation before its index is built.
-const INDEX_SCAN_THRESHOLD: u32 = 4;
-/// Relations smaller than this are never indexed (scans are cheap).
-const INDEX_MIN_TUPLES: usize = 16;
-
-impl<'a> TargetIndex<'a> {
-    fn new(nrels: usize) -> Self {
-        TargetIndex {
-            postings: (0..nrels).map(|_| std::cell::OnceCell::new()).collect(),
-            scans: (0..nrels).map(|_| std::cell::Cell::new(0)).collect(),
-        }
-    }
-
-    /// The posting lists of `rel`, building them if this relation has
-    /// been scanned often enough to amortize the construction.
-    fn postings_for(&self, target: &'a Instance, rel: RelId) -> Option<&Postings<'a>> {
-        if let Some(built) = self.postings[rel.index()].get() {
-            return Some(built);
-        }
-        let scans = &self.scans[rel.index()];
-        scans.set(scans.get() + 1);
-        if scans.get() <= INDEX_SCAN_THRESHOLD || target.rel_len(rel) < INDEX_MIN_TUPLES {
-            return None;
-        }
-        let arity = target.schema().arity(rel);
-        Some(self.postings[rel.index()].get_or_init(|| {
-            let mut maps: Postings<'a> = vec![HashMap::new(); arity];
-            for t in target.tuples(rel) {
-                for (pos, &v) in t.iter().enumerate() {
-                    maps[pos].entry(v).or_default().push(t);
-                }
-            }
-            maps
-        }))
-    }
-}
-
 /// Backtracking matcher of a [`Pattern`] against an [`Instance`].
 pub struct MatchEngine<'a> {
     pattern: &'a Pattern,
     target: &'a Instance,
     constraints: &'a MatchConstraints,
-    index: TargetIndex<'a>,
+    /// When set, this pattern fact draws candidates from the target's
+    /// current delta instead of the whole relation (semi-naive rounds).
+    delta_atom: Option<usize>,
+    /// Candidate queries served from a posting list.
+    postings_reused: Cell<u64>,
+    /// Candidate queries that had to scan a whole relation (no position
+    /// bound, so no posting list applies).
+    postings_rebuilt: Cell<u64>,
 }
 
 impl<'a> MatchEngine<'a> {
@@ -213,13 +175,29 @@ impl<'a> MatchEngine<'a> {
         target: &'a Instance,
         constraints: &'a MatchConstraints,
     ) -> Self {
-        let index = TargetIndex::new(target.schema().len());
         MatchEngine {
             pattern,
             target,
             constraints,
-            index,
+            delta_atom: None,
+            postings_reused: Cell::new(0),
+            postings_rebuilt: Cell::new(0),
         }
+    }
+
+    /// Restrict pattern fact `atom` (an index into `pattern.facts`) to
+    /// candidates from the target's per-round delta. Matches found by
+    /// this engine then all touch at least one delta fact at that atom.
+    pub fn with_delta_atom(mut self, atom: Option<usize>) -> Self {
+        self.delta_atom = atom;
+        self
+    }
+
+    /// Index-usage counters: `(postings_reused, postings_rebuilt)` —
+    /// candidate queries served by a store posting list vs. full
+    /// relation scans (no position bound).
+    pub fn posting_counters(&self) -> (u64, u64) {
+        (self.postings_reused.get(), self.postings_rebuilt.get())
     }
 
     /// Does any complete match exist?
@@ -339,69 +317,77 @@ impl<'a> MatchEngine<'a> {
         true
     }
 
-    /// Candidate tuples of `fact` consistent with `assignment`, capped at
-    /// `cap` (for fail-first counting). Uses the lazily-built posting
-    /// lists when a position is bound and the relation is hot enough;
-    /// falls back to scanning the relation.
+    /// Candidate tuples of pattern fact `fact_idx` consistent with
+    /// `assignment`, capped at `cap` (for fail-first counting). Consults
+    /// the store's incrementally-maintained posting lists whenever some
+    /// position is bound; posting lists are in canonical tuple order, so
+    /// the result (set *and* order) equals a filtered scan of the
+    /// relation. Falls back to scanning only when no position is bound.
     fn candidates(
         &self,
-        fact: &PatFact,
+        fact_idx: usize,
         assignment: &Assignment,
         cap: usize,
     ) -> Vec<&'a Vec<Value>> {
+        let fact = &self.pattern.facts[fact_idx];
+        let store = self.target.store();
+        let rel = fact.rel.index();
         let mut out = Vec::new();
-        // The index can only narrow the scan when some position is bound.
-        let any_bound = fact.args.iter().any(|term| match *term {
-            PatTerm::Value(_) => true,
-            PatTerm::Var(var) => assignment.get(var).is_some(),
-        });
-        if let Some(postings) = any_bound
-            .then(|| self.index.postings_for(self.target, fact.rel))
-            .flatten()
-        {
-            // Narrowest posting list among the bound positions.
-            let mut best: Option<&[&'a Vec<Value>]> = None;
-            for (pos, term) in fact.args.iter().enumerate() {
-                let bound = match *term {
-                    PatTerm::Value(v) => Some(v),
-                    PatTerm::Var(var) => assignment.get(var),
-                };
-                if let Some(v) = bound {
-                    let list = postings[pos].get(&v).map(|l| l.as_slice()).unwrap_or(&[]);
-                    if best.is_none_or(|b: &[_]| list.len() < b.len()) {
-                        best = Some(list);
-                    }
-                }
-            }
-            match best {
-                Some(list) => {
-                    for &tuple in list {
-                        if Self::tuple_consistent(fact, assignment, tuple) {
-                            out.push(tuple);
-                            if out.len() >= cap {
-                                break;
-                            }
-                        }
-                    }
-                }
-                None => {
-                    for tuple in self.target.tuples(fact.rel) {
-                        if Self::tuple_consistent(fact, assignment, tuple) {
-                            out.push(tuple);
-                            if out.len() >= cap {
-                                break;
-                            }
-                        }
+        if self.target.schema().arity(fact.rel) != fact.args.len() {
+            // Arity-mismatched pattern facts never match (and have no
+            // valid posting position to consult).
+            return out;
+        }
+        if self.delta_atom == Some(fact_idx) {
+            // Semi-naive restriction: candidates come from the facts
+            // inserted since the target's last `begin_round()`.
+            for &id in store.delta_ids(rel) {
+                let tuple = store.tuple(rel, id);
+                if Self::tuple_consistent(fact, assignment, tuple) {
+                    out.push(tuple);
+                    if out.len() >= cap {
+                        break;
                     }
                 }
             }
             return out;
         }
-        for tuple in self.target.tuples(fact.rel) {
-            if Self::tuple_consistent(fact, assignment, tuple) {
-                out.push(tuple);
-                if out.len() >= cap {
-                    break;
+        // Narrowest posting list among the bound positions.
+        let mut best: Option<&'a [TupleId]> = None;
+        for (pos, term) in fact.args.iter().enumerate() {
+            let bound = match *term {
+                PatTerm::Value(v) => Some(v),
+                PatTerm::Var(var) => assignment.get(var),
+            };
+            if let Some(v) = bound {
+                let list = store.posting(rel, pos, v);
+                if best.is_none_or(|b: &[_]| list.len() < b.len()) {
+                    best = Some(list);
+                }
+            }
+        }
+        match best {
+            Some(list) => {
+                self.postings_reused.set(self.postings_reused.get() + 1);
+                for &id in list {
+                    let tuple = store.tuple(rel, id);
+                    if Self::tuple_consistent(fact, assignment, tuple) {
+                        out.push(tuple);
+                        if out.len() >= cap {
+                            break;
+                        }
+                    }
+                }
+            }
+            None => {
+                self.postings_rebuilt.set(self.postings_rebuilt.get() + 1);
+                for tuple in self.target.tuples(fact.rel) {
+                    if Self::tuple_consistent(fact, assignment, tuple) {
+                        out.push(tuple);
+                        if out.len() >= cap {
+                            break;
+                        }
+                    }
                 }
             }
         }
@@ -426,7 +412,7 @@ impl<'a> MatchEngine<'a> {
         let fact_idx = remaining[pick_pos];
         remaining.swap_remove(pick_pos);
         let fact = &self.pattern.facts[fact_idx];
-        let cands = self.candidates(fact, assignment, usize::MAX);
+        let cands = self.candidates(fact_idx, assignment, usize::MAX);
         for tuple in cands {
             // Extend the assignment; record which vars we newly bind.
             let mut newly: Vec<VarIdx> = Vec::new();
@@ -471,9 +457,7 @@ impl<'a> MatchEngine<'a> {
         const COUNT_CAP: usize = 8;
         let mut best: Option<(usize, usize)> = None;
         for (pos, &idx) in remaining.iter().enumerate() {
-            let n = self
-                .candidates(&self.pattern.facts[idx], assignment, COUNT_CAP)
-                .len();
+            let n = self.candidates(idx, assignment, COUNT_CAP).len();
             match best {
                 Some((_, bn)) if bn <= n => {}
                 _ => best = Some((pos, n)),
@@ -645,13 +629,9 @@ mod tests {
     fn engine_reuse_after_early_exit_is_stateless() {
         // `exists`/`first` stop the search mid-enumeration by returning
         // `false` from the callback; the unwinding at that early-exit
-        // point must restore `assignment` and `remaining` exactly, and
-        // the only state that persists across calls on one engine — the
-        // lazily-built target index — must never change the match set.
-        // 20 tuples and repeated calls push the relation past
-        // INDEX_SCAN_THRESHOLD between the first call and the last, so
-        // this exercises the scan path and the indexed path on the same
-        // engine instance.
+        // point must restore `assignment` and `remaining` exactly, so
+        // repeated and partial enumerations on one engine instance all
+        // agree with a fresh engine.
         let s = Schema::parse("E/2").unwrap();
         let mut text = String::new();
         for k in 0..20 {
@@ -692,6 +672,74 @@ mod tests {
         }
         assert_eq!(engine.all(), fresh);
         assert!(engine.exists());
+    }
+
+    #[test]
+    fn delta_atom_restricts_one_fact_to_the_round_delta() {
+        let s = Schema::parse("E/2").unwrap();
+        let mut b = inst(&s, "E(a,b) E(b,c)");
+        b.begin_round();
+        b.insert_consts("E", &["c", "d"]).unwrap();
+        let e = s.rel("E").unwrap();
+        // E(x,y) & E(y,z): with atom 1 delta-restricted only joins whose
+        // *second* atom is the new fact E(c,d) survive.
+        let pattern = Pattern {
+            facts: vec![
+                PatFact {
+                    rel: e,
+                    args: vec![PatTerm::Var(0), PatTerm::Var(1)],
+                },
+                PatFact {
+                    rel: e,
+                    args: vec![PatTerm::Var(1), PatTerm::Var(2)],
+                },
+            ],
+            nvars: 3,
+        };
+        let c = MatchConstraints::default();
+        let full = MatchEngine::new(&pattern, &b, &c).all();
+        assert_eq!(full.len(), 2); // (a,b,c) and (b,c,d)
+        let engine = MatchEngine::new(&pattern, &b, &c).with_delta_atom(Some(1));
+        let delta = engine.all();
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta[0].value(0), Value::constant("b"));
+        assert_eq!(delta[0].value(2), Value::constant("d"));
+        // Atom 0 delta-restricted: only (c,d,?) joins, and none complete.
+        let engine = MatchEngine::new(&pattern, &b, &c).with_delta_atom(Some(0));
+        assert!(engine.all().is_empty());
+        // After another begin_round the delta is empty: no matches at all.
+        b.begin_round();
+        let engine = MatchEngine::new(&pattern, &b, &c).with_delta_atom(Some(1));
+        assert!(engine.all().is_empty());
+    }
+
+    #[test]
+    fn posting_counters_track_index_usage() {
+        let s = Schema::parse("E/2").unwrap();
+        let b = inst(&s, "E(a,b) E(b,c) E(c,d)");
+        let e = s.rel("E").unwrap();
+        let pattern = Pattern {
+            facts: vec![
+                PatFact {
+                    rel: e,
+                    args: vec![PatTerm::Var(0), PatTerm::Var(1)],
+                },
+                PatFact {
+                    rel: e,
+                    args: vec![PatTerm::Var(1), PatTerm::Var(2)],
+                },
+            ],
+            nvars: 3,
+        };
+        let c = MatchConstraints::default();
+        let engine = MatchEngine::new(&pattern, &b, &c);
+        assert_eq!(engine.posting_counters(), (0, 0));
+        engine.all();
+        let (reused, rebuilt) = engine.posting_counters();
+        // The join step always has a bound position, so posting lists
+        // serve it; only the unbound first atom pays a relation scan.
+        assert!(reused > 0);
+        assert!(rebuilt > 0);
     }
 
     #[test]

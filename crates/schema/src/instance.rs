@@ -1,7 +1,10 @@
 //! Instances: finite relational structures over `Const ∪ Var` (§2).
 //!
-//! Tuples are stored per relation in `BTreeSet`s, so iteration order is
-//! deterministic (constants sort before nulls; see [`crate::Value`]). An
+//! Tuples live in a [`FactStore`], which keeps each relation in canonical
+//! (lexicographic) tuple order, so iteration order is deterministic
+//! (constants sort before nulls; see [`crate::Value`]). The store also
+//! maintains per-position posting lists incrementally and tracks a
+//! generation counter plus a per-round delta — see [`crate::store`]. An
 //! instance always carries its [`Schema`] and validates arities on insert.
 //!
 //! ## Textual format
@@ -16,9 +19,11 @@
 use crate::error::SchemaError;
 use crate::fact::Fact;
 use crate::schema::{RelId, Schema};
+use crate::store::FactStore;
 use crate::value::{NullId, Value};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 /// A finite instance over a schema, with values in `Const ∪ Var`.
 ///
@@ -34,14 +39,37 @@ use std::fmt;
 #[derive(Clone, PartialEq, Eq)]
 pub struct Instance {
     schema: Schema,
-    relations: Vec<BTreeSet<Vec<Value>>>,
+    store: FactStore,
 }
 
 impl Instance {
     /// The empty instance over `schema`.
     pub fn new(schema: Schema) -> Self {
-        let relations = (0..schema.len()).map(|_| BTreeSet::new()).collect();
-        Instance { schema, relations }
+        let arities: Vec<usize> = schema.rel_ids().map(|r| schema.arity(r)).collect();
+        let store = FactStore::new(&arities);
+        Instance { schema, store }
+    }
+
+    /// The underlying [`FactStore`] (posting lists, delta, generation).
+    pub fn store(&self) -> &FactStore {
+        &self.store
+    }
+
+    /// The store generation: bumped on every successful insert/remove.
+    pub fn generation(&self) -> u64 {
+        self.store.generation()
+    }
+
+    /// Start a new chase round: facts inserted from now on form the new
+    /// delta (see [`FactStore::begin_round`]).
+    pub fn begin_round(&mut self) {
+        self.store.begin_round();
+    }
+
+    /// Total number of facts inserted since the last
+    /// [`begin_round`](Instance::begin_round).
+    pub fn delta_len(&self) -> usize {
+        self.store.delta_len()
     }
 
     /// The schema this instance is over.
@@ -61,7 +89,7 @@ impl Instance {
                 got: args.len(),
             });
         }
-        Ok(self.relations[rel.index()].insert(args))
+        Ok(self.store.insert(rel.index(), args))
     }
 
     /// Insert a [`Fact`].
@@ -78,7 +106,7 @@ impl Instance {
 
     /// Does the instance contain the given tuple in `rel`?
     pub fn contains(&self, rel: RelId, args: &[Value]) -> bool {
-        self.relations[rel.index()].contains(args)
+        self.store.contains(rel.index(), args)
     }
 
     /// Does the instance contain the fact?
@@ -88,36 +116,36 @@ impl Instance {
 
     /// Remove a fact; returns whether it was present.
     pub fn remove_fact(&mut self, fact: &Fact) -> bool {
-        self.relations[fact.rel.index()].remove(&fact.args)
+        self.store.remove(fact.rel.index(), &fact.args)
     }
 
     /// The tuples of one relation, in deterministic order.
     pub fn tuples(&self, rel: RelId) -> impl Iterator<Item = &Vec<Value>> + '_ {
-        self.relations[rel.index()].iter()
+        self.store.tuples(rel.index())
     }
 
     /// Number of tuples in `rel`.
     pub fn rel_len(&self, rel: RelId) -> usize {
-        self.relations[rel.index()].len()
+        self.store.rel_len(rel.index())
     }
 
     /// All facts of the instance, grouped by relation, deterministic order.
     pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
         self.schema.rel_ids().flat_map(move |rel| {
-            self.relations[rel.index()]
-                .iter()
+            self.store
+                .tuples(rel.index())
                 .map(move |t| Fact::new(rel, t.clone()))
         })
     }
 
     /// Total number of facts.
     pub fn fact_count(&self) -> usize {
-        self.relations.iter().map(|r| r.len()).sum()
+        self.store.len()
     }
 
     /// True when the instance has no facts.
     pub fn is_empty(&self) -> bool {
-        self.relations.iter().all(|r| r.is_empty())
+        self.store.is_empty()
     }
 
     /// True when the instance is *ground* (null-free), the property the
@@ -128,25 +156,23 @@ impl Instance {
 
     /// Iterate over every value occurrence (with repetition).
     pub fn values(&self) -> impl Iterator<Item = Value> + '_ {
-        self.relations
-            .iter()
-            .flat_map(|r| r.iter())
+        (0..self.store.num_rels())
+            .flat_map(|rel| self.store.tuples(rel))
             .flat_map(|t| t.iter().copied())
     }
 
     /// The active domain: the set of values occurring in the instance.
-    pub fn active_domain(&self) -> BTreeSet<Value> {
-        self.values().collect()
+    ///
+    /// Cached in the store, invalidated by the generation counter; a
+    /// repeated call on an unchanged instance is a clone of an `Arc`.
+    pub fn active_domain(&self) -> Arc<BTreeSet<Value>> {
+        self.store.active_domain()
     }
 
-    /// The nulls occurring in the instance.
-    pub fn nulls(&self) -> BTreeSet<NullId> {
-        self.values()
-            .filter_map(|v| match v {
-                Value::Null(n) => Some(n),
-                Value::Const(_) => None,
-            })
-            .collect()
+    /// The nulls occurring in the instance (cached like
+    /// [`active_domain`](Instance::active_domain)).
+    pub fn nulls(&self) -> Arc<BTreeSet<NullId>> {
+        self.store.nulls()
     }
 
     /// A null id strictly greater than every null in the instance
@@ -161,10 +187,9 @@ impl Instance {
             return Err(SchemaError::SchemaMismatch);
         }
         Ok(self
-            .relations
-            .iter()
-            .zip(&other.relations)
-            .all(|(a, b)| a.is_subset(b)))
+            .schema
+            .rel_ids()
+            .all(|rel| self.tuples(rel).all(|t| other.contains(rel, t))))
     }
 
     /// The union `self ∪ other` (same schema required).
@@ -176,9 +201,9 @@ impl Instance {
             return Err(SchemaError::SchemaMismatch);
         }
         let mut out = self.clone();
-        for (mine, theirs) in out.relations.iter_mut().zip(&other.relations) {
-            for t in theirs {
-                mine.insert(t.clone());
+        for rel in self.schema.rel_ids() {
+            for t in other.tuples(rel) {
+                out.store.insert(rel.index(), t.clone());
             }
         }
         Ok(out)
@@ -197,9 +222,10 @@ impl Instance {
     /// (null renamings also use this hook).
     pub fn map_values(&self, mut f: impl FnMut(Value) -> Value) -> Instance {
         let mut out = Instance::new(self.schema.clone());
-        for (rel_set, out_set) in self.relations.iter().zip(out.relations.iter_mut()) {
-            for t in rel_set {
-                out_set.insert(t.iter().map(|&v| f(v)).collect());
+        for rel in self.schema.rel_ids() {
+            for t in self.tuples(rel) {
+                out.store
+                    .insert(rel.index(), t.iter().map(|&v| f(v)).collect());
             }
         }
         out

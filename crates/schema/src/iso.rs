@@ -25,10 +25,16 @@ pub fn is_isomorphic(a: &Instance, b: &Instance) -> bool {
             return false;
         }
     }
-    let (a_consts, a_nulls): (Vec<Value>, Vec<Value>) =
-        a.active_domain().into_iter().partition(|v| v.is_const());
-    let (b_consts, b_nulls): (Vec<Value>, Vec<Value>) =
-        b.active_domain().into_iter().partition(|v| v.is_const());
+    let (a_consts, a_nulls): (Vec<Value>, Vec<Value>) = a
+        .active_domain()
+        .iter()
+        .copied()
+        .partition(|v| v.is_const());
+    let (b_consts, b_nulls): (Vec<Value>, Vec<Value>) = b
+        .active_domain()
+        .iter()
+        .copied()
+        .partition(|v| v.is_const());
     if a_consts != b_consts || a_nulls.len() != b_nulls.len() {
         return false;
     }

@@ -32,6 +32,7 @@ pub mod hom;
 pub mod instance;
 pub mod iso;
 pub mod schema;
+pub mod store;
 pub mod value;
 
 pub use brute::{brute_force_matches, engine_matches};
@@ -45,4 +46,5 @@ pub use hom::{
 pub use instance::Instance;
 pub use iso::is_isomorphic;
 pub use schema::{RelId, RelSym, Schema};
+pub use store::{FactStore, TupleId};
 pub use value::{ConstId, NullId, Value};

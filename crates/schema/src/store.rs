@@ -1,0 +1,383 @@
+//! Incremental fact storage: canonical tuple order, per-position posting
+//! lists, and a per-round delta.
+//!
+//! [`FactStore`] is the tuple storage behind [`crate::Instance`]. Three
+//! invariants make it more than a set of `BTreeSet`s:
+//!
+//! * **Canonical order** — each relation keeps its tuples in a
+//!   `BTreeMap` keyed by the tuple itself, so iteration order is the
+//!   lexicographic tuple order (constants before nulls, see
+//!   [`crate::Value`]). This is the PR-1 determinism contract: every
+//!   consumer that enumerates tuples sees the same order the old
+//!   `BTreeSet` storage produced.
+//! * **Incremental postings** — for every `(relation, position)` pair, a
+//!   posting list maps a value to the tuples carrying it at that
+//!   position, *maintained on insert/remove* rather than rebuilt by each
+//!   `MatchEngine`. Posting lists store tuple ids kept sorted by the
+//!   tuple order, so iterating a posting list visits the same tuples in
+//!   the same order a filtered scan of the relation would — an indexed
+//!   match enumeration is byte-identical to an unindexed one.
+//! * **Generation + delta** — a monotone [`generation`](FactStore::generation)
+//!   counter ticks on every successful insert or remove (cache
+//!   invalidation for derived values such as the active domain), and
+//!   each relation records the *delta*: the tuples inserted since the
+//!   last [`begin_round`](FactStore::begin_round). Semi-naive chase
+//!   rounds restrict trigger enumeration to matches that touch at least
+//!   one delta tuple.
+
+use crate::value::{NullId, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::{Arc, Mutex};
+
+/// Identifier of a tuple within one relation's arena (stable across
+/// inserts; never reused within a store's lifetime).
+pub type TupleId = u32;
+
+/// Storage of a single relation: arena + canonical index + postings +
+/// delta.
+#[derive(Clone, Debug, Default)]
+struct RelStore {
+    /// Append-only tuple arena; `None` marks a removed tuple (removal is
+    /// rare — core computation and egd repair only).
+    arena: Vec<Option<Vec<Value>>>,
+    /// Canonical index: tuple → arena id, iterated in tuple order.
+    sorted: BTreeMap<Vec<Value>, TupleId>,
+    /// `postings[pos][value]` = ids of live tuples whose `pos`-th
+    /// component is `value`, kept sorted by tuple order.
+    postings: Vec<HashMap<Value, Vec<TupleId>>>,
+    /// Ids inserted since the last `begin_round`, sorted by tuple order.
+    delta: Vec<TupleId>,
+}
+
+impl RelStore {
+    fn new(arity: usize) -> Self {
+        RelStore {
+            arena: Vec::new(),
+            sorted: BTreeMap::new(),
+            postings: vec![HashMap::new(); arity],
+            delta: Vec::new(),
+        }
+    }
+
+    fn tuple(&self, id: TupleId) -> &Vec<Value> {
+        self.arena[id as usize].as_ref().expect("live tuple id")
+    }
+
+    fn insert(&mut self, tuple: Vec<Value>) -> bool {
+        if self.sorted.contains_key(&tuple) {
+            return false;
+        }
+        let id = TupleId::try_from(self.arena.len()).expect("tuple arena overflow");
+        let arena = &self.arena;
+        let by_tuple = |probe: &TupleId| arena[*probe as usize].as_ref().expect("live") < &tuple;
+        for (pos, map) in self.postings.iter_mut().enumerate() {
+            let list = map.entry(tuple[pos]).or_default();
+            let at = list.partition_point(by_tuple);
+            list.insert(at, id);
+        }
+        let at = self.delta.partition_point(by_tuple);
+        self.delta.insert(at, id);
+        self.sorted.insert(tuple.clone(), id);
+        self.arena.push(Some(tuple));
+        true
+    }
+
+    fn remove(&mut self, tuple: &[Value]) -> bool {
+        let Some(id) = self.sorted.remove(tuple) else {
+            return false;
+        };
+        for (pos, map) in self.postings.iter_mut().enumerate() {
+            if let Some(list) = map.get_mut(&tuple[pos]) {
+                list.retain(|&t| t != id);
+                if list.is_empty() {
+                    map.remove(&tuple[pos]);
+                }
+            }
+        }
+        self.delta.retain(|&t| t != id);
+        self.arena[id as usize] = None;
+        true
+    }
+}
+
+/// Cached derived value, invalidated by the store generation.
+type Cached<T> = Mutex<Option<(u64, Arc<T>)>>;
+
+/// Incremental tuple storage for all relations of one schema (see the
+/// module docs for the invariants).
+///
+/// The store knows only relation *arities*; names and `RelId` resolution
+/// stay in [`crate::Schema`]. Relations are addressed by index.
+#[derive(Debug, Default)]
+pub struct FactStore {
+    rels: Vec<RelStore>,
+    generation: u64,
+    adom_cache: Cached<BTreeSet<Value>>,
+    nulls_cache: Cached<BTreeSet<NullId>>,
+}
+
+impl Clone for FactStore {
+    fn clone(&self) -> Self {
+        FactStore {
+            rels: self.rels.clone(),
+            generation: self.generation,
+            adom_cache: Mutex::new(self.adom_cache.lock().expect("cache lock").clone()),
+            nulls_cache: Mutex::new(self.nulls_cache.lock().expect("cache lock").clone()),
+        }
+    }
+}
+
+impl PartialEq for FactStore {
+    /// Equality is *fact-set* equality: tuple ids, postings, deltas and
+    /// generations are evaluation state, not part of the value.
+    fn eq(&self, other: &Self) -> bool {
+        self.rels.len() == other.rels.len()
+            && self.rels.iter().zip(&other.rels).all(|(a, b)| {
+                a.sorted.len() == b.sorted.len() && a.sorted.keys().eq(b.sorted.keys())
+            })
+    }
+}
+
+impl Eq for FactStore {}
+
+impl FactStore {
+    /// Empty store for relations with the given arities.
+    pub fn new(arities: &[usize]) -> Self {
+        FactStore {
+            rels: arities.iter().map(|&a| RelStore::new(a)).collect(),
+            generation: 0,
+            adom_cache: Mutex::new(None),
+            nulls_cache: Mutex::new(None),
+        }
+    }
+
+    /// Monotone counter, bumped on every successful insert or remove.
+    /// Lets derived-value caches (active domain, nulls) detect staleness.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Insert `tuple` into relation `rel`; returns `true` when new.
+    /// The caller (i.e. [`crate::Instance`]) is responsible for arity
+    /// checking.
+    pub fn insert(&mut self, rel: usize, tuple: Vec<Value>) -> bool {
+        let added = self.rels[rel].insert(tuple);
+        if added {
+            self.generation += 1;
+        }
+        added
+    }
+
+    /// Remove `tuple` from relation `rel`; returns whether it was present.
+    pub fn remove(&mut self, rel: usize, tuple: &[Value]) -> bool {
+        let removed = self.rels[rel].remove(tuple);
+        if removed {
+            self.generation += 1;
+        }
+        removed
+    }
+
+    /// Does relation `rel` contain `tuple`?
+    pub fn contains(&self, rel: usize, tuple: &[Value]) -> bool {
+        self.rels[rel].sorted.contains_key(tuple)
+    }
+
+    /// The tuples of relation `rel` in canonical (lexicographic) order.
+    pub fn tuples(&self, rel: usize) -> impl Iterator<Item = &Vec<Value>> + '_ {
+        self.rels[rel].sorted.keys()
+    }
+
+    /// Number of tuples in relation `rel`.
+    pub fn rel_len(&self, rel: usize) -> usize {
+        self.rels[rel].sorted.len()
+    }
+
+    /// Number of relations.
+    pub fn num_rels(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Total number of tuples.
+    pub fn len(&self) -> usize {
+        self.rels.iter().map(|r| r.sorted.len()).sum()
+    }
+
+    /// True when no relation has tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rels.iter().all(|r| r.sorted.is_empty())
+    }
+
+    /// The tuple behind an id from a posting or delta list.
+    pub fn tuple(&self, rel: usize, id: TupleId) -> &Vec<Value> {
+        self.rels[rel].tuple(id)
+    }
+
+    /// The posting list of `(rel, pos, value)`: ids of the tuples whose
+    /// `pos`-th component is `value`, sorted by tuple order (so walking a
+    /// posting list visits tuples in the same order a filtered relation
+    /// scan would).
+    pub fn posting(&self, rel: usize, pos: usize, value: Value) -> &[TupleId] {
+        self.rels[rel].postings[pos]
+            .get(&value)
+            .map(|l| l.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Start a new round: clear every relation's delta. Facts inserted
+    /// after this call form the next delta.
+    pub fn begin_round(&mut self) {
+        for r in &mut self.rels {
+            r.delta.clear();
+        }
+    }
+
+    /// Ids of relation `rel`'s tuples inserted since the last
+    /// [`begin_round`](FactStore::begin_round), sorted by tuple order.
+    pub fn delta_ids(&self, rel: usize) -> &[TupleId] {
+        &self.rels[rel].delta
+    }
+
+    /// Total delta size across relations.
+    pub fn delta_len(&self) -> usize {
+        self.rels.iter().map(|r| r.delta.len()).sum()
+    }
+
+    /// The set of values occurring in the store, cached until the
+    /// generation changes.
+    pub fn active_domain(&self) -> Arc<BTreeSet<Value>> {
+        let mut cache = self.adom_cache.lock().expect("cache lock");
+        if let Some((gen, ref set)) = *cache {
+            if gen == self.generation {
+                return Arc::clone(set);
+            }
+        }
+        let set: Arc<BTreeSet<Value>> = Arc::new(
+            self.rels
+                .iter()
+                .flat_map(|r| r.sorted.keys())
+                .flat_map(|t| t.iter().copied())
+                .collect(),
+        );
+        *cache = Some((self.generation, Arc::clone(&set)));
+        set
+    }
+
+    /// The set of nulls occurring in the store, cached until the
+    /// generation changes.
+    pub fn nulls(&self) -> Arc<BTreeSet<NullId>> {
+        let mut cache = self.nulls_cache.lock().expect("cache lock");
+        if let Some((gen, ref set)) = *cache {
+            if gen == self.generation {
+                return Arc::clone(set);
+            }
+        }
+        let set: Arc<BTreeSet<NullId>> = Arc::new(
+            self.active_domain()
+                .iter()
+                .filter_map(|v| match v {
+                    Value::Null(n) => Some(*n),
+                    Value::Const(_) => None,
+                })
+                .collect(),
+        );
+        *cache = Some((self.generation, Arc::clone(&set)));
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(name: &str) -> Value {
+        Value::constant(name)
+    }
+
+    #[test]
+    fn insert_dedup_and_canonical_order() {
+        let mut s = FactStore::new(&[2]);
+        assert!(s.insert(0, vec![v("b"), v("x")]));
+        assert!(s.insert(0, vec![v("a"), v("y")]));
+        assert!(!s.insert(0, vec![v("a"), v("y")]));
+        let tuples: Vec<&Vec<Value>> = s.tuples(0).collect();
+        assert_eq!(tuples, [&vec![v("a"), v("y")], &vec![v("b"), v("x")]]);
+        assert_eq!(s.rel_len(0), 2);
+    }
+
+    #[test]
+    fn postings_track_inserts_in_tuple_order() {
+        let mut s = FactStore::new(&[2]);
+        s.insert(0, vec![v("b"), v("m")]);
+        s.insert(0, vec![v("a"), v("m")]);
+        s.insert(0, vec![v("c"), v("n")]);
+        let at_m: Vec<&Vec<Value>> = s
+            .posting(0, 1, v("m"))
+            .iter()
+            .map(|&id| s.tuple(0, id))
+            .collect();
+        // Posting order equals a filtered scan of the canonical order.
+        assert_eq!(at_m, [&vec![v("a"), v("m")], &vec![v("b"), v("m")]]);
+        assert!(s.posting(0, 1, v("zzz")).is_empty());
+    }
+
+    #[test]
+    fn remove_purges_postings_and_delta() {
+        let mut s = FactStore::new(&[1]);
+        s.insert(0, vec![v("a")]);
+        s.insert(0, vec![v("b")]);
+        assert!(s.remove(0, &[v("a")]));
+        assert!(!s.remove(0, &[v("a")]));
+        assert!(s.posting(0, 0, v("a")).is_empty());
+        assert_eq!(s.delta_ids(0).len(), 1);
+        assert!(!s.contains(0, &[v("a")]));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn delta_tracks_rounds() {
+        let mut s = FactStore::new(&[1]);
+        s.insert(0, vec![v("a")]);
+        assert_eq!(s.delta_len(), 1);
+        s.begin_round();
+        assert_eq!(s.delta_len(), 0);
+        s.insert(0, vec![v("b")]);
+        s.insert(0, vec![v("a")]); // duplicate: not part of the delta
+        assert_eq!(s.delta_len(), 1);
+        assert_eq!(s.tuple(0, s.delta_ids(0)[0]), &vec![v("b")]);
+    }
+
+    #[test]
+    fn generation_ticks_and_caches_invalidate() {
+        let mut s = FactStore::new(&[1]);
+        let g0 = s.generation();
+        assert!(s.active_domain().is_empty());
+        s.insert(0, vec![v("a")]);
+        assert!(s.generation() > g0);
+        assert_eq!(s.active_domain().len(), 1);
+        // A cache hit returns the same Arc.
+        assert!(Arc::ptr_eq(&s.active_domain(), &s.active_domain()));
+        s.insert(0, vec![Value::null(3)]);
+        assert_eq!(s.active_domain().len(), 2);
+        assert_eq!(s.nulls().iter().map(|n| n.0).collect::<Vec<_>>(), [3]);
+        s.remove(0, &[Value::null(3)]);
+        assert!(s.nulls().is_empty());
+    }
+
+    #[test]
+    fn equality_ignores_evaluation_state() {
+        let mut a = FactStore::new(&[1]);
+        let mut b = FactStore::new(&[1]);
+        // Different insertion orders, different generations, different
+        // deltas — equal fact sets.
+        a.insert(0, vec![v("x")]);
+        a.insert(0, vec![v("y")]);
+        b.insert(0, vec![v("y")]);
+        b.begin_round();
+        b.insert(0, vec![v("x")]);
+        b.insert(0, vec![v("z")]);
+        b.remove(0, &[v("z")]);
+        assert_eq!(a, b);
+        b.remove(0, &[v("x")]);
+        assert_ne!(a, b);
+    }
+}

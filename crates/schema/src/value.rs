@@ -54,9 +54,20 @@ impl ConstId {
         ConstId(id)
     }
 
-    /// The spelling this constant was interned from.
+    /// The spelling this constant was interned from, as an owned `String`.
+    ///
+    /// Allocates; on hot paths (`Display`, sorting by spelling) prefer
+    /// [`ConstId::with_name`], which borrows the interned slice.
     pub fn name(self) -> String {
-        interner().read().expect("interner lock").names[self.0 as usize].clone()
+        self.with_name(str::to_owned)
+    }
+
+    /// Run `f` on the interned spelling without allocating.
+    ///
+    /// Holds the interner read lock for the duration of `f`; do not call
+    /// [`ConstId::new`] from inside `f`.
+    pub fn with_name<R>(self, f: impl FnOnce(&str) -> R) -> R {
+        f(&interner().read().expect("interner lock").names[self.0 as usize])
     }
 
     /// Raw interner index (stable within the process only).
@@ -67,13 +78,13 @@ impl ConstId {
 
 impl fmt::Debug for ConstId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.name())
+        self.with_name(|name| f.write_str(name))
     }
 }
 
 impl fmt::Display for ConstId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.name())
+        self.with_name(|name| f.write_str(name))
     }
 }
 
@@ -153,6 +164,13 @@ mod tests {
         assert_ne!(a, c);
         assert_eq!(a.name(), "alpha");
         assert_eq!(c.name(), "beta");
+    }
+
+    #[test]
+    fn with_name_borrows_the_spelling() {
+        let a = ConstId::new("gamma");
+        assert_eq!(a.with_name(str::len), 5);
+        assert!(a.with_name(|n| n == "gamma"));
     }
 
     #[test]

@@ -53,7 +53,8 @@ pub mod prelude {
     pub use qi_chase::{
         chase, chase_with_guards, chase_with_target_deps, chase_with_target_deps_stats,
         disjunctive_chase, is_generator, is_solution, is_universal_solution, so_chase,
-        DisjChaseOptions, ExchangeSetting, TargetChaseOptions, TargetChaseResult, TargetChaseStats,
+        ChaseStrategy, DisjChaseOptions, ExchangeSetting, TargetChaseOptions, TargetChaseResult,
+        TargetChaseStats,
     };
     // `quasi_inverse` (the function) is re-exported as
     // `compute_quasi_inverse` so that a glob import of this prelude does

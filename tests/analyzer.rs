@@ -154,6 +154,7 @@ fn non_weakly_acyclic_tgds_fall_back_to_the_fixed_budget() {
         &t2,
         TargetChaseOptions {
             max_steps: Some(200),
+            ..Default::default()
         },
     )
     .expect_err("the non-terminating tgd must exhaust the budget");

@@ -1,21 +1,33 @@
-//! Differential oracle for the pattern matcher.
+//! Differential oracles for the pattern matcher and the chase strategies.
 //!
 //! `MatchEngine` is the hot core of the whole stack (trigger enumeration,
 //! generator tests, `~M`), and it carries real machinery: fail-first fact
-//! ordering, candidate caps, and a lazily-built per-position value index
-//! that kicks in only after `INDEX_SCAN_THRESHOLD` scans of a relation
-//! with at least `INDEX_MIN_TUPLES` tuples. Any of those can silently
-//! change *which* matches come back. These tests pin the semantics to the
-//! brute-force reference (`qi_schema::brute`): on seed-scheduled random
-//! patterns, instances and constraint bundles, the engine's match *set*
-//! must equal the oracle's exactly — on the pure scan path and on
-//! workloads big and join-heavy enough to cross into the indexed path.
+//! ordering, candidate caps, and the `FactStore`'s incrementally
+//! maintained per-`(relation, position)` posting lists. Any of those can
+//! silently change *which* matches come back. These tests pin the
+//! semantics to the brute-force reference (`qi_schema::brute`): on
+//! seed-scheduled random patterns, instances and constraint bundles, the
+//! engine's match *set* must equal the oracle's exactly — on scan-served
+//! and posting-served workloads alike.
+//!
+//! The second half of the file is the chase-strategy oracle: the
+//! semi-naive iterated chase (delta-restricted trigger rounds, see
+//! DESIGN.md) must be **byte-identical** to the naive reference on paper
+//! and randomized workloads, across thread counts — while enumerating
+//! strictly fewer triggers on workloads that iterate.
 
+use quasi_inverse::chase::{
+    chase_with_target_deps_stats, disjunctive_chase_with_stats, ChaseStrategy, DisjChaseOptions,
+    ExchangeSetting, TargetChaseOptions, TargetChaseResult,
+};
+use quasi_inverse::exec::Parallelism;
+use quasi_inverse::lang::{parse_egd, parse_tgd};
 use quasi_inverse::schema::{
     brute_force_matches, engine_matches, Instance, MatchConstraints, PatFact, PatTerm, Pattern,
     Schema, Value,
 };
-use quasi_inverse::workloads::random::rng;
+use quasi_inverse::workloads::paper;
+use quasi_inverse::workloads::random::{random_ground_instance, rng, InstanceParams};
 use quasi_inverse::workloads::rng::Rng64;
 
 const CASES: u64 = 40;
@@ -72,7 +84,7 @@ fn random_constraints(r: &mut Rng64, nvars: usize, target: &Instance) -> MatchCo
     let mut c = MatchConstraints::default();
     let pick = |r: &mut Rng64| r.random_range(0..nvars) as u32;
     if r.random_bool(0.3) {
-        let domain: Vec<Value> = target.active_domain().into_iter().collect();
+        let domain: Vec<Value> = target.active_domain().iter().copied().collect();
         if !domain.is_empty() {
             let var = pick(r);
             let value = domain[r.random_range(0..domain.len())];
@@ -98,8 +110,8 @@ fn random_constraints(r: &mut Rng64, nvars: usize, target: &Instance) -> MatchCo
 
 #[test]
 fn engine_agrees_with_brute_force_on_scan_path() {
-    // Small instances (< INDEX_MIN_TUPLES) — the index never builds, so
-    // this pins the plain scanning search.
+    // Small instances with join-light patterns: most candidate requests
+    // have no bound position yet, so this pins the full-scan search.
     let schema = Schema::parse("P/2 Q/1 R/3").unwrap();
     for seed in 0..CASES {
         let mut r = rng(seed);
@@ -118,11 +130,10 @@ fn engine_agrees_with_brute_force_on_scan_path() {
 
 #[test]
 fn engine_agrees_with_brute_force_on_indexed_path() {
-    // Large single relation (≥ INDEX_MIN_TUPLES = 16 tuples) and a
-    // multi-fact join pattern: the fail-first pick re-counts candidates
-    // for every remaining fact at every search node, so the relation is
-    // scanned far past INDEX_SCAN_THRESHOLD = 4 and the posting lists
-    // kick in mid-search. The match set must not change when they do.
+    // Large single relation and a multi-fact join pattern: once a fact's
+    // pattern gains a bound position, its candidates come from the
+    // store's posting lists instead of a relation scan. The match set
+    // must not change when they do.
     let schema = Schema::parse("E/2").unwrap();
     for seed in 0..CASES {
         let mut r = rng(1_000 + seed);
@@ -222,5 +233,189 @@ fn first_and_exists_agree_with_all() {
         let all = engine.all();
         assert_eq!(engine.exists(), !all.is_empty(), "seed {seed}");
         assert_eq!(engine.first(), all.first().cloned(), "seed {seed}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chase-strategy oracle: semi-naive vs. naive, byte for byte.
+// ---------------------------------------------------------------------
+
+/// The strategy × thread-count grid every sweep runs over; the naive
+/// single-threaded cell is the reference.
+const GRID: [(ChaseStrategy, usize); 4] = [
+    (ChaseStrategy::Naive, 1),
+    (ChaseStrategy::Naive, 4),
+    (ChaseStrategy::SemiNaive, 1),
+    (ChaseStrategy::SemiNaive, 4),
+];
+
+/// Run the target chase over the whole grid and assert every cell's
+/// rendered result (and step count) equals the naive sequential
+/// reference. Returns `(naive, semi_naive)` trigger-enumeration counts.
+fn sweep_target_chase(
+    setting: &ExchangeSetting,
+    source: &Instance,
+    target: &Schema,
+    ctx: &str,
+) -> (u64, u64) {
+    let mut reference: Option<(String, usize)> = None;
+    let mut enumerated = [0u64; 2];
+    for (strategy, threads) in GRID {
+        let (result, stats) = chase_with_target_deps_stats(
+            setting,
+            source,
+            target,
+            TargetChaseOptions {
+                strategy,
+                parallelism: Parallelism::fixed(threads),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let rendered = match &result {
+            TargetChaseResult::Solution(u) => format!("{u}"),
+            TargetChaseResult::Failed { left, right } => format!("failed {left} {right}"),
+        };
+        match &reference {
+            None => reference = Some((rendered, stats.steps)),
+            Some((r, steps)) => {
+                assert_eq!(&rendered, r, "{ctx}: {strategy:?} × {threads} diverged");
+                assert_eq!(stats.steps, *steps, "{ctx}: {strategy:?} × {threads} steps");
+            }
+        }
+        enumerated[matches!(strategy, ChaseStrategy::SemiNaive) as usize] =
+            stats.exec.triggers_enumerated;
+    }
+    (enumerated[0], enumerated[1])
+}
+
+/// Transitive closure over a chain: the canonical iterating workload —
+/// every round derives a new frontier of edges from the previous delta.
+fn closure_setting() -> (ExchangeSetting, Schema, Schema) {
+    let s = Schema::parse("E0/2").unwrap();
+    let t = Schema::parse("E/2").unwrap();
+    let setting = ExchangeSetting {
+        st_tgds: vec![parse_tgd(&s, &t, "E0(x,y) -> E(x,y)").unwrap()],
+        target_tgds: vec![parse_tgd(&t, &t, "E(x,y) & E(y,z) -> E(x,z)").unwrap()],
+        egds: vec![],
+    };
+    (setting, s, t)
+}
+
+#[test]
+fn strategies_agree_on_iterating_paper_style_settings() {
+    // Closure chain: several delta rounds, no repairs.
+    let (setting, s, t) = closure_setting();
+    let chain = Instance::parse(&s, "E0(a,b) E0(b,c) E0(c,d) E0(d,e) E0(e,f) E0(f,g)").unwrap();
+    let (naive, semi) = sweep_target_chase(&setting, &chain, &t, "closure chain");
+    assert!(
+        naive >= 2 * semi,
+        "closure chain: semi-naive should enumerate ≤ half the triggers (naive {naive}, semi {semi})"
+    );
+
+    // Employee setting: existential st-tgd, a closure target tgd and a
+    // key egd — the repair forces a full re-enumeration round, which
+    // must not break byte identity.
+    let s = Schema::parse("EmpSrc/2 Boss/2").unwrap();
+    let t = Schema::parse("Emp/2 Reports/2").unwrap();
+    let setting = ExchangeSetting {
+        st_tgds: vec![
+            parse_tgd(&s, &t, "EmpSrc(id,name) -> Emp(id,name)").unwrap(),
+            parse_tgd(&s, &t, "Boss(e,b) -> Reports(e,b)").unwrap(),
+        ],
+        target_tgds: vec![
+            parse_tgd(&t, &t, "Reports(x,y) & Reports(y,z) -> Reports(x,z)").unwrap(),
+        ],
+        egds: vec![parse_egd(&t, "Emp(id,n1) & Emp(id,n2) -> n1 = n2").unwrap()],
+    };
+    let i = Instance::parse(
+        &s,
+        "EmpSrc(e1,ann) EmpSrc(e1,anne) EmpSrc(e2,bo) Boss(e1,e2) Boss(e2,e3) Boss(e3,e4)",
+    )
+    .unwrap();
+    let (naive, semi) = sweep_target_chase(&setting, &i, &t, "employee");
+    assert!(naive >= semi, "employee: naive {naive} < semi {semi}");
+}
+
+#[test]
+fn strategies_agree_on_randomized_closure_workloads() {
+    let (setting, s, t) = closure_setting();
+    for seed in 0..12 {
+        let mut r = rng(5_000 + seed);
+        let mut i = Instance::new(s.clone());
+        let rel = s.rel("E0").unwrap();
+        for _ in 0..10 {
+            let a = r.random_range(0..6);
+            let b = r.random_range(0..6);
+            i.insert(
+                rel,
+                vec![
+                    Value::constant(&format!("v{a}")),
+                    Value::constant(&format!("v{b}")),
+                ],
+            )
+            .unwrap();
+        }
+        sweep_target_chase(&setting, &i, &t, &format!("random edges, seed {seed}"));
+    }
+}
+
+#[test]
+fn strategies_agree_on_disjunctive_round_trips() {
+    // Paper mappings whose quasi-inverses are disjunctive: chase a
+    // source forward, then sweep the disjunctive back-chase over the
+    // strategy × threads grid and compare the leaf lists byte for byte.
+    for (name, m) in [
+        ("union", paper::union_mapping()),
+        ("decomposition", paper::decomposition()),
+        ("example 4.5", paper::example_4_5()),
+    ] {
+        let rev = quasi_inverse::core::quasi_inverse(&m, &Default::default()).unwrap();
+        let mut r = rng(97);
+        let i = random_ground_instance(
+            &m.source,
+            &mut r,
+            &InstanceParams {
+                n_consts: 3,
+                n_facts: 4,
+            },
+        );
+        let u = m.chase(&i).unwrap();
+        let empty = Instance::new(m.source.clone());
+        let mut reference: Option<String> = None;
+        let mut enumerated = [0u64; 2];
+        for (strategy, threads) in GRID {
+            let outcome = disjunctive_chase_with_stats(
+                &rev.deps,
+                &u,
+                &empty,
+                DisjChaseOptions {
+                    strategy,
+                    parallelism: Parallelism::fixed(threads),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let rendered = outcome
+                .leaves
+                .iter()
+                .map(|l| l.to_string())
+                .collect::<Vec<_>>()
+                .join("\n---\n");
+            match &reference {
+                None => reference = Some(rendered),
+                Some(r) => {
+                    assert_eq!(&rendered, r, "{name}: {strategy:?} × {threads} diverged")
+                }
+            }
+            enumerated[matches!(strategy, ChaseStrategy::SemiNaive) as usize] =
+                outcome.stats.triggers_enumerated;
+        }
+        assert!(
+            enumerated[0] >= enumerated[1],
+            "{name}: naive probed {} < semi-naive {}",
+            enumerated[0],
+            enumerated[1]
+        );
     }
 }
