@@ -25,6 +25,13 @@ pub fn implies_tgd(sigma: &[Tgd], candidate: &Tgd) -> Result<bool, ChaseError> {
     let mut frozen = FrozenVars::default();
     let body_instance = canonical_instance(&candidate.source, &candidate.body, &mut frozen);
     let chased = chase(sigma, &body_instance, &candidate.target)?.instance;
+    // Fail fast: a head atom over a relation the chase left empty can
+    // never match, whatever the variables do. MinGen funnels thousands of
+    // doomed candidates through here, so skipping the pattern compilation
+    // and engine construction for them is a measurable win.
+    if candidate.head.iter().any(|a| chased.rel_len(a.rel) == 0) {
+        return Ok(false);
+    }
     let mut vars: Vec<Var> = Vec::new();
     let head_facts = compile_atoms(&candidate.head, &mut vars);
     let pattern = Pattern {

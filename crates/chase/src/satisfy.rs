@@ -91,16 +91,18 @@ pub fn satisfies_disj_tgd(from: &Instance, to: &Instance, dep: &DisjTgd) -> bool
         .collect();
     let mut ok = true;
     MatchEngine::new(&body, from, &body_constraints).for_each(|assignment| {
-        let fixed: Vec<(u32, Value)> = (0..n_body as u32)
-            .map(|i| (i, assignment.value(i)))
-            .collect();
-        let satisfied = disjunct_patterns.iter().any(|(pattern, _)| {
-            let constraints = MatchConstraints {
-                fixed: fixed.clone(),
-                ..Default::default()
-            };
-            MatchEngine::new(pattern, to, &constraints).exists()
-        });
+        // One constraint set per premise match, shared by every disjunct
+        // probe — the fixed slots are identical across disjuncts, so
+        // rebuilding (and re-cloning) them per disjunct was pure waste.
+        let constraints = MatchConstraints {
+            fixed: (0..n_body as u32)
+                .map(|i| (i, assignment.value(i)))
+                .collect(),
+            ..Default::default()
+        };
+        let satisfied = disjunct_patterns
+            .iter()
+            .any(|(pattern, _)| MatchEngine::new(pattern, to, &constraints).exists());
         if !satisfied {
             ok = false;
             return false;

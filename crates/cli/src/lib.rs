@@ -46,10 +46,11 @@ use qi_chase::{chase_with_target_deps, ExchangeSetting, TargetChaseOptions, Targ
 use qi_core::enumerate::ground_instances;
 use qi_core::{
     constant_propagation_property, inverse, is_inverse_bounded, is_quasi_inverse_bounded,
-    quasi_inverse, round_trip, semantic_lints, QuasiInverseOptions, SchemaMapping,
+    quasi_inverse, quasi_inverse_with_stats, round_trip, semantic_lints, QuasiInverseOptions,
+    SchemaMapping,
 };
 use qi_lang::{Egd, Tgd};
-use qi_schema::Instance;
+use qi_schema::{core_of_with_stats, Instance};
 use std::fmt::Write as _;
 
 /// A CLI failure: message for stderr, nonzero exit.
@@ -244,12 +245,25 @@ pub fn cmd_check(mapping_text: &str) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `qimap quasi-inverse`: run Algorithm QuasiInverse and print the result.
-pub fn cmd_quasi_inverse(mapping_text: &str) -> Result<String, CliError> {
+/// `qimap quasi-inverse`: run Algorithm QuasiInverse and print the
+/// result. With `--stats`, append the aggregated MinGen search counters,
+/// including the homomorphism-cache hit/miss counts.
+pub fn cmd_quasi_inverse(mapping_text: &str, stats: bool) -> Result<String, CliError> {
     let mf = parse_mapping_file(mapping_text)?;
-    let rev = quasi_inverse(&mf.mapping, &QuasiInverseOptions::default())
+    if !stats {
+        let rev = quasi_inverse(&mf.mapping, &QuasiInverseOptions::default())
+            .map_err(|e| err(e.to_string()))?;
+        return Ok(rev.to_string());
+    }
+    let (rev, s) = quasi_inverse_with_stats(&mf.mapping, &QuasiInverseOptions::default())
         .map_err(|e| err(e.to_string()))?;
-    Ok(rev.to_string())
+    let mut out = rev.to_string();
+    let _ = writeln!(
+        out,
+        "stats: {} chase task(s), hom cache {} hit(s) / {} miss(es)",
+        s.tasks, s.hom_cache_hits, s.hom_cache_misses
+    );
+    Ok(out)
 }
 
 /// `qimap inverse`: run Algorithm Inverse; reports the
@@ -269,26 +283,44 @@ pub fn cmd_inverse(mapping_text: &str) -> Result<String, CliError> {
 /// `qimap chase`: forward data exchange of an inline instance literal.
 /// When the mapping file declares target dependencies (`target-tgd:` /
 /// `egd:` lines), the full-setting chase runs, including egd repairs and
-/// failure detection.
-pub fn cmd_chase(mapping_text: &str, instance_literal: &str) -> Result<String, CliError> {
+/// failure detection. With `--stats`, the core of the solution is also
+/// computed and the core-computation counters printed.
+pub fn cmd_chase(
+    mapping_text: &str,
+    instance_literal: &str,
+    stats: bool,
+) -> Result<String, CliError> {
     let mf = parse_mapping_file(mapping_text)?;
     let m = &mf.mapping;
     let i = Instance::parse(&m.source, instance_literal)
         .map_err(|e| err(format!("invalid instance: {e}")))?;
-    if mf.has_target_deps() {
+    let u = if mf.has_target_deps() {
         let result =
             chase_with_target_deps(&mf.setting(), &i, &m.target, TargetChaseOptions::default())
                 .map_err(|e| err(e.to_string()))?;
-        return Ok(match result {
-            TargetChaseResult::Solution(u) => format!("{u}\n"),
-            TargetChaseResult::Failed { left, right } => format!(
-                "chase FAILED: an egd requires {left} = {right} (distinct constants) — \
-                 the instance has no solution under the target dependencies\n"
-            ),
-        });
+        match result {
+            TargetChaseResult::Solution(u) => u,
+            TargetChaseResult::Failed { left, right } => {
+                return Ok(format!(
+                    "chase FAILED: an egd requires {left} = {right} (distinct constants) — \
+                     the instance has no solution under the target dependencies\n"
+                ))
+            }
+        }
+    } else {
+        m.chase(&i).map_err(|e| err(e.to_string()))?
+    };
+    let mut out = format!("{u}\n");
+    if stats {
+        let (core, cs) = core_of_with_stats(&u);
+        let _ = writeln!(out, "core: {core}");
+        let _ = writeln!(
+            out,
+            "core stats: {} endomorphism search(es), {} null(s) folded in {} round(s)",
+            cs.endos_tried, cs.nulls_folded, cs.rounds
+        );
     }
-    let u = m.chase(&i).map_err(|e| err(e.to_string()))?;
-    Ok(format!("{u}\n"))
+    Ok(out)
 }
 
 /// `qimap roundtrip`: the full §6 bidirectional exchange with soundness
@@ -395,9 +427,19 @@ pub fn run(
     args: &[String],
     read_file: impl Fn(&str) -> Result<String, CliError>,
 ) -> Result<String, CliError> {
-    let usage = "usage: qimap [--threads N] <check|lint|quasi-inverse|inverse|chase|roundtrip|compose> <mapping-file> [instance | second-mapping-file]\n       qimap lint [--json] <mapping-file>";
+    let usage = "usage: qimap [--threads N] [--stats] <check|lint|quasi-inverse|inverse|chase|roundtrip|compose> <mapping-file> [instance | second-mapping-file]\n       qimap lint [--json] <mapping-file>";
     let mut args = apply_threads_flag(args)?;
     let json = match args.iter().position(|a| a == "--json") {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    };
+    // Global `--stats`: `chase` appends the solution's core and the
+    // core-computation counters, `quasi-inverse` the MinGen/hom-cache
+    // counters; the other commands ignore it.
+    let stats = match args.iter().position(|a| a == "--stats") {
         Some(i) => {
             args.remove(i);
             true
@@ -410,13 +452,13 @@ pub fn run(
     match cmd.as_str() {
         "check" => cmd_check(&text),
         "lint" => cmd_lint(file, &text, json),
-        "quasi-inverse" => cmd_quasi_inverse(&text),
+        "quasi-inverse" => cmd_quasi_inverse(&text, stats),
         "inverse" => cmd_inverse(&text),
         "chase" => {
             let inst = args
                 .get(2)
                 .ok_or_else(|| err("chase needs an instance literal"))?;
-            cmd_chase(&text, inst)
+            cmd_chase(&text, inst, stats)
         }
         "roundtrip" => {
             let inst = args
@@ -465,11 +507,11 @@ tgd: P(x,y,z) -> Q(x,y) & R(y,z)
         assert_eq!(mf.egds.len(), 1);
         // Chase through the full setting: closure is computed and the
         // key merges nothing here.
-        let out = cmd_chase(text, "E0(a,b) E0(b,c)").unwrap();
+        let out = cmd_chase(text, "E0(a,b) E0(b,c)", false).unwrap();
         assert!(out.contains("E(a,c)"), "{out}");
         // An order violation (a cycle on distinct constants) is
         // reported, not panicked.
-        let out = cmd_chase(text, "E0(a,b) E0(b,a)").unwrap();
+        let out = cmd_chase(text, "E0(a,b) E0(b,a)", false).unwrap();
         assert!(out.contains("FAILED"), "{out}");
         // Check mentions weak acyclicity.
         let out = cmd_check(text).unwrap();
@@ -496,9 +538,32 @@ tgd: P(x,y,z) -> Q(x,y) & R(y,z)
 
     #[test]
     fn quasi_inverse_command_prints_dependencies() {
-        let out = cmd_quasi_inverse(DECOMP).unwrap();
+        let out = cmd_quasi_inverse(DECOMP, false).unwrap();
         assert!(out.contains("->"));
         assert!(out.contains("const("));
+        assert!(!out.contains("stats:"));
+    }
+
+    #[test]
+    fn stats_flag_reports_counters_without_changing_results() {
+        let plain = cmd_quasi_inverse(DECOMP, false).unwrap();
+        let with = cmd_quasi_inverse(DECOMP, true).unwrap();
+        assert!(with.starts_with(&plain), "stats must only append lines");
+        assert!(with.contains("hom cache"), "{with}");
+        // chase --stats: the chase result is ground, so the core equals
+        // it and the counters record that nothing needed folding.
+        let proj = "source: P/2\ntarget: Q/1\ntgd: P(x,y) -> Q(x)\n";
+        let out = cmd_chase(proj, "P(a,b)", true).unwrap();
+        assert!(out.contains("core: Q(a)"), "{out}");
+        assert!(out.contains("core stats:"), "{out}");
+        // Dispatch strips the flag wherever it appears.
+        let loader = |_: &str| Ok(DECOMP.to_owned());
+        let out = run(
+            &["--stats".into(), "quasi-inverse".into(), "m.qim".into()],
+            loader,
+        )
+        .unwrap();
+        assert!(out.contains("hom cache"), "{out}");
     }
 
     #[test]
@@ -513,7 +578,7 @@ tgd: P(x,y,z) -> Q(x,y) & R(y,z)
 
     #[test]
     fn chase_and_roundtrip_commands() {
-        let out = cmd_chase(DECOMP, "P(a,b,c)").unwrap();
+        let out = cmd_chase(DECOMP, "P(a,b,c)", false).unwrap();
         assert_eq!(out.trim(), "Q(a,b) R(b,c)");
         let out = cmd_roundtrip(DECOMP, "P(a,b,c) P(a2,b,c2)").unwrap();
         assert!(out.contains("sound:    true"));

@@ -21,7 +21,7 @@
 
 use crate::error::CoreError;
 use crate::mapping::SchemaMapping;
-use qi_schema::{has_hom, hom_equivalent, Instance};
+use qi_schema::{hom_equivalent, HomCache, Instance};
 
 /// The equivalence relations on ground instances that parameterize the
 /// framework (both refinements of `~M`, as Definition 3.3 requires).
@@ -39,6 +39,11 @@ pub(crate) struct UniverseIndex {
     /// `class[i]` = index of the representative of `universe[i]`'s
     /// `~M`-class.
     pub class: Vec<usize>,
+    /// Hom cache scoped to this universe's chases: class construction
+    /// already answered many of the `has_hom` queries that
+    /// [`UniverseIndex::sol_subset`] re-asks, and symmetric universes
+    /// chase to few distinct fingerprints.
+    cache: HomCache,
 }
 
 pub(crate) fn index_universe(
@@ -47,13 +52,14 @@ pub(crate) fn index_universe(
 ) -> Result<UniverseIndex, CoreError> {
     let chases: Result<Vec<Instance>, _> = universe.iter().map(|i| m.chase(i)).collect();
     let chases = chases?;
+    let cache = HomCache::new();
     let mut class: Vec<usize> = Vec::with_capacity(universe.len());
     let mut reps: Vec<usize> = Vec::new();
     for (i, c) in chases.iter().enumerate() {
         let found = reps
             .iter()
             .copied()
-            .find(|&r| hom_equivalent(&chases[r], c));
+            .find(|&r| cache.hom_equivalent(&chases[r], c));
         match found {
             Some(r) => class.push(r),
             None => {
@@ -62,13 +68,17 @@ pub(crate) fn index_universe(
             }
         }
     }
-    Ok(UniverseIndex { chases, class })
+    Ok(UniverseIndex {
+        chases,
+        class,
+        cache,
+    })
 }
 
 impl UniverseIndex {
     /// `Sol(M, universe[inner]) ⊆ Sol(M, universe[outer])`.
     pub(crate) fn sol_subset(&self, inner: usize, outer: usize) -> bool {
-        has_hom(&self.chases[outer], &self.chases[inner])
+        self.cache.has_hom(&self.chases[outer], &self.chases[inner])
     }
 }
 

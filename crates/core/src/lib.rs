@@ -74,7 +74,8 @@ pub use lint::{constant_propagation_diagnostic, semantic_lints, subset_property_
 pub use mapping::{ReverseMapping, SchemaMapping};
 pub use mingen::{min_gen, min_gen_with_stats, Generator, MinGenOptions, MinGenOutcome};
 pub use quasi_inverse::{
-    minimize_disjuncts, quasi_inverse, quasi_inverse_full, quasi_inverse_lav, QuasiInverseOptions,
+    minimize_disjuncts, minimize_disjuncts_cached, quasi_inverse, quasi_inverse_full,
+    quasi_inverse_lav, quasi_inverse_with_stats, QuasiInverseOptions,
 };
 pub use sigma_star::sigma_star;
 pub use so_compose::so_compose;

@@ -23,10 +23,11 @@
 
 use crate::error::CoreError;
 use crate::mapping::{ReverseMapping, SchemaMapping};
-use crate::mingen::{min_gen, MinGenOptions};
+use crate::mingen::{min_gen_cached, MinGenOptions};
 use crate::sigma_star::sigma_star;
+use qi_exec::ExecStats;
 use qi_lang::{canonical_instance, compile_atoms, DisjTgd, Disjunct, FrozenVars, Var};
-use qi_schema::{MatchConstraints, MatchEngine, Pattern};
+use qi_schema::{HomCache, MatchConstraints, MatchEngine, Pattern};
 
 /// Options for the QuasiInverse algorithm.
 #[derive(Clone, Debug, Default)]
@@ -62,6 +63,19 @@ pub fn quasi_inverse(
     m: &SchemaMapping,
     options: &QuasiInverseOptions,
 ) -> Result<ReverseMapping, CoreError> {
+    Ok(quasi_inverse_with_stats(m, options)?.0)
+}
+
+/// [`quasi_inverse`] plus the aggregated executor counters of every
+/// MinGen search it ran — including the hom-cache hit/miss counts. One
+/// [`HomCache`] is shared across all per-tgd MinGen runs: `Σ*`'s
+/// dependencies for one tgd differ only in which frontier variables are
+/// identified, so their searches re-ask many fingerprint-equal coverage
+/// questions.
+pub fn quasi_inverse_with_stats(
+    m: &SchemaMapping,
+    options: &QuasiInverseOptions,
+) -> Result<(ReverseMapping, ExecStats), CoreError> {
     let star = if options.skip_sigma_star {
         m.tgds.clone()
     } else {
@@ -74,10 +88,14 @@ pub fn quasi_inverse(
     if mingen_options.parallelism == qi_exec::Parallelism::auto() {
         mingen_options.parallelism = m.parallelism;
     }
+    let cache = mingen_options.hom_cache.then(HomCache::new);
+    let mut stats = ExecStats::default();
     let mut deps: Vec<DisjTgd> = Vec::new();
     for sigma in &star {
         let x = sigma.frontier();
-        let generators = min_gen(m, &sigma.head, &x, &mingen_options)?;
+        let outcome = min_gen_cached(m, &sigma.head, &x, &mingen_options, cache.as_ref())?;
+        stats.absorb(&outcome.stats);
+        let generators = outcome.generators;
         debug_assert!(
             !generators.is_empty(),
             "σ's own premise is a generator, so MinGen cannot come back empty"
@@ -108,7 +126,8 @@ pub fn quasi_inverse(
             deps.push(dep);
         }
     }
-    ReverseMapping::new(m.target.clone(), m.source.clone(), deps)
+    let rev = ReverseMapping::new(m.target.clone(), m.source.clone(), deps)?;
+    Ok((rev, stats))
 }
 
 /// Theorem 4.6, constructively: for a mapping specified by **full**
@@ -232,8 +251,19 @@ pub fn quasi_inverse_lav(m: &SchemaMapping) -> Result<ReverseMapping, CoreError>
 /// general disjunct"). Each disjunct is encoded once up front — as a
 /// canonical instance (subsumption target) and as a pattern with the
 /// universal variables pinned (subsumption probe) — and the pairwise
-/// sweep reuses those encodings.
+/// sweep reuses those encodings, memoized through a fresh [`HomCache`]
+/// (see [`minimize_disjuncts_cached`] to share one across dependencies).
 pub fn minimize_disjuncts(dep: &DisjTgd) -> DisjTgd {
+    minimize_disjuncts_cached(dep, &HomCache::new())
+}
+
+/// [`minimize_disjuncts`] against a caller-owned [`HomCache`], so a batch
+/// of dependencies (e.g. every `Σ'`-member of one reverse mapping) can
+/// reuse subsumption verdicts across disjuncts that differ only by
+/// variable renaming. The cache changes speed only, never the output.
+/// Share one cache only across dependencies over the *same* schema pair:
+/// fingerprints and probe keys identify relations by schema-local id.
+pub fn minimize_disjuncts_cached(dep: &DisjTgd, cache: &HomCache) -> DisjTgd {
     let n = dep.disjuncts.len();
     // Freeze the universal variables once; freeze each disjunct's
     // existentials only in the copy used to build its instance, so that a
@@ -270,8 +300,18 @@ pub fn minimize_disjuncts(dep: &DisjTgd) -> DisjTgd {
             (pattern, constraints)
         })
         .collect();
+    // The probe key renders the compiled pattern and its constraints: two
+    // disjuncts with the same key pose the same query, so sharing entries
+    // is sound; targets dedup by fingerprint. Keys resolve to slots once,
+    // outside the O(n²) sweep.
+    let slots: Vec<_> = probes
+        .iter()
+        .map(|(p, c)| cache.slot(&format!("disj|{p:?}|{c:?}")))
+        .collect();
     let subsumes = |i: usize, j: usize| -> bool {
-        MatchEngine::new(&probes[i].0, &insts[j], &probes[i].1).exists()
+        slots[i].probe(&insts[j], || {
+            MatchEngine::new(&probes[i].0, &insts[j], &probes[i].1).exists()
+        })
     };
     let mut alive = vec![true; n];
     #[allow(clippy::needless_range_loop)] // symmetric double-index over `alive`
@@ -375,6 +415,35 @@ mod tests {
         let min = minimize_disjuncts(&dep);
         assert_eq!(min.disjuncts.len(), 1);
         assert_eq!(min.disjuncts[0].exists, vec![Var::new("z")]);
+    }
+
+    #[test]
+    fn with_stats_matches_plain_output_and_counts_cache_traffic() {
+        let m = SchemaMapping::parse("P/3", "Q/2 R/2", &["P(x,y,z) -> Q(x,y) & R(y,z)"]).unwrap();
+        let (rev, stats) = quasi_inverse_with_stats(&m, &QuasiInverseOptions::default()).unwrap();
+        let plain = quasi_inverse(&m, &QuasiInverseOptions::default()).unwrap();
+        assert_eq!(rev.deps, plain.deps);
+        assert!(
+            stats.hom_cache_hits > 0,
+            "Σ*'s per-tgd searches share fingerprint-equal coverage queries"
+        );
+    }
+
+    #[test]
+    fn minimize_shared_cache_matches_fresh_cache() {
+        let t = Schema::parse("S/1").unwrap();
+        let s = Schema::parse("P/2").unwrap();
+        let dep = parse_disj_tgd(&t, &s, "S(x) -> exists z . P(x,z) | P(x,x)").unwrap();
+        let shared = HomCache::new();
+        assert_eq!(
+            minimize_disjuncts_cached(&dep, &shared),
+            minimize_disjuncts(&dep)
+        );
+        // A renamed copy of the dependency hits the shared cache.
+        let dep2 = parse_disj_tgd(&t, &s, "S(x) -> exists w . P(x,w) | P(x,x)").unwrap();
+        let (hits_before, _) = shared.counters();
+        assert_eq!(minimize_disjuncts_cached(&dep2, &shared).disjuncts.len(), 1);
+        assert!(shared.counters().0 > hits_before);
     }
 
     #[test]

@@ -25,7 +25,7 @@ use crate::exchange::{guard_complete, recovery_leaves};
 use crate::framework::{index_universe, Relation};
 use crate::mapping::{ReverseMapping, SchemaMapping};
 use qi_chase::DisjChaseOptions;
-use qi_schema::{has_hom, Instance};
+use qi_schema::{HomCache, Instance};
 
 /// Outcome of a bounded inverse / quasi-inverse verification.
 #[derive(Clone, Debug)]
@@ -49,12 +49,17 @@ fn composition_matrix(
             "bounded verification requires a guard-complete reverse mapping".into(),
         ));
     }
+    // Distinct universe instances frequently chase to fingerprint-equal
+    // leaves (ground universes are small and highly symmetric), so one
+    // cache serves the whole matrix. Cached booleans are pure: the matrix
+    // is identical with or without it.
+    let cache = HomCache::new();
     let mut rows = Vec::with_capacity(universe.len());
     for i in universe {
         let leaves = recovery_leaves(m, rev, i, DisjChaseOptions::default())?;
         let row: Vec<bool> = universe
             .iter()
-            .map(|k| leaves.iter().any(|v| has_hom(v, k)))
+            .map(|k| leaves.iter().any(|v| cache.has_hom(v, k)))
             .collect();
         rows.push(row);
     }

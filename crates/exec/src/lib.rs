@@ -122,6 +122,11 @@ pub struct ExecStats {
     pub postings_rebuilt: u64,
     /// Sum of per-round delta sizes consulted by semi-naive rounds.
     pub delta_facts: u64,
+    /// Homomorphism-cache lookups answered without a search (including
+    /// the equal-fingerprint isomorphism shortcut).
+    pub hom_cache_hits: u64,
+    /// Homomorphism-cache lookups that had to run the search.
+    pub hom_cache_misses: u64,
 }
 
 impl ExecStats {
@@ -142,6 +147,8 @@ impl ExecStats {
         self.postings_reused += other.postings_reused;
         self.postings_rebuilt += other.postings_rebuilt;
         self.delta_facts += other.delta_facts;
+        self.hom_cache_hits += other.hom_cache_hits;
+        self.hom_cache_misses += other.hom_cache_misses;
     }
 
     /// Load balance in `[0, 1]`: mean worker load over max worker load.
@@ -295,6 +302,7 @@ mod tests {
             per_worker: vec![2, 2],
             triggers_enumerated: 10,
             postings_reused: 3,
+            hom_cache_hits: 2,
             ..Default::default()
         };
         let b = ExecStats {
@@ -306,6 +314,8 @@ mod tests {
             triggers_fired: 4,
             postings_rebuilt: 1,
             delta_facts: 7,
+            hom_cache_hits: 5,
+            hom_cache_misses: 6,
             ..Default::default()
         };
         a.absorb(&b);
@@ -318,5 +328,7 @@ mod tests {
         assert_eq!(a.postings_reused, 3);
         assert_eq!(a.postings_rebuilt, 1);
         assert_eq!(a.delta_facts, 7);
+        assert_eq!(a.hom_cache_hits, 7);
+        assert_eq!(a.hom_cache_misses, 6);
     }
 }

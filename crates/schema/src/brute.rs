@@ -159,6 +159,11 @@ fn satisfies(
     if !pattern.facts.iter().all(|f| fact_holds(f, target, slots)) {
         return false;
     }
+    for slot in slots.iter().flatten() {
+        if constraints.forbidden_values.contains(slot) {
+            return false;
+        }
+    }
     for &(var, value) in &constraints.fixed {
         if slots[var as usize] != Some(value) {
             return false;

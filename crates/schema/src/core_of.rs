@@ -6,21 +6,114 @@
 //! directly, but they give canonical representatives of the
 //! hom-equivalence classes that `~M` and faithfulness (§6) reason about,
 //! and the test-suite uses them to compare chase results structurally.
+//!
+//! # Retraction-based computation
+//!
+//! [`core_of`] is a FindCore-style fold rather than greedy fact
+//! elimination. Per round it looks, for each null `n` of the current
+//! instance, for a single *endomorphism whose image avoids `n`*
+//! (a [`crate::MatchConstraints::forbidden_values`] search); applying
+//! such a map through [`crate::Instance::map_values`] eliminates `n` —
+//! and usually many other nulls in the same stroke, since nothing
+//! restricts the endomorphism to move only `n`. The null count strictly
+//! decreases with every fold, so the loop terminates after at most
+//! `#nulls` folds.
+//!
+//! The stopping condition is exact: the result is a core *iff* no null
+//! is avoidable. A non-core has an idempotent retraction `r` onto a
+//! proper subinstance; `r` cannot be surjective on nulls (a null-
+//! surjective endomorphism is injective on the finite null set, hence
+//! maps distinct facts to distinct facts and cannot shrink anything), so
+//! some null is absent from `r`'s entire image — exactly what the
+//! per-null search looks for.
+//!
+//! The pre-v2 greedy loop (drop one fact at a time while a hom into the
+//! remainder exists) is kept as [`core_of_greedy`] behind the
+//! `greedy-core` feature: it is the reference implementation the
+//! differential oracle (`tests/core_oracle.rs`) compares against.
 
-use crate::hom::has_hom;
+use crate::hom::{MatchConstraints, MatchEngine, Pattern};
 use crate::instance::Instance;
+use crate::value::{NullId, Value};
+use std::collections::BTreeMap;
 
-/// Compute the core of `instance`.
+/// Counters from one [`core_of_with_stats`] run, exported through the
+/// `qimap` CLI `--stats` flag.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Endomorphism searches attempted (one per candidate null per
+    /// round, successful or not).
+    pub endos_tried: u64,
+    /// Nulls eliminated across all folds (a single fold may eliminate
+    /// many nulls at once).
+    pub nulls_folded: u64,
+    /// Retraction rounds: pattern rebuilds after a successful fold, plus
+    /// the final round that certifies no null is avoidable.
+    pub rounds: u64,
+}
+
+/// Compute the core of `instance` (see the module docs for the
+/// algorithm).
 ///
-/// Greedy fact elimination: repeatedly drop a fact `f` such that the
-/// current instance still maps homomorphically into `instance − f`
-/// (the inclusion gives the other direction, so equivalence is preserved).
+/// Ground instances are their own cores (constants are fixed by
+/// homomorphisms), so the search is skipped entirely for them.
+pub fn core_of(instance: &Instance) -> Instance {
+    core_of_with_stats(instance).0
+}
+
+/// [`core_of`] plus the counters describing the computation.
+pub fn core_of_with_stats(instance: &Instance) -> (Instance, CoreStats) {
+    let mut stats = CoreStats::default();
+    let mut current = instance.clone();
+    'outer: loop {
+        let nulls: Vec<NullId> = current.nulls().iter().copied().collect();
+        if nulls.is_empty() {
+            return (current, stats);
+        }
+        stats.rounds += 1;
+        let (pattern, vars) = Pattern::from_instance(&current);
+        for &n in &nulls {
+            stats.endos_tried += 1;
+            let constraints = MatchConstraints {
+                forbidden_values: vec![Value::Null(n)],
+                ..Default::default()
+            };
+            let engine = MatchEngine::new(&pattern, &current, &constraints);
+            if let Some(h) = engine.any_match() {
+                // h is an endomorphism of `current` whose image avoids
+                // Null(n): the mapped instance is a subinstance missing
+                // at least that null (h one way, inclusion back, so
+                // hom-equivalence is preserved).
+                let map: BTreeMap<Value, Value> = vars
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &m)| (Value::Null(m), h.value(i as u32)))
+                    .collect();
+                let before = current.nulls().len();
+                current = current.map_values(|v| map.get(&v).copied().unwrap_or(v));
+                stats.nulls_folded += (before - current.nulls().len()) as u64;
+                continue 'outer;
+            }
+        }
+        return (current, stats);
+    }
+}
+
+/// The pre-v2 greedy core: repeatedly drop a fact `f` such that the
+/// current instance still maps homomorphically into `current − f` (the
+/// inclusion gives the other direction, so equivalence is preserved).
 /// When no fact can be dropped, every endomorphism is surjective and the
 /// remainder is a core.
 ///
-/// Ground instances are their own cores (constants are fixed by
-/// homomorphisms), so the loop exits immediately for them.
-pub fn core_of(instance: &Instance) -> Instance {
+/// Kept behind the `greedy-core` feature as the reference path for the
+/// differential oracle (`tests/core_oracle.rs`); [`core_of`] supersedes
+/// it everywhere else. Note on the old "candidate staleness" rescan:
+/// dropping a fact removes only that fact, so the per-round candidate
+/// snapshot never holds a dead fact — the `contains_fact` re-check the
+/// original loop paid on every iteration was pure overhead and is gone.
+#[cfg(any(test, feature = "greedy-core"))]
+pub fn core_of_greedy(instance: &Instance) -> Instance {
+    use crate::hom::has_hom;
     let mut current = instance.clone();
     if current.is_ground() {
         return current;
@@ -31,9 +124,6 @@ pub fn core_of(instance: &Instance) -> Instance {
         // only constants can never be dropped (no hom can re-create it).
         let candidates: Vec<_> = current.facts().filter(|f| !f.is_ground()).collect();
         for fact in candidates {
-            if !current.contains_fact(&fact) {
-                continue; // already removed this round
-            }
             let smaller = current.without_fact(&fact);
             if has_hom(&current, &smaller) {
                 current = smaller;
@@ -50,6 +140,7 @@ pub fn core_of(instance: &Instance) -> Instance {
 mod tests {
     use super::*;
     use crate::hom::hom_equivalent;
+    use crate::iso::is_isomorphic;
     use crate::schema::Schema;
 
     fn inst(schema: &Schema, text: &str) -> Instance {
@@ -61,6 +152,8 @@ mod tests {
         let s = Schema::parse("P/2").unwrap();
         let i = inst(&s, "P(a,b) P(b,c)");
         assert_eq!(core_of(&i), i);
+        let (_, stats) = core_of_with_stats(&i);
+        assert_eq!(stats.endos_tried, 0, "ground: no search at all");
     }
 
     #[test]
@@ -79,6 +172,8 @@ mod tests {
         let i = inst(&s, "E(a,a) E(a,N1) E(N1,N2)");
         let c = core_of(&i);
         assert_eq!(c, inst(&s, "E(a,a)"));
+        let (_, stats) = core_of_with_stats(&i);
+        assert_eq!(stats.nulls_folded, 2, "one fold removes the chain");
     }
 
     #[test]
@@ -98,5 +193,27 @@ mod tests {
         let once = core_of(&i);
         let twice = core_of(&once);
         assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn retraction_agrees_with_greedy_reference() {
+        let s = Schema::parse("E/2 P/2").unwrap();
+        for text in [
+            "E(a,a) E(a,N1) E(N1,N2) E(N3,N3)",
+            "E(a,b) E(b,c)",
+            "E(a,N1) E(b,N2)",
+            "E(N1,N2) E(N2,N1) P(N1,N1)",
+            "P(a,b) P(a,N1) E(N2,N2)",
+            "E(N1,N2) E(N2,N3) E(N3,N1)",
+        ] {
+            let i = inst(&s, text);
+            let v2 = core_of(&i);
+            let greedy = core_of_greedy(&i);
+            assert!(
+                is_isomorphic(&v2, &greedy),
+                "cores of {text} differ: v2={v2} greedy={greedy}"
+            );
+            assert!(hom_equivalent(&i, &v2));
+        }
     }
 }

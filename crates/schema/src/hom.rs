@@ -120,6 +120,10 @@ pub struct MatchConstraints {
     /// Require all variables to take pairwise-distinct values
     /// (isomorphism search).
     pub injective: bool,
+    /// Values no variable may take. The retraction-based core search uses
+    /// this to ask for an endomorphism whose image avoids a given null
+    /// (applying such a map eliminates the null from the instance).
+    pub forbidden_values: Vec<Value>,
 }
 
 /// A (possibly partial) assignment of match variables to values.
@@ -201,7 +205,19 @@ impl<'a> MatchEngine<'a> {
     }
 
     /// Does any complete match exist?
+    ///
+    /// When the pattern splits into independent connected components
+    /// (facts linked by shared unfixed variables — see
+    /// [`MatchEngine::count_matches`] for the contract), each component
+    /// is solved separately: a match of the whole pattern exists iff
+    /// every component has one, so the backtracking never crosses the
+    /// product space. Large decompositions fan out through `qi-exec`;
+    /// the answer is a conjunction of per-component booleans and thus
+    /// independent of scheduling.
     pub fn exists(&self) -> bool {
+        if let Some(comps) = self.decomposition() {
+            return self.exists_decomposed(&comps);
+        }
         let mut found = false;
         self.for_each(|_| {
             found = true;
@@ -231,25 +247,43 @@ impl<'a> MatchEngine<'a> {
     }
 
     /// Enumerate matches; the callback returns `false` to stop early.
+    ///
+    /// Enumeration order is part of the determinism contract (chase
+    /// fresh-null assignment follows it), so this path never decomposes:
+    /// only the order-insensitive entry points ([`MatchEngine::exists`],
+    /// [`MatchEngine::count_matches`], [`MatchEngine::any_match`]) do.
     pub fn for_each(&self, mut f: impl FnMut(&Assignment) -> bool) {
+        let Some(mut assignment) = self.base_assignment() else {
+            return;
+        };
+        let mut remaining: Vec<usize> = (0..self.pattern.facts.len()).collect();
+        self.search(&mut assignment, &mut remaining, &mut f);
+    }
+
+    /// Apply the `fixed` pre-assignments, checking the unary and binary
+    /// constraints they trigger; `None` when they are contradictory (no
+    /// match can exist).
+    fn base_assignment(&self) -> Option<Assignment> {
         let mut assignment = Assignment::new(self.pattern.nvars);
         for &(var, value) in &self.constraints.fixed {
             match assignment.slots[var as usize] {
-                Some(existing) if existing != value => return,
+                Some(existing) if existing != value => return None,
                 _ => {}
             }
             if !self.value_ok(var, value, &assignment) {
-                return;
+                return None;
             }
             assignment.slots[var as usize] = Some(value);
         }
-        let mut remaining: Vec<usize> = (0..self.pattern.facts.len()).collect();
-        self.search(&mut assignment, &mut remaining, &mut f);
+        Some(assignment)
     }
 
     /// Check unary constraints and binary constraints against the current
     /// assignment for `var ↦ value`.
     fn value_ok(&self, var: VarIdx, value: Value, assignment: &Assignment) -> bool {
+        if self.constraints.forbidden_values.contains(&value) {
+            return false;
+        }
         if self.constraints.constants_only.contains(&var) && !value.is_const() {
             return false;
         }
@@ -468,6 +502,208 @@ impl<'a> MatchEngine<'a> {
         }
         best.map(|(pos, _)| pos)
     }
+
+    /// Split the pattern facts into connected components: facts linked by
+    /// a shared *unfixed* variable end up in one component (a `fixed`
+    /// variable is pre-assigned by [`MatchEngine::base_assignment`], so
+    /// it does not couple the facts mentioning it). Returns `None` when
+    /// decomposition does not apply: fewer than two components, a
+    /// delta-restricted atom, `injective` matching (a global constraint),
+    /// or a `distinct` pair whose two unfixed variables live in different
+    /// components (independent searches could not see each other's
+    /// choices). Components and the facts within them are ordered by
+    /// first fact index, so the split is deterministic.
+    fn decomposition(&self) -> Option<Vec<Vec<usize>>> {
+        let nfacts = self.pattern.facts.len();
+        if nfacts < 2 || self.delta_atom.is_some() || self.constraints.injective {
+            return None;
+        }
+        let nvars = self.pattern.nvars;
+        let mut is_fixed = vec![false; nvars];
+        for &(var, _) in &self.constraints.fixed {
+            is_fixed[var as usize] = true;
+        }
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        let mut parent: Vec<usize> = (0..nfacts).collect();
+        // First fact mentioning each unfixed variable; later mentions
+        // union their fact into that fact's component.
+        let mut var_home: Vec<Option<usize>> = vec![None; nvars];
+        for (i, fact) in self.pattern.facts.iter().enumerate() {
+            for term in &fact.args {
+                if let PatTerm::Var(var) = *term {
+                    let v = var as usize;
+                    if is_fixed[v] {
+                        continue;
+                    }
+                    match var_home[v] {
+                        None => var_home[v] = Some(i),
+                        Some(home) => {
+                            let (ri, rj) = (find(&mut parent, i), find(&mut parent, home));
+                            if ri != rj {
+                                parent[ri.max(rj)] = ri.min(rj);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut comp_of_root: Vec<Option<usize>> = vec![None; nfacts];
+        let mut comps: Vec<Vec<usize>> = Vec::new();
+        let mut fact_comp = vec![0usize; nfacts];
+        for (i, fc) in fact_comp.iter_mut().enumerate() {
+            let root = find(&mut parent, i);
+            let c = *comp_of_root[root].get_or_insert_with(|| {
+                comps.push(Vec::new());
+                comps.len() - 1
+            });
+            comps[c].push(i);
+            *fc = c;
+        }
+        if comps.len() < 2 {
+            return None;
+        }
+        let comp_of_var = |var: VarIdx| -> Option<usize> {
+            let v = var as usize;
+            if v >= nvars || is_fixed[v] {
+                return None;
+            }
+            var_home[v].map(|home| fact_comp[home])
+        };
+        for &(a, b) in &self.constraints.distinct {
+            if a == b {
+                continue; // reflexive x ≠ x: value_ok rejects it anywhere
+            }
+            if let (Some(ca), Some(cb)) = (comp_of_var(a), comp_of_var(b)) {
+                if ca != cb {
+                    return None;
+                }
+            }
+        }
+        Some(comps)
+    }
+
+    /// Existence check for one component: the backtracking search
+    /// restricted to the component's facts, starting from `base`.
+    fn component_exists(&self, base: &Assignment, comp: &[usize]) -> bool {
+        let mut assignment = base.clone();
+        let mut remaining = comp.to_vec();
+        let mut found = false;
+        self.search(&mut assignment, &mut remaining, &mut |_| {
+            found = true;
+            false
+        });
+        found
+    }
+
+    fn exists_decomposed(&self, comps: &[Vec<usize>]) -> bool {
+        let Some(base) = self.base_assignment() else {
+            return false;
+        };
+        if self.parallel_worthwhile(comps) {
+            // The engine itself is not `Sync` (posting counters are
+            // `Cell`s), so each worker builds a private engine over the
+            // shared pattern/target/constraints and reports its counters
+            // back; summation order follows component order.
+            let (pattern, target, constraints) = (self.pattern, self.target, self.constraints);
+            let results = qi_exec::par_map(qi_exec::Parallelism::auto(), comps, |comp| {
+                let engine = MatchEngine::new(pattern, target, constraints);
+                let ok = engine.component_exists(&base, comp);
+                let (reused, rebuilt) = engine.posting_counters();
+                (ok, reused, rebuilt)
+            });
+            let mut all_ok = true;
+            for (ok, reused, rebuilt) in results {
+                all_ok &= ok;
+                self.postings_reused
+                    .set(self.postings_reused.get() + reused);
+                self.postings_rebuilt
+                    .set(self.postings_rebuilt.get() + rebuilt);
+            }
+            all_ok
+        } else {
+            comps.iter().all(|comp| self.component_exists(&base, comp))
+        }
+    }
+
+    /// Fan components out through the deterministic executor only when
+    /// there is enough work to amortize thread startup; the tiny hom
+    /// checks dominating verification loops stay inline (where the
+    /// sequential short-circuit across components also applies).
+    fn parallel_worthwhile(&self, comps: &[Vec<usize>]) -> bool {
+        const PAR_FACTS_MIN: usize = 8;
+        comps.len() >= 2
+            && self.pattern.facts.len() >= PAR_FACTS_MIN
+            && qi_exec::Parallelism::auto().resolve() > 1
+    }
+
+    /// Number of complete matches.
+    ///
+    /// Over a decomposable pattern this multiplies per-component match
+    /// counts — every complete match is exactly one independent choice
+    /// of match per component, so the product equals the length of
+    /// [`MatchEngine::all`] without materializing the cross product.
+    /// Saturates at `u64::MAX`.
+    pub fn count_matches(&self) -> u64 {
+        let Some(comps) = self.decomposition() else {
+            let mut n: u64 = 0;
+            self.for_each(|_| {
+                n = n.saturating_add(1);
+                true
+            });
+            return n;
+        };
+        let Some(base) = self.base_assignment() else {
+            return 0;
+        };
+        let mut total: u64 = 1;
+        for comp in &comps {
+            let mut n: u64 = 0;
+            let mut assignment = base.clone();
+            let mut remaining = comp.clone();
+            self.search(&mut assignment, &mut remaining, &mut |_| {
+                n = n.saturating_add(1);
+                true
+            });
+            total = total.saturating_mul(n);
+            if total == 0 {
+                return 0;
+            }
+        }
+        total
+    }
+
+    /// Some complete match, or `None` when there is none. Unlike
+    /// [`MatchEngine::first`] the result is not necessarily the first
+    /// match in enumeration order: over a decomposable pattern it is
+    /// assembled from the first match of each component independently
+    /// (still fully deterministic — per-component enumeration order is
+    /// fixed). The retraction-based core ([`crate::core_of()`]) uses
+    /// this: any endomorphism avoiding a null folds it, and solving
+    /// components independently sidesteps the product-space backtrack.
+    pub fn any_match(&self) -> Option<Assignment> {
+        let Some(comps) = self.decomposition() else {
+            return self.first();
+        };
+        let mut merged = self.base_assignment()?;
+        for comp in &comps {
+            let mut remaining = comp.clone();
+            let mut snapshot: Option<Assignment> = None;
+            self.search(&mut merged, &mut remaining, &mut |a| {
+                snapshot = Some(a.clone());
+                false
+            });
+            // The early-exit unwinding restored `merged`; adopt the
+            // snapshot so later components extend this component's match.
+            merged = snapshot?;
+        }
+        Some(merged)
+    }
 }
 
 /// Find a homomorphism from `a` to `b` (constants fixed, nulls free).
@@ -477,6 +713,9 @@ impl<'a> MatchEngine<'a> {
 /// positionally), mirroring the paper where both instances are over the
 /// target schema.
 pub fn find_hom(a: &Instance, b: &Instance) -> Option<BTreeMap<NullId, Value>> {
+    if hom_refuted_quick(a, b) {
+        return None;
+    }
     let (pattern, vars) = Pattern::from_instance(a);
     let constraints = MatchConstraints::default();
     let engine = MatchEngine::new(&pattern, b, &constraints);
@@ -488,10 +727,56 @@ pub fn find_hom(a: &Instance, b: &Instance) -> Option<BTreeMap<NullId, Value>> {
     })
 }
 
+/// Refutation-sound fast rejection for `has_hom(a, b)`: `true` means *no*
+/// homomorphism `a → b` can exist; `false` means "unknown, run the
+/// search". Three filters, each a direct consequence of homomorphisms
+/// fixing constants and mapping facts position-wise:
+///
+/// * a relation with facts in `a` but none in `b` (or a different arity
+///   in `b`) leaves those facts nothing to map to;
+/// * a constant occurring at `(relation, position)` in `a` must occur at
+///   the same `(relation, position)` in `b` — the image tuple carries the
+///   constant unchanged at that position — checked against `b`'s posting
+///   lists in O(1) per constant;
+/// * a fully ground fact of `a` is its own image, so it must be present
+///   in `b` verbatim.
+///
+/// None of the filters can refute a pair that admits a homomorphism, so
+/// wiring them in front of the search never changes an answer.
+pub fn hom_refuted_quick(a: &Instance, b: &Instance) -> bool {
+    let sa = a.store();
+    let sb = b.store();
+    if sa.num_rels() != sb.num_rels() {
+        return false; // positional mismatch: let the engine decide
+    }
+    for rel in 0..sa.num_rels() {
+        if sa.rel_len(rel) == 0 {
+            continue;
+        }
+        if sb.rel_len(rel) == 0 || sa.arity(rel) != sb.arity(rel) {
+            return true;
+        }
+        for pos in 0..sa.arity(rel) {
+            for value in sa.position_values(rel, pos) {
+                if value.is_const() && sb.posting(rel, pos, value).is_empty() {
+                    return true;
+                }
+            }
+        }
+        for tuple in sa.tuples(rel) {
+            if tuple.iter().all(|v| v.is_const()) && !sb.contains(rel, tuple) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
 /// Does a homomorphism from `a` to `b` exist?
 pub fn has_hom(a: &Instance, b: &Instance) -> bool {
-    // Constant-only facts must appear verbatim; the engine handles this,
-    // but the quick subset check prunes the common failure cheaply.
+    if hom_refuted_quick(a, b) {
+        return false;
+    }
     let (pattern, _) = Pattern::from_instance(a);
     let constraints = MatchConstraints::default();
     MatchEngine::new(&pattern, b, &constraints).exists()
@@ -740,6 +1025,151 @@ mod tests {
         // serve it; only the unbound first atom pays a relation scan.
         assert!(reused > 0);
         assert!(rebuilt > 0);
+    }
+
+    #[test]
+    fn decomposed_entry_points_agree_with_enumeration() {
+        let s = Schema::parse("P/2 Q/2").unwrap();
+        let b = inst(&s, "P(a,b) P(a,c) Q(d,d) Q(d,e)");
+        let (p, q) = (s.rel("P").unwrap(), s.rel("Q").unwrap());
+        // P(x0,x1) & Q(x2,x3): two independent components.
+        let pattern = Pattern {
+            facts: vec![
+                PatFact {
+                    rel: p,
+                    args: vec![PatTerm::Var(0), PatTerm::Var(1)],
+                },
+                PatFact {
+                    rel: q,
+                    args: vec![PatTerm::Var(2), PatTerm::Var(3)],
+                },
+            ],
+            nvars: 4,
+        };
+        let free = MatchConstraints::default();
+        let engine = MatchEngine::new(&pattern, &b, &free);
+        assert!(engine.exists());
+        assert_eq!(engine.count_matches(), engine.all().len() as u64);
+        assert_eq!(engine.count_matches(), 4, "2 P-matches × 2 Q-matches");
+        // A fixed variable does not couple components.
+        let fixed = MatchConstraints {
+            fixed: vec![(1, Value::constant("c"))],
+            ..Default::default()
+        };
+        let engine = MatchEngine::new(&pattern, &b, &fixed);
+        assert_eq!(engine.count_matches(), engine.all().len() as u64);
+        assert_eq!(engine.count_matches(), 2);
+        // A cross-component distinct pair forces the monolithic path —
+        // the counts must still agree.
+        let cross = MatchConstraints {
+            distinct: vec![(1, 2)],
+            ..Default::default()
+        };
+        let engine = MatchEngine::new(&pattern, &b, &cross);
+        assert_eq!(engine.count_matches(), engine.all().len() as u64);
+        // No Q(x,x) with x = b or c exists, so pinning x2 = x3 = b kills
+        // only the Q component; existence must see that.
+        let dead = MatchConstraints {
+            fixed: vec![(2, Value::constant("b")), (3, Value::constant("b"))],
+            ..Default::default()
+        };
+        let engine = MatchEngine::new(&pattern, &b, &dead);
+        assert!(!engine.exists());
+        assert_eq!(engine.count_matches(), 0);
+    }
+
+    #[test]
+    fn any_match_is_a_complete_valid_match() {
+        let s = Schema::parse("P/2 Q/2").unwrap();
+        let b = inst(&s, "P(a,b) Q(c,d)");
+        let (p, q) = (s.rel("P").unwrap(), s.rel("Q").unwrap());
+        let pattern = Pattern {
+            facts: vec![
+                PatFact {
+                    rel: p,
+                    args: vec![PatTerm::Var(0), PatTerm::Var(1)],
+                },
+                PatFact {
+                    rel: q,
+                    args: vec![PatTerm::Var(2), PatTerm::Var(3)],
+                },
+            ],
+            nvars: 4,
+        };
+        let c = MatchConstraints::default();
+        let m = MatchEngine::new(&pattern, &b, &c).any_match().unwrap();
+        for fact in &pattern.facts {
+            let tuple: Vec<Value> = fact
+                .args
+                .iter()
+                .map(|t| match *t {
+                    PatTerm::Value(v) => v,
+                    PatTerm::Var(v) => m.value(v),
+                })
+                .collect();
+            assert!(b.contains(fact.rel, &tuple), "any_match image must hold");
+        }
+        // Monolithic fallback (single component) delegates to `first`.
+        let joined = Pattern {
+            facts: vec![PatFact {
+                rel: p,
+                args: vec![PatTerm::Var(0), PatTerm::Var(1)],
+            }],
+            nvars: 2,
+        };
+        let engine = MatchEngine::new(&joined, &b, &c);
+        assert_eq!(engine.any_match(), engine.first());
+    }
+
+    #[test]
+    fn forbidden_values_exclude_assignments() {
+        let s = Schema::parse("P/2").unwrap();
+        let b = inst(&s, "P(a,b) P(a,c)");
+        let pattern = Pattern {
+            facts: vec![PatFact {
+                rel: s.rel("P").unwrap(),
+                args: vec![PatTerm::Var(0), PatTerm::Var(1)],
+            }],
+            nvars: 2,
+        };
+        let forbid_b = MatchConstraints {
+            forbidden_values: vec![Value::constant("b")],
+            ..Default::default()
+        };
+        assert_eq!(MatchEngine::new(&pattern, &b, &forbid_b).all().len(), 1);
+        let forbid_a = MatchConstraints {
+            forbidden_values: vec![Value::constant("a")],
+            ..Default::default()
+        };
+        assert!(!MatchEngine::new(&pattern, &b, &forbid_a).exists());
+        // A fixed value that is forbidden is contradictory.
+        let contradictory = MatchConstraints {
+            fixed: vec![(0, Value::constant("a"))],
+            forbidden_values: vec![Value::constant("a")],
+            ..Default::default()
+        };
+        assert!(!MatchEngine::new(&pattern, &b, &contradictory).exists());
+    }
+
+    #[test]
+    fn prefilter_is_refutation_sound() {
+        let s = Schema::parse("P/2 Q/1").unwrap();
+        let pairs = [
+            // (a, b, expected has_hom)
+            ("P(a,N1)", "P(a,b)", true),
+            ("P(a,b)", "P(a,N1)", false),     // ground fact missing
+            ("P(b,N1)", "P(a,b)", false),     // constant profile at pos 0
+            ("P(a,b) Q(c)", "P(a,b)", false), // relation empty in target
+            ("P(N1,N1)", "P(a,b)", false),    // prefilter can't see this one
+        ];
+        for (x, y, expect) in pairs {
+            let a = Instance::parse(&s, x).unwrap();
+            let b = Instance::parse(&s, y).unwrap();
+            assert_eq!(has_hom(&a, &b), expect, "{x} → {y}");
+            if hom_refuted_quick(&a, &b) {
+                assert!(!expect, "prefilter refuted a true pair: {x} → {y}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,259 @@
+//! Cross-algorithm memoization of homomorphism checks.
+//!
+//! Verification workloads (`~M`-equivalence classes, MinGen coverage,
+//! subsumption sweeps, faithfulness matrices) fire hundreds of
+//! near-identical `has_hom`/`hom_equivalent` calls, frequently against
+//! the same pair of instances up to null renaming. [`HomCache`] memoizes
+//! the boolean answers, keyed by the canonical instance fingerprints of
+//! [`crate::FactStore::fingerprint`].
+//!
+//! # Why the key is sound
+//!
+//! The fingerprint renames nulls by a bijection, so **equal fingerprints
+//! imply isomorphic instances**, and the existence of a homomorphism is
+//! invariant under isomorphism of either side. A fingerprint collision
+//! between inequivalent instances is therefore impossible — the cache can
+//! return stale-looking but never *wrong* booleans. (This is also why the
+//! key is the full canonical string and not a 64-bit hash of it: a hash
+//! collision *would* poison the cache with a wrong answer.) Isomorphic
+//! instances that happen to render different fingerprints merely miss.
+//!
+//! The cache is `Sync` (a mutexed map plus atomic counters), so
+//! `qi-exec` workers may share one: cached booleans are pure values, so
+//! hitting the cache in any interleaving preserves the determinism
+//! contract.
+
+use crate::hom::{has_hom, hom_refuted_quick};
+use crate::instance::Instance;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One probe's answer table, shared between the cache's outer map and any
+/// [`ProbeSlot`] handles pointing at it.
+type Slot = Arc<Mutex<HashMap<Arc<String>, bool>>>;
+
+/// Memoized homomorphism checks keyed by canonical fingerprints (module
+/// docs). One cache per algorithm run is the intended scope — MinGen,
+/// disjunct minimization, and verification each create their own, so
+/// memory stays bounded by the run's working set.
+#[derive(Debug, Default)]
+pub struct HomCache {
+    /// `outer key → (target fingerprint → answer)`. The outer key is
+    /// either an instance fingerprint (for [`HomCache::has_hom`], with a
+    /// `"hom|"` prefix) or a caller-chosen probe key
+    /// ([`HomCache::probe`]).
+    map: Mutex<HashMap<String, Slot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A pre-resolved handle on one probe key's answer table. Hot loops that
+/// ask the same pattern question against many targets (MinGen coverage,
+/// the Step-3 subsumption sweep, disjunct minimization) resolve the key
+/// once via [`HomCache::slot`] and then pay only a fingerprint lookup per
+/// probe — hashing a multi-hundred-byte probe key on every query is
+/// measurable at the millions-of-probes scale MinGen reaches.
+#[derive(Debug)]
+pub struct ProbeSlot<'c> {
+    cache: &'c HomCache,
+    slot: Slot,
+}
+
+impl ProbeSlot<'_> {
+    /// Memoized query against `target`; `run` computes the answer on a
+    /// miss. Same contract as [`HomCache::probe`].
+    pub fn probe(&self, target: &Instance, run: impl FnOnce() -> bool) -> bool {
+        self.probe_keyed(target.store().fingerprint(), run)
+    }
+
+    /// [`ProbeSlot::probe`] with a caller-computed target key. The caller
+    /// must guarantee the fingerprint property within this slot: equal
+    /// keys only for targets the probe cannot distinguish (e.g. a
+    /// canonical rendering that renames nulls bijectively). Lets hot
+    /// paths answer hits without even *constructing* the target instance
+    /// — MinGen coverage keys on the candidate's normal form and builds
+    /// the instance only when a search actually runs.
+    pub fn probe_keyed(&self, target_key: Arc<String>, run: impl FnOnce() -> bool) -> bool {
+        {
+            let m = self.slot.lock().expect("hom cache slot lock");
+            if let Some(&answer) = m.get(&target_key) {
+                self.cache.hits.fetch_add(1, Ordering::Relaxed);
+                return answer;
+            }
+        }
+        // Compute outside the lock (see `HomCache::lookup_or`).
+        let answer = run();
+        self.cache.misses.fetch_add(1, Ordering::Relaxed);
+        let mut m = self.slot.lock().expect("hom cache slot lock");
+        m.insert(target_key, answer);
+        answer
+    }
+}
+
+impl HomCache {
+    /// Fresh, empty cache with zeroed counters.
+    pub fn new() -> Self {
+        HomCache::default()
+    }
+
+    /// `(hits, misses)` so far. A hit is any answer served without
+    /// running a search (including the equal-fingerprint shortcut).
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Memoized [`has_hom`]. The refutation prefilter runs before any
+    /// fingerprinting (it is cheaper than rendering), and equal
+    /// fingerprints short-circuit to `true` — isomorphic instances always
+    /// admit the identity-up-to-renaming homomorphism.
+    pub fn has_hom(&self, a: &Instance, b: &Instance) -> bool {
+        if hom_refuted_quick(a, b) {
+            return false;
+        }
+        let fa = a.store().fingerprint();
+        let fb = b.store().fingerprint();
+        if fa == fb {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        self.lookup_or(&format!("hom|{fa}"), fb, || has_hom(a, b))
+    }
+
+    /// Memoized [`crate::hom_equivalent`].
+    pub fn hom_equivalent(&self, a: &Instance, b: &Instance) -> bool {
+        self.has_hom(a, b) && self.has_hom(b, a)
+    }
+
+    /// Memoize an arbitrary boolean pattern-vs-instance query: the caller
+    /// supplies a key identifying the probe side (pattern + constraints,
+    /// e.g. their `Debug` rendering) and the target instance; `run`
+    /// computes the answer on a miss. MinGen coverage, the subsumption
+    /// sweep, and disjunct minimization use this to reuse answers across
+    /// targets that only differ by null renaming. The probe key must
+    /// determine the query up to the target — two different probes must
+    /// never share a key within one cache.
+    pub fn probe(&self, probe_key: &str, target: &Instance, run: impl FnOnce() -> bool) -> bool {
+        self.slot(probe_key).probe(target, run)
+    }
+
+    /// Resolve `probe_key` to its answer table once, for hot loops that
+    /// probe the same key against many targets (see [`ProbeSlot`]).
+    pub fn slot(&self, probe_key: &str) -> ProbeSlot<'_> {
+        let slot = {
+            let mut map = self.map.lock().expect("hom cache lock");
+            match map.get(probe_key) {
+                Some(s) => Arc::clone(s),
+                None => {
+                    let s = Slot::default();
+                    map.insert(probe_key.to_owned(), Arc::clone(&s));
+                    s
+                }
+            }
+        };
+        ProbeSlot { cache: self, slot }
+    }
+
+    fn lookup_or(&self, outer: &str, inner: Arc<String>, run: impl FnOnce() -> bool) -> bool {
+        let slot = self.slot(outer);
+        {
+            let m = slot.slot.lock().expect("hom cache slot lock");
+            if let Some(&answer) = m.get(&inner) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return answer;
+            }
+        }
+        // Compute outside the lock: `run` may itself be expensive, and
+        // recursive search code must never deadlock on the cache. Two
+        // workers racing on the same key both compute the same pure
+        // boolean, so the double insert is harmless.
+        let answer = run();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut m = slot.slot.lock().expect("hom cache slot lock");
+        m.insert(inner, answer);
+        answer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn inst(schema: &Schema, text: &str) -> Instance {
+        Instance::parse(schema, text).unwrap()
+    }
+
+    #[test]
+    fn cached_answers_match_direct_ones() {
+        let s = Schema::parse("E/2").unwrap();
+        let cache = HomCache::new();
+        let pairs = [
+            ("E(a,N1)", "E(a,b)"),
+            ("E(N1,N2) E(N2,N3)", "E(a,a)"),
+            ("E(N1,N1)", "E(a,b)"), // false, but beyond the prefilter
+        ];
+        for (x, y) in pairs {
+            let a = inst(&s, x);
+            let b = inst(&s, y);
+            assert_eq!(cache.has_hom(&a, &b), has_hom(&a, &b), "{x} → {y}");
+            // Second query hits.
+            let (hits_before, _) = cache.counters();
+            assert_eq!(cache.has_hom(&a, &b), has_hom(&a, &b));
+            assert!(cache.counters().0 > hits_before, "{x} → {y} should hit");
+        }
+        // A pair killed by the refutation prefilter never reaches the
+        // cache: answered `false` for free, counters untouched.
+        let (hits, misses) = cache.counters();
+        let a = inst(&s, "E(a,b)");
+        let b = inst(&s, "E(a,N1)");
+        assert!(!cache.has_hom(&a, &b), "ground fact absent from target");
+        assert_eq!(cache.counters(), (hits, misses));
+    }
+
+    #[test]
+    fn null_renamed_instances_share_entries() {
+        let s = Schema::parse("E/2").unwrap();
+        let a = inst(&s, "E(a,N1) E(N1,N2)");
+        let b = inst(&s, "E(a,N7) E(N7,N9)");
+        let target = inst(&s, "E(a,a)");
+        let cache = HomCache::new();
+        assert!(cache.has_hom(&a, &target));
+        let (_, misses) = cache.counters();
+        // `b` is `a` up to null renaming: same fingerprint, so a hit.
+        assert!(cache.has_hom(&b, &target));
+        assert_eq!(cache.counters().1, misses, "renamed query must not miss");
+    }
+
+    #[test]
+    fn equal_fingerprints_short_circuit() {
+        let s = Schema::parse("E/2").unwrap();
+        let a = inst(&s, "E(N1,N2)");
+        let b = inst(&s, "E(N5,N6)");
+        let cache = HomCache::new();
+        assert!(cache.has_hom(&a, &b));
+        assert_eq!(cache.counters(), (1, 0), "iso shortcut counts as a hit");
+    }
+
+    #[test]
+    fn probe_memoizes_by_target_fingerprint() {
+        let s = Schema::parse("E/2").unwrap();
+        let t1 = inst(&s, "E(a,N1)");
+        let t2 = inst(&s, "E(a,N4)"); // same fingerprint as t1
+        let cache = HomCache::new();
+        let mut runs = 0;
+        let mut ask = |t: &Instance| {
+            cache.probe("my-pattern", t, || {
+                runs += 1;
+                true
+            })
+        };
+        assert!(ask(&t1));
+        assert!(ask(&t2));
+        assert_eq!(runs, 1, "renamed target must be served from cache");
+        assert_eq!(cache.counters(), (1, 1));
+    }
+}

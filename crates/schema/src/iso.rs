@@ -38,6 +38,12 @@ pub fn is_isomorphic(a: &Instance, b: &Instance) -> bool {
     if a_consts != b_consts || a_nulls.len() != b_nulls.len() {
         return false;
     }
+    // Equal canonical fingerprints certify isomorphism outright (the
+    // fingerprint's null renaming is a bijection), skipping the
+    // injective search for the common case of null-renamed copies.
+    if a.store().fingerprint() == b.store().fingerprint() {
+        return true;
+    }
     // An injective nulls-to-nulls homomorphism a → b with equal fact
     // counts is automatically surjective on facts, hence an isomorphism
     // (distinct tuples stay distinct under an injective value map).

@@ -29,6 +29,7 @@ pub mod data;
 pub mod error;
 pub mod fact;
 pub mod hom;
+pub mod homcache;
 pub mod instance;
 pub mod iso;
 pub mod schema;
@@ -36,13 +37,16 @@ pub mod store;
 pub mod value;
 
 pub use brute::{brute_force_matches, engine_matches};
-pub use core_of::core_of;
+#[cfg(any(test, feature = "greedy-core"))]
+pub use core_of::core_of_greedy;
+pub use core_of::{core_of, core_of_with_stats, CoreStats};
 pub use error::SchemaError;
 pub use fact::Fact;
 pub use hom::{
-    find_hom, has_hom, hom_equivalent, Assignment, MatchConstraints, MatchEngine, PatFact, PatTerm,
-    Pattern, VarIdx,
+    find_hom, has_hom, hom_equivalent, hom_refuted_quick, Assignment, MatchConstraints,
+    MatchEngine, PatFact, PatTerm, Pattern, VarIdx,
 };
+pub use homcache::{HomCache, ProbeSlot};
 pub use instance::Instance;
 pub use iso::is_isomorphic;
 pub use schema::{RelId, RelSym, Schema};

@@ -114,6 +114,7 @@ pub struct FactStore {
     generation: u64,
     adom_cache: Cached<BTreeSet<Value>>,
     nulls_cache: Cached<BTreeSet<NullId>>,
+    fp_cache: Cached<String>,
 }
 
 impl Clone for FactStore {
@@ -123,6 +124,7 @@ impl Clone for FactStore {
             generation: self.generation,
             adom_cache: Mutex::new(self.adom_cache.lock().expect("cache lock").clone()),
             nulls_cache: Mutex::new(self.nulls_cache.lock().expect("cache lock").clone()),
+            fp_cache: Mutex::new(self.fp_cache.lock().expect("cache lock").clone()),
         }
     }
 }
@@ -148,6 +150,7 @@ impl FactStore {
             generation: 0,
             adom_cache: Mutex::new(None),
             nulls_cache: Mutex::new(None),
+            fp_cache: Mutex::new(None),
         }
     }
 
@@ -210,6 +213,19 @@ impl FactStore {
     /// The tuple behind an id from a posting or delta list.
     pub fn tuple(&self, rel: usize, id: TupleId) -> &Vec<Value> {
         self.rels[rel].tuple(id)
+    }
+
+    /// Arity of relation `rel` (the number of posting positions).
+    pub fn arity(&self, rel: usize) -> usize {
+        self.rels[rel].postings.len()
+    }
+
+    /// The distinct values occurring at `(rel, pos)`, from the posting
+    /// map's key set. Iteration order is unspecified (hash order) —
+    /// consumers must be order-insensitive, like the existence-of-a-
+    /// refutation scan in `qi_schema::hom::hom_refuted_quick`.
+    pub fn position_values(&self, rel: usize, pos: usize) -> impl Iterator<Item = Value> + '_ {
+        self.rels[rel].postings[pos].keys().copied()
     }
 
     /// The posting list of `(rel, pos, value)`: ids of the tuples whose
@@ -282,6 +298,78 @@ impl FactStore {
         );
         *cache = Some((self.generation, Arc::clone(&set)));
         set
+    }
+
+    /// A canonical fingerprint of the fact set, cached until the
+    /// generation changes. This is the hom-cache key
+    /// (`qi_schema::HomCache`).
+    ///
+    /// Nulls are renamed by first occurrence over the canonical fact
+    /// order, the renamed tuples re-sorted, and the rename+sort repeated
+    /// once (a refinement round that normalizes the common case where
+    /// renaming reorders tuples); the result is rendered per relation
+    /// with interned-constant indices. The rename is a bijection on
+    /// nulls, so **equal fingerprints imply isomorphic fact sets** —
+    /// a fingerprint-keyed cache can never conflate inequivalent
+    /// instances. The converse does not hold: isomorphic stores whose
+    /// null order resists one refinement round render differently, which
+    /// costs a consumer a cache miss, never a wrong answer.
+    pub fn fingerprint(&self) -> Arc<String> {
+        let mut cache = self.fp_cache.lock().expect("cache lock");
+        if let Some((gen, ref fp)) = *cache {
+            if gen == self.generation {
+                return Arc::clone(fp);
+            }
+        }
+        let fp = Arc::new(self.render_fingerprint());
+        *cache = Some((self.generation, Arc::clone(&fp)));
+        fp
+    }
+
+    fn render_fingerprint(&self) -> String {
+        use std::fmt::Write;
+        let mut rels: Vec<Vec<Vec<Value>>> = self
+            .rels
+            .iter()
+            .map(|r| r.sorted.keys().cloned().collect())
+            .collect();
+        for _ in 0..2 {
+            let mut map: HashMap<NullId, NullId> = HashMap::new();
+            for tuples in &mut rels {
+                for t in tuples.iter_mut() {
+                    for v in t.iter_mut() {
+                        if let Value::Null(n) = *v {
+                            let fresh = NullId(map.len() as u64);
+                            *v = Value::Null(*map.entry(n).or_insert(fresh));
+                        }
+                    }
+                }
+            }
+            for tuples in &mut rels {
+                // Renaming is injective, so sorting cannot merge tuples.
+                tuples.sort();
+            }
+        }
+        let mut out = String::new();
+        for (rel, tuples) in rels.iter().enumerate() {
+            let _ = write!(out, "r{rel}#{}:", self.arity(rel));
+            for t in tuples {
+                out.push('(');
+                for v in t {
+                    match v {
+                        Value::Const(c) => {
+                            let _ = write!(out, "c{},", c.index());
+                        }
+                        Value::Null(n) => {
+                            let _ = write!(out, "~{},", n.0);
+                        }
+                    }
+                }
+                out.push(')');
+            }
+            out.push(';');
+        }
+        out
     }
 }
 
