@@ -119,11 +119,12 @@ fn bench_thread_sweep() {
     for threads in THREAD_SWEEP {
         let options = ChaseOptions {
             parallelism: Parallelism::fixed(threads),
+            ..Default::default()
         };
-        let out = chase_with_options(&m.tgds, &i, &m.target, options).unwrap();
+        let out = chase_with_options(&m.tgds, &i, &m.target, options.clone()).unwrap();
         assert_eq!(out.instance, baseline, "parallel chase must be exact");
         let s = measure(MIN_ITERS, MIN_TIME, || {
-            chase_with_options(&m.tgds, &i, &m.target, options)
+            chase_with_options(&m.tgds, &i, &m.target, options.clone())
                 .unwrap()
                 .instance
         });
@@ -171,6 +172,7 @@ fn bench_seminaive() {
             max_steps: Some(5_000_000),
             strategy,
             parallelism: Parallelism::auto(),
+            ..Default::default()
         };
         let run =
             |strategy| chase_with_target_deps_stats(&setting, &i, &t, options(strategy)).unwrap();
@@ -202,6 +204,44 @@ fn bench_seminaive() {
     }
 }
 
+fn bench_budget_overhead() {
+    // Cooperative budget checks on the hot path: chase the decomposition
+    // workload unlimited vs. under an ample (never-tripping) budget. The
+    // result is bit-identical either way — the budget only adds atomic
+    // counter traffic — and the charged counters land in the JSON so the
+    // overhead and the workload's resource shape are both visible.
+    let m = decomposition_k(3);
+    let i = decomposition_instance(&m, 200);
+    let baseline = chase(&m.tgds, &i, &m.target).unwrap().instance;
+    for (variant, budget) in [
+        ("unlimited", qi_exec::Budget::unlimited()),
+        (
+            "ample",
+            qi_exec::Budget::unlimited()
+                .with_max_tasks(u64::MAX / 2)
+                .with_max_facts(u64::MAX / 2),
+        ),
+    ] {
+        let options = || ChaseOptions {
+            budget: budget.clone(),
+            ..Default::default()
+        };
+        let out = chase_with_options(&m.tgds, &i, &m.target, options()).unwrap();
+        assert_eq!(out.instance, baseline, "budget must not change the chase");
+        let s = measure(MIN_ITERS, MIN_TIME, || {
+            chase_with_options(&m.tgds, &i, &m.target, options())
+                .unwrap()
+                .instance
+        });
+        Record::new("chase/budget-overhead")
+            .str("variant", variant)
+            .int("tasks_charged", budget.tasks_charged())
+            .int("facts_charged", budget.facts_charged())
+            .sample(s)
+            .emit();
+    }
+}
+
 fn main() {
     bench_decomposition();
     bench_union();
@@ -209,4 +249,5 @@ fn main() {
     bench_restricted_vs_oblivious();
     bench_thread_sweep();
     bench_seminaive();
+    bench_budget_overhead();
 }

@@ -123,13 +123,13 @@ fn bench_thread_sweep() {
             parallelism: Parallelism::fixed(threads),
             ..Default::default()
         };
-        let out = disjunctive_chase_with_stats(&rev.deps, &u, &empty, options).unwrap();
+        let out = disjunctive_chase_with_stats(&rev.deps, &u, &empty, options.clone()).unwrap();
         assert_eq!(
             out.leaves, baseline,
             "parallel disjunctive chase must be exact"
         );
         let s = measure(MIN_ITERS, MIN_TIME, || {
-            disjunctive_chase_with_stats(&rev.deps, &u, &empty, options).unwrap()
+            disjunctive_chase_with_stats(&rev.deps, &u, &empty, options.clone()).unwrap()
         });
         Record::new("disjunctive/threads-sweep-union")
             .int("threads", threads as u64)

@@ -15,14 +15,14 @@
 //! the tree is finite. A node budget still guards against combinatorial
 //! blow-up on large inputs.
 
-use crate::error::ChaseError;
+use crate::error::{ChaseError, ChasePartial};
 use crate::strategy::ChaseStrategy;
-use qi_exec::{par_map_stats, ExecStats, Parallelism};
+use qi_exec::{par_map_budgeted, Budget, ExecStats, Parallelism};
 use qi_lang::{compile_atoms, DisjTgd, Var};
 use qi_schema::{Instance, MatchConstraints, MatchEngine, PatTerm, Pattern, Schema, Value};
 
 /// Options for the disjunctive chase.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct DisjChaseOptions {
     /// Maximum number of chase-tree nodes to visit before giving up.
     pub max_nodes: usize,
@@ -35,6 +35,12 @@ pub struct DisjChaseOptions {
     /// re-fire; naive re-probes every trigger at every node. The chase
     /// tree (and its leaves) is byte-identical either way.
     pub strategy: ChaseStrategy,
+    /// Cooperative resource budget: checked per wave and between
+    /// executor tasks; each applied disjunct charges its fresh facts.
+    /// Exhaustion surfaces as [`ChaseError::Resource`] carrying the
+    /// settled leaves so far — each a genuine leaf of the full tree.
+    /// Unlimited by default.
+    pub budget: Budget,
 }
 
 impl Default for DisjChaseOptions {
@@ -43,6 +49,7 @@ impl Default for DisjChaseOptions {
             max_nodes: 200_000,
             parallelism: Parallelism::default(),
             strategy: ChaseStrategy::default(),
+            budget: Budget::default(),
         }
     }
 }
@@ -257,10 +264,32 @@ pub fn disjunctive_chase_with_stats(
         0,
     )];
     let naive = matches!(options.strategy, ChaseStrategy::Naive);
+    let budget = &options.budget;
+    let limited = !budget.is_unlimited();
+    // On budget exhaustion, the settled leaves are a sound partial
+    // result: each is a genuine leaf of the full chase tree.
+    let settled = |frontier: &[Node]| -> ChasePartial {
+        let mut leaves: Vec<Instance> = Vec::new();
+        for node in frontier {
+            if let Node::Leaf(to) = node {
+                if !leaves.contains(to) {
+                    leaves.push(to.clone());
+                }
+            }
+        }
+        ChasePartial::Leaves(leaves)
+    };
     let mut visited = 0usize;
     let mut waves = 0usize;
     let mut stats = ExecStats::default();
     loop {
+        // Per-wave budget check: a combinatorial tree spends its life in
+        // this loop, so the wave boundary is where exhaustion surfaces.
+        if limited {
+            if let Err(e) = budget.check() {
+                return Err(ChaseError::resource(e, stats, settled(&frontier)));
+            }
+        }
         // Snapshot the open nodes of this wave.
         let open: Vec<(&Instance, usize)> = frontier
             .iter()
@@ -282,7 +311,7 @@ pub fn disjunctive_chase_with_stats(
         // Parallel enumerate: the first unsatisfied trigger per node, a
         // pure function of the node's immutable instance. Semi-naive
         // nodes resume the probe after the parent's fired trigger.
-        let (pending, wave_stats) = par_map_stats(options.parallelism, &open, |&(to, start)| {
+        let wave = par_map_budgeted(options.parallelism, &open, budget, |&(to, start)| {
             let from_idx = if naive { 0 } else { start };
             let found = triggers[from_idx..]
                 .iter()
@@ -293,6 +322,10 @@ pub fn disjunctive_chase_with_stats(
             };
             (found.map(|k| from_idx + k), probed)
         });
+        let (pending, wave_stats) = match wave {
+            Ok(out) => out,
+            Err(e) => return Err(ChaseError::resource(e, stats, settled(&frontier))),
+        };
         stats.absorb(&wave_stats);
         // Ordered commit: expand (or settle) every open node in place.
         let mut next_frontier: Vec<Node> = Vec::with_capacity(frontier.len());
@@ -313,6 +346,7 @@ pub fn disjunctive_chase_with_stats(
                             for di in 0..dep.disjuncts.len() {
                                 let (child, next) =
                                     apply_disjunct(dep, di, &t.fixed, &to, next_null);
+                                budget.charge_facts((child.fact_count() - to.fact_count()) as u64);
                                 // The applied disjunct satisfies trigger
                                 // `ti` in every child; the child's probe
                                 // resumes right after it.

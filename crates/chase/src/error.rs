@@ -1,6 +1,70 @@
-//! Errors of the chase engines.
+//! Errors of the chase engines, including the structured resource
+//! errors that make budget exhaustion a graceful outcome.
 
+use qi_exec::{Exceeded, ExecStats};
+use qi_schema::Instance;
 use std::fmt;
+
+/// What a budget-interrupted chase managed to build before the budget
+/// tripped. Every variant is *sound*: the facts it carries were derived
+/// by ordinary chase steps from the input, so they are a subset of what
+/// the uninterrupted run would derive (for the disjunctive chase, each
+/// settled leaf is a genuine leaf of the full tree).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum ChasePartial {
+    /// Nothing usable was built (e.g. the budget tripped before the
+    /// first round committed).
+    #[default]
+    None,
+    /// The chase instance as of the last committed step.
+    Instance(Instance),
+    /// The disjunctive chase's settled leaves so far (possibly empty
+    /// branches still open when the budget tripped are *not* included).
+    Leaves(Vec<Instance>),
+}
+
+/// Structured report of a budget-interrupted search: which limit
+/// tripped, the executor counters up to that point, and the sound
+/// partial artifact (if any). Raised through [`ChaseError::Resource`] —
+/// never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceError {
+    /// The limit that tripped (deadline, tasks, facts, or cancellation).
+    pub exceeded: Exceeded,
+    /// Executor counters accumulated before the interruption.
+    pub stats: ExecStats,
+    /// Sound partial artifact built before the interruption.
+    pub partial: ChasePartial,
+}
+
+impl ResourceError {
+    /// Build a resource error from the tripping reason and the budget's
+    /// charge counters (folded into `stats` for reporting).
+    pub fn new(exceeded: Exceeded, stats: ExecStats, partial: ChasePartial) -> Self {
+        ResourceError {
+            exceeded,
+            stats,
+            partial,
+        }
+    }
+}
+
+impl fmt::Display for ResourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "resource budget exhausted ({}) after {} executor task(s)",
+            self.exceeded, self.stats.tasks
+        )?;
+        match &self.partial {
+            ChasePartial::None => Ok(()),
+            ChasePartial::Instance(i) => {
+                write!(f, "; partial instance has {} fact(s)", i.fact_count())
+            }
+            ChasePartial::Leaves(ls) => write!(f, "; {} settled leaf/leaves", ls.len()),
+        }
+    }
+}
 
 /// Errors raised by chase procedures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -14,6 +78,16 @@ pub enum ChaseError {
         /// Configured maximum number of visited tree nodes.
         max_nodes: usize,
     },
+    /// A cooperative resource budget (deadline, task cap, fact cap, or
+    /// cancellation) tripped; carries the sound partial result.
+    Resource(Box<ResourceError>),
+}
+
+impl ChaseError {
+    /// Wrap a [`ResourceError`].
+    pub fn resource(exceeded: Exceeded, stats: ExecStats, partial: ChasePartial) -> Self {
+        ChaseError::Resource(Box::new(ResourceError::new(exceeded, stats, partial)))
+    }
 }
 
 impl fmt::Display for ChaseError {
@@ -27,6 +101,7 @@ impl fmt::Display for ChaseError {
                 f,
                 "disjunctive chase exceeded its node budget ({max_nodes} nodes)"
             ),
+            ChaseError::Resource(r) => r.fmt(f),
         }
     }
 }

@@ -38,7 +38,7 @@ pub use disjunctive::{
     chase_with_guards, disjunctive_chase, disjunctive_chase_with_stats, DisjChaseOptions,
     DisjChaseOutcome,
 };
-pub use error::ChaseError;
+pub use error::{ChaseError, ChasePartial, ResourceError};
 pub use implication::{implies_tgd, is_generator};
 pub use query::{certain_answers, certain_answers_with_setting, evaluate};
 pub use satisfy::{satisfies_all_disj_tgds, satisfies_all_tgds, satisfies_disj_tgd, satisfies_tgd};

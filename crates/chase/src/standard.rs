@@ -23,17 +23,22 @@
 //! fresh nulls minted for existential variables are chosen above every
 //! null already present.
 
-use crate::error::ChaseError;
-use qi_exec::{par_map_stats, ExecStats, Parallelism};
+use crate::error::{ChaseError, ChasePartial};
+use qi_exec::{par_map_budgeted, Budget, ExecStats, Parallelism};
 use qi_lang::{compile_atoms, Tgd, Var};
 use qi_schema::{Instance, MatchConstraints, MatchEngine, PatTerm, Pattern, Schema, Value};
 
 /// Options for the standard chase.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ChaseOptions {
     /// Degree of parallelism for the trigger-enumeration stage. The
     /// result is bit-identical at every setting (see `qi-exec`).
     pub parallelism: Parallelism,
+    /// Cooperative resource budget: checked between executor tasks and
+    /// between trigger firings; derived facts are charged as they are
+    /// inserted. Exhaustion surfaces as [`ChaseError::Resource`] with
+    /// the partial target instance. Unlimited by default.
+    pub budget: Budget,
 }
 
 /// Outcome of a chase run: the result instance plus step statistics.
@@ -165,7 +170,8 @@ fn run(
     // come back in tgd order, making the commit phase below identical to
     // the sequential chase.
     let constraints = MatchConstraints::default();
-    let (all_matches, stats) = par_map_stats(options.parallelism, &compiled, |c| {
+    let budget = &options.budget;
+    let (all_matches, stats) = par_map_budgeted(options.parallelism, &compiled, budget, |c| {
         let engine = MatchEngine::new(&c.body, source, &constraints);
         let matches: Vec<Vec<Value>> = engine
             .all()
@@ -174,20 +180,37 @@ fn run(
             .collect();
         let (reused, rebuilt) = engine.posting_counters();
         (matches, reused, rebuilt)
-    });
+    })
+    .map_err(|e| ChaseError::resource(e, ExecStats::default(), ChasePartial::None))?;
     let mut stats = stats;
     // Ordered commit: the restricted chase's satisfaction check depends
     // on the evolving target, so firing stays sequential, in the same
-    // (tgd, trigger) order as the sequential chase.
+    // (tgd, trigger) order as the sequential chase. The budget is
+    // re-checked between trigger firings; on exhaustion the target so
+    // far — a sound prefix of the full run — rides out on the error.
+    let limited = !budget.is_unlimited();
     for (c, (matches, reused, rebuilt)) in compiled.iter().zip(&all_matches) {
         stats.postings_reused += reused;
         stats.postings_rebuilt += rebuilt;
         for body_vals in matches {
+            if limited {
+                if let Err(e) = budget.check() {
+                    stats.triggers_enumerated += triggers as u64;
+                    stats.triggers_fired += fired as u64;
+                    return Err(ChaseError::resource(
+                        e,
+                        stats,
+                        ChasePartial::Instance(target),
+                    ));
+                }
+            }
             triggers += 1;
             if restricted && head_satisfied(c, body_vals, &target) {
                 continue;
             }
+            let before = target.fact_count();
             fire(c, body_vals, &mut target, &mut next_null);
+            budget.charge_facts((target.fact_count() - before) as u64);
             fired += 1;
         }
     }

@@ -15,11 +15,13 @@
 //!   tgd and egd steps to a fixpoint, bounded by a step budget
 //!   (hit only by non-weakly-acyclic inputs).
 
-use crate::error::ChaseError;
-use crate::standard::{chase, compile, fire, head_satisfied, ChaseOutcome, CompiledTgd};
+use crate::error::{ChaseError, ChasePartial};
+use crate::standard::{
+    chase_with_options, compile, fire, head_satisfied, ChaseOptions, ChaseOutcome, CompiledTgd,
+};
 use crate::strategy::ChaseStrategy;
 use qi_analyze::DependencyGraph;
-use qi_exec::{par_map_stats, ExecStats, Parallelism};
+use qi_exec::{par_map_budgeted, Budget, Exceeded, ExecStats, Parallelism};
 use qi_lang::{compile_atoms, Egd, Tgd, Var};
 use qi_schema::{Instance, MatchConstraints, MatchEngine, Pattern, Schema, Value};
 use std::collections::BTreeSet;
@@ -37,7 +39,7 @@ pub struct ExchangeSetting {
 }
 
 /// Options for the target chase.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct TargetChaseOptions {
     /// Maximum tgd firings + egd repairs before giving up
     /// ([`ChaseError::Budget`]).
@@ -56,6 +58,15 @@ pub struct TargetChaseOptions {
     /// Degree of parallelism for per-round trigger enumeration; the
     /// result is bit-identical at every setting (see `qi-exec`).
     pub parallelism: Parallelism,
+    /// Cooperative resource budget, shared by the s-t stage and every
+    /// target round: executor workers check it between tasks, the round
+    /// loop checks it per round and per trigger firing, and derived
+    /// facts are charged as they are inserted. Exhaustion surfaces as
+    /// [`ChaseError::Resource`] carrying the chase instance as of the
+    /// last committed step. Unlimited by default — unlike
+    /// [`TargetChaseOptions::max_steps`], which bounds chase *steps*,
+    /// this bounds wall-clock time, executor tasks, and facts.
+    pub budget: Budget,
 }
 
 /// Step budget for target chases whose tgds are *not* weakly acyclic
@@ -101,8 +112,9 @@ fn enumerate_round(
     current: &Instance,
     full: bool,
     parallelism: Parallelism,
+    budget: &Budget,
     exec: &mut ExecStats,
-) -> BTreeSet<(usize, Vec<Value>)> {
+) -> Result<BTreeSet<(usize, Vec<Value>)>, Exceeded> {
     let mut tasks: Vec<(usize, Option<usize>)> = Vec::new();
     for (ti, c) in compiled.iter().enumerate() {
         if full {
@@ -114,7 +126,7 @@ fn enumerate_round(
         }
     }
     let constraints = MatchConstraints::default();
-    let (results, stats) = par_map_stats(parallelism, &tasks, |&(ti, delta_atom)| {
+    let (results, stats) = par_map_budgeted(parallelism, &tasks, budget, |&(ti, delta_atom)| {
         let c = &compiled[ti];
         let engine = MatchEngine::new(&c.body, current, &constraints).with_delta_atom(delta_atom);
         let matches: Vec<Vec<Value>> = engine
@@ -124,7 +136,7 @@ fn enumerate_round(
             .collect();
         let (reused, rebuilt) = engine.posting_counters();
         (matches, reused, rebuilt)
-    });
+    })?;
     exec.absorb(&stats);
     let mut triggers = BTreeSet::new();
     for ((ti, _), (matches, reused, rebuilt)) in tasks.iter().zip(results) {
@@ -135,7 +147,7 @@ fn enumerate_round(
             triggers.insert((*ti, m));
         }
     }
-    triggers
+    Ok(triggers)
 }
 
 /// One pass of egd repairs; `Ok(Some(n))` = `n` repairs applied,
@@ -234,11 +246,23 @@ pub fn chase_with_target_deps_stats(
     target_schema: &Schema,
     options: TargetChaseOptions,
 ) -> Result<(TargetChaseResult, TargetChaseStats), ChaseError> {
+    // The s-t stage inherits both the parallelism and the budget, so
+    // the deadline / caps are end-to-end across the whole exchange.
     let ChaseOutcome {
         instance,
         stats: st_stats,
         ..
-    } = chase(&setting.st_tgds, source, target_schema)?;
+    } = chase_with_options(
+        &setting.st_tgds,
+        source,
+        target_schema,
+        ChaseOptions {
+            parallelism: options.parallelism,
+            budget: options.budget.clone(),
+        },
+    )?;
+    let rbudget = options.budget.clone();
+    let limited = !rbudget.is_unlimited();
     let mut current = instance;
     let (budget, certified) = match options.max_steps {
         Some(n) => (n, false),
@@ -264,16 +288,57 @@ pub fn chase_with_target_deps_stats(
     // invalidate the delta.
     let mut force_full = true;
     loop {
+        // Per-round budget check: a non-terminating setting spends its
+        // life in this loop, so this is the check that bounds it even if
+        // individual rounds are tiny.
+        if limited {
+            if let Err(e) = rbudget.check() {
+                return Err(ChaseError::resource(
+                    e,
+                    exec,
+                    ChasePartial::Instance(current),
+                ));
+            }
+        }
         let full = naive || force_full;
         if !full {
             exec.delta_facts += current.delta_len() as u64;
         }
-        let triggers = enumerate_round(&compiled, &current, full, options.parallelism, &mut exec);
+        let triggers = match enumerate_round(
+            &compiled,
+            &current,
+            full,
+            options.parallelism,
+            &rbudget,
+            &mut exec,
+        ) {
+            Ok(t) => t,
+            Err(e) => {
+                return Err(ChaseError::resource(
+                    e,
+                    exec,
+                    ChasePartial::Instance(current),
+                ))
+            }
+        };
         exec.rounds += 1;
         // Facts inserted by this round's firings form the next delta.
         current.begin_round();
         let mut fired = 0usize;
         for (ti, body_vals) in &triggers {
+            // Per-trigger budget check: one round of a wide instance can
+            // fire thousands of triggers, so exhaustion must be able to
+            // surface mid-round.
+            if limited {
+                if let Err(e) = rbudget.check() {
+                    exec.triggers_fired += fired as u64;
+                    return Err(ChaseError::resource(
+                        e,
+                        exec,
+                        ChasePartial::Instance(current),
+                    ));
+                }
+            }
             let c = &compiled[*ti];
             // Restricted chase: fire only when the head has no satisfying
             // extension in the instance as it stands *now* (earlier
@@ -281,7 +346,9 @@ pub fn chase_with_target_deps_stats(
             if head_satisfied(c, body_vals, &current) {
                 continue;
             }
+            let before = current.fact_count();
             fire(c, body_vals, &mut current, &mut next_null);
+            rbudget.charge_facts((current.fact_count() - before) as u64);
             fired += 1;
         }
         exec.triggers_fired += fired as u64;

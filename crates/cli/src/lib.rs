@@ -49,9 +49,11 @@ use qi_core::{
     quasi_inverse, quasi_inverse_with_stats, round_trip, semantic_lints, QuasiInverseOptions,
     SchemaMapping,
 };
+use qi_exec::Budget;
 use qi_lang::{Egd, Tgd};
 use qi_schema::{core_of_with_stats, Instance};
 use std::fmt::Write as _;
+use std::time::Duration;
 
 /// A CLI failure: message for stderr, nonzero exit.
 #[derive(Debug)]
@@ -247,22 +249,38 @@ pub fn cmd_check(mapping_text: &str) -> Result<String, CliError> {
 
 /// `qimap quasi-inverse`: run Algorithm QuasiInverse and print the
 /// result. With `--stats`, append the aggregated MinGen search counters,
-/// including the homomorphism-cache hit/miss counts.
-pub fn cmd_quasi_inverse(mapping_text: &str, stats: bool) -> Result<String, CliError> {
+/// including the homomorphism-cache hit/miss counts and — when a budget
+/// flag is set — the budget outcome counters.
+pub fn cmd_quasi_inverse(
+    mapping_text: &str,
+    stats: bool,
+    budget: &Budget,
+) -> Result<String, CliError> {
     let mf = parse_mapping_file(mapping_text)?;
+    let options = QuasiInverseOptions {
+        budget: budget.clone(),
+        ..Default::default()
+    };
     if !stats {
-        let rev = quasi_inverse(&mf.mapping, &QuasiInverseOptions::default())
-            .map_err(|e| err(e.to_string()))?;
+        let rev = quasi_inverse(&mf.mapping, &options).map_err(|e| err(e.to_string()))?;
         return Ok(rev.to_string());
     }
-    let (rev, s) = quasi_inverse_with_stats(&mf.mapping, &QuasiInverseOptions::default())
-        .map_err(|e| err(e.to_string()))?;
+    let (rev, s) =
+        quasi_inverse_with_stats(&mf.mapping, &options).map_err(|e| err(e.to_string()))?;
     let mut out = rev.to_string();
     let _ = writeln!(
         out,
         "stats: {} chase task(s), hom cache {} hit(s) / {} miss(es)",
         s.tasks, s.hom_cache_hits, s.hom_cache_misses
     );
+    if !budget.is_unlimited() {
+        let _ = writeln!(
+            out,
+            "budget: within limits — {} executor task(s) and {} derived fact(s) charged",
+            budget.tasks_charged(),
+            budget.facts_charged()
+        );
+    }
     Ok(out)
 }
 
@@ -289,15 +307,28 @@ pub fn cmd_chase(
     mapping_text: &str,
     instance_literal: &str,
     stats: bool,
+    budget: &Budget,
 ) -> Result<String, CliError> {
     let mf = parse_mapping_file(mapping_text)?;
     let m = &mf.mapping;
     let i = Instance::parse(&m.source, instance_literal)
         .map_err(|e| err(format!("invalid instance: {e}")))?;
     let u = if mf.has_target_deps() {
-        let result =
-            chase_with_target_deps(&mf.setting(), &i, &m.target, TargetChaseOptions::default())
-                .map_err(|e| err(e.to_string()))?;
+        // An explicit resource budget replaces the step-count safety
+        // net: the user asked for wall-clock/task/fact guardrails, and
+        // the non-certified fallback step cap could otherwise trip
+        // first and mask the structured resource error.
+        let options = TargetChaseOptions {
+            max_steps: if budget.is_unlimited() {
+                None
+            } else {
+                Some(usize::MAX)
+            },
+            budget: budget.clone(),
+            ..Default::default()
+        };
+        let result = chase_with_target_deps(&mf.setting(), &i, &m.target, options)
+            .map_err(|e| err(e.to_string()))?;
         match result {
             TargetChaseResult::Solution(u) => u,
             TargetChaseResult::Failed { left, right } => {
@@ -308,7 +339,8 @@ pub fn cmd_chase(
             }
         }
     } else {
-        m.chase(&i).map_err(|e| err(e.to_string()))?
+        m.chase_budgeted(&i, budget)
+            .map_err(|e| err(e.to_string()))?
     };
     let mut out = format!("{u}\n");
     if stats {
@@ -319,6 +351,14 @@ pub fn cmd_chase(
             "core stats: {} endomorphism search(es), {} null(s) folded in {} round(s)",
             cs.endos_tried, cs.nulls_folded, cs.rounds
         );
+        if !budget.is_unlimited() {
+            let _ = writeln!(
+                out,
+                "budget: within limits — {} executor task(s) and {} derived fact(s) charged",
+                budget.tasks_charged(),
+                budget.facts_charged()
+            );
+        }
     }
     Ok(out)
 }
@@ -421,14 +461,71 @@ fn apply_threads_flag(args: &[String]) -> Result<Vec<String>, CliError> {
     Ok(rest)
 }
 
+/// Strip the global resource-budget flags out of `args` and build the
+/// [`Budget`] they describe:
+///
+/// * `--timeout <ms>`   — wall-clock deadline for the whole command;
+/// * `--max-steps <n>`  — cap on executor tasks (chase triggers, MinGen
+///   candidate tests, …);
+/// * `--max-facts <n>`  — cap on derived target facts.
+///
+/// With no flag set the returned budget is unlimited and the commands
+/// behave exactly as before. Exhaustion is reported as a structured
+/// error, never a panic: the search stops at the next cooperative
+/// checkpoint and the message names the tripped limit and the counters.
+fn apply_budget_flags(args: &[String]) -> Result<(Vec<String>, Budget), CliError> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut budget = Budget::unlimited();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |flag: &str| -> Result<Option<String>, CliError> {
+            if a == flag {
+                Ok(Some(
+                    it.next()
+                        .ok_or_else(|| err(format!("{flag} needs a value")))?
+                        .clone(),
+                ))
+            } else {
+                Ok(a.strip_prefix(&format!("{flag}=")).map(str::to_owned))
+            }
+        };
+        if let Some(v) = take("--timeout")? {
+            let ms: u64 = v
+                .parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| err(format!("invalid --timeout value `{v}`")))?;
+            budget = budget.with_deadline(Duration::from_millis(ms));
+        } else if let Some(v) = take("--max-steps")? {
+            let n: u64 = v
+                .parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| err(format!("invalid --max-steps value `{v}`")))?;
+            budget = budget.with_max_tasks(n);
+        } else if let Some(v) = take("--max-facts")? {
+            let n: u64 = v
+                .parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| err(format!("invalid --max-facts value `{v}`")))?;
+            budget = budget.with_max_facts(n);
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok((rest, budget))
+}
+
 /// Dispatch a full argument vector (excluding the binary name). Reads the
 /// mapping file through the provided loader so tests can inject content.
 pub fn run(
     args: &[String],
     read_file: impl Fn(&str) -> Result<String, CliError>,
 ) -> Result<String, CliError> {
-    let usage = "usage: qimap [--threads N] [--stats] <check|lint|quasi-inverse|inverse|chase|roundtrip|compose> <mapping-file> [instance | second-mapping-file]\n       qimap lint [--json] <mapping-file>";
-    let mut args = apply_threads_flag(args)?;
+    let usage = "usage: qimap [--threads N] [--timeout MS] [--max-steps N] [--max-facts N] [--stats] <check|lint|quasi-inverse|inverse|chase|roundtrip|compose> <mapping-file> [instance | second-mapping-file]\n       qimap lint [--json] <mapping-file>";
+    let args = apply_threads_flag(args)?;
+    let (mut args, budget) = apply_budget_flags(&args)?;
     let json = match args.iter().position(|a| a == "--json") {
         Some(i) => {
             args.remove(i);
@@ -452,13 +549,13 @@ pub fn run(
     match cmd.as_str() {
         "check" => cmd_check(&text),
         "lint" => cmd_lint(file, &text, json),
-        "quasi-inverse" => cmd_quasi_inverse(&text, stats),
+        "quasi-inverse" => cmd_quasi_inverse(&text, stats, &budget),
         "inverse" => cmd_inverse(&text),
         "chase" => {
             let inst = args
                 .get(2)
                 .ok_or_else(|| err("chase needs an instance literal"))?;
-            cmd_chase(&text, inst, stats)
+            cmd_chase(&text, inst, stats, &budget)
         }
         "roundtrip" => {
             let inst = args
@@ -507,11 +604,11 @@ tgd: P(x,y,z) -> Q(x,y) & R(y,z)
         assert_eq!(mf.egds.len(), 1);
         // Chase through the full setting: closure is computed and the
         // key merges nothing here.
-        let out = cmd_chase(text, "E0(a,b) E0(b,c)", false).unwrap();
+        let out = cmd_chase(text, "E0(a,b) E0(b,c)", false, &Budget::unlimited()).unwrap();
         assert!(out.contains("E(a,c)"), "{out}");
         // An order violation (a cycle on distinct constants) is
         // reported, not panicked.
-        let out = cmd_chase(text, "E0(a,b) E0(b,a)", false).unwrap();
+        let out = cmd_chase(text, "E0(a,b) E0(b,a)", false, &Budget::unlimited()).unwrap();
         assert!(out.contains("FAILED"), "{out}");
         // Check mentions weak acyclicity.
         let out = cmd_check(text).unwrap();
@@ -538,7 +635,7 @@ tgd: P(x,y,z) -> Q(x,y) & R(y,z)
 
     #[test]
     fn quasi_inverse_command_prints_dependencies() {
-        let out = cmd_quasi_inverse(DECOMP, false).unwrap();
+        let out = cmd_quasi_inverse(DECOMP, false, &Budget::unlimited()).unwrap();
         assert!(out.contains("->"));
         assert!(out.contains("const("));
         assert!(!out.contains("stats:"));
@@ -546,14 +643,14 @@ tgd: P(x,y,z) -> Q(x,y) & R(y,z)
 
     #[test]
     fn stats_flag_reports_counters_without_changing_results() {
-        let plain = cmd_quasi_inverse(DECOMP, false).unwrap();
-        let with = cmd_quasi_inverse(DECOMP, true).unwrap();
+        let plain = cmd_quasi_inverse(DECOMP, false, &Budget::unlimited()).unwrap();
+        let with = cmd_quasi_inverse(DECOMP, true, &Budget::unlimited()).unwrap();
         assert!(with.starts_with(&plain), "stats must only append lines");
         assert!(with.contains("hom cache"), "{with}");
         // chase --stats: the chase result is ground, so the core equals
         // it and the counters record that nothing needed folding.
         let proj = "source: P/2\ntarget: Q/1\ntgd: P(x,y) -> Q(x)\n";
-        let out = cmd_chase(proj, "P(a,b)", true).unwrap();
+        let out = cmd_chase(proj, "P(a,b)", true, &Budget::unlimited()).unwrap();
         assert!(out.contains("core: Q(a)"), "{out}");
         assert!(out.contains("core stats:"), "{out}");
         // Dispatch strips the flag wherever it appears.
@@ -578,7 +675,7 @@ tgd: P(x,y,z) -> Q(x,y) & R(y,z)
 
     #[test]
     fn chase_and_roundtrip_commands() {
-        let out = cmd_chase(DECOMP, "P(a,b,c)", false).unwrap();
+        let out = cmd_chase(DECOMP, "P(a,b,c)", false, &Budget::unlimited()).unwrap();
         assert_eq!(out.trim(), "Q(a,b) R(b,c)");
         let out = cmd_roundtrip(DECOMP, "P(a,b,c) P(a2,b,c2)").unwrap();
         assert!(out.contains("sound:    true"));

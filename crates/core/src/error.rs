@@ -1,10 +1,72 @@
 //! Errors of the core algorithms.
 
+use crate::mingen::Generator;
 use qi_analyze::Diagnostic;
-use qi_chase::ChaseError;
+use qi_chase::{ChaseError, ChasePartial};
+use qi_exec::{Exceeded, ExecStats};
 use qi_lang::LangError;
-use qi_schema::SchemaError;
+use qi_schema::{Instance, SchemaError};
 use std::fmt;
+
+/// What a budget-interrupted core algorithm managed to build before the
+/// budget tripped. Every variant is *sound* — e.g. each carried
+/// generator passed the chase test of Definition 4.2 — it is only
+/// *completeness* that the interruption forfeits.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum CorePartial {
+    /// Nothing usable was built.
+    #[default]
+    None,
+    /// MinGen's generators confirmed before the interruption (the final
+    /// subsumption sweep may not have run, so some may be non-minimal —
+    /// but each *is* a generator).
+    Generators(Vec<Generator>),
+    /// A chase instance as of the last committed step.
+    Instance(Instance),
+    /// The disjunctive chase's settled leaves so far.
+    Leaves(Vec<Instance>),
+}
+
+impl From<ChasePartial> for CorePartial {
+    fn from(p: ChasePartial) -> Self {
+        match p {
+            ChasePartial::None => CorePartial::None,
+            ChasePartial::Instance(i) => CorePartial::Instance(i),
+            ChasePartial::Leaves(ls) => CorePartial::Leaves(ls),
+        }
+    }
+}
+
+/// Structured report of a budget-interrupted core algorithm: which limit
+/// tripped, the executor counters so far, and the sound partial
+/// artifact. Raised through [`CoreError::Resource`] — never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreResourceError {
+    /// The limit that tripped (deadline, tasks, facts, or cancellation).
+    pub exceeded: Exceeded,
+    /// Executor counters accumulated before the interruption.
+    pub stats: ExecStats,
+    /// Sound partial artifact built before the interruption.
+    pub partial: CorePartial,
+}
+
+impl fmt::Display for CoreResourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "resource budget exhausted ({}) after {} executor task(s)",
+            self.exceeded, self.stats.tasks
+        )?;
+        match &self.partial {
+            CorePartial::None => Ok(()),
+            CorePartial::Generators(g) => write!(f, "; {} generator(s) confirmed", g.len()),
+            CorePartial::Instance(i) => {
+                write!(f, "; partial instance has {} fact(s)", i.fact_count())
+            }
+            CorePartial::Leaves(ls) => write!(f, "; {} settled leaf/leaves", ls.len()),
+        }
+    }
+}
 
 /// Errors raised by the quasi-inverse machinery.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,6 +85,20 @@ pub enum CoreError {
     Rejected(Diagnostic),
     /// A search exceeded its configured budget.
     Budget(String),
+    /// A cooperative resource budget (deadline, task cap, fact cap, or
+    /// cancellation) tripped; carries the sound partial result.
+    Resource(Box<CoreResourceError>),
+}
+
+impl CoreError {
+    /// Wrap a [`CoreResourceError`].
+    pub fn resource(exceeded: Exceeded, stats: ExecStats, partial: CorePartial) -> Self {
+        CoreError::Resource(Box::new(CoreResourceError {
+            exceeded,
+            stats,
+            partial,
+        }))
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -34,6 +110,7 @@ impl fmt::Display for CoreError {
             CoreError::Precondition(m) => write!(f, "precondition violated: {m}"),
             CoreError::Rejected(d) => write!(f, "rejected [{}]: {}", d.code, d.message),
             CoreError::Budget(m) => write!(f, "budget exceeded: {m}"),
+            CoreError::Resource(r) => r.fmt(f),
         }
     }
 }
@@ -54,7 +131,12 @@ impl From<LangError> for CoreError {
 
 impl From<ChaseError> for CoreError {
     fn from(e: ChaseError) -> Self {
-        CoreError::Chase(e)
+        match e {
+            // A chase-level resource interruption stays a structured
+            // resource error at the core level, partial included.
+            ChaseError::Resource(r) => CoreError::resource(r.exceeded, r.stats, r.partial.into()),
+            other => CoreError::Chase(other),
+        }
     }
 }
 

@@ -63,7 +63,7 @@ pub mod solutions;
 pub mod verify;
 
 pub use compose::{compose, composition_membership};
-pub use error::CoreError;
+pub use error::{CoreError, CorePartial, CoreResourceError};
 pub use exchange::{composition_contains, round_trip, RoundTrip};
 pub use framework::{
     relate_mod, subset_property_bounded, union_witness_subset_property, unique_solutions_bounded,
@@ -74,12 +74,15 @@ pub use lint::{constant_propagation_diagnostic, semantic_lints, subset_property_
 pub use mapping::{ReverseMapping, SchemaMapping};
 pub use mingen::{min_gen, min_gen_with_stats, Generator, MinGenOptions, MinGenOutcome};
 pub use quasi_inverse::{
-    minimize_disjuncts, minimize_disjuncts_cached, quasi_inverse, quasi_inverse_full,
-    quasi_inverse_lav, quasi_inverse_with_stats, QuasiInverseOptions,
+    minimize_disjuncts, minimize_disjuncts_budgeted, minimize_disjuncts_cached, quasi_inverse,
+    quasi_inverse_full, quasi_inverse_lav, quasi_inverse_lav_with, quasi_inverse_with_stats,
+    QuasiInverseOptions,
 };
 pub use sigma_star::sigma_star;
 pub use so_compose::so_compose;
 pub use solutions::{equivalent, solutions_subset};
 pub use verify::{
-    is_inverse_bounded, is_quasi_inverse_bounded, is_relaxed_inverse_bounded, VerifyReport,
+    is_inverse_bounded, is_inverse_bounded_budgeted, is_quasi_inverse_bounded,
+    is_quasi_inverse_bounded_budgeted, is_relaxed_inverse_bounded,
+    is_relaxed_inverse_bounded_budgeted, VerifyReport,
 };

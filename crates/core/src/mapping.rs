@@ -100,8 +100,31 @@ impl SchemaMapping {
             &self.target,
             ChaseOptions {
                 parallelism: self.parallelism,
+                ..Default::default()
             },
         )
+    }
+
+    /// [`SchemaMapping::chase`] under a cooperative resource budget —
+    /// charges the caller's shared pool, so algorithms that chase many
+    /// instances (the LAV construction, verification matrices) stay
+    /// bounded end-to-end. Exhaustion surfaces as
+    /// [`ChaseError::Resource`].
+    pub fn chase_budgeted(
+        &self,
+        instance: &Instance,
+        budget: &qi_exec::Budget,
+    ) -> Result<Instance, ChaseError> {
+        chase_with_options(
+            &self.tgds,
+            instance,
+            &self.target,
+            ChaseOptions {
+                parallelism: self.parallelism,
+                budget: budget.clone(),
+            },
+        )
+        .map(|out| out.instance)
     }
 
     /// The **core** universal solution: the core of `chase_Σ(I)` — the

@@ -26,10 +26,10 @@
 //!   generator — all of its strict sub-conjunctions were enumerated at
 //!   smaller sizes.
 
-use crate::error::CoreError;
+use crate::error::{CoreError, CorePartial};
 use crate::mapping::SchemaMapping;
 use qi_chase::is_generator;
-use qi_exec::{par_map_stats, ExecStats, Parallelism};
+use qi_exec::{par_map_budgeted, Budget, Exceeded, ExecStats, Parallelism};
 use qi_lang::atom::vars_of;
 use qi_lang::{Atom, Var, VarGen};
 use qi_schema::{
@@ -56,6 +56,16 @@ pub struct MinGenOptions {
     /// way; the cache only changes speed, and its hit/miss counters land
     /// in [`MinGenOutcome::stats`].
     pub hom_cache: bool,
+    /// Cooperative resource budget: checked per committed candidate, in
+    /// the enumerator's pruning loop, and between executor tasks.
+    /// Exhaustion surfaces as [`CoreError::Resource`] carrying the
+    /// generators confirmed so far (each a genuine generator; only the
+    /// final subsumption sweep may be missing). Unlike
+    /// [`MinGenOptions::max_candidates`] — whose trip point is
+    /// bit-identical at every thread count — the *point* where a
+    /// deadline or cancellation interrupts may vary; the error shape and
+    /// the soundness of the partial may not. Unlimited by default.
+    pub budget: Budget,
 }
 
 impl Default for MinGenOptions {
@@ -65,6 +75,7 @@ impl Default for MinGenOptions {
             max_candidates: 1_000_000,
             parallelism: Parallelism::default(),
             hom_cache: true,
+            budget: Budget::default(),
         }
     }
 }
@@ -406,7 +417,15 @@ struct Enumerator {
     prefix: Vec<EncAtom>,
     frames: Vec<Frame>,
     done: bool,
+    /// Iterations since the last budget check: heavy pruning can spin
+    /// this loop exponentially long between yields, so the enumerator
+    /// itself must be interruptible — but `Instant::now()` per iteration
+    /// would dominate, so the check runs every [`SPIN_CHECK`] spins.
+    spins: u32,
 }
+
+/// Enumerator iterations between budget checks.
+const SPIN_CHECK: u32 = 1024;
 
 impl Enumerator {
     fn new(cap: usize) -> Self {
@@ -416,6 +435,7 @@ impl Enumerator {
             prefix: Vec::new(),
             frames: Vec::new(),
             done: false,
+            spins: 0,
         }
     }
 
@@ -424,14 +444,23 @@ impl Enumerator {
         ctx: &EncCtx,
         found_pats: &[FoundPat],
         tested: &mut BTreeSet<Vec<EncAtom>>,
-    ) -> Option<Vec<EncAtom>> {
+        budget: &Budget,
+    ) -> Result<Option<Vec<EncAtom>>, Exceeded> {
+        let limited = !budget.is_unlimited();
         while !self.done {
+            if limited {
+                self.spins += 1;
+                if self.spins >= SPIN_CHECK {
+                    self.spins = 0;
+                    budget.check()?;
+                }
+            }
             if self.frames.is_empty() {
                 // Begin the next deepening level.
                 self.size += 1;
                 if self.size > self.cap {
                     self.done = true;
-                    return None;
+                    return Ok(None);
                 }
                 self.prefix.clear();
                 self.frames.push(Frame {
@@ -461,7 +490,7 @@ impl Enumerator {
                 let cand = self.prefix.clone();
                 self.prefix.pop();
                 if ctx.safe(&cand) && tested.insert(ctx.normal_form(&cand)) {
-                    return Some(cand);
+                    return Ok(Some(cand));
                 }
                 continue;
             }
@@ -471,7 +500,7 @@ impl Enumerator {
                 next: 0,
             });
         }
-        None
+        Ok(None)
     }
 }
 
@@ -578,25 +607,42 @@ pub(crate) fn min_gen_cached(
     // possibly-wasted speculative work.
     let threads = options.parallelism.resolve();
     let batch_cap = if threads == 1 { 1 } else { threads * 4 };
+    let budget = &options.budget;
+    let limited = !budget.is_unlimited();
     loop {
         let mut batch: Vec<Vec<EncAtom>> = Vec::with_capacity(batch_cap);
-        while batch.len() < batch_cap {
-            match enumerator.next_candidate(&ctx, &found_pats, &mut tested) {
-                Some(c) => batch.push(c),
-                None => break,
+        loop {
+            if batch.len() >= batch_cap {
+                break;
+            }
+            match enumerator.next_candidate(&ctx, &found_pats, &mut tested, budget) {
+                Ok(Some(c)) => batch.push(c),
+                Ok(None) => break,
+                Err(e) => return Err(CoreError::resource(e, stats, CorePartial::Generators(out))),
             }
         }
         if batch.is_empty() {
             break;
         }
         // Parallel enumerate: chase-test the whole batch speculatively.
-        let (verdicts, wave_stats) = par_map_stats(options.parallelism, &batch, |cand| {
+        let wave = par_map_budgeted(options.parallelism, &batch, budget, |cand| {
             let gen = ctx.decode(cand);
             is_generator(&m.tgds, &m.source, &m.target, &gen.atoms, psi, x).map(|ok| (gen, ok))
         });
+        let (verdicts, wave_stats) = match wave {
+            Ok(v) => v,
+            Err(e) => return Err(CoreError::resource(e, stats, CorePartial::Generators(out))),
+        };
         stats.absorb(&wave_stats);
-        // Ordered commit, in canonical enumeration order.
+        // Ordered commit, in canonical enumeration order. The resource
+        // budget is re-checked per committed candidate: the generators
+        // confirmed so far are the sound partial on exhaustion.
         for (cand, verdict) in batch.iter().zip(verdicts) {
+            if limited {
+                if let Err(e) = budget.check() {
+                    return Err(CoreError::resource(e, stats, CorePartial::Generators(out)));
+                }
+            }
             if ctx.covered(cand, &found_pats) {
                 continue; // a generator committed just before it covers it
             }

@@ -21,11 +21,11 @@
 //! non-subsuming disjuncts, so for algorithm output it is a no-op; it is
 //! exposed for hand-written reverse mappings.
 
-use crate::error::CoreError;
+use crate::error::{CoreError, CorePartial};
 use crate::mapping::{ReverseMapping, SchemaMapping};
 use crate::mingen::{min_gen_cached, MinGenOptions};
 use crate::sigma_star::sigma_star;
-use qi_exec::ExecStats;
+use qi_exec::{Budget, ExecStats};
 use qi_lang::{canonical_instance, compile_atoms, DisjTgd, Disjunct, FrozenVars, Var};
 use qi_schema::{HomCache, MatchConstraints, MatchEngine, Pattern};
 
@@ -40,6 +40,13 @@ pub struct QuasiInverseOptions {
     /// ablation tests) — demonstrating why Step 1 of the algorithm is
     /// necessary.
     pub skip_sigma_star: bool,
+    /// Cooperative resource budget for the whole algorithm run. A MinGen
+    /// budget left unlimited inherits this one (mirroring how an auto
+    /// MinGen parallelism inherits the mapping-level knob), so one
+    /// entry-point option bounds every per-tgd search end-to-end; an
+    /// explicit MinGen budget still wins. Exhaustion surfaces as
+    /// [`CoreError::Resource`]. Unlimited by default.
+    pub budget: Budget,
 }
 
 /// Run Algorithm QuasiInverse on `m`.
@@ -83,10 +90,15 @@ pub fn quasi_inverse_with_stats(
     };
     // An unset (auto) MinGen parallelism inherits the mapping-level knob,
     // so `SchemaMapping::with_parallelism` governs the whole algorithm;
-    // an explicit per-call setting still wins.
+    // an explicit per-call setting still wins. The entry-point budget
+    // inherits the same way: one `QuasiInverseOptions::budget` bounds
+    // every per-tgd MinGen search against a single shared pool.
     let mut mingen_options = options.mingen.clone();
     if mingen_options.parallelism == qi_exec::Parallelism::auto() {
         mingen_options.parallelism = m.parallelism;
+    }
+    if mingen_options.budget.is_unlimited() {
+        mingen_options.budget = options.budget.clone();
     }
     let cache = mingen_options.hom_cache.then(HomCache::new);
     let mut stats = ExecStats::default();
@@ -183,17 +195,38 @@ pub fn quasi_inverse_full(
 /// (multi-atom premises are not captured by single-fact chase
 /// signatures), naming the first extra body atom.
 pub fn quasi_inverse_lav(m: &SchemaMapping) -> Result<ReverseMapping, CoreError> {
+    quasi_inverse_lav_with(m, &QuasiInverseOptions::default())
+}
+
+/// [`quasi_inverse_lav`] under entry-point [`QuasiInverseOptions`]: the
+/// budget is checked per prime source atom and inherited by each
+/// signature chase, so the whole construction is interruptible.
+pub fn quasi_inverse_lav_with(
+    m: &SchemaMapping,
+    options: &QuasiInverseOptions,
+) -> Result<ReverseMapping, CoreError> {
     if let Some(d) = qi_analyze::not_lav_diagnostic(&m.tgds) {
         return Err(CoreError::Rejected(d));
     }
+    let budget = &options.budget;
+    let limited = !budget.is_unlimited();
     let mut deps: Vec<DisjTgd> = Vec::new();
     for rel in m.source.rel_ids() {
         let arity = m.source.arity(rel);
         for args in crate::inverse::prime_atoms(arity) {
+            if limited {
+                if let Err(e) = budget.check() {
+                    return Err(CoreError::resource(
+                        e,
+                        ExecStats::default(),
+                        CorePartial::None,
+                    ));
+                }
+            }
             let alpha = qi_lang::Atom::new(rel, args.clone());
             let mut frozen = FrozenVars::default();
             let inst = canonical_instance(&m.source, std::slice::from_ref(&alpha), &mut frozen);
-            let chased = m.chase(&inst)?;
+            let chased = m.chase_budgeted(&inst, budget)?;
             if chased.is_empty() {
                 // This equality type of R exports nothing; instances
                 // differing only in such facts are ~M-equivalent, so
@@ -264,6 +297,24 @@ pub fn minimize_disjuncts(dep: &DisjTgd) -> DisjTgd {
 /// Share one cache only across dependencies over the *same* schema pair:
 /// fingerprints and probe keys identify relations by schema-local id.
 pub fn minimize_disjuncts_cached(dep: &DisjTgd, cache: &HomCache) -> DisjTgd {
+    match minimize_disjuncts_budgeted(dep, cache, &Budget::unlimited()) {
+        Ok(d) => d,
+        Err(_) => unreachable!("an unlimited budget never trips"),
+    }
+}
+
+/// [`minimize_disjuncts_cached`] under a cooperative [`Budget`], checked
+/// before every pairwise subsumption probe — the sweep is O(n²) hom
+/// searches, each potentially exponential. Exhaustion surfaces as
+/// [`CoreError::Resource`] with no partial: a half-swept dependency
+/// would be logically equivalent but non-canonical, so the caller should
+/// fall back to the unminimized input (which is always sound).
+pub fn minimize_disjuncts_budgeted(
+    dep: &DisjTgd,
+    cache: &HomCache,
+    budget: &Budget,
+) -> Result<DisjTgd, CoreError> {
+    let limited = !budget.is_unlimited();
     let n = dep.disjuncts.len();
     // Freeze the universal variables once; freeze each disjunct's
     // existentials only in the copy used to build its instance, so that a
@@ -323,6 +374,15 @@ pub fn minimize_disjuncts_cached(dep: &DisjTgd, cache: &HomCache) -> DisjTgd {
             if i == j || !alive[j] {
                 continue;
             }
+            if limited {
+                if let Err(e) = budget.check() {
+                    return Err(CoreError::resource(
+                        e,
+                        ExecStats::default(),
+                        CorePartial::None,
+                    ));
+                }
+            }
             if subsumes(i, j) && !(j < i && subsumes(j, i)) {
                 alive[j] = false;
             }
@@ -335,7 +395,7 @@ pub fn minimize_disjuncts_cached(dep: &DisjTgd, cache: &HomCache) -> DisjTgd {
         .filter(|(_, a)| **a)
         .map(|(d, _)| d.clone())
         .collect();
-    DisjTgd::new(
+    Ok(DisjTgd::new(
         dep.from.clone(),
         dep.to.clone(),
         dep.body.clone(),
@@ -343,7 +403,7 @@ pub fn minimize_disjuncts_cached(dep: &DisjTgd, cache: &HomCache) -> DisjTgd {
         dep.neq.clone(),
         disjuncts,
     )
-    .expect("minimizing disjuncts preserves well-formedness")
+    .expect("minimizing disjuncts preserves well-formedness"))
 }
 
 #[cfg(test)]

@@ -20,11 +20,12 @@
 //! ([`crate::exchange::composition_contains`]); the reverse mapping must
 //! be guard-complete.
 
-use crate::error::CoreError;
+use crate::error::{CoreError, CorePartial};
 use crate::exchange::{guard_complete, recovery_leaves};
 use crate::framework::{index_universe, Relation};
 use crate::mapping::{ReverseMapping, SchemaMapping};
 use qi_chase::DisjChaseOptions;
+use qi_exec::{Budget, ExecStats};
 use qi_schema::{HomCache, Instance};
 
 /// Outcome of a bounded inverse / quasi-inverse verification.
@@ -43,6 +44,7 @@ fn composition_matrix(
     m: &SchemaMapping,
     rev: &ReverseMapping,
     universe: &[Instance],
+    budget: &Budget,
 ) -> Result<Vec<Vec<bool>>, CoreError> {
     if !guard_complete(rev) {
         return Err(CoreError::Precondition(
@@ -54,9 +56,25 @@ fn composition_matrix(
     // cache serves the whole matrix. Cached booleans are pure: the matrix
     // is identical with or without it.
     let cache = HomCache::new();
+    let limited = !budget.is_unlimited();
     let mut rows = Vec::with_capacity(universe.len());
     for i in universe {
-        let leaves = recovery_leaves(m, rev, i, DisjChaseOptions::default())?;
+        // Per-row budget check; every row's recovery chase also inherits
+        // the budget, so the matrix as a whole is interruptible.
+        if limited {
+            if let Err(e) = budget.check() {
+                return Err(CoreError::resource(
+                    e,
+                    ExecStats::default(),
+                    CorePartial::None,
+                ));
+            }
+        }
+        let options = DisjChaseOptions {
+            budget: budget.clone(),
+            ..Default::default()
+        };
+        let leaves = recovery_leaves(m, rev, i, options)?;
         let row: Vec<bool> = universe
             .iter()
             .map(|k| leaves.iter().any(|v| cache.has_hom(v, k)))
@@ -85,7 +103,24 @@ pub fn is_relaxed_inverse_bounded(
     rel2: Relation,
     universe: &[Instance],
 ) -> Result<VerifyReport, CoreError> {
-    let comp = composition_matrix(m, rev, universe)?;
+    is_relaxed_inverse_bounded_budgeted(m, rev, rel1, rel2, universe, &Budget::unlimited())
+}
+
+/// [`is_relaxed_inverse_bounded`] under a cooperative resource budget:
+/// the composition matrix (the expensive part — one disjunctive chase
+/// per universe instance) checks the budget per row and threads it into
+/// every chase, so the verification is interruptible. A trip surfaces
+/// as [`CoreError::Resource`]; the verdict of an under-budget run is
+/// identical to the unbudgeted one.
+pub fn is_relaxed_inverse_bounded_budgeted(
+    m: &SchemaMapping,
+    rev: &ReverseMapping,
+    rel1: Relation,
+    rel2: Relation,
+    universe: &[Instance],
+    budget: &Budget,
+) -> Result<VerifyReport, CoreError> {
+    let comp = composition_matrix(m, rev, universe, budget)?;
     let idx = index_universe(m, universe)?;
     let n = universe.len();
     // The ~i-witness candidates for each instance: itself for `=`, its
@@ -135,6 +170,23 @@ pub fn is_inverse_bounded(
     is_relaxed_inverse_bounded(m, rev, Relation::Equality, Relation::Equality, universe)
 }
 
+/// [`is_inverse_bounded`] under a cooperative resource budget.
+pub fn is_inverse_bounded_budgeted(
+    m: &SchemaMapping,
+    rev: &ReverseMapping,
+    universe: &[Instance],
+    budget: &Budget,
+) -> Result<VerifyReport, CoreError> {
+    is_relaxed_inverse_bounded_budgeted(
+        m,
+        rev,
+        Relation::Equality,
+        Relation::Equality,
+        universe,
+        budget,
+    )
+}
+
 /// Bounded check of Definition 3.8 (`(~M,~M)`-inverse): is `rev` a
 /// quasi-inverse of `m` as far as the universe can tell?
 pub fn is_quasi_inverse_bounded(
@@ -148,6 +200,23 @@ pub fn is_quasi_inverse_bounded(
         Relation::SolutionEquiv,
         Relation::SolutionEquiv,
         universe,
+    )
+}
+
+/// [`is_quasi_inverse_bounded`] under a cooperative resource budget.
+pub fn is_quasi_inverse_bounded_budgeted(
+    m: &SchemaMapping,
+    rev: &ReverseMapping,
+    universe: &[Instance],
+    budget: &Budget,
+) -> Result<VerifyReport, CoreError> {
+    is_relaxed_inverse_bounded_budgeted(
+        m,
+        rev,
+        Relation::SolutionEquiv,
+        Relation::SolutionEquiv,
+        universe,
+        budget,
     )
 }
 

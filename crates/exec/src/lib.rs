@@ -23,12 +23,30 @@
 //! the sequential run whenever the per-task closure is a pure function of
 //! its input, which `tests/determinism.rs` locks down across thread
 //! counts for every workload.
+//!
+//! ## Resource budgets
+//!
+//! The same task lists are where unbounded exponential searches burn
+//! their time, so the executor also owns the cooperative [`Budget`]: a
+//! wall-clock deadline, caps on executor tasks and derived facts, and an
+//! external cancellation flag, shared by `Arc` across every stage of one
+//! algorithm run. [`par_map_budgeted`] workers re-check the budget
+//! between tasks and stop pulling work the moment it is exhausted;
+//! higher layers (the chase loops, MinGen's commit phase) add their own
+//! per-round / per-trigger / per-candidate checks. Exhaustion is always
+//! surfaced as a structured [`Exceeded`] value — never a panic — and a
+//! run that *completes* under its budget is byte-identical to the
+//! unbudgeted run at every thread count (the budget can only decide
+//! *whether* the search finishes, never *what* it returns).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::fmt;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Process-wide default thread count override (0 = unset). Set by the
 /// CLI's `--threads` flag; read by [`Parallelism::resolve`].
@@ -39,6 +57,41 @@ static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
 /// this; it only changes what [`Parallelism::auto`] resolves to.
 pub fn set_global_threads(n: usize) {
     GLOBAL_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The `QI_THREADS` environment variable, parsed **once** per process.
+/// [`Parallelism::resolve`] is called from hot loops (via
+/// [`Parallelism::is_parallel`]), so re-reading and re-parsing the
+/// environment on every call is measurable; the value cannot change
+/// under a running process in any supported configuration. An unset
+/// variable is "no opinion"; `0`, empty, or unparsable values are
+/// rejected with a single warning instead of being silently treated as
+/// auto.
+fn env_threads() -> Option<usize> {
+    static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV_THREADS.get_or_init(|| match std::env::var("QI_THREADS") {
+        Err(_) => None,
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => Some(n),
+            _ => {
+                eprintln!(
+                    "qi-exec: ignoring invalid QI_THREADS value `{v}` \
+                     (expected a positive integer); auto-detecting"
+                );
+                None
+            }
+        },
+    })
+}
+
+/// `std::thread::available_parallelism()`, probed once per process.
+fn available_threads() -> usize {
+    static AVAILABLE: OnceLock<usize> = OnceLock::new();
+    *AVAILABLE.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
 }
 
 /// Degree of parallelism for the deterministic executor.
@@ -72,6 +125,9 @@ impl Parallelism {
     }
 
     /// The concrete thread count this configuration resolves to now.
+    ///
+    /// The `QI_THREADS` and core-count probes are cached in `OnceLock`s:
+    /// this is called in hot loops and must stay cheap.
     pub fn resolve(self) -> usize {
         if let Some(n) = self.threads {
             return n.get();
@@ -80,16 +136,10 @@ impl Parallelism {
         if global > 0 {
             return global;
         }
-        if let Ok(v) = std::env::var("QI_THREADS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                if n > 0 {
-                    return n;
-                }
-            }
+        if let Some(n) = env_threads() {
+            return n;
         }
-        std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1)
+        available_threads()
     }
 
     /// Does this configuration resolve to more than one worker?
@@ -98,16 +148,198 @@ impl Parallelism {
     }
 }
 
+/// Which resource limit a budgeted search exhausted. Carried by the
+/// structured resource errors of the chase and core crates; never a
+/// panic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Exceeded {
+    /// The wall-clock deadline passed ([`Budget::with_deadline`]).
+    Deadline,
+    /// The executor-task cap was reached ([`Budget::with_max_tasks`]).
+    Tasks,
+    /// The derived-fact cap was reached ([`Budget::with_max_facts`]).
+    Facts,
+    /// The shared cancellation flag was raised ([`Budget::with_cancel`]).
+    Cancelled,
+}
+
+impl fmt::Display for Exceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Exceeded::Deadline => write!(f, "deadline"),
+            Exceeded::Tasks => write!(f, "task budget"),
+            Exceeded::Facts => write!(f, "fact budget"),
+            Exceeded::Cancelled => write!(f, "cancellation"),
+        }
+    }
+}
+
+/// Usage counters shared by every clone of one [`Budget`].
+#[derive(Debug, Default)]
+struct Charged {
+    tasks: AtomicU64,
+    facts: AtomicU64,
+}
+
+/// A cooperative resource budget for the exponential search paths.
+///
+/// A budget combines up to four independent limits — a wall-clock
+/// deadline, a cap on executor tasks, a cap on derived facts, and an
+/// externally owned cancellation flag — and a pair of usage counters.
+/// **Cloning shares the counters** (they live behind an `Arc`), so one
+/// budget threaded through every stage of an algorithm run (s-t chase,
+/// target rounds, MinGen candidate tests, …) charges a single pool; this
+/// is what makes the caps *end-to-end* rather than per-stage.
+///
+/// The default budget is unlimited: every check passes and the budgeted
+/// entry points behave exactly like their unbudgeted counterparts.
+///
+/// Checks are cooperative — search loops call [`Budget::check`] between
+/// units of work (executor workers between tasks, the chase per round
+/// and per trigger, MinGen per candidate) — so exhaustion surfaces at
+/// the next check, never mid-task. The *point* of interruption may vary
+/// with thread count and machine speed; the error shape and the
+/// soundness of any partial artifact may not.
+#[derive(Clone, Debug, Default)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    max_tasks: Option<u64>,
+    max_facts: Option<u64>,
+    cancel: Option<Arc<AtomicBool>>,
+    charged: Arc<Charged>,
+}
+
+impl Budget {
+    /// The default: no limits, every check passes.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Limit wall-clock time to `timeout` from now.
+    #[must_use]
+    pub fn with_deadline(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Limit wall-clock time to the absolute instant `at`.
+    #[must_use]
+    pub fn with_deadline_at(mut self, at: Instant) -> Self {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// Cap the number of executor tasks charged against this budget.
+    #[must_use]
+    pub fn with_max_tasks(mut self, n: u64) -> Self {
+        self.max_tasks = Some(n);
+        self
+    }
+
+    /// Cap the number of derived facts charged against this budget.
+    #[must_use]
+    pub fn with_max_facts(mut self, n: u64) -> Self {
+        self.max_facts = Some(n);
+        self
+    }
+
+    /// Attach an external cancellation flag: any thread storing `true`
+    /// makes the next check fail with [`Exceeded::Cancelled`].
+    #[must_use]
+    pub fn with_cancel(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// The attached cancellation flag, if any.
+    pub fn cancel_flag(&self) -> Option<&Arc<AtomicBool>> {
+        self.cancel.as_ref()
+    }
+
+    /// `true` when no limit is configured — the budgeted entry points
+    /// use this to skip per-task checking entirely.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none()
+            && self.max_tasks.is_none()
+            && self.max_facts.is_none()
+            && self.cancel.is_none()
+    }
+
+    /// Charge `n` executor tasks against the shared pool.
+    pub fn charge_tasks(&self, n: u64) {
+        self.charged.tasks.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Charge `n` derived facts against the shared pool.
+    pub fn charge_facts(&self, n: u64) {
+        self.charged.facts.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Executor tasks charged so far (across every clone).
+    pub fn tasks_charged(&self) -> u64 {
+        self.charged.tasks.load(Ordering::Relaxed)
+    }
+
+    /// Derived facts charged so far (across every clone).
+    pub fn facts_charged(&self) -> u64 {
+        self.charged.facts.load(Ordering::Relaxed)
+    }
+
+    /// Is the budget exhausted? Checked in a fixed order — cancellation,
+    /// deadline, tasks, facts — so concurrent exhaustion of several
+    /// limits reports deterministically.
+    ///
+    /// Both caps are inclusive: exactly `max_tasks` tasks (the check
+    /// runs before each task, so the `max + 1`-th never starts) and
+    /// exactly `max_facts` derived facts are within budget. The fact
+    /// cap trips at the first checkpoint after it is *exceeded* — one
+    /// chase step may overshoot it by that step's delta, which is why a
+    /// search that derives exactly `max_facts` facts and stops still
+    /// completes.
+    pub fn check(&self) -> Result<(), Exceeded> {
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return Err(Exceeded::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(Exceeded::Deadline);
+            }
+        }
+        if let Some(max) = self.max_tasks {
+            if self.tasks_charged() >= max {
+                return Err(Exceeded::Tasks);
+            }
+        }
+        if let Some(max) = self.max_facts {
+            if self.facts_charged() > max {
+                return Err(Exceeded::Facts);
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Counters describing one executor run, for bench JSON and utilization
 /// reports.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ExecStats {
-    /// Worker threads that participated (1 for the sequential path).
+    /// Worker threads that participated (1 for the sequential path);
+    /// after [`ExecStats::absorb`], the largest count of any merged run.
     pub workers: usize,
     /// Total tasks executed.
     pub tasks: u64,
-    /// Tasks executed by each worker, in worker index order.
-    pub per_worker: Vec<u64>,
+    /// The heaviest single-worker load of any one run: the largest
+    /// number of tasks one worker executed within a run (absorbing takes
+    /// the max across runs — per-run loads are never summed across runs
+    /// with unrelated worker layouts).
+    pub max_load: u64,
+    /// Worker-slot capacity under each run's critical path, summed over
+    /// absorbed runs: `Σ_run workers · max_load`. The denominator of
+    /// [`ExecStats::utilization`]; for a single run this is
+    /// `workers × max_load`.
+    pub capacity: u64,
     /// Chase rounds executed (semi-naive or naive).
     pub rounds: u64,
     /// Trigger candidates enumerated by the match engines (pre-dedup).
@@ -130,17 +362,17 @@ pub struct ExecStats {
 }
 
 impl ExecStats {
-    /// Merge another run's counters into this one (workers = max,
-    /// everything else sums).
+    /// Merge another run's counters into this one. `workers` and
+    /// `max_load` take the max, `capacity` and everything else sums —
+    /// per-worker loads of runs with different worker counts are *never*
+    /// zipped index-wise (worker 0 of a sequential run has nothing to do
+    /// with worker 0 of a 4-way run), so [`ExecStats::utilization`]
+    /// stays meaningful across merges.
     pub fn absorb(&mut self, other: &ExecStats) {
         self.workers = self.workers.max(other.workers);
         self.tasks += other.tasks;
-        if self.per_worker.len() < other.per_worker.len() {
-            self.per_worker.resize(other.per_worker.len(), 0);
-        }
-        for (mine, theirs) in self.per_worker.iter_mut().zip(&other.per_worker) {
-            *mine += theirs;
-        }
+        self.max_load = self.max_load.max(other.max_load);
+        self.capacity += other.capacity;
         self.rounds += other.rounds;
         self.triggers_enumerated += other.triggers_enumerated;
         self.triggers_fired += other.triggers_fired;
@@ -151,16 +383,18 @@ impl ExecStats {
         self.hom_cache_misses += other.hom_cache_misses;
     }
 
-    /// Load balance in `[0, 1]`: mean worker load over max worker load.
-    /// `1.0` means perfectly even; meaningless (reported as 1.0) when no
-    /// tasks ran.
+    /// Load balance in `[0, 1]`: tasks executed over the worker-slot
+    /// capacity available under each run's critical path
+    /// (`Σ_run workers · max_load`). For a single run this equals the
+    /// classical mean-over-max per-worker load; for merged runs each
+    /// run's balance is weighted by its own critical path instead of
+    /// conflating unrelated worker indexes. `1.0` means perfectly even;
+    /// reported as 1.0 when no tasks ran.
     pub fn utilization(&self) -> f64 {
-        let max = self.per_worker.iter().copied().max().unwrap_or(0);
-        if max == 0 || self.per_worker.is_empty() {
+        if self.capacity == 0 {
             return 1.0;
         }
-        let mean = self.tasks as f64 / self.per_worker.len() as f64;
-        mean / max as f64
+        self.tasks as f64 / self.capacity as f64
     }
 }
 
@@ -186,29 +420,96 @@ where
     T: Send,
     F: Fn(&I) -> T + Sync,
 {
+    match par_map_budgeted(par, items, &Budget::unlimited(), f) {
+        Ok(out) => out,
+        Err(_) => unreachable!("an unlimited budget never trips"),
+    }
+}
+
+/// [`par_map_stats`] under a cooperative [`Budget`]: every worker
+/// re-checks the budget before pulling each task and charges one
+/// executor task per item executed. When the budget trips, workers stop
+/// pulling, in-flight results are discarded, and the exhaustion reason
+/// is returned — the caller owns whatever partial artifact it was
+/// building around the map.
+///
+/// A call that returns `Ok` is byte-identical to [`par_map_stats`] at
+/// every thread count; with several limits exhausted concurrently the
+/// reported reason follows [`Budget::check`]'s fixed order per worker,
+/// and the first-tripping worker wins.
+pub fn par_map_budgeted<I, T, F>(
+    par: Parallelism,
+    items: &[I],
+    budget: &Budget,
+    f: F,
+) -> Result<(Vec<T>, ExecStats), Exceeded>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
     let threads = par.resolve().min(items.len()).max(1);
+    let unlimited = budget.is_unlimited();
     if threads == 1 {
-        let out: Vec<T> = items.iter().map(&f).collect();
+        let mut out: Vec<T> = Vec::with_capacity(items.len());
+        for item in items {
+            if !unlimited {
+                budget.check()?;
+            }
+            out.push(f(item));
+            budget.charge_tasks(1);
+        }
+        let n = out.len() as u64;
         let stats = ExecStats {
             workers: 1,
-            tasks: out.len() as u64,
-            per_worker: vec![out.len() as u64],
+            tasks: n,
+            max_load: n,
+            capacity: n,
             ..Default::default()
         };
-        return (out, stats);
+        return Ok((out, stats));
     }
     let cursor = AtomicUsize::new(0);
+    // First exhaustion reason, encoded as 1 + discriminant (0 = none).
+    let tripped = AtomicUsize::new(0);
+    let encode = |e: Exceeded| match e {
+        Exceeded::Deadline => 1,
+        Exceeded::Tasks => 2,
+        Exceeded::Facts => 3,
+        Exceeded::Cancelled => 4,
+    };
     let buckets: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
                     let mut local = Vec::new();
                     loop {
+                        // Claim a task *before* checking the budget: a
+                        // budget of exactly `items.len()` tasks must
+                        // complete here just like it does sequentially
+                        // (the sequential path only checks when another
+                        // item remains), or thread count would change
+                        // the outcome.
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= items.len() {
                             break;
                         }
+                        if !unlimited {
+                            if tripped.load(Ordering::Relaxed) != 0 {
+                                break;
+                            }
+                            if let Err(e) = budget.check() {
+                                let _ = tripped.compare_exchange(
+                                    0,
+                                    encode(e),
+                                    Ordering::Relaxed,
+                                    Ordering::Relaxed,
+                                );
+                                break;
+                            }
+                        }
                         local.push((i, f(&items[i])));
+                        budget.charge_tasks(1);
                     }
                     local
                 })
@@ -222,10 +523,17 @@ where
             })
             .collect()
     });
-    let mut per_worker = Vec::with_capacity(threads);
+    match tripped.load(Ordering::Relaxed) {
+        0 => {}
+        1 => return Err(Exceeded::Deadline),
+        2 => return Err(Exceeded::Tasks),
+        3 => return Err(Exceeded::Facts),
+        _ => return Err(Exceeded::Cancelled),
+    }
+    let mut max_load = 0u64;
     let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(items.len()).collect();
     for bucket in buckets {
-        per_worker.push(bucket.len() as u64);
+        max_load = max_load.max(bucket.len() as u64);
         for (i, value) in bucket {
             debug_assert!(slots[i].is_none(), "index produced twice");
             slots[i] = Some(value);
@@ -238,10 +546,11 @@ where
     let stats = ExecStats {
         workers: threads,
         tasks: out.len() as u64,
-        per_worker,
+        max_load,
+        capacity: threads as u64 * max_load,
         ..Default::default()
     };
-    (out, stats)
+    Ok((out, stats))
 }
 
 #[cfg(test)]
@@ -270,7 +579,8 @@ mod tests {
         let items: Vec<u32> = (0..100).collect();
         let (_, stats) = par_map_stats(Parallelism::fixed(4), &items, |&x| x);
         assert_eq!(stats.tasks, 100);
-        assert_eq!(stats.per_worker.iter().sum::<u64>(), 100);
+        assert!(stats.max_load >= 25, "some worker ran ≥ mean load");
+        assert_eq!(stats.capacity, 4 * stats.max_load);
         assert_eq!(stats.workers, 4);
         assert!(stats.utilization() > 0.0 && stats.utilization() <= 1.0);
     }
@@ -279,7 +589,9 @@ mod tests {
     fn sequential_stats() {
         let (_, stats) = par_map_stats(Parallelism::sequential(), &[1, 2, 3], |&x: &i32| x);
         assert_eq!(stats.workers, 1);
-        assert_eq!(stats.per_worker, vec![3]);
+        assert_eq!(stats.max_load, 3);
+        assert_eq!(stats.capacity, 3);
+        assert_eq!(stats.utilization(), 1.0);
     }
 
     #[test]
@@ -299,7 +611,8 @@ mod tests {
         let mut a = ExecStats {
             workers: 2,
             tasks: 4,
-            per_worker: vec![2, 2],
+            max_load: 2,
+            capacity: 4,
             triggers_enumerated: 10,
             postings_reused: 3,
             hom_cache_hits: 2,
@@ -308,7 +621,8 @@ mod tests {
         let b = ExecStats {
             workers: 4,
             tasks: 8,
-            per_worker: vec![2, 2, 2, 2],
+            max_load: 2,
+            capacity: 8,
             rounds: 2,
             triggers_enumerated: 5,
             triggers_fired: 4,
@@ -321,7 +635,8 @@ mod tests {
         a.absorb(&b);
         assert_eq!(a.workers, 4);
         assert_eq!(a.tasks, 12);
-        assert_eq!(a.per_worker, vec![4, 4, 2, 2]);
+        assert_eq!(a.max_load, 2);
+        assert_eq!(a.capacity, 12);
         assert_eq!(a.rounds, 2);
         assert_eq!(a.triggers_enumerated, 15);
         assert_eq!(a.triggers_fired, 4);
@@ -330,5 +645,135 @@ mod tests {
         assert_eq!(a.delta_facts, 7);
         assert_eq!(a.hom_cache_hits, 7);
         assert_eq!(a.hom_cache_misses, 6);
+    }
+
+    /// Regression for the `absorb` per-worker zip bug: a perfectly
+    /// balanced sequential run (100 tasks on 1 worker) absorbed into a
+    /// perfectly balanced 4-way run (3 tasks per worker) must report
+    /// perfect utilization. The old element-wise `per_worker` merge
+    /// credited the sequential run's 100 tasks to worker 0 of the 4-way
+    /// layout and reported ≈ 0.27.
+    #[test]
+    fn absorb_keeps_utilization_meaningful_across_worker_counts() {
+        let mut a = ExecStats {
+            workers: 4,
+            tasks: 12,
+            max_load: 3,
+            capacity: 12,
+            ..Default::default()
+        };
+        let b = ExecStats {
+            workers: 1,
+            tasks: 100,
+            max_load: 100,
+            capacity: 100,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.tasks, 112);
+        assert_eq!(a.capacity, 112);
+        assert_eq!(a.max_load, 100);
+        assert_eq!(a.utilization(), 1.0, "two balanced runs merge balanced");
+        // An imbalanced run degrades the merged number proportionally.
+        let c = ExecStats {
+            workers: 2,
+            tasks: 10,
+            max_load: 9,
+            capacity: 18,
+            ..Default::default()
+        };
+        a.absorb(&c);
+        let u = a.utilization();
+        assert!(u < 1.0 && u > 0.9, "122/130 ≈ 0.94, got {u}");
+    }
+
+    #[test]
+    fn unlimited_budget_is_transparent() {
+        let items: Vec<u64> = (0..64).collect();
+        for threads in [1usize, 4] {
+            let plain = par_map_stats(Parallelism::fixed(threads), &items, |&x| x * 3);
+            let budgeted = par_map_budgeted(
+                Parallelism::fixed(threads),
+                &items,
+                &Budget::unlimited(),
+                |&x| x * 3,
+            )
+            .unwrap();
+            assert_eq!(plain.0, budgeted.0);
+            assert_eq!(plain.1.tasks, budgeted.1.tasks);
+        }
+    }
+
+    #[test]
+    fn task_budget_trips_without_panicking() {
+        let items: Vec<u64> = (0..1000).collect();
+        for threads in [1usize, 4] {
+            let budget = Budget::unlimited().with_max_tasks(10);
+            let err =
+                par_map_budgeted(Parallelism::fixed(threads), &items, &budget, |&x| x).unwrap_err();
+            assert_eq!(err, Exceeded::Tasks, "threads = {threads}");
+            assert!(budget.tasks_charged() >= 10);
+        }
+    }
+
+    #[test]
+    fn expired_deadline_trips_immediately() {
+        let items: Vec<u64> = (0..100).collect();
+        let budget = Budget::unlimited().with_deadline(Duration::ZERO);
+        let err = par_map_budgeted(Parallelism::fixed(4), &items, &budget, |&x| x).unwrap_err();
+        assert_eq!(err, Exceeded::Deadline);
+    }
+
+    #[test]
+    fn cancellation_flag_stops_workers() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let budget = Budget::unlimited().with_cancel(Arc::clone(&flag));
+        let items: Vec<u64> = (0..8).collect();
+        // Not yet cancelled: behaves like the plain map.
+        let ok = par_map_budgeted(Parallelism::fixed(2), &items, &budget, |&x| x).unwrap();
+        assert_eq!(ok.0, items);
+        flag.store(true, Ordering::Relaxed);
+        let err = par_map_budgeted(Parallelism::fixed(2), &items, &budget, |&x| x).unwrap_err();
+        assert_eq!(err, Exceeded::Cancelled);
+    }
+
+    #[test]
+    fn clones_share_one_charge_pool() {
+        let budget = Budget::unlimited().with_max_tasks(5);
+        let clone = budget.clone();
+        clone.charge_tasks(5);
+        assert_eq!(budget.check(), Err(Exceeded::Tasks));
+        assert_eq!(budget.tasks_charged(), 5);
+        // Fact charges are likewise shared; the cap is inclusive, so
+        // exactly 2 facts is within budget and the 3rd trips it.
+        let fb = Budget::unlimited().with_max_facts(2);
+        fb.clone().charge_facts(2);
+        assert_eq!(fb.check(), Ok(()));
+        fb.clone().charge_facts(1);
+        assert_eq!(fb.check(), Err(Exceeded::Facts));
+    }
+
+    #[test]
+    fn check_order_is_deterministic() {
+        // Cancellation outranks deadline outranks tasks outranks facts.
+        let flag = Arc::new(AtomicBool::new(true));
+        let b = Budget::unlimited()
+            .with_cancel(flag)
+            .with_deadline(Duration::ZERO)
+            .with_max_tasks(0)
+            .with_max_facts(0);
+        assert_eq!(b.check(), Err(Exceeded::Cancelled));
+        let b = Budget::unlimited()
+            .with_deadline(Duration::ZERO)
+            .with_max_tasks(0);
+        assert_eq!(b.check(), Err(Exceeded::Deadline));
+        let b = Budget::unlimited().with_max_tasks(0).with_max_facts(0);
+        b.charge_facts(1);
+        assert_eq!(b.check(), Err(Exceeded::Tasks));
+        let b = Budget::unlimited().with_max_facts(0);
+        b.charge_facts(1);
+        assert_eq!(b.check(), Err(Exceeded::Facts));
+        assert!(Budget::unlimited().check().is_ok());
+        assert!(Budget::unlimited().is_unlimited());
     }
 }

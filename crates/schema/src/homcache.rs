@@ -39,11 +39,14 @@ type Slot = Arc<Mutex<HashMap<Arc<String>, bool>>>;
 /// memory stays bounded by the run's working set.
 #[derive(Debug, Default)]
 pub struct HomCache {
-    /// `outer key → (target fingerprint → answer)`. The outer key is
-    /// either an instance fingerprint (for [`HomCache::has_hom`], with a
-    /// `"hom|"` prefix) or a caller-chosen probe key
-    /// ([`HomCache::probe`]).
-    map: Mutex<HashMap<String, Slot>>,
+    /// `source fingerprint → (target fingerprint → answer)`, used only by
+    /// [`HomCache::has_hom`]. Kept disjoint from `probes`: caller-chosen
+    /// probe keys live in their own map, so no probe key — whatever its
+    /// spelling — can alias a hom answer table.
+    homs: Mutex<HashMap<String, Slot>>,
+    /// `caller probe key → (target fingerprint → answer)`, used by
+    /// [`HomCache::probe`] / [`HomCache::slot`].
+    probes: Mutex<HashMap<String, Slot>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -120,7 +123,7 @@ impl HomCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return true;
         }
-        self.lookup_or(&format!("hom|{fa}"), fb, || has_hom(a, b))
+        self.lookup_or(fa.as_str(), fb, || has_hom(a, b))
     }
 
     /// Memoized [`crate::hom_equivalent`].
@@ -143,22 +146,30 @@ impl HomCache {
     /// Resolve `probe_key` to its answer table once, for hot loops that
     /// probe the same key against many targets (see [`ProbeSlot`]).
     pub fn slot(&self, probe_key: &str) -> ProbeSlot<'_> {
-        let slot = {
-            let mut map = self.map.lock().expect("hom cache lock");
-            match map.get(probe_key) {
-                Some(s) => Arc::clone(s),
-                None => {
-                    let s = Slot::default();
-                    map.insert(probe_key.to_owned(), Arc::clone(&s));
-                    s
-                }
+        ProbeSlot {
+            cache: self,
+            slot: Self::resolve(&self.probes, probe_key),
+        }
+    }
+
+    /// Find or create `key`'s answer table in `map`.
+    fn resolve(map: &Mutex<HashMap<String, Slot>>, key: &str) -> Slot {
+        let mut map = map.lock().expect("hom cache lock");
+        match map.get(key) {
+            Some(s) => Arc::clone(s),
+            None => {
+                let s = Slot::default();
+                map.insert(key.to_owned(), Arc::clone(&s));
+                s
             }
-        };
-        ProbeSlot { cache: self, slot }
+        }
     }
 
     fn lookup_or(&self, outer: &str, inner: Arc<String>, run: impl FnOnce() -> bool) -> bool {
-        let slot = self.slot(outer);
+        let slot = ProbeSlot {
+            cache: self,
+            slot: Self::resolve(&self.homs, outer),
+        };
         {
             let m = slot.slot.lock().expect("hom cache slot lock");
             if let Some(&answer) = m.get(&inner) {
@@ -236,6 +247,32 @@ mod tests {
         let cache = HomCache::new();
         assert!(cache.has_hom(&a, &b));
         assert_eq!(cache.counters(), (1, 0), "iso shortcut counts as a hit");
+    }
+
+    /// Regression: probe keys and `has_hom` fingerprints used to share
+    /// one outer map, with `has_hom` entries stored under `"hom|{fa}"` —
+    /// a caller probe key spelled exactly like that silently shared the
+    /// hom answer table and returned its booleans. The namespaces are
+    /// now disjoint maps, so the forged key must run its own closure.
+    #[test]
+    fn probe_keys_cannot_alias_the_hom_namespace() {
+        let s = Schema::parse("E/2").unwrap();
+        let a = inst(&s, "E(a,N1)");
+        let b = inst(&s, "E(a,b)");
+        let cache = HomCache::new();
+        // Seed the hom namespace: a → b holds and is cached as `true`.
+        assert!(cache.has_hom(&a, &b));
+        // Forge a probe key colliding with the old hom spelling.
+        let forged = format!("hom|{}", a.store().fingerprint());
+        let mut ran = false;
+        let answer = cache.probe(&forged, &b, || {
+            ran = true;
+            false
+        });
+        assert!(ran, "forged probe key must not hit the hom table");
+        assert!(!answer, "probe must report its own closure's answer");
+        // And the probe entry must not poison the hom table either.
+        assert!(cache.has_hom(&a, &b), "hom answer survives the probe");
     }
 
     #[test]

@@ -59,16 +59,18 @@ pub mod prelude {
     // `quasi_inverse` (the function) is re-exported as
     // `compute_quasi_inverse` so that a glob import of this prelude does
     // not shadow the `quasi_inverse` crate name itself.
+    pub use qi_chase::{ChasePartial, ResourceError};
     pub use qi_core::quasi_inverse as compute_quasi_inverse;
     pub use qi_core::{
         compose, composition_contains, composition_membership, constant_propagation_property,
         equivalent, inverse, is_inverse_bounded, is_quasi_inverse_bounded, min_gen,
         minimize_disjuncts, round_trip, sigma_star, solutions_subset, subset_property_bounded,
-        union_witness_subset_property, unique_solutions_bounded, MinGenOptions,
-        QuasiInverseOptions, Relation, ReverseMapping, RoundTrip, SchemaMapping,
+        union_witness_subset_property, unique_solutions_bounded, CoreError, CorePartial,
+        CoreResourceError, MinGenOptions, QuasiInverseOptions, Relation, ReverseMapping, RoundTrip,
+        SchemaMapping,
     };
     pub use qi_core::{quasi_inverse_full, quasi_inverse_lav, so_compose};
-    pub use qi_exec::{set_global_threads, ExecStats, Parallelism};
+    pub use qi_exec::{set_global_threads, Budget, Exceeded, ExecStats, Parallelism};
     pub use qi_lang::{
         parse_disj_tgd, parse_egd, parse_tgd, skolemize, Atom, DisjTgd, Egd, SoTgd, Tgd, Var,
     };

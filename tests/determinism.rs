@@ -113,6 +113,7 @@ fn parallel_chase_is_byte_identical_to_sequential() {
             &m.target,
             ChaseOptions {
                 parallelism: Parallelism::sequential(),
+                ..Default::default()
             },
         )
         .unwrap();
@@ -123,6 +124,7 @@ fn parallel_chase_is_byte_identical_to_sequential() {
                 &m.target,
                 ChaseOptions {
                     parallelism: Parallelism::fixed(threads),
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -283,4 +285,103 @@ fn workload_generators_are_seed_stable() {
         .map(|t| t.to_string())
         .collect();
     assert_eq!(rendered, again);
+}
+
+#[test]
+fn budgeted_runs_under_budget_are_byte_identical_across_the_sweep() {
+    // The determinism contract extends to budgeted runs: an ample
+    // (never-tripping) budget may only decide *whether* a search
+    // finishes, never *what* it returns — so a run that completes under
+    // budget is byte-identical to the unbudgeted sequential baseline at
+    // every thread count, budget present or not.
+    use quasi_inverse::exec::Budget;
+    use std::time::Duration;
+    let ample = || {
+        Budget::unlimited()
+            .with_deadline(Duration::from_secs(3600))
+            .with_max_tasks(10_000_000)
+            .with_max_facts(10_000_000)
+    };
+    // Standard chase.
+    let m = chain_join_j(3);
+    let mut i = Instance::new(m.source.clone());
+    for rel in ["A1", "A2", "A3"] {
+        for k in 0..6u32 {
+            let r = m.source.rel(rel).unwrap();
+            i.insert(
+                r,
+                vec![
+                    Value::constant(&format!("v{k}")),
+                    Value::constant(&format!("v{}", (k + 1) % 6)),
+                ],
+            )
+            .unwrap();
+        }
+    }
+    let baseline = chase_with_options(
+        &m.tgds,
+        &i,
+        &m.target,
+        ChaseOptions {
+            parallelism: Parallelism::sequential(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    for threads in SWEEP {
+        let budgeted = chase_with_options(
+            &m.tgds,
+            &i,
+            &m.target,
+            ChaseOptions {
+                parallelism: Parallelism::fixed(threads),
+                budget: ample(),
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            budgeted.instance.to_string(),
+            baseline.instance.to_string(),
+            "threads {threads}"
+        );
+    }
+    // Disjunctive chase: leaves locked in order and content.
+    let um = union_n(2);
+    let rev = quasi_inverse::core::quasi_inverse(&um, &Default::default()).unwrap();
+    let u = um.chase(&union_instance(&um, 4)).unwrap();
+    let empty = Instance::new(um.source.clone());
+    let base = disjunctive_chase_with_stats(
+        &rev.deps,
+        &u,
+        &empty,
+        DisjChaseOptions {
+            parallelism: Parallelism::sequential(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    for threads in SWEEP {
+        let budgeted = disjunctive_chase_with_stats(
+            &rev.deps,
+            &u,
+            &empty,
+            DisjChaseOptions {
+                parallelism: Parallelism::fixed(threads),
+                budget: ample(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let render = |ls: &[Instance]| {
+            ls.iter()
+                .map(|l| l.to_string())
+                .collect::<Vec<_>>()
+                .join("\n---\n")
+        };
+        assert_eq!(
+            render(&budgeted.leaves),
+            render(&base.leaves),
+            "threads {threads}"
+        );
+    }
 }
