@@ -1,0 +1,13 @@
+fn main() {
+    use qi_exec::{par_map_budgeted, Budget, Parallelism};
+    let items: Vec<u64> = (0..8).collect();
+    let mut ok = 0; let mut err = 0;
+    for _ in 0..200 {
+        let budget = Budget::unlimited().with_max_tasks(2);
+        match par_map_budgeted(Parallelism::fixed(8), &items, &budget, |&x| x) {
+            Ok(_) => ok += 1,
+            Err(_) => err += 1,
+        }
+    }
+    println!("cap=2, items=8, threads=8: Ok(completed all 8) = {ok}, Err = {err}");
+}
