@@ -10,6 +10,8 @@
 //! qimap chase        <mapping-file> <instance>     forward exchange
 //! qimap roundtrip    <mapping-file> <instance>     Figure-1 style round trip
 //! qimap compose      <mapping-file> <mapping-file> composition operator
+//! qimap recover      <mapping-file>                maximum recovery
+//! qimap contains     <mapping-file> <mapping-file> mapping containment
 //! ```
 //!
 //! ## Mapping file format
@@ -46,7 +48,8 @@ use qi_chase::{chase_with_target_deps, ExchangeSetting, TargetChaseOptions, Targ
 use qi_core::enumerate::ground_instances;
 use qi_core::{
     constant_propagation_property, inverse, is_inverse_bounded, is_quasi_inverse_bounded,
-    quasi_inverse, quasi_inverse_with_stats, round_trip, semantic_lints, QuasiInverseOptions,
+    mapping_contains_with_stats, maximum_recovery_with_stats, quasi_inverse,
+    quasi_inverse_with_stats, round_trip, semantic_lints, ContainmentVerdict, QuasiInverseOptions,
     SchemaMapping,
 };
 use qi_exec::Budget;
@@ -429,6 +432,152 @@ pub fn cmd_compose(m12_text: &str, m23_text: &str) -> Result<String, CliError> {
     }
 }
 
+/// Minimal JSON string escaping for the hand-rolled `--json` renderers:
+/// the dependency language is ASCII, so only quotes, backslashes and
+/// control characters need care.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// `qimap recover`: compute a maximum recovery of the mapping (total for
+/// every s-t tgd mapping — no invertibility precondition) and print its
+/// disjunctive tgds as text or JSON. With `--stats`, append the MinGen /
+/// hom-cache counters and — under a budget flag — the charged totals.
+pub fn cmd_recover(
+    mapping_text: &str,
+    json: bool,
+    stats: bool,
+    budget: &Budget,
+) -> Result<String, CliError> {
+    let mf = parse_mapping_file(mapping_text)?;
+    let options = QuasiInverseOptions {
+        budget: budget.clone(),
+        ..Default::default()
+    };
+    let (rev, s) =
+        maximum_recovery_with_stats(&mf.mapping, &options).map_err(|e| err(e.to_string()))?;
+    if json {
+        let deps: Vec<String> = rev.deps.iter().map(|d| json_str(&d.to_string())).collect();
+        let mut out = format!("{{\"maximum-recovery\":{{\"deps\":[{}]}}", deps.join(","));
+        if stats {
+            let _ = write!(
+                out,
+                ",\"stats\":{{\"tasks\":{},\"hom_cache_hits\":{},\"hom_cache_misses\":{}}}",
+                s.tasks, s.hom_cache_hits, s.hom_cache_misses
+            );
+        }
+        out.push_str("}\n");
+        return Ok(out);
+    }
+    let mut out = rev.to_string();
+    if stats {
+        let _ = writeln!(
+            out,
+            "stats: {} chase task(s), hom cache {} hit(s) / {} miss(es)",
+            s.tasks, s.hom_cache_hits, s.hom_cache_misses
+        );
+        if !budget.is_unlimited() {
+            let _ = writeln!(
+                out,
+                "budget: within limits — {} executor task(s) and {} derived fact(s) charged",
+                budget.tasks_charged(),
+                budget.facts_charged()
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// `qimap contains`: does the first mapping contain the second — is
+/// `Inst(B) ⊆ Inst(A)`? Both files must declare the same source and
+/// target schemas. On failure the structured counterexample witness (a
+/// pair admitted by `B` and rejected by `A`, with the violated
+/// dependency) is printed; a failed containment is a verdict, not an
+/// error (exit 0 either way).
+pub fn cmd_contains(
+    outer_text: &str,
+    inner_text: &str,
+    json: bool,
+    stats: bool,
+    budget: &Budget,
+) -> Result<String, CliError> {
+    let outer = parse_mapping_file(outer_text)?.mapping;
+    let inner_raw = parse_mapping_file(inner_text)?.mapping;
+    // Re-read the second mapping over the first one's schema values so
+    // the containment checker sees one shared schema pair.
+    let deps: Vec<String> = inner_raw.tgds.iter().map(|t| t.to_string()).collect();
+    let tgds: Result<Vec<_>, _> = deps
+        .iter()
+        .map(|d| qi_lang::parse_tgd(&outer.source, &outer.target, d))
+        .collect();
+    let tgds = tgds.map_err(|e| {
+        err(format!(
+            "containment needs both mappings over the same source and target schemas: {e}"
+        ))
+    })?;
+    let inner = SchemaMapping::new(outer.source.clone(), outer.target.clone(), tgds)
+        .map_err(|e| err(e.to_string()))?;
+    let (verdict, s) =
+        mapping_contains_with_stats(&outer, &inner, budget).map_err(|e| err(e.to_string()))?;
+    if json {
+        let mut out = match &verdict {
+            ContainmentVerdict::Contained => "{\"contains\":true".to_owned(),
+            ContainmentVerdict::NotContained(w) => format!(
+                "{{\"contains\":false,\"witness\":{{\"violated\":{},\"premise\":{},\"solution\":{}}}",
+                json_str(&w.violated),
+                json_str(&w.premise.to_string()),
+                json_str(&w.solution.to_string())
+            ),
+        };
+        if stats {
+            let _ = write!(out, ",\"stats\":{{\"tasks\":{}}}", s.tasks);
+        }
+        out.push_str("}\n");
+        return Ok(out);
+    }
+    let mut out = String::new();
+    match &verdict {
+        ContainmentVerdict::Contained => {
+            let _ = writeln!(
+                out,
+                "contained: every pair of the second mapping satisfies the first"
+            );
+        }
+        ContainmentVerdict::NotContained(w) => {
+            let _ = writeln!(out, "NOT contained");
+            let _ = writeln!(out, "violated dependency: {}", w.violated);
+            let _ = writeln!(out, "counterexample premise:  {}", w.premise);
+            let _ = writeln!(out, "counterexample solution: {}", w.solution);
+        }
+    }
+    if stats {
+        let _ = writeln!(out, "stats: {} chase task(s)", s.tasks);
+        if !budget.is_unlimited() {
+            let _ = writeln!(
+                out,
+                "budget: within limits — {} executor task(s) and {} derived fact(s) charged",
+                budget.tasks_charged(),
+                budget.facts_charged()
+            );
+        }
+    }
+    Ok(out)
+}
+
 /// Strip the global `--threads N` / `--threads=N` flag out of `args`,
 /// applying it via [`qi_exec::set_global_threads`]. Every chase and
 /// search result is bit-identical at any setting; the flag only changes
@@ -523,7 +672,7 @@ pub fn run(
     args: &[String],
     read_file: impl Fn(&str) -> Result<String, CliError>,
 ) -> Result<String, CliError> {
-    let usage = "usage: qimap [--threads N] [--timeout MS] [--max-steps N] [--max-facts N] [--stats] <check|lint|quasi-inverse|inverse|chase|roundtrip|compose> <mapping-file> [instance | second-mapping-file]\n       qimap lint [--json] <mapping-file>";
+    let usage = "usage: qimap [--threads N] [--timeout MS] [--max-steps N] [--max-facts N] [--stats] <check|lint|quasi-inverse|inverse|chase|roundtrip|compose|recover|contains> <mapping-file> [instance | second-mapping-file]\n       qimap lint [--json] <mapping-file>\n       qimap recover [--json] <mapping-file>\n       qimap contains [--json] <mapping-file> <second-mapping-file>";
     let args = apply_threads_flag(args)?;
     let (mut args, budget) = apply_budget_flags(&args)?;
     let json = match args.iter().position(|a| a == "--json") {
@@ -569,6 +718,14 @@ pub fn run(
                 .ok_or_else(|| err("compose needs a second mapping file"))?;
             let text2 = read_file(second)?;
             cmd_compose(&text, &text2)
+        }
+        "recover" => cmd_recover(&text, json, stats, &budget),
+        "contains" => {
+            let second = args
+                .get(2)
+                .ok_or_else(|| err("contains needs a second mapping file"))?;
+            let text2 = read_file(second)?;
+            cmd_contains(&text, &text2, json, stats, &budget)
         }
         other => Err(err(format!("unknown command `{other}`\n{usage}"))),
     }
@@ -700,6 +857,56 @@ tgd: P(x,y,z) -> Q(x,y) & R(y,z)
         // Mismatched middle schema is reported.
         let bad = "source: Z/1\ntarget: W/1\ntgd: Z(x) -> W(x)\n";
         assert!(cmd_compose(m12_full, bad).is_err());
+    }
+
+    #[test]
+    fn recover_command_prints_the_maximum_recovery() {
+        let proj = "source: P/2\ntarget: Q/1\ntgd: P(x,y) -> Q(x)\n";
+        let out = cmd_recover(proj, false, false, &Budget::unlimited()).unwrap();
+        assert!(
+            out.contains("Q(x) & const(x) -> exists z0 . P(x,z0)"),
+            "{out}"
+        );
+        let with = cmd_recover(proj, false, true, &Budget::unlimited()).unwrap();
+        assert!(with.starts_with(&out), "stats must only append lines");
+        assert!(with.contains("hom cache"), "{with}");
+        let js = cmd_recover(proj, true, false, &Budget::unlimited()).unwrap();
+        assert!(js.contains("\"maximum-recovery\""), "{js}");
+        assert!(js.contains("\"deps\""), "{js}");
+        let js = cmd_recover(proj, true, true, &Budget::unlimited()).unwrap();
+        assert!(js.contains("\"stats\""), "{js}");
+    }
+
+    #[test]
+    fn contains_command_reports_verdict_and_witness() {
+        let weak = "source: P/1 Q/1\ntarget: S/1\ntgd: P(x) -> S(x)\n";
+        let union = "source: P/1 Q/1\ntarget: S/1\ntgd: P(x) -> S(x)\ntgd: Q(x) -> S(x)\n";
+        let out = cmd_contains(weak, union, false, false, &Budget::unlimited()).unwrap();
+        assert!(out.contains("contained"), "{out}");
+        assert!(!out.contains("NOT"), "{out}");
+        let out = cmd_contains(union, weak, false, true, &Budget::unlimited()).unwrap();
+        assert!(out.contains("NOT contained"), "{out}");
+        assert!(out.contains("violated dependency: Q(x) -> S(x)"), "{out}");
+        assert!(out.contains("stats:"), "{out}");
+        let js = cmd_contains(union, weak, true, false, &Budget::unlimited()).unwrap();
+        assert!(js.contains("\"contains\":false"), "{js}");
+        assert!(js.contains("\"witness\""), "{js}");
+        let js = cmd_contains(weak, union, true, false, &Budget::unlimited()).unwrap();
+        assert!(js.contains("\"contains\":true"), "{js}");
+        // Mismatched schemas are a CLI error, not a verdict.
+        let other = "source: Z/1\ntarget: S/1\ntgd: Z(x) -> S(x)\n";
+        assert!(cmd_contains(weak, other, false, false, &Budget::unlimited()).is_err());
+    }
+
+    #[test]
+    fn dispatch_recover_and_contains() {
+        let weak = "source: P/1 Q/1\ntarget: S/1\ntgd: P(x) -> S(x)\n";
+        let loader = |_: &str| Ok(weak.to_owned());
+        let out = run(&["recover".into(), "m.qim".into()], loader).unwrap();
+        assert!(out.contains("S(x) & const(x) -> P(x)"), "{out}");
+        let out = run(&["contains".into(), "a.qim".into(), "b.qim".into()], loader).unwrap();
+        assert!(out.contains("contained"), "{out}");
+        assert!(run(&["contains".into(), "a.qim".into()], loader).is_err());
     }
 
     #[test]

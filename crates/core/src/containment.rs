@@ -1,0 +1,458 @@
+//! Mapping containment and equivalence (after Calì–Torlone,
+//! "Containment of Schema Mappings for Data Exchange").
+//!
+//! `M_A` *contains* `M_B` (written `M_B ⊑ M_A`) when
+//! `Inst(M_B) ⊆ Inst(M_A)`: every instance pair admitted by `M_B` is
+//! admitted by `M_A`. Containment is the order underlying the mapping
+//! algebra — equivalence is mutual containment, and the maximum-recovery
+//! characterization of [`crate::recovery`] is stated in terms of it.
+//!
+//! ## Decision procedures
+//!
+//! **Forward (s-t tgd) mappings** over the same schema pair:
+//! `Inst(inner) ⊆ Inst(outer)` iff `Σ_inner ⊨ σ` for every
+//! `σ ∈ Σ_outer`. Each implication is decided by the classic chase
+//! test — freeze `σ`'s premise into a canonical instance `J`, chase `J`
+//! with `Σ_inner`, and check that `(J, chase(J))` satisfies `σ`. The
+//! chase is a universal solution, so a head match there transfers to
+//! every pair in `Inst(inner)`; a failure *is* a counterexample pair,
+//! which is returned as a self-validating [`ContainmentWitness`].
+//!
+//! **Reverse (disjunctive tgd) mappings**: the premise of a disjunctive
+//! tgd `τ` can match nulls wherever it lacks a `const` guard, so one
+//! frozen premise is not enough. For each `τ ∈ Σ_outer` the checker
+//! enumerates the *equality types* of `τ`'s premise variables — every
+//! set partition consistent with `τ`'s inequality guards, with each
+//! unguarded class instantiated both as a fresh constant and as a fresh
+//! labeled null — builds the canonical premise `J`, and runs the
+//! *disjunctive* chase of `Σ_inner` on `J`. Containment requires every
+//! leaf `V` of every equality type to satisfy `τ`; a failing leaf yields
+//! the witness pair `(J, V) ∈ Inst(inner) \ Inst(outer)`. The outer
+//! mapping must be guard-complete (inequalities only among `const`
+//! guards), matching the precondition of the Proposition 6.6 machinery.
+//!
+//! Both checkers are budget-aware: the cooperative [`Budget`] is checked
+//! once per dependency (resp. per equality type) and threaded into every
+//! chase, so a trip surfaces as a structured [`CoreError::Resource`] /
+//! [`CoreError::Chase`] at the next checkpoint — never a panic, and an
+//! under-budget run returns exactly the unbudgeted verdict.
+
+use crate::error::{CoreError, CorePartial};
+use crate::exchange::guard_complete;
+use crate::mapping::{ReverseMapping, SchemaMapping};
+use qi_chase::{
+    chase_with_options, disjunctive_chase_with_stats, satisfies_disj_tgd, satisfies_tgd,
+    ChaseOptions, DisjChaseOptions,
+};
+use qi_exec::{Budget, ExecStats};
+use qi_lang::{canonical_instance, restricted_growth_strings, DisjTgd, FrozenVars, Var};
+use qi_schema::{Instance, Schema, Value};
+
+/// A counterexample to a containment claim: a concrete instance pair
+/// that the inner mapping admits and the outer mapping rejects.
+///
+/// The witness is *self-validating*: `(premise, solution)` satisfies
+/// every inner dependency by construction (it is a chase result, resp. a
+/// disjunctive-chase leaf), and `violated` names the outer dependency
+/// that `(premise, solution)` fails — checkable independently with
+/// [`qi_chase::satisfies_tgd`] / [`qi_chase::satisfies_disj_tgd`].
+#[derive(Clone, Debug)]
+pub struct ContainmentWitness {
+    /// Rendering of the outer dependency the pair violates.
+    pub violated: String,
+    /// The premise-side instance of the counterexample pair.
+    pub premise: Instance,
+    /// The conclusion-side instance of the counterexample pair.
+    pub solution: Instance,
+}
+
+/// Outcome of a containment check.
+#[derive(Clone, Debug)]
+pub enum ContainmentVerdict {
+    /// `Inst(inner) ⊆ Inst(outer)` holds.
+    Contained,
+    /// Containment fails; the boxed witness is a concrete pair in
+    /// `Inst(inner) \ Inst(outer)`.
+    NotContained(Box<ContainmentWitness>),
+}
+
+impl ContainmentVerdict {
+    /// Does the containment hold?
+    pub fn holds(&self) -> bool {
+        matches!(self, ContainmentVerdict::Contained)
+    }
+
+    /// The counterexample, when containment fails.
+    pub fn witness(&self) -> Option<&ContainmentWitness> {
+        match self {
+            ContainmentVerdict::Contained => None,
+            ContainmentVerdict::NotContained(w) => Some(w),
+        }
+    }
+}
+
+fn require_same_schemas(
+    what: &str,
+    (s1, t1): (&Schema, &Schema),
+    (s2, t2): (&Schema, &Schema),
+) -> Result<(), CoreError> {
+    if !s1.same_as(s2) || !t1.same_as(t2) {
+        return Err(CoreError::Precondition(format!(
+            "{what} containment requires both mappings over the same schema pair"
+        )));
+    }
+    Ok(())
+}
+
+fn check_budget(budget: &Budget, stats: &ExecStats) -> Result<(), CoreError> {
+    if !budget.is_unlimited() {
+        if let Err(e) = budget.check() {
+            return Err(CoreError::resource(e, stats.clone(), CorePartial::None));
+        }
+    }
+    Ok(())
+}
+
+/// Does `outer` contain `inner` — is `Inst(inner) ⊆ Inst(outer)`?
+///
+/// Both mappings must be over the same source and target schemas
+/// ([`CoreError::Precondition`] otherwise).
+///
+/// ```
+/// use qi_core::{mapping_contains, SchemaMapping};
+///
+/// let weak = SchemaMapping::parse("P/1 Q/1", "S/1", &["P(x) -> S(x)"]).unwrap();
+/// let union = SchemaMapping::parse("P/1 Q/1", "S/1",
+///     &["P(x) -> S(x)", "Q(x) -> S(x)"]).unwrap();
+/// // Union constrains more pairs, so its instance set is smaller.
+/// assert!(mapping_contains(&weak, &union).unwrap().holds());
+/// assert!(!mapping_contains(&union, &weak).unwrap().holds());
+/// ```
+pub fn mapping_contains(
+    outer: &SchemaMapping,
+    inner: &SchemaMapping,
+) -> Result<ContainmentVerdict, CoreError> {
+    Ok(mapping_contains_with_stats(outer, inner, &Budget::unlimited())?.0)
+}
+
+/// [`mapping_contains`] under a cooperative [`Budget`], returning the
+/// aggregated executor counters of every chase the check ran. The budget
+/// is checked before each outer dependency and inherited by its chase.
+pub fn mapping_contains_with_stats(
+    outer: &SchemaMapping,
+    inner: &SchemaMapping,
+    budget: &Budget,
+) -> Result<(ContainmentVerdict, ExecStats), CoreError> {
+    require_same_schemas(
+        "mapping",
+        (&outer.source, &outer.target),
+        (&inner.source, &inner.target),
+    )?;
+    let mut stats = ExecStats::default();
+    for sigma in &outer.tgds {
+        check_budget(budget, &stats)?;
+        let mut frozen = FrozenVars::default();
+        let premise = canonical_instance(&inner.source, &sigma.body, &mut frozen);
+        let outcome = chase_with_options(
+            &inner.tgds,
+            &premise,
+            &inner.target,
+            ChaseOptions {
+                parallelism: inner.parallelism,
+                budget: budget.clone(),
+            },
+        )?;
+        stats.absorb(&outcome.stats);
+        if !satisfies_tgd(&premise, &outcome.instance, sigma) {
+            return Ok((
+                ContainmentVerdict::NotContained(Box::new(ContainmentWitness {
+                    violated: sigma.to_string(),
+                    premise,
+                    solution: outcome.instance,
+                })),
+                stats,
+            ));
+        }
+    }
+    Ok((ContainmentVerdict::Contained, stats))
+}
+
+/// Are `a` and `b` logically equivalent — `Inst(a) = Inst(b)`?
+pub fn mapping_equivalent(a: &SchemaMapping, b: &SchemaMapping) -> Result<bool, CoreError> {
+    Ok(mapping_contains(a, b)?.holds() && mapping_contains(b, a)?.holds())
+}
+
+/// One equality type of a dependency's premise variables: the value each
+/// equivalence class takes in the canonical premise.
+struct EqualityType {
+    /// Value of each partition block, in block order.
+    values: Vec<Value>,
+}
+
+/// Enumerate the equality types of `dep`'s premise: all partitions of
+/// its premise variables consistent with the inequality guards, each
+/// unguarded block instantiated both ways (constant and labeled null).
+/// Guarded blocks are always constants — `const(x)` forces it.
+fn equality_types(dep: &DisjTgd, vars: &[Var]) -> Vec<(Vec<usize>, EqualityType)> {
+    let pos = |v: &Var| -> usize {
+        vars.iter()
+            .position(|w| w == v)
+            .expect("guard variables occur in the premise (validated)")
+    };
+    let mut out = Vec::new();
+    for partition in restricted_growth_strings(vars.len()) {
+        // A partition merging two vars required distinct is inconsistent.
+        if dep
+            .neq
+            .iter()
+            .any(|(a, b)| partition.block_of(pos(a)) == partition.block_of(pos(b)))
+        {
+            continue;
+        }
+        let n_blocks = partition.num_blocks();
+        let guarded: Vec<bool> = (0..n_blocks)
+            .map(|b| dep.constant.iter().any(|v| partition.block_of(pos(v)) == b))
+            .collect();
+        let unguarded: Vec<usize> = (0..n_blocks).filter(|&b| !guarded[b]).collect();
+        let block_of: Vec<usize> = (0..vars.len()).map(|i| partition.block_of(i)).collect();
+        // Each unguarded block is either a fresh constant or a fresh
+        // null; enumerate every combination.
+        for mask in 0..(1u64 << unguarded.len()) {
+            let values: Vec<Value> = (0..n_blocks)
+                .map(|b| {
+                    let as_null = unguarded
+                        .iter()
+                        .position(|&u| u == b)
+                        .is_some_and(|k| mask & (1 << k) != 0);
+                    if as_null {
+                        Value::null(b as u64)
+                    } else {
+                        Value::constant(&format!("e{b}"))
+                    }
+                })
+                .collect();
+            out.push((block_of.clone(), EqualityType { values }));
+        }
+    }
+    out
+}
+
+/// Does `outer` contain `inner` as reverse (target-to-source) mappings —
+/// is `Inst(inner) ⊆ Inst(outer)`?
+///
+/// Preconditions ([`CoreError::Precondition`]): the mappings share the
+/// same schema pair, and `outer` is guard-complete
+/// ([`crate::exchange::guard_complete`]) — its premises may then match
+/// nulls only at positions the equality-type enumeration covers. The
+/// inner mapping may use the full disjunctive language.
+pub fn reverse_contains(
+    outer: &ReverseMapping,
+    inner: &ReverseMapping,
+) -> Result<ContainmentVerdict, CoreError> {
+    Ok(reverse_contains_with_stats(outer, inner, &Budget::unlimited())?.0)
+}
+
+/// [`reverse_contains`] under a cooperative [`Budget`], with the
+/// aggregated counters of every disjunctive chase the check ran. The
+/// budget is checked once per equality type and threaded into each
+/// chase; the enumeration per outer dependency is
+/// `Σ_δ 2^(unguarded classes of δ)` over the Bell-many partitions `δ`,
+/// so the budget is the intended way to bound pathological inputs.
+pub fn reverse_contains_with_stats(
+    outer: &ReverseMapping,
+    inner: &ReverseMapping,
+    budget: &Budget,
+) -> Result<(ContainmentVerdict, ExecStats), CoreError> {
+    require_same_schemas(
+        "reverse-mapping",
+        (&outer.from, &outer.to),
+        (&inner.from, &inner.to),
+    )?;
+    if !guard_complete(outer) {
+        return Err(CoreError::Precondition(
+            "reverse containment requires a guard-complete outer mapping".into(),
+        ));
+    }
+    let mut stats = ExecStats::default();
+    for tau in &outer.deps {
+        let vars = tau.body_vars();
+        for (block_of, ty) in equality_types(tau, &vars) {
+            check_budget(budget, &stats)?;
+            let mut premise = Instance::new(inner.from.clone());
+            for atom in &tau.body {
+                let args: Vec<Value> = atom
+                    .args
+                    .iter()
+                    .map(|v| {
+                        let i = vars.iter().position(|w| w == v).expect("premise var");
+                        ty.values[block_of[i]]
+                    })
+                    .collect();
+                premise
+                    .insert(atom.rel, args)
+                    .expect("atom arity validated at dependency construction");
+            }
+            let outcome = disjunctive_chase_with_stats(
+                &inner.deps,
+                &premise,
+                &Instance::new(inner.to.clone()),
+                DisjChaseOptions {
+                    budget: budget.clone(),
+                    ..Default::default()
+                },
+            )?;
+            stats.absorb(&outcome.stats);
+            for leaf in &outcome.leaves {
+                if !satisfies_disj_tgd(&premise, leaf, tau) {
+                    return Ok((
+                        ContainmentVerdict::NotContained(Box::new(ContainmentWitness {
+                            violated: tau.to_string(),
+                            premise,
+                            solution: leaf.clone(),
+                        })),
+                        stats,
+                    ));
+                }
+            }
+        }
+    }
+    Ok((ContainmentVerdict::Contained, stats))
+}
+
+/// Are the reverse mappings `a` and `b` logically equivalent? Both must
+/// be guard-complete (each direction's outer side requires it).
+pub fn reverse_equivalent(a: &ReverseMapping, b: &ReverseMapping) -> Result<bool, CoreError> {
+    Ok(reverse_contains(a, b)?.holds() && reverse_contains(b, a)?.holds())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qi_chase::implies_tgd;
+
+    #[test]
+    fn forward_containment_basics() {
+        let weak = SchemaMapping::parse("P/1 Q/1", "S/1", &["P(x) -> S(x)"]).unwrap();
+        let union =
+            SchemaMapping::parse("P/1 Q/1", "S/1", &["P(x) -> S(x)", "Q(x) -> S(x)"]).unwrap();
+        assert!(mapping_contains(&weak, &union).unwrap().holds());
+        let v = mapping_contains(&union, &weak).unwrap();
+        let w = v.witness().expect("union ⋢ weak");
+        // The witness pair satisfies the inner mapping and violates the
+        // named outer dependency.
+        assert!(qi_chase::satisfies_all_tgds(
+            &w.premise,
+            &w.solution,
+            &weak.tgds
+        ));
+        assert_eq!(w.violated, "Q(x) -> S(x)");
+        assert!(!mapping_equivalent(&weak, &union).unwrap());
+        assert!(mapping_equivalent(&weak, &weak).unwrap());
+    }
+
+    #[test]
+    fn forward_containment_agrees_with_implies_tgd() {
+        let outer = SchemaMapping::parse("P/2", "Q/2 R/1", &["P(x,y) -> Q(x,y)", "P(x,x) -> R(x)"])
+            .unwrap();
+        let inner = SchemaMapping::parse(
+            "P/2",
+            "Q/2 R/1",
+            &["P(x,y) -> Q(x,y) & R(x)", "P(x,y) -> R(y)"],
+        )
+        .unwrap();
+        let verdict = mapping_contains(&outer, &inner).unwrap();
+        let by_implication = outer
+            .tgds
+            .iter()
+            .all(|s| implies_tgd(&inner.tgds, s).unwrap());
+        assert_eq!(verdict.holds(), by_implication);
+    }
+
+    #[test]
+    fn existential_heads_are_handled() {
+        let strong = SchemaMapping::parse("P/1", "Q/2", &["P(x) -> Q(x,x)"]).unwrap();
+        let weakened = SchemaMapping::parse("P/1", "Q/2", &["P(x) -> exists y . Q(x,y)"]).unwrap();
+        // Q(x,x) implies ∃y Q(x,y) but not vice versa.
+        assert!(mapping_contains(&weakened, &strong).unwrap().holds());
+        assert!(!mapping_contains(&strong, &weakened).unwrap().holds());
+    }
+
+    #[test]
+    fn schema_mismatch_is_a_precondition_error() {
+        let a = SchemaMapping::parse("P/1", "Q/1", &["P(x) -> Q(x)"]).unwrap();
+        let b = SchemaMapping::parse("Z/1", "Q/1", &["Z(x) -> Q(x)"]).unwrap();
+        assert!(matches!(
+            mapping_contains(&a, &b),
+            Err(CoreError::Precondition(_))
+        ));
+    }
+
+    #[test]
+    fn reverse_containment_on_guarded_deps() {
+        let m = SchemaMapping::parse("P/1 Q/1", "S/1", &["P(x) -> S(x)", "Q(x) -> S(x)"]).unwrap();
+        // S(x) → P(x) ∨ Q(x) contains S(x) → P(x) (fewer choices ⇒
+        // smaller instance set), not vice versa.
+        let disj = ReverseMapping::parse(&m, &["S(x) & const(x) -> P(x) | Q(x)"]).unwrap();
+        let p_only = ReverseMapping::parse(&m, &["S(x) & const(x) -> P(x)"]).unwrap();
+        assert!(reverse_contains(&disj, &p_only).unwrap().holds());
+        let v = reverse_contains(&p_only, &disj).unwrap();
+        let w = v.witness().expect("P-only ⋢ disjunctive");
+        assert!(qi_chase::satisfies_all_disj_tgds(
+            &w.premise,
+            &w.solution,
+            &disj.deps
+        ));
+        assert!(!qi_chase::satisfies_disj_tgd(
+            &w.premise,
+            &w.solution,
+            &p_only.deps[0]
+        ));
+        assert!(reverse_equivalent(&disj, &disj).unwrap());
+        assert!(!reverse_equivalent(&disj, &p_only).unwrap());
+    }
+
+    #[test]
+    fn null_equality_types_separate_guarded_from_unguarded() {
+        let m = SchemaMapping::parse("P/1", "S/1", &["P(x) -> S(x)"]).unwrap();
+        // Outer fires on *any* S-value; inner only on constants. On the
+        // premise S(N) (a null) the inner mapping derives nothing, so
+        // the unguarded outer dependency is not contained.
+        let unguarded = ReverseMapping::parse(&m, &["S(x) -> exists z . P(z)"]).unwrap();
+        let guarded = ReverseMapping::parse(&m, &["S(x) & const(x) -> P(x)"]).unwrap();
+        let v = reverse_contains(&unguarded, &guarded).unwrap();
+        let w = v.witness().expect("null premise separates the two");
+        assert!(!w.premise.is_ground(), "the separating premise is a null");
+        // The other direction fails on a *ground* premise: the inner
+        // ∃z P(z) leaf carries a null where the guarded dependency
+        // demands the premise constant back.
+        let v = reverse_contains(&guarded, &unguarded).unwrap();
+        assert!(v.witness().is_some_and(|w| w.premise.is_ground()));
+    }
+
+    #[test]
+    fn reverse_containment_preconditions() {
+        let m = SchemaMapping::parse("P/2", "Q/2", &["P(x,y) -> Q(x,y)"]).unwrap();
+        // Inequality among unguarded variables ⇒ not guard-complete.
+        let bad = ReverseMapping::parse(&m, &["Q(x,y) & x != y -> P(x,y)"]).unwrap();
+        let ok = ReverseMapping::parse(&m, &["Q(x,y) & const(x) & const(y) -> P(x,y)"]).unwrap();
+        assert!(matches!(
+            reverse_contains(&bad, &ok),
+            Err(CoreError::Precondition(_))
+        ));
+        // Inner side may be unguarded.
+        assert!(reverse_contains(&ok, &bad).is_ok());
+    }
+
+    #[test]
+    fn budget_trips_surface_as_structured_errors() {
+        let outer = SchemaMapping::parse("P/2", "Q/2", &["P(x,y) -> Q(x,y)"]).unwrap();
+        let inner = outer.clone();
+        let tight = Budget::unlimited().with_max_tasks(1);
+        let r = mapping_contains_with_stats(&outer, &inner, &tight);
+        match r {
+            Ok((v, _)) => assert!(v.holds()),
+            Err(CoreError::Resource(_)) | Err(CoreError::Chase(_)) => {}
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+}

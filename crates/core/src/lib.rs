@@ -32,7 +32,13 @@
 //!   and the soundness / faithfulness certificates of Definition 6.5;
 //! * [`verify`] — bounded verification of Definitions 3.3/3.8 (whether a
 //!   candidate reverse mapping is an inverse / quasi-inverse over a finite
-//!   universe of ground instances).
+//!   universe of ground instances);
+//! * [`containment`] — mapping containment and equivalence
+//!   (`Inst(M_B) ⊆ Inst(M_A)`) for forward and reverse mappings, with
+//!   structured counterexample witnesses;
+//! * [`recovery`] — maximum recoveries (Arenas–Pérez–Riveros): the total
+//!   construction for s-t tgd mappings plus exact per-instance and
+//!   bounded-universe recovery/maximality checks.
 //!
 //! ### Exact vs bounded
 //!
@@ -48,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod compose;
+pub mod containment;
 pub mod enumerate;
 pub mod error;
 pub mod exchange;
@@ -57,12 +64,17 @@ pub mod lint;
 pub mod mapping;
 pub mod mingen;
 pub mod quasi_inverse;
+pub mod recovery;
 pub mod sigma_star;
 pub mod so_compose;
 pub mod solutions;
 pub mod verify;
 
 pub use compose::{compose, composition_membership};
+pub use containment::{
+    mapping_contains, mapping_contains_with_stats, mapping_equivalent, reverse_contains,
+    reverse_contains_with_stats, reverse_equivalent, ContainmentVerdict, ContainmentWitness,
+};
 pub use error::{CoreError, CorePartial, CoreResourceError};
 pub use exchange::{composition_contains, round_trip, RoundTrip};
 pub use framework::{
@@ -77,6 +89,11 @@ pub use quasi_inverse::{
     minimize_disjuncts, minimize_disjuncts_budgeted, minimize_disjuncts_cached, quasi_inverse,
     quasi_inverse_full, quasi_inverse_lav, quasi_inverse_lav_with, quasi_inverse_with_stats,
     QuasiInverseOptions,
+};
+pub use recovery::{
+    is_maximum_recovery_bounded, is_maximum_recovery_bounded_budgeted, is_recovery_bounded,
+    is_recovery_bounded_budgeted, is_recovery_on, maximum_recovery, maximum_recovery_with_stats,
+    RecoveryReport,
 };
 pub use sigma_star::sigma_star;
 pub use so_compose::so_compose;

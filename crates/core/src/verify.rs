@@ -40,7 +40,11 @@ pub struct VerifyReport {
     pub checked: usize,
 }
 
-fn composition_matrix(
+/// The exact composition-membership matrix over a universe:
+/// `matrix[i][k]` is `(universe[i], universe[k]) ∈ Inst(m ∘ rev)`.
+/// Shared by the inverse verifiers here and the recovery checks of
+/// [`crate::recovery`].
+pub(crate) fn composition_matrix(
     m: &SchemaMapping,
     rev: &ReverseMapping,
     universe: &[Instance],

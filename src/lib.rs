@@ -69,6 +69,11 @@ pub mod prelude {
         CoreResourceError, MinGenOptions, QuasiInverseOptions, Relation, ReverseMapping, RoundTrip,
         SchemaMapping,
     };
+    pub use qi_core::{
+        is_maximum_recovery_bounded, is_recovery_bounded, is_recovery_on, mapping_contains,
+        mapping_equivalent, maximum_recovery, reverse_contains, reverse_equivalent,
+        ContainmentVerdict, ContainmentWitness, RecoveryReport,
+    };
     pub use qi_core::{quasi_inverse_full, quasi_inverse_lav, so_compose};
     pub use qi_exec::{set_global_threads, Budget, Exceeded, ExecStats, Parallelism};
     pub use qi_lang::{

@@ -1,0 +1,110 @@
+//! Golden-file tests for the mapping-algebra subcommands: the rendered
+//! `qimap recover` output (text, and JSON for every example) and the
+//! `qimap contains` verdicts over the shipped example pair are pinned
+//! byte-for-byte, through the real argument dispatcher.
+//!
+//! Regenerate after an intentional change with
+//! `UPDATE_GOLDEN=1 cargo test --test algebra_golden`.
+
+use qi_cli::{run, CliError};
+use std::fs;
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = repo_root().join("tests/golden").join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "golden mismatch for {name}; run with UPDATE_GOLDEN=1 to regenerate"
+    );
+}
+
+/// Dispatch `qimap` against the real example files on disk.
+fn qimap(args: &[&str]) -> Result<String, CliError> {
+    let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    run(&argv, |path| {
+        fs::read_to_string(repo_root().join(path)).map_err(|e| CliError(format!("{path}: {e}")))
+    })
+}
+
+fn example_files() -> Vec<PathBuf> {
+    let dir = repo_root().join("examples/mappings");
+    let mut files: Vec<_> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "qim"))
+        .collect();
+    files.sort();
+    assert!(
+        files.len() >= 9,
+        "expected the full example set, found {}",
+        files.len()
+    );
+    files
+}
+
+#[test]
+fn recover_output_is_pinned_for_every_example() {
+    for f in example_files() {
+        let stem = f.file_stem().unwrap().to_str().unwrap().to_owned();
+        let rel = format!("examples/mappings/{stem}.qim");
+        let text = qimap(&["recover", &rel]).unwrap();
+        check_golden(&format!("{stem}.recover.txt"), &text);
+        let json = qimap(&["recover", "--json", &rel]).unwrap();
+        check_golden(&format!("{stem}.recover.json"), &json);
+    }
+}
+
+#[test]
+fn contains_verdicts_are_pinned_for_the_union_pair() {
+    // `union_weak` drops the Q-side tgd of `union`, so it constrains a
+    // superset of instance pairs: weak ⊇ union holds, union ⊇ weak is
+    // refuted with a concrete witness (a Q-fact the weak side ignores).
+    let weak = "examples/mappings/union_weak.qim";
+    let full = "examples/mappings/union.qim";
+    let mut out = String::new();
+    for (outer, inner, tag) in [
+        (weak, full, "weak_contains_union"),
+        (full, weak, "union_contains_weak"),
+    ] {
+        out.push_str(&format!("== {tag} ==\n"));
+        out.push_str(&qimap(&["contains", outer, inner]).unwrap());
+    }
+    check_golden("union_pair.contains.txt", &out);
+    let mut js = String::new();
+    for (outer, inner) in [(weak, full), (full, weak)] {
+        js.push_str(&qimap(&["contains", "--json", outer, inner]).unwrap());
+    }
+    check_golden("union_pair.contains.json", &js);
+}
+
+#[test]
+fn stats_flag_appends_without_changing_the_pinned_output() {
+    // `--stats` counters vary with executor internals, so they stay out
+    // of the goldens — but the flag must strictly extend the pinned
+    // rendering, never perturb it.
+    let rel = "examples/mappings/projection.qim";
+    let plain = qimap(&["recover", rel]).unwrap();
+    let with = qimap(&["--stats", "recover", rel]).unwrap();
+    assert!(with.starts_with(&plain), "stats must only append lines");
+    assert!(with.contains("stats:"), "{with}");
+    let weak = "examples/mappings/union_weak.qim";
+    let full = "examples/mappings/union.qim";
+    let plain = qimap(&["contains", full, weak]).unwrap();
+    let with = qimap(&["--stats", "contains", full, weak]).unwrap();
+    assert!(with.starts_with(&plain), "stats must only append lines");
+    assert!(with.contains("stats:"), "{with}");
+}

@@ -96,6 +96,127 @@ fn composed_chase_equals_two_hop_chase_up_to_hom() {
     }
 }
 
+/// Composition is associative up to logical equivalence:
+/// `(M12 ∘ M23) ∘ M34 ≡ M12 ∘ (M23 ∘ M34)`, checked by the containment
+/// engine rather than on sampled instances. The two full prefixes keep
+/// every `compose` call inside the supported (full, arbitrary) fragment.
+/// Swept over worker counts: containment chases must not depend on the
+/// executor's parallelism.
+#[test]
+fn composition_is_associative_under_containment() {
+    // A hard candidate cap makes the skip set deterministic: the trip
+    // point is bit-identical at every worker count, unlike a deadline.
+    let opts = MinGenOptions {
+        max_candidates: 20_000,
+        ..Default::default()
+    };
+    // Pre-select the seeds whose three-way composition fits the budget
+    // so every thread setting exercises the identical corpus.
+    let triple = |seed: u64| {
+        let mut r = rng(seed);
+        let m12 = random_mapping(
+            &mut r,
+            &MappingParams {
+                full: true,
+                max_arity: 2,
+                n_tgds: 2,
+                max_head_atoms: 1,
+                ..Default::default()
+            },
+        );
+        let m23 = random_mapping_between(
+            &mut r,
+            &m12.target,
+            &Schema::parse("Mid0/2 Mid1/1").unwrap(),
+            &MappingParams {
+                full: true,
+                n_tgds: 1,
+                max_arity: 2,
+                max_head_atoms: 1,
+                ..Default::default()
+            },
+        );
+        let m34 = random_mapping_between(
+            &mut r,
+            &m23.target,
+            &Schema::parse("Out0/2 Out1/1").unwrap(),
+            &MappingParams {
+                n_tgds: 1,
+                max_arity: 2,
+                ..Default::default()
+            },
+        );
+        (m12, m23, m34)
+    };
+    for &threads in &[1usize, 4, 0] {
+        set_global_threads(threads);
+        let mut exercised = 0u64;
+        for seed in 0..2 * CASES {
+            let (m12, m23, m34) = triple(seed);
+            let left = match compose(&m12, &m23, &opts).and_then(|m13| compose(&m13, &m34, &opts)) {
+                Ok(m) => m,
+                Err(CoreError::Budget(_)) => continue,
+                Err(e) => panic!("seed {seed}: {e}"),
+            };
+            let right = match compose(&m23, &m34, &opts).and_then(|m24| compose(&m12, &m24, &opts))
+            {
+                Ok(m) => m,
+                Err(CoreError::Budget(_)) => continue,
+                Err(e) => panic!("seed {seed}: {e}"),
+            };
+            assert!(
+                mapping_equivalent(&left, &right).unwrap(),
+                "seed {seed}, threads {threads}:\nleft: {left}\nright: {right}"
+            );
+            exercised += 1;
+        }
+        assert!(
+            exercised >= CASES,
+            "budget skips starved the associativity property: {exercised} cases"
+        );
+    }
+    set_global_threads(0);
+}
+
+/// The identity mapping is a two-sided unit for composition up to
+/// logical equivalence: `id ∘ M ≡ M ≡ M ∘ id`, decided by the
+/// containment checker (both directions of each equivalence). Swept over
+/// worker counts like the associativity property.
+#[test]
+fn identity_is_a_unit_for_composition_under_containment() {
+    for &threads in &[1usize, 4, 0] {
+        set_global_threads(threads);
+        for seed in 0..CASES {
+            let mut r = rng(seed);
+            let m = random_mapping(
+                &mut r,
+                &MappingParams {
+                    full: true,
+                    max_arity: 2,
+                    n_tgds: 2,
+                    ..Default::default()
+                },
+            );
+            let id_src = SchemaMapping::identity(&m.source).unwrap();
+            let id_tgt = SchemaMapping::identity(&m.target).unwrap();
+            let opts = MinGenOptions::default();
+            // The replica schemas produced by `identity` are `same_as`
+            // the originals, so both compositions type-check directly.
+            let left = compose(&id_src, &m, &opts).unwrap();
+            let right = compose(&m, &id_tgt, &opts).unwrap();
+            assert!(
+                mapping_equivalent(&left, &m).unwrap(),
+                "seed {seed}, threads {threads}: id ∘ M ≢ M\n{left}"
+            );
+            assert!(
+                mapping_equivalent(&right, &m).unwrap(),
+                "seed {seed}, threads {threads}: M ∘ id ≢ M\n{right}"
+            );
+        }
+    }
+    set_global_threads(0);
+}
+
 #[test]
 fn composing_with_identity_preserves_behaviour() {
     let m = quasi_inverse::workloads::paper::copy();

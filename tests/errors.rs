@@ -167,6 +167,83 @@ fn roundtrip_budget_propagates() {
 }
 
 #[test]
+fn quasi_inverse_full_propagates_resource_errors() {
+    use quasi_inverse::core::CorePartial;
+    use quasi_inverse::exec::Exceeded;
+    use std::time::Duration;
+    // Full mapping, expired deadline: the structured resource error from
+    // the underlying search must surface through `quasi_inverse_full`
+    // unchanged — not be swallowed into an `Ok` with a guard-stripped
+    // half result.
+    let m = SchemaMapping::parse("P/3", "Q/2 R/2", &["P(x,y,z) -> Q(x,y) & R(y,z)"]).unwrap();
+    let tight = QuasiInverseOptions {
+        budget: Budget::unlimited().with_deadline(Duration::ZERO),
+        ..Default::default()
+    };
+    match quasi_inverse_full(&m, &tight) {
+        Err(CoreError::Resource(r)) => {
+            assert_eq!(r.exceeded, Exceeded::Deadline);
+            // Whatever partial rode along stays well-formed: generators
+            // carry source-schema atoms, never an empty conjunction.
+            if let CorePartial::Generators(gs) = &r.partial {
+                for g in gs {
+                    assert!(!g.atoms.is_empty());
+                }
+            }
+            assert!(r.to_string().contains("resource budget exhausted"));
+        }
+        other => panic!("expected a structured resource error, got {other:?}"),
+    }
+    // The fragment rejection is decided before any search runs, so it
+    // wins even over an already-expired budget.
+    let non_full = SchemaMapping::parse("P/1", "Q/2", &["P(x) -> exists y . Q(x,y)"]).unwrap();
+    assert!(matches!(
+        quasi_inverse_full(&non_full, &tight),
+        Err(CoreError::Rejected(_))
+    ));
+    // And an unlimited budget still yields the guard-free output.
+    let rev = quasi_inverse_full(&m, &QuasiInverseOptions::default()).unwrap();
+    assert!(rev.deps.iter().all(|d| d.constant.is_empty()));
+}
+
+#[test]
+fn quasi_inverse_lav_budget_is_a_structured_resource_error() {
+    use quasi_inverse::exec::Exceeded;
+    use std::time::Duration;
+    let m = SchemaMapping::parse("P/2", "Q/2", &["P(x,y) -> Q(x,y)"]).unwrap();
+    let tight = QuasiInverseOptions {
+        budget: Budget::unlimited().with_deadline(Duration::ZERO),
+        ..Default::default()
+    };
+    match quasi_inverse::core::quasi_inverse_lav_with(&m, &tight) {
+        Err(CoreError::Resource(r)) => assert_eq!(r.exceeded, Exceeded::Deadline),
+        other => panic!("expected a structured resource error, got {other:?}"),
+    }
+}
+
+#[test]
+fn containment_budget_trips_are_structured_resource_errors() {
+    use quasi_inverse::core::{mapping_contains_with_stats, reverse_contains_with_stats};
+    use std::time::Duration;
+    let m = SchemaMapping::parse("P/2", "Q/1", &["P(x,y) -> Q(x)"]).unwrap();
+    let expired = Budget::unlimited().with_deadline(Duration::ZERO);
+    assert!(matches!(
+        mapping_contains_with_stats(&m, &m, &expired),
+        Err(CoreError::Resource(_))
+    ));
+    let rev = quasi_inverse::core::quasi_inverse(&m, &Default::default()).unwrap();
+    assert!(matches!(
+        reverse_contains_with_stats(&rev, &rev, &expired),
+        Err(CoreError::Resource(_))
+    ));
+    // An unlimited budget decides both, and both directions hold.
+    let (verdict, _) = mapping_contains_with_stats(&m, &m, &Budget::unlimited()).unwrap();
+    assert!(verdict.holds());
+    let (verdict, _) = reverse_contains_with_stats(&rev, &rev, &Budget::unlimited()).unwrap();
+    assert!(verdict.holds());
+}
+
+#[test]
 fn errors_format_reasonably() {
     let e = CoreError::Precondition("something".into());
     assert!(e.to_string().contains("something"));
